@@ -1,0 +1,292 @@
+//! The ACMP configuration space: core types, frequencies, and switching
+//! costs (paper Sec. 7.1).
+
+use crate::time::Duration;
+use std::fmt;
+
+/// Which cluster a configuration runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoreType {
+    /// The energy-conserving low-performance cluster (Cortex-A7).
+    Little,
+    /// The energy-hungry high-performance cluster (Cortex-A15).
+    Big,
+}
+
+impl CoreType {
+    /// Both core types, little first.
+    pub const ALL: [CoreType; 2] = [CoreType::Little, CoreType::Big];
+}
+
+impl fmt::Display for CoreType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreType::Little => write!(f, "A7"),
+            CoreType::Big => write!(f, "A15"),
+        }
+    }
+}
+
+/// An execution configuration: a ⟨core, frequency⟩ tuple (paper Sec. 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpuConfig {
+    /// The cluster.
+    pub core: CoreType,
+    /// Clock frequency in MHz.
+    pub freq_mhz: u32,
+}
+
+impl CpuConfig {
+    /// Creates a configuration.
+    pub const fn new(core: CoreType, freq_mhz: u32) -> Self {
+        CpuConfig { core, freq_mhz }
+    }
+
+    /// Frequency in Hz.
+    pub fn freq_hz(self) -> f64 {
+        self.freq_mhz as f64 * 1e6
+    }
+
+    /// Frequency in GHz.
+    pub fn freq_ghz(self) -> f64 {
+        self.freq_mhz as f64 / 1e3
+    }
+}
+
+impl fmt::Display for CpuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}MHz", self.core, self.freq_mhz)
+    }
+}
+
+/// Description of one cluster's frequency range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Minimum frequency in MHz.
+    pub min_mhz: u32,
+    /// Maximum frequency in MHz.
+    pub max_mhz: u32,
+    /// DVFS step in MHz.
+    pub step_mhz: u32,
+    /// Instructions (work units) retired per cycle relative to the little
+    /// core; encodes the microarchitectural speed gap.
+    pub ipc: f64,
+}
+
+impl ClusterSpec {
+    /// All frequencies of this cluster, ascending.
+    pub fn frequencies(&self) -> impl Iterator<Item = u32> + '_ {
+        (self.min_mhz..=self.max_mhz).step_by(self.step_mhz as usize)
+    }
+}
+
+/// The whole platform: both clusters plus switching costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    big: ClusterSpec,
+    little: ClusterSpec,
+    /// Cost of a frequency change within a cluster (paper: 100 µs).
+    pub dvfs_cost: Duration,
+    /// Cost of migrating between clusters (paper: 20 µs).
+    pub migration_cost: Duration,
+}
+
+impl Platform {
+    /// The ODroid XU+E / Exynos 5410 platform the paper evaluates on:
+    /// A15 big cores at 800–1800 MHz (100 MHz steps), A7 little cores at
+    /// 350–600 MHz (50 MHz steps), 100 µs DVFS and 20 µs migration costs.
+    pub fn odroid_xu_e() -> Self {
+        Platform {
+            big: ClusterSpec {
+                min_mhz: 800,
+                max_mhz: 1800,
+                step_mhz: 100,
+                ipc: 2.0,
+            },
+            little: ClusterSpec {
+                min_mhz: 350,
+                max_mhz: 600,
+                step_mhz: 50,
+                ipc: 1.0,
+            },
+            dvfs_cost: Duration::from_micros(100),
+            migration_cost: Duration::from_micros(20),
+        }
+    }
+
+    /// A platform with custom clusters (used by the frequency-granularity
+    /// ablation benchmarks).
+    pub fn custom(big: ClusterSpec, little: ClusterSpec) -> Self {
+        Platform {
+            big,
+            little,
+            dvfs_cost: Duration::from_micros(100),
+            migration_cost: Duration::from_micros(20),
+        }
+    }
+
+    /// The cluster spec for `core`.
+    pub fn cluster(&self, core: CoreType) -> &ClusterSpec {
+        match core {
+            CoreType::Big => &self.big,
+            CoreType::Little => &self.little,
+        }
+    }
+
+    /// All configurations, little cluster first, ascending frequency.
+    pub fn configs(&self) -> impl Iterator<Item = CpuConfig> + '_ {
+        CoreType::ALL.into_iter().flat_map(move |core| {
+            self.cluster(core)
+                .frequencies()
+                .map(move |f| CpuConfig::new(core, f))
+        })
+    }
+
+    /// The lowest-frequency configuration of `core`.
+    pub fn min_config(&self, core: CoreType) -> CpuConfig {
+        CpuConfig::new(core, self.cluster(core).min_mhz)
+    }
+
+    /// The highest-frequency configuration of `core`.
+    pub fn max_config(&self, core: CoreType) -> CpuConfig {
+        CpuConfig::new(core, self.cluster(core).max_mhz)
+    }
+
+    /// The globally lowest-power configuration (little @ min).
+    pub fn lowest(&self) -> CpuConfig {
+        self.min_config(CoreType::Little)
+    }
+
+    /// The globally fastest configuration (big @ max).
+    pub fn peak(&self) -> CpuConfig {
+        self.max_config(CoreType::Big)
+    }
+
+    /// Whether `config` is a valid point in this platform's space.
+    pub fn is_valid(&self, config: CpuConfig) -> bool {
+        let spec = self.cluster(config.core);
+        config.freq_mhz >= spec.min_mhz
+            && config.freq_mhz <= spec.max_mhz
+            && (config.freq_mhz - spec.min_mhz).is_multiple_of(spec.step_mhz)
+    }
+
+    /// The next frequency level up within the same cluster, or the
+    /// little→big migration (to big's minimum) when already at little's
+    /// max. Returns `None` at big@max. Used by the GreenWeb feedback loop
+    /// (paper Sec. 6.2: "increases the frequency to the next available
+    /// level or transitions ... from the little core to the big core").
+    pub fn step_up(&self, config: CpuConfig) -> Option<CpuConfig> {
+        let spec = self.cluster(config.core);
+        if config.freq_mhz + spec.step_mhz <= spec.max_mhz {
+            Some(CpuConfig::new(config.core, config.freq_mhz + spec.step_mhz))
+        } else {
+            match config.core {
+                CoreType::Little => Some(self.min_config(CoreType::Big)),
+                CoreType::Big => None,
+            }
+        }
+    }
+
+    /// The opposite adjustment of [`Platform::step_up`].
+    pub fn step_down(&self, config: CpuConfig) -> Option<CpuConfig> {
+        let spec = self.cluster(config.core);
+        if config.freq_mhz >= spec.min_mhz + spec.step_mhz {
+            Some(CpuConfig::new(config.core, config.freq_mhz - spec.step_mhz))
+        } else {
+            match config.core {
+                CoreType::Big => Some(self.max_config(CoreType::Little)),
+                CoreType::Little => None,
+            }
+        }
+    }
+
+    /// The cost of switching from `from` to `to`: migration cost across
+    /// clusters, DVFS cost within a cluster, zero if identical.
+    pub fn switch_cost(&self, from: CpuConfig, to: CpuConfig) -> Duration {
+        if from == to {
+            Duration::ZERO
+        } else if from.core != to.core {
+            self.migration_cost
+        } else {
+            self.dvfs_cost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exynos_config_space() {
+        let p = Platform::odroid_xu_e();
+        let configs: Vec<_> = p.configs().collect();
+        // 6 little (350..=600 step 50) + 11 big (800..=1800 step 100).
+        assert_eq!(configs.len(), 17);
+        assert!(configs.contains(&CpuConfig::new(CoreType::Little, 350)));
+        assert!(configs.contains(&CpuConfig::new(CoreType::Little, 600)));
+        assert!(configs.contains(&CpuConfig::new(CoreType::Big, 800)));
+        assert!(configs.contains(&CpuConfig::new(CoreType::Big, 1800)));
+    }
+
+    #[test]
+    fn validity() {
+        let p = Platform::odroid_xu_e();
+        assert!(p.is_valid(CpuConfig::new(CoreType::Big, 1200)));
+        assert!(!p.is_valid(CpuConfig::new(CoreType::Big, 1250)));
+        assert!(!p.is_valid(CpuConfig::new(CoreType::Big, 700)));
+        assert!(!p.is_valid(CpuConfig::new(CoreType::Little, 700)));
+        assert!(p.is_valid(CpuConfig::new(CoreType::Little, 450)));
+    }
+
+    #[test]
+    fn step_up_walks_whole_ladder() {
+        let p = Platform::odroid_xu_e();
+        let mut config = p.lowest();
+        let mut steps = 0;
+        while let Some(next) = p.step_up(config) {
+            assert!(p.is_valid(next));
+            config = next;
+            steps += 1;
+            assert!(steps < 100, "ladder must terminate");
+        }
+        assert_eq!(config, p.peak());
+        assert_eq!(steps, 16); // 17 configs, 16 transitions.
+    }
+
+    #[test]
+    fn step_up_migrates_little_to_big() {
+        let p = Platform::odroid_xu_e();
+        let top_little = p.max_config(CoreType::Little);
+        assert_eq!(p.step_up(top_little), Some(CpuConfig::new(CoreType::Big, 800)));
+        assert_eq!(p.step_up(p.peak()), None);
+    }
+
+    #[test]
+    fn step_down_is_inverse() {
+        let p = Platform::odroid_xu_e();
+        let mut config = p.peak();
+        while let Some(next) = p.step_down(config) {
+            assert_eq!(p.step_up(next), Some(config));
+            config = next;
+        }
+        assert_eq!(config, p.lowest());
+    }
+
+    #[test]
+    fn switch_costs_match_paper() {
+        let p = Platform::odroid_xu_e();
+        let big = CpuConfig::new(CoreType::Big, 1000);
+        let big2 = CpuConfig::new(CoreType::Big, 1100);
+        let little = CpuConfig::new(CoreType::Little, 600);
+        assert_eq!(p.switch_cost(big, big2), Duration::from_micros(100));
+        assert_eq!(p.switch_cost(big, little), Duration::from_micros(20));
+        assert_eq!(p.switch_cost(big, big), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CpuConfig::new(CoreType::Big, 1800).to_string(), "A15@1800MHz");
+        assert_eq!(CoreType::Little.to_string(), "A7");
+    }
+}

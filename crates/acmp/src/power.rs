@@ -1,0 +1,193 @@
+//! The power model.
+//!
+//! Active power of a configuration follows the standard CMOS form
+//! `P = P_static + C_dyn · f · V(f)²`, with a per-cluster linear voltage
+//! curve between the cluster's frequency endpoints. Idle power models a
+//! clock-gated cluster that is still powered (the cluster the OS last ran
+//! on keeps leaking until a migration happens).
+//!
+//! The constants are calibrated to plausible Exynos 5410 cluster numbers
+//! (A15 cluster peaking near 4.5 W, A7 cluster a few hundred mW), which
+//! reproduce the energy-ratio *shapes* of the paper's figures; absolute
+//! joules are not comparable to the ODroid sense-resistor measurements
+//! and are not meant to be.
+
+use crate::platform::{CoreType, CpuConfig, Platform};
+
+/// Per-cluster electrical parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterPower {
+    /// Static (leakage) power when the cluster is active, in mW.
+    pub static_mw: f64,
+    /// Effective switched capacitance, in mW / (GHz · V²).
+    pub cdyn: f64,
+    /// Supply voltage at the cluster's minimum frequency.
+    pub v_min: f64,
+    /// Supply voltage at the cluster's maximum frequency.
+    pub v_max: f64,
+    /// Idle (clock-gated) power while the cluster stays resident, in mW.
+    pub idle_mw: f64,
+}
+
+/// The platform power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    big: ClusterPower,
+    little: ClusterPower,
+}
+
+impl PowerModel {
+    /// The default model calibrated for [`Platform::odroid_xu_e`].
+    pub fn odroid_xu_e() -> Self {
+        PowerModel {
+            big: ClusterPower {
+                static_mw: 650.0,
+                cdyn: 1250.0,
+                v_min: 0.92,
+                v_max: 1.25,
+                idle_mw: 60.0,
+            },
+            little: ClusterPower {
+                static_mw: 70.0,
+                cdyn: 600.0,
+                v_min: 0.90,
+                v_max: 1.10,
+                idle_mw: 28.0,
+            },
+        }
+    }
+
+    /// A model with custom cluster parameters.
+    pub fn custom(big: ClusterPower, little: ClusterPower) -> Self {
+        PowerModel { big, little }
+    }
+
+    /// The parameters of `core`'s cluster.
+    pub fn cluster(&self, core: CoreType) -> &ClusterPower {
+        match core {
+            CoreType::Big => &self.big,
+            CoreType::Little => &self.little,
+        }
+    }
+
+    /// Supply voltage of `config` (linear interpolation over the
+    /// cluster's frequency range).
+    pub fn voltage(&self, platform: &Platform, config: CpuConfig) -> f64 {
+        let spec = platform.cluster(config.core);
+        let cp = self.cluster(config.core);
+        if spec.max_mhz == spec.min_mhz {
+            return cp.v_max;
+        }
+        let t = (config.freq_mhz - spec.min_mhz) as f64 / (spec.max_mhz - spec.min_mhz) as f64;
+        cp.v_min + (cp.v_max - cp.v_min) * t
+    }
+
+    /// Active power of `config` in milliwatts.
+    pub fn active_mw(&self, platform: &Platform, config: CpuConfig) -> f64 {
+        let cp = self.cluster(config.core);
+        let v = self.voltage(platform, config);
+        cp.static_mw + cp.cdyn * config.freq_ghz() * v * v
+    }
+
+    /// Idle power while `config`'s cluster stays resident, in milliwatts.
+    pub fn idle_mw(&self, config: CpuConfig) -> f64 {
+        self.cluster(config.core).idle_mw
+    }
+
+    /// Energy per unit of work (nJ per little-core cycle equivalent) at
+    /// `config` — the quantity the GreenWeb runtime implicitly minimizes.
+    pub fn energy_per_cycle_nj(&self, platform: &Platform, config: CpuConfig) -> f64 {
+        let ipc = platform.cluster(config.core).ipc;
+        let rate = ipc * config.freq_hz();
+        self.active_mw(platform, config) * 1e-3 / rate * 1e9
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::odroid_xu_e()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Platform, PowerModel) {
+        (Platform::odroid_xu_e(), PowerModel::odroid_xu_e())
+    }
+
+    #[test]
+    fn power_increases_with_frequency() {
+        let (p, m) = setup();
+        for core in CoreType::ALL {
+            let mut prev = 0.0;
+            for f in p.cluster(core).frequencies() {
+                let mw = m.active_mw(&p, CpuConfig::new(core, f));
+                assert!(mw > prev, "{core} {f} MHz: {mw} <= {prev}");
+                prev = mw;
+            }
+        }
+    }
+
+    #[test]
+    fn power_is_superlinear_in_frequency() {
+        // Doubling frequency should more than double power (V rises too).
+        let (p, m) = setup();
+        let low = m.active_mw(&p, CpuConfig::new(CoreType::Big, 900));
+        let high = m.active_mw(&p, CpuConfig::new(CoreType::Big, 1800));
+        let dyn_low = low - m.cluster(CoreType::Big).static_mw;
+        let dyn_high = high - m.cluster(CoreType::Big).static_mw;
+        assert!(dyn_high > 2.0 * dyn_low);
+    }
+
+    #[test]
+    fn big_cluster_draws_more_than_little() {
+        let (p, m) = setup();
+        let big_min = m.active_mw(&p, p.min_config(CoreType::Big));
+        let little_max = m.active_mw(&p, p.max_config(CoreType::Little));
+        assert!(big_min > little_max);
+        assert!(m.idle_mw(p.peak()) > m.idle_mw(p.lowest()));
+    }
+
+    #[test]
+    fn peak_power_in_plausible_range() {
+        let (p, m) = setup();
+        let peak = m.active_mw(&p, p.peak());
+        assert!((3000.0..6000.0).contains(&peak), "A15 peak {peak} mW");
+        let little_peak = m.active_mw(&p, p.max_config(CoreType::Little));
+        assert!((300.0..800.0).contains(&little_peak), "A7 peak {little_peak} mW");
+    }
+
+    #[test]
+    fn voltage_endpoints() {
+        let (p, m) = setup();
+        assert_eq!(m.voltage(&p, p.min_config(CoreType::Big)), 0.92);
+        assert_eq!(m.voltage(&p, p.max_config(CoreType::Big)), 1.25);
+        let mid = m.voltage(&p, CpuConfig::new(CoreType::Big, 1300));
+        assert!(mid > 0.92 && mid < 1.25);
+    }
+
+    #[test]
+    fn little_core_is_more_energy_efficient() {
+        // nJ/cycle must be lower on the little cluster — this asymmetry is
+        // the entire reason the GreenWeb runtime prefers it when QoS allows.
+        let (p, m) = setup();
+        let little = m.energy_per_cycle_nj(&p, p.min_config(CoreType::Little));
+        let big = m.energy_per_cycle_nj(&p, p.peak());
+        assert!(
+            big / little > 1.5,
+            "efficiency gap too small: big {big} vs little {little}"
+        );
+    }
+
+    #[test]
+    fn energy_per_cycle_increases_with_frequency_within_cluster() {
+        let (p, m) = setup();
+        for core in CoreType::ALL {
+            let low = m.energy_per_cycle_nj(&p, p.min_config(core));
+            let high = m.energy_per_cycle_nj(&p, p.max_config(core));
+            assert!(high > low, "{core}: {high} <= {low}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The ground-truth execution model.
+//!
+//! A [`WorkUnit`] is the cost of one schedulable piece of browser work
+//! (a callback execution, a style pass, a paint, …). Its execution time on
+//! configuration `c` follows the classical DVFS model the paper builds on
+//! (Eq. 1, after Xie et al.):
+//!
+//! ```text
+//! T(c) = T_independent + W / (IPC(core) · f)
+//! ```
+//!
+//! where `T_independent` covers GPU and memory time that does not scale
+//! with CPU frequency and `W` is CPU work in *little-core cycle
+//! equivalents* (the big core's higher IPC makes it retire more work per
+//! cycle). The GreenWeb runtime never sees these fields — it must infer
+//! them from two profiled latencies, exactly as the paper's runtime does.
+
+use crate::platform::CpuConfig;
+use crate::time::Duration;
+
+/// The cost of one piece of work.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkUnit {
+    /// CPU work in little-core cycle equivalents.
+    pub cycles: f64,
+    /// Frequency-independent time (GPU, memory stalls), in nanoseconds.
+    pub independent_ns: f64,
+}
+
+impl WorkUnit {
+    /// A work unit with only CPU cycles.
+    pub fn cycles(cycles: f64) -> Self {
+        WorkUnit {
+            cycles,
+            independent_ns: 0.0,
+        }
+    }
+
+    /// A work unit with CPU cycles plus frequency-independent time given
+    /// in milliseconds.
+    pub fn new(cycles: f64, independent_ms: f64) -> Self {
+        WorkUnit {
+            cycles,
+            independent_ns: independent_ms * 1e6,
+        }
+    }
+
+    /// Whether there is nothing left to execute.
+    pub fn is_empty(&self) -> bool {
+        self.cycles <= 0.0 && self.independent_ns <= 0.0
+    }
+
+    /// Sums two work units.
+    pub fn plus(&self, other: &WorkUnit) -> WorkUnit {
+        WorkUnit {
+            cycles: self.cycles + other.cycles,
+            independent_ns: self.independent_ns + other.independent_ns,
+        }
+    }
+
+    /// Execution rate of `config` in cycle-equivalents per second.
+    pub fn rate(config: CpuConfig, ipc: f64) -> f64 {
+        ipc * config.freq_hz()
+    }
+
+    /// Total execution time on `config` whose core has the given `ipc`.
+    pub fn duration_on(&self, config: CpuConfig, ipc: f64) -> Duration {
+        let cpu_ns = self.cycles / Self::rate(config, ipc) * 1e9;
+        Duration::from_nanos((self.independent_ns + cpu_ns).round() as u64)
+    }
+
+    /// Consumes `elapsed` of execution on `config` and returns the
+    /// remaining work. The frequency-independent portion is modeled as
+    /// running first (it does not scale with the configuration, so the
+    /// split point does not change totals, only mid-switch accounting).
+    pub fn remaining_after(&self, config: CpuConfig, ipc: f64, elapsed: Duration) -> WorkUnit {
+        let mut elapsed_ns = elapsed.as_nanos() as f64;
+        let mut rest = *self;
+        let indep = rest.independent_ns.min(elapsed_ns);
+        rest.independent_ns -= indep;
+        elapsed_ns -= indep;
+        if elapsed_ns > 0.0 {
+            let consumed = Self::rate(config, ipc) * elapsed_ns / 1e9;
+            rest.cycles = (rest.cycles - consumed).max(0.0);
+        }
+        rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{CoreType, Platform};
+
+    fn plat() -> Platform {
+        Platform::odroid_xu_e()
+    }
+
+    #[test]
+    fn duration_scales_inversely_with_frequency() {
+        let w = WorkUnit::cycles(100e6);
+        let p = plat();
+        let ipc = p.cluster(CoreType::Big).ipc;
+        let fast = w.duration_on(CpuConfig::new(CoreType::Big, 1800), ipc);
+        let slow = w.duration_on(CpuConfig::new(CoreType::Big, 900), ipc);
+        let ratio = slow.as_millis_f64() / fast.as_millis_f64();
+        assert!((ratio - 2.0).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn big_core_ipc_doubles_throughput() {
+        let w = WorkUnit::cycles(100e6);
+        let p = plat();
+        let big = w.duration_on(
+            CpuConfig::new(CoreType::Big, 600),
+            p.cluster(CoreType::Big).ipc,
+        );
+        let little = w.duration_on(
+            CpuConfig::new(CoreType::Little, 600),
+            p.cluster(CoreType::Little).ipc,
+        );
+        assert!((little.as_millis_f64() / big.as_millis_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn independent_time_does_not_scale() {
+        let w = WorkUnit::new(0.0, 5.0);
+        let p = plat();
+        for config in p.configs() {
+            let d = w.duration_on(config, p.cluster(config.core).ipc);
+            assert_eq!(d, Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn eq1_shape_holds() {
+        // T(f) should be affine in 1/f with intercept = independent time.
+        let w = WorkUnit::new(90e6, 3.0);
+        let p = plat();
+        let ipc = p.cluster(CoreType::Big).ipc;
+        let t1 = w
+            .duration_on(CpuConfig::new(CoreType::Big, 900), ipc)
+            .as_millis_f64();
+        let t2 = w
+            .duration_on(CpuConfig::new(CoreType::Big, 1800), ipc)
+            .as_millis_f64();
+        // Solve the two-point system like the GreenWeb runtime does.
+        let inv1 = 1.0 / 900.0e6;
+        let inv2 = 1.0 / 1800.0e6;
+        let n_over_ipc = (t1 - t2) / 1e3 / (inv1 - inv2);
+        let t_indep_ms = t1 - n_over_ipc * inv1 * 1e3;
+        assert!((t_indep_ms - 3.0).abs() < 1e-6, "t_indep {t_indep_ms}");
+        assert!((n_over_ipc * ipc / ipc - 45e6).abs() < 1.0, "N {n_over_ipc}");
+    }
+
+    #[test]
+    fn remaining_after_consumes_independent_first() {
+        let w = WorkUnit::new(100e6, 2.0);
+        let p = plat();
+        let config = CpuConfig::new(CoreType::Little, 500);
+        let ipc = p.cluster(CoreType::Little).ipc;
+        let rest = w.remaining_after(config, ipc, Duration::from_millis(1));
+        assert_eq!(rest.cycles, 100e6);
+        assert!((rest.independent_ns - 1e6).abs() < 1.0);
+        // After the independent part, cycles start draining at 500 MHz.
+        let rest2 = w.remaining_after(config, ipc, Duration::from_millis(3));
+        assert_eq!(rest2.independent_ns, 0.0);
+        assert!((rest2.cycles - (100e6 - 0.5e6 * 1.0)).abs() < 1e3);
+    }
+
+    #[test]
+    fn remaining_never_negative() {
+        let w = WorkUnit::new(1e6, 1.0);
+        let p = plat();
+        let config = p.peak();
+        let rest = w.remaining_after(config, 2.0, Duration::from_millis(100));
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn plus_sums_components() {
+        let a = WorkUnit::new(1e6, 1.0);
+        let b = WorkUnit::new(2e6, 0.5);
+        let c = a.plus(&b);
+        assert_eq!(c.cycles, 3e6);
+        assert_eq!(c.independent_ns, 1.5e6);
+    }
+
+    #[test]
+    fn duration_additivity_under_split() {
+        // Splitting execution at an arbitrary point must preserve total time.
+        let w = WorkUnit::new(80e6, 4.0);
+        let p = plat();
+        let config = CpuConfig::new(CoreType::Big, 1000);
+        let ipc = p.cluster(CoreType::Big).ipc;
+        let total = w.duration_on(config, ipc);
+        let split = Duration::from_millis(10);
+        let rest = w.remaining_after(config, ipc, split);
+        let tail = rest.duration_on(config, ipc);
+        let recombined = split + tail;
+        let diff =
+            (recombined.as_millis_f64() - total.as_millis_f64()).abs();
+        assert!(diff < 1e-3, "diff {diff} ms");
+    }
+}

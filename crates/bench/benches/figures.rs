@@ -1,0 +1,94 @@
+//! Criterion benchmarks wrapping the figure/table generators: one bench
+//! per table and figure of the paper's evaluation, so `cargo bench`
+//! regenerates every result and reports how long each regeneration takes.
+//!
+//! Each iteration re-runs the underlying simulations from scratch
+//! (the simulator is deterministic, so every iteration does identical
+//! work). Figure benches run on one representative workload per QoS
+//! category to keep `cargo bench` wall-time sane; the `evaluate` binary
+//! runs the full twelve-app suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greenweb::qos::Scenario;
+use greenweb_bench::figures::{fig11, fig12, run_app, SuiteKind};
+use greenweb_bench::{render, tables};
+use greenweb_workloads::by_name;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_qos_categories", |b| {
+        b.iter(|| black_box(tables::table1()))
+    });
+    c.bench_function("table2_api_spec", |b| b.iter(|| black_box(tables::table2())));
+    c.bench_function("table3_applications", |b| {
+        b.iter(|| black_box(tables::table3_rows()))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    // Microbenchmark energy + violations: one app per QoS category.
+    let mut group = c.benchmark_group("fig9_micro");
+    group.sample_size(10);
+    for name in ["Todo", "CamanJS", "Goo.ne.jp"] {
+        let workload = by_name(name).expect("workload exists");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let runs = run_app(&workload, SuiteKind::Micro);
+                black_box((
+                    runs.normalized_energy(),
+                    runs.extra_violations_imperceptible(),
+                    runs.extra_violations_usable(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    // Full-interaction energy + violations on a medium-length trace.
+    let mut group = c.benchmark_group("fig10_full");
+    group.sample_size(10);
+    for name in ["Goo.ne.jp", "Craigslist"] {
+        let workload = by_name(name).expect("workload exists");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let runs = run_app(&workload, SuiteKind::Full);
+                black_box((
+                    runs.normalized_energy(),
+                    runs.extra_violations_imperceptible(),
+                    runs.extra_violations_usable(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig11_fig12(c: &mut Criterion) {
+    // Residency and switching statistics: the simulation dominates, the
+    // slicing is what these two benches isolate.
+    let workload = by_name("Cnet").expect("workload exists");
+    let suite = vec![run_app(&workload, SuiteKind::Micro)];
+    c.bench_function("fig11_residency", |b| {
+        b.iter(|| {
+            black_box((
+                fig11(&suite, Scenario::Imperceptible),
+                fig11(&suite, Scenario::Usable),
+            ))
+        })
+    });
+    c.bench_function("fig12_switching", |b| b.iter(|| black_box(fig12(&suite))));
+    c.bench_function("fig11_render", |b| {
+        b.iter(|| {
+            black_box(render::residency_figure(
+                "Fig. 11a",
+                &suite,
+                Scenario::Imperceptible,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_tables, bench_fig9, bench_fig10, bench_fig11_fig12);
+criterion_main!(benches);

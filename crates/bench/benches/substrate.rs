@@ -1,0 +1,102 @@
+//! Criterion microbenchmarks of the substrate components: how fast the
+//! simulator itself is (HTML/CSS/script parsing, selector matching,
+//! interpretation, and end-to-end simulated seconds per wall second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greenweb::qos::Scenario;
+use greenweb::GreenWebScheduler;
+use greenweb_acmp::PerfGovernor;
+use greenweb_css::{parse_stylesheet, Selector, StyleEngine};
+use greenweb_dom::parse_html;
+use greenweb_engine::{Browser, GovernorScheduler};
+use greenweb_script::{compile, parse_program, Interpreter, NoHost, Vm};
+use greenweb_workloads::by_name;
+use std::hint::black_box;
+
+fn bench_dom(c: &mut Criterion) {
+    let html: String = (0..200)
+        .map(|i| format!("<div id='d{i}' class='row'><p>cell {i}</p></div>"))
+        .collect();
+    c.bench_function("html_parse_200_elements", |b| {
+        b.iter(|| black_box(parse_html(&html).unwrap()))
+    });
+    let doc = parse_html(&html).unwrap();
+    c.bench_function("element_by_id", |b| {
+        b.iter(|| black_box(doc.element_by_id("d150")))
+    });
+}
+
+fn bench_css(c: &mut Criterion) {
+    let css: String = (0..100)
+        .map(|i| format!("#d{i}.row:QoS {{ onclick-qos: single, short; width: {i}px; }}"))
+        .collect();
+    c.bench_function("css_parse_100_rules", |b| {
+        b.iter(|| black_box(parse_stylesheet(&css).unwrap()))
+    });
+    let doc = parse_html(
+        &(0..200)
+            .map(|i| format!("<div id='d{i}' class='row'></div>"))
+            .collect::<String>(),
+    )
+    .unwrap();
+    let selector = Selector::parse("div#d42.row:QoS").unwrap();
+    let node = doc.element_by_id("d42").unwrap();
+    c.bench_function("selector_match", |b| {
+        b.iter(|| black_box(selector.matches(&doc, node)))
+    });
+    let engine = StyleEngine::new(parse_stylesheet(&css).unwrap());
+    c.bench_function("cascade_compute_all", |b| {
+        b.iter(|| black_box(engine.compute_all(&doc)))
+    });
+}
+
+fn bench_script(c: &mut Criterion) {
+    let src = "function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+               var x = fib(16);";
+    c.bench_function("script_parse", |b| {
+        b.iter(|| black_box(parse_program(src).unwrap()))
+    });
+    let program = parse_program(src).unwrap();
+    c.bench_function("script_interp_fib16", |b| {
+        b.iter(|| {
+            let mut interp = Interpreter::new();
+            interp.run(&program, &mut NoHost).unwrap();
+            black_box(interp.ops())
+        })
+    });
+    c.bench_function("script_compile", |b| {
+        b.iter(|| black_box(compile(&program).unwrap()))
+    });
+    let compiled = compile(&program).unwrap();
+    c.bench_function("script_vm_fib16", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new();
+            vm.run(&compiled, &mut NoHost).unwrap();
+            black_box(vm.ops())
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let workload = by_name("Goo.ne.jp").expect("workload exists");
+    group.bench_function("full_trace_perf_governor", |b| {
+        b.iter(|| {
+            let mut browser =
+                Browser::new(&workload.app, GovernorScheduler::new(PerfGovernor)).unwrap();
+            black_box(browser.run(&workload.full).unwrap().total_mj())
+        })
+    });
+    group.bench_function("full_trace_greenweb", |b| {
+        b.iter(|| {
+            let mut browser =
+                Browser::new(&workload.app, GreenWebScheduler::new(Scenario::Usable)).unwrap();
+            black_box(browser.run(&workload.full).unwrap().total_mj())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dom, bench_css, bench_script, bench_simulation);
+criterion_main!(benches);

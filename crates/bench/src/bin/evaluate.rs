@@ -1,0 +1,231 @@
+//! The evaluation harness binary: regenerates every table and figure of
+//! the GreenWeb paper (Sec. 7).
+//!
+//! ```text
+//! evaluate table1|table2|table3       definitional tables
+//! evaluate fig9a|fig9b                microbenchmark energy / violations
+//! evaluate fig10a|fig10b|fig10c       full-interaction energy / violations
+//! evaluate fig11|fig12                residency / switching
+//! evaluate autogreen                  AUTOGREEN coverage per app
+//! evaluate uai                        mis-annotation defense demo
+//! evaluate ablation                   design-choice ablations
+//! evaluate all                        everything above
+//! ```
+
+use greenweb::autogreen::AutoGreen;
+use greenweb::qos::Scenario;
+use greenweb_bench::figures::{run_suite, AppRuns, SuiteKind};
+use greenweb_bench::{ablation, render, tables};
+use greenweb_workloads::harness::{expectations, run, Policy};
+use std::collections::HashMap;
+
+fn main() {
+    let command = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut cache: HashMap<SuiteKind, Vec<AppRuns>> = HashMap::new();
+    let wants = |name: &str| command == name || command == "all";
+
+    if wants("table1") {
+        println!("{}", tables::table1());
+    }
+    if wants("table2") {
+        println!("{}", tables::table2());
+    }
+    if wants("table3") {
+        println!("{}", tables::table3());
+    }
+    if wants("fig9a") {
+        let suite = suite(&mut cache, SuiteKind::Micro);
+        println!(
+            "{}",
+            render::energy_figure(
+                "Fig. 9a: microbenchmark energy normalized to Perf \
+                 (paper: GreenWeb-I 31.9% / GreenWeb-U 78.0% mean saving)",
+                suite
+            )
+        );
+    }
+    if wants("fig9b") {
+        let suite = suite(&mut cache, SuiteKind::Micro);
+        println!(
+            "{}",
+            render::violation_figure(
+                "Fig. 9b (imperceptible): extra QoS violation over Perf (paper mean: 1.3%)",
+                suite,
+                Scenario::Imperceptible
+            )
+        );
+        println!(
+            "{}",
+            render::violation_figure(
+                "Fig. 9b (usable): extra QoS violation over Perf (paper mean: 1.2%)",
+                suite,
+                Scenario::Usable
+            )
+        );
+    }
+    if wants("fig10a") {
+        let suite = suite(&mut cache, SuiteKind::Full);
+        println!(
+            "{}",
+            render::energy_figure(
+                "Fig. 10a: full-interaction energy normalized to Perf \
+                 (paper: 29.2% / 66.0% mean saving vs Interactive)",
+                suite
+            )
+        );
+    }
+    if wants("fig10b") {
+        let suite = suite(&mut cache, SuiteKind::Full);
+        println!(
+            "{}",
+            render::violation_figure(
+                "Fig. 10b: extra QoS violation over Perf, imperceptible (paper mean: 0.8%)",
+                suite,
+                Scenario::Imperceptible
+            )
+        );
+    }
+    if wants("fig10c") {
+        let suite = suite(&mut cache, SuiteKind::Full);
+        println!(
+            "{}",
+            render::violation_figure(
+                "Fig. 10c: extra QoS violation over Perf, usable (paper mean: 0.6%)",
+                suite,
+                Scenario::Usable
+            )
+        );
+    }
+    if wants("fig11") {
+        let suite = suite(&mut cache, SuiteKind::Full);
+        println!(
+            "{}",
+            render::residency_figure(
+                "Fig. 11a: configuration residency, GreenWeb-I",
+                suite,
+                Scenario::Imperceptible
+            )
+        );
+        println!(
+            "{}",
+            render::residency_figure(
+                "Fig. 11b: configuration residency, GreenWeb-U",
+                suite,
+                Scenario::Usable
+            )
+        );
+        println!("{}", render::residency_contrast(suite));
+    }
+    if wants("fig12") {
+        let suite = suite(&mut cache, SuiteKind::Full);
+        println!("{}", render::switching_figure(suite));
+    }
+    if wants("autogreen") {
+        autogreen_report();
+    }
+    if wants("uai") {
+        uai_demo();
+    }
+    if wants("ablation") {
+        let workloads = greenweb_workloads::all();
+        let surgy: Vec<_> = workloads
+            .iter()
+            .filter(|w| matches!(w.name, "W3School" | "Cnet" | "Amazon"))
+            .cloned()
+            .collect();
+        let cells = ablation::feedback_ablation(&surgy);
+        println!("{}", ablation::render_feedback_ablation(&cells));
+        println!(
+            "{}",
+            ablation::granularity_ablation(
+                &greenweb_workloads::by_name("Goo.ne.jp").expect("workload exists")
+            )
+        );
+        let continuous: Vec<_> = workloads
+            .iter()
+            .filter(|w| matches!(w.name, "Goo.ne.jp" | "Craigslist" | "W3School"))
+            .cloned()
+            .collect();
+        println!("{}", ablation::acmp_ablation(&continuous));
+    }
+    if wants("ebs") {
+        let chosen: Vec<_> = greenweb_workloads::all()
+            .iter()
+            .filter(|w| matches!(w.name, "MSN" | "Todo" | "CamanJS" | "Goo.ne.jp"))
+            .cloned()
+            .collect();
+        println!("{}", ablation::ebs_comparison(&chosen));
+    }
+    if wants("multiapp") {
+        println!("{}", ablation::background_load_experiment());
+    }
+}
+
+fn suite(cache: &mut HashMap<SuiteKind, Vec<AppRuns>>, kind: SuiteKind) -> &Vec<AppRuns> {
+    cache.entry(kind).or_insert_with(|| {
+        eprintln!("running {kind:?} suite (12 apps x 4 policies)...");
+        run_suite(kind)
+    })
+}
+
+fn autogreen_report() {
+    println!("AUTOGREEN: automatic annotation coverage (Sec. 5)\n");
+    println!(
+        "{:<11} {:>10} {:>8} {:>11}",
+        "app", "annotated", "skipped", "continuous"
+    );
+    let annotator = AutoGreen::new();
+    for w in greenweb_workloads::all() {
+        match annotator.detect(&w.unannotated_app) {
+            Ok(report) => {
+                let continuous = report
+                    .annotations
+                    .annotations()
+                    .iter()
+                    .filter(|a| a.spec.qos_type == greenweb::qos::QosType::Continuous)
+                    .count();
+                println!(
+                    "{:<11} {:>10} {:>8} {:>11}",
+                    w.name,
+                    report.annotations.len(),
+                    report.skipped.len(),
+                    continuous
+                );
+            }
+            Err(e) => println!("{:<11} failed: {e}", w.name),
+        }
+    }
+    println!();
+}
+
+fn uai_demo() {
+    println!("UAI mis-annotation defense (Sec. 8)\n");
+    // Hostile annotation: force every event to a 1 ms target.
+    let w = greenweb_workloads::by_name("Goo.ne.jp").expect("workload exists");
+    let mut hostile = w.unannotated_app.clone();
+    hostile
+        .css
+        .push("*:QoS { onclick-qos: continuous, 1, 1; }".to_string());
+    let unprotected = run(
+        &hostile,
+        &w.full,
+        &Policy::GreenWeb(Scenario::Imperceptible),
+    )
+    .expect("run");
+    let budget = unprotected.total_mj() * 0.4;
+    let protected = run(
+        &hostile,
+        &w.full,
+        &Policy::GreenWebUai(Scenario::Imperceptible, budget),
+    )
+    .expect("run");
+    let honest = run(&w.app, &w.full, &Policy::GreenWeb(Scenario::Imperceptible)).expect("run");
+    let _ = expectations(&hostile, &w.full, Scenario::Imperceptible);
+    println!("honest annotations:              {:>8.0} mJ", honest.total_mj());
+    println!("hostile 1 ms targets:            {:>8.0} mJ", unprotected.total_mj());
+    println!(
+        "hostile + UAI budget ({budget:.0} mJ): {:>8.0} mJ",
+        protected.total_mj()
+    );
+    println!();
+}

@@ -1,0 +1,26 @@
+//! # greenweb-bench
+//!
+//! The evaluation harness: regenerates every table and figure of the
+//! GreenWeb paper's evaluation (Sec. 7) from the simulated substrate.
+//!
+//! * [`figures`] — Fig. 9a/9b (microbenchmarks), Fig. 10a/10b/10c (full
+//!   interactions), Fig. 11a/11b (configuration residency), Fig. 12
+//!   (switching frequency);
+//! * [`tables`] — Tables 1–3;
+//! * [`ablation`] — design-choice ablations (feedback loop, UAI budget,
+//!   baseline governors, big-only vs. ACMP);
+//! * [`render`] — fixed-width text rendering used by the `evaluate`
+//!   binary.
+//!
+//! Run `cargo run --release -p greenweb-bench --bin evaluate -- all` to
+//! print everything; `cargo bench` wraps the same generators in Criterion
+//! benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod render;
+pub mod tables;
+
+pub use figures::{fig11, fig12, run_suite, AppRuns, PolicyRun, ResidencyRow, SuiteKind, SwitchRow};

@@ -1,0 +1,384 @@
+//! The GreenWeb language extensions (Sec. 4, Table 2, Fig. 3).
+//!
+//! GreenWeb annotations are ordinary CSS rules using the `:QoS`
+//! pseudo-class and `on<event>-qos` properties:
+//!
+//! ```css
+//! div#ex:QoS { ontouchstart-qos: continuous; }
+//! li.row:QoS { onclick-qos: single, short; }
+//! #canvas:QoS { ontouchmove-qos: continuous, 20, 100; }
+//! ```
+//!
+//! [`AnnotationTable::from_stylesheet`] extracts them; `lookup` resolves
+//! the annotation for a concrete `(element, event)` pair using selector
+//! matching with CSS specificity, so annotations inherit CSS's modularity:
+//! they select elements independently of how callbacks are implemented
+//! (Sec. 4.2's "modular design").
+
+use crate::qos::{QosSpec, QosTarget, QosType, ResponseExpectation};
+use greenweb_css::{CssValue, Rule, Selector, Specificity, Stylesheet};
+use greenweb_dom::{Document, EventType, NodeId};
+use std::fmt;
+
+/// Error raised for malformed GreenWeb annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    message: String,
+}
+
+impl LangError {
+    fn new(message: impl Into<String>) -> Self {
+        LangError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "greenweb annotation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// One extracted annotation: a selector, an event, and the QoS spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// The CSS selector choosing the annotated elements.
+    pub selector: Selector,
+    /// The annotated DOM event.
+    pub event: EventType,
+    /// The declared QoS information.
+    pub spec: QosSpec,
+}
+
+impl Annotation {
+    /// Renders the annotation back to GreenWeb CSS (used by AUTOGREEN's
+    /// generation phase).
+    pub fn to_css(&self) -> String {
+        let value = match (self.spec.qos_type, self.spec.target) {
+            (QosType::Continuous, t) if t == QosTarget::CONTINUOUS => "continuous".to_string(),
+            (QosType::Single, t) if t == QosTarget::SINGLE_SHORT => "single, short".to_string(),
+            (QosType::Single, t) if t == QosTarget::SINGLE_LONG => "single, long".to_string(),
+            (kind, t) => format!("{kind}, {}, {}", t.imperceptible_ms, t.usable_ms),
+        };
+        format!(
+            "{} {{ on{}-qos: {value}; }}",
+            self.selector, self.event
+        )
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_css())
+    }
+}
+
+/// All GreenWeb annotations of an application, with selector-based
+/// lookup.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnnotationTable {
+    annotations: Vec<Annotation>,
+}
+
+impl AnnotationTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        AnnotationTable::default()
+    }
+
+    /// Extracts every annotation from `:QoS` rules in `stylesheet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError`] if a `:QoS` rule declares an unknown event
+    /// or a malformed QoS value. Non-QoS declarations inside `:QoS` rules
+    /// are ignored (CSS forward compatibility).
+    pub fn from_stylesheet(stylesheet: &Stylesheet) -> Result<Self, LangError> {
+        let mut table = AnnotationTable::new();
+        for rule in stylesheet.qos_rules() {
+            table.extend_from_rule(rule)?;
+        }
+        Ok(table)
+    }
+
+    fn extend_from_rule(&mut self, rule: &Rule) -> Result<(), LangError> {
+        for decl in rule.declarations() {
+            let Some(event_name) = decl
+                .property
+                .strip_prefix("on")
+                .and_then(|rest| rest.strip_suffix("-qos"))
+            else {
+                continue;
+            };
+            let event: EventType = event_name
+                .parse()
+                .map_err(|e| LangError::new(format!("{e} in `{}`", decl.property)))?;
+            let spec = parse_qos_value(&decl.value)?;
+            for selector in rule.selectors() {
+                if !selector.has_qos_pseudo() {
+                    continue;
+                }
+                self.annotations.push(Annotation {
+                    selector: selector.clone(),
+                    event,
+                    spec,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds one annotation.
+    pub fn push(&mut self, annotation: Annotation) {
+        self.annotations.push(annotation);
+    }
+
+    /// All annotations, in source order.
+    pub fn annotations(&self) -> &[Annotation] {
+        &self.annotations
+    }
+
+    /// Number of annotations.
+    pub fn len(&self) -> usize {
+        self.annotations.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.annotations.is_empty()
+    }
+
+    /// Resolves the QoS spec for `event` on `node`: among matching
+    /// annotations, the one with the highest selector specificity wins
+    /// (source order breaks ties, later winning, like CSS).
+    pub fn lookup(&self, doc: &Document, node: NodeId, event: EventType) -> Option<&QosSpec> {
+        self.lookup_entry(doc, node, event).map(|(_, a)| &a.spec)
+    }
+
+    /// Like [`AnnotationTable::lookup`], but also returns the index of
+    /// the winning annotation. The index identifies the annotation *rule*
+    /// — the GreenWeb runtime keys its frame models on it, since every
+    /// element matched by one rule exercises the same code path.
+    pub fn lookup_entry(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        event: EventType,
+    ) -> Option<(usize, &Annotation)> {
+        let mut best: Option<(Specificity, usize, &Annotation)> = None;
+        for (order, a) in self.annotations.iter().enumerate() {
+            if a.event != event || !a.selector.matches(doc, node) {
+                continue;
+            }
+            let spec = a.selector.specificity();
+            if best.is_none_or(|(s, o, _)| (spec, order) >= (s, o)) {
+                best = Some((spec, order, a));
+            }
+        }
+        best.map(|(_, order, a)| (order, a))
+    }
+
+    /// Renders the whole table as a GreenWeb CSS stylesheet.
+    pub fn to_css(&self) -> String {
+        self.annotations
+            .iter()
+            .map(Annotation::to_css)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Parses the value grammar of Table 2:
+///
+/// ```text
+/// CDecl  ::= continuous [, v, v]
+/// SDecl  ::= single, short | long | v, v
+/// ```
+fn parse_qos_value(value: &CssValue) -> Result<QosSpec, LangError> {
+    let items = value.items();
+    let first = items
+        .first()
+        .and_then(|v| v.as_keyword())
+        .ok_or_else(|| LangError::new("QoS value must start with `continuous` or `single`"))?;
+    let qos_type = match first {
+        "continuous" => QosType::Continuous,
+        "single" => QosType::Single,
+        other => {
+            return Err(LangError::new(format!(
+                "unknown QoS type `{other}` (expected `continuous` or `single`)"
+            )))
+        }
+    };
+    match (qos_type, items.len()) {
+        (QosType::Continuous, 1) => Ok(QosSpec::continuous()),
+        (QosType::Single, 2) => {
+            let word = items[1]
+                .as_keyword()
+                .ok_or_else(|| LangError::new("expected `short` or `long`"))?;
+            match word {
+                "short" => Ok(QosSpec::single(ResponseExpectation::Short)),
+                "long" => Ok(QosSpec::single(ResponseExpectation::Long)),
+                other => Err(LangError::new(format!(
+                    "expected `short` or `long`, found `{other}`"
+                ))),
+            }
+        }
+        (_, 3) => {
+            // Explicit T_I, T_U values (in milliseconds). "Note that both
+            // values must either appear or be omitted together" (Table 2).
+            let ti = items[1]
+                .as_number()
+                .ok_or_else(|| LangError::new("expected numeric T_I value"))?;
+            let tu = items[2]
+                .as_number()
+                .ok_or_else(|| LangError::new("expected numeric T_U value"))?;
+            if ti <= 0.0 || tu <= 0.0 || ti > tu {
+                return Err(LangError::new(format!(
+                    "invalid QoS targets ({ti}, {tu}): need 0 < T_I <= T_U"
+                )));
+            }
+            Ok(QosSpec::with_target(qos_type, QosTarget::new(ti, tu)))
+        }
+        (QosType::Single, 1) => Err(LangError::new(
+            "`single` requires `short`/`long` or explicit targets",
+        )),
+        _ => Err(LangError::new("malformed QoS declaration value")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenweb_css::parse_stylesheet;
+    use greenweb_dom::parse_html;
+
+    fn table(css: &str) -> AnnotationTable {
+        AnnotationTable::from_stylesheet(&parse_stylesheet(css).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn extracts_fig4_annotation() {
+        let t = table("div#ex:QoS { ontouchstart-qos: continuous; }");
+        assert_eq!(t.len(), 1);
+        let a = &t.annotations()[0];
+        assert_eq!(a.event, EventType::TouchStart);
+        assert_eq!(a.spec, QosSpec::continuous());
+    }
+
+    #[test]
+    fn extracts_fig5_annotation_with_targets() {
+        let t = table("#c:QoS { ontouchmove-qos: continuous, 20, 100; }");
+        let spec = &t.annotations()[0].spec;
+        assert_eq!(spec.qos_type, QosType::Continuous);
+        assert_eq!(spec.target, QosTarget::new(20.0, 100.0));
+    }
+
+    #[test]
+    fn extracts_single_short_and_long() {
+        let t = table(
+            "#a:QoS { onclick-qos: single, short; }
+             #b:QoS { onload-qos: single, long; }",
+        );
+        assert_eq!(t.annotations()[0].spec.target, QosTarget::SINGLE_SHORT);
+        assert_eq!(t.annotations()[1].spec.target, QosTarget::SINGLE_LONG);
+    }
+
+    #[test]
+    fn non_qos_rules_ignored() {
+        let t = table("div { width: 10px; } #a:QoS { onclick-qos: single, short; }");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn unknown_event_errors() {
+        let sheet = parse_stylesheet("#a:QoS { onhover-qos: continuous; }").unwrap();
+        let err = AnnotationTable::from_stylesheet(&sheet).unwrap_err();
+        assert!(err.to_string().contains("hover"));
+    }
+
+    #[test]
+    fn bad_values_error() {
+        for css in [
+            "#a:QoS { onclick-qos: sometimes; }",
+            "#a:QoS { onclick-qos: single; }",
+            "#a:QoS { onclick-qos: single, maybe; }",
+            "#a:QoS { onclick-qos: continuous, 100, 20; }",
+            "#a:QoS { onclick-qos: continuous, -5, 20; }",
+        ] {
+            let sheet = parse_stylesheet(css).unwrap();
+            assert!(
+                AnnotationTable::from_stylesheet(&sheet).is_err(),
+                "should reject {css}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_matches_by_selector() {
+        let doc = parse_html("<div id='ex' class='c'></div><div id='other'></div>").unwrap();
+        let ex = doc.element_by_id("ex").unwrap();
+        let other = doc.element_by_id("other").unwrap();
+        let t = table("div#ex:QoS { ontouchstart-qos: continuous; }");
+        assert!(t.lookup(&doc, ex, EventType::TouchStart).is_some());
+        assert!(t.lookup(&doc, other, EventType::TouchStart).is_none());
+        assert!(t.lookup(&doc, ex, EventType::Click).is_none());
+    }
+
+    #[test]
+    fn lookup_prefers_higher_specificity() {
+        let doc = parse_html("<div id='ex' class='c'></div>").unwrap();
+        let ex = doc.element_by_id("ex").unwrap();
+        let t = table(
+            "div:QoS { onclick-qos: single, long; }
+             #ex:QoS { onclick-qos: single, short; }
+             .c:QoS { onclick-qos: continuous; }",
+        );
+        let spec = t.lookup(&doc, ex, EventType::Click).unwrap();
+        assert_eq!(spec.target, QosTarget::SINGLE_SHORT);
+    }
+
+    #[test]
+    fn lookup_later_wins_at_equal_specificity() {
+        let doc = parse_html("<div id='ex'></div>").unwrap();
+        let ex = doc.element_by_id("ex").unwrap();
+        let t = table(
+            "#ex:QoS { onclick-qos: single, short; }
+             #ex:QoS { onclick-qos: single, long; }",
+        );
+        assert_eq!(
+            t.lookup(&doc, ex, EventType::Click).unwrap().target,
+            QosTarget::SINGLE_LONG
+        );
+    }
+
+    #[test]
+    fn css_round_trip() {
+        let css = "div#ex:QoS { ontouchstart-qos: continuous; }\n\
+                   #b:QoS { onclick-qos: single, short; }\n\
+                   #c:QoS { ontouchmove-qos: continuous, 20, 100; }";
+        let t = table(css);
+        let regenerated = table(&t.to_css());
+        assert_eq!(t, regenerated);
+    }
+
+    #[test]
+    fn multiple_declarations_in_one_rule() {
+        let t = table(
+            "#x:QoS { onclick-qos: single, short; ontouchmove-qos: continuous; }",
+        );
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn annotation_without_qos_pseudo_not_extracted() {
+        // A rule must carry :QoS on its selector to be an annotation.
+        let sheet =
+            parse_stylesheet("#a { onclick-qos: single, short; } #b:QoS { onclick-qos: single, short; }")
+                .unwrap();
+        let t = AnnotationTable::from_stylesheet(&sheet).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

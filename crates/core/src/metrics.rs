@@ -1,0 +1,314 @@
+//! Evaluation metrics (Sec. 7).
+//!
+//! *QoS violation* is "the percentage by which a frame latency exceeds
+//! the QoS target" — a 200 ms frame against a 100 ms target is a 100 %
+//! violation. Events with a "continuous" QoS type report the geometric
+//! mean over all associated frames (Sec. 7.2). Energy is reported
+//! normalized to a baseline run (Perf in the paper's figures).
+
+use crate::qos::QosType;
+use greenweb_engine::{InputId, SimReport};
+use std::collections::HashMap;
+
+/// The QoS expectation used to judge one input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputExpectation {
+    /// The QoS type.
+    pub qos_type: QosType,
+    /// The target latency, in milliseconds, for the active scenario.
+    pub target_ms: f64,
+}
+
+/// Violation percentage of one frame latency against a target.
+fn frame_violation_pct(latency_ms: f64, target_ms: f64) -> f64 {
+    ((latency_ms - target_ms) / target_ms * 100.0).max(0.0)
+}
+
+/// The QoS violation of one input per the paper's definition.
+///
+/// Returns `None` if the input produced no frames (nothing to judge).
+pub fn violation_for_input(
+    report: &SimReport,
+    uid: InputId,
+    expectation: InputExpectation,
+) -> Option<f64> {
+    let frames = report.frames_for(uid);
+    if frames.is_empty() {
+        return None;
+    }
+    match expectation.qos_type {
+        QosType::Single => {
+            // The response frame is the first frame.
+            let first = frames.iter().find(|f| f.seq == 0)?;
+            Some(frame_violation_pct(
+                first.latency.as_millis_f64(),
+                expectation.target_ms,
+            ))
+        }
+        QosType::Continuous => {
+            // Geometric mean over all associated frames. Violations of 0
+            // are common, so the mean is taken over (1 + v) ratio factors
+            // and converted back to a percentage.
+            let product_log: f64 = frames
+                .iter()
+                .map(|f| {
+                    let ratio = frame_violation_pct(
+                        f.latency.as_millis_f64(),
+                        expectation.target_ms,
+                    ) / 100.0;
+                    (1.0 + ratio).ln()
+                })
+                .sum();
+            Some(((product_log / frames.len() as f64).exp() - 1.0) * 100.0)
+        }
+    }
+}
+
+/// Mean violation over a set of judged inputs (0 when none were judged).
+pub fn mean_violation(violations: &[f64]) -> f64 {
+    if violations.is_empty() {
+        0.0
+    } else {
+        violations.iter().sum::<f64>() / violations.len() as f64
+    }
+}
+
+/// Aggregated metrics of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Total energy in millijoules.
+    pub energy_mj: f64,
+    /// Mean QoS violation (%) over annotated inputs that produced frames.
+    pub violation_pct: f64,
+    /// Number of inputs that were judged.
+    pub judged_inputs: usize,
+    /// Total frames produced.
+    pub frames: usize,
+    /// Fraction of time on the big cluster.
+    pub big_residency: f64,
+    /// Configuration switches per frame (Fig. 12's metric).
+    pub switches_per_frame: f64,
+    /// `(DVFS switches, migrations)`.
+    pub switches: (u64, u64),
+}
+
+impl RunMetrics {
+    /// Computes metrics for `report`, judging each input against
+    /// `expectations` (inputs absent from the map are not judged —
+    /// they are not "directly triggered by mobile user interactions",
+    /// Table 3's note).
+    pub fn compute(report: &SimReport, expectations: &HashMap<InputId, InputExpectation>) -> Self {
+        let violations: Vec<f64> = report
+            .inputs
+            .iter()
+            .filter_map(|input| {
+                let expectation = expectations.get(&input.uid)?;
+                violation_for_input(report, input.uid, *expectation)
+            })
+            .collect();
+        RunMetrics {
+            energy_mj: report.total_mj(),
+            violation_pct: mean_violation(&violations),
+            judged_inputs: violations.len(),
+            frames: report.frames.len(),
+            big_residency: report.big_residency_fraction(),
+            switches_per_frame: report.switches_per_frame(),
+            switches: report.switches,
+        }
+    }
+
+    /// Energy normalized to `baseline` (1.0 = same energy).
+    pub fn energy_normalized_to(&self, baseline: &RunMetrics) -> f64 {
+        if baseline.energy_mj == 0.0 {
+            return 0.0;
+        }
+        self.energy_mj / baseline.energy_mj
+    }
+
+    /// Extra violation percentage points over `baseline` (clamped at 0,
+    /// matching the paper's "additional violations on top of Perf").
+    pub fn extra_violation_over(&self, baseline: &RunMetrics) -> f64 {
+        (self.violation_pct - baseline.violation_pct).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenweb_acmp::{Duration, EnergyBreakdown, SimTime};
+    use greenweb_dom::EventType;
+    use greenweb_engine::{FrameRecord, InputRecord};
+
+    fn report_with_frames(frames: Vec<FrameRecord>) -> SimReport {
+        let inputs = frames
+            .iter()
+            .map(|f| f.uid)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(|uid| InputRecord {
+                uid,
+                event: EventType::Click,
+                target_id: None,
+                at: SimTime::ZERO,
+                had_listener: true,
+                used_raf: false,
+                used_animate: false,
+                armed_css_animation: false,
+                frames: 0,
+            })
+            .collect();
+        SimReport {
+            app: "t".into(),
+            scheduler: "t".into(),
+            energy: EnergyBreakdown {
+                active_mj: 100.0,
+                idle_mj: 20.0,
+            },
+            frames,
+            inputs,
+            residency: Default::default(),
+            switches: (4, 2),
+            busy_time: Duration::from_millis(10),
+            total_time: Duration::from_millis(100),
+        }
+    }
+
+    fn frame(uid: u64, seq: u32, latency_ms: u64) -> FrameRecord {
+        FrameRecord {
+            uid: InputId(uid),
+            event: EventType::Click,
+            seq,
+            latency: Duration::from_millis(latency_ms),
+            completed_at: SimTime::from_millis(1000),
+        }
+    }
+
+    #[test]
+    fn paper_example_100pct_violation() {
+        // Sec. 7.2: "a frame latency of 200 ms leads to an 100% QoS
+        // violation under a 100 ms QoS target".
+        let report = report_with_frames(vec![frame(0, 0, 200)]);
+        let v = violation_for_input(
+            &report,
+            InputId(0),
+            InputExpectation {
+                qos_type: QosType::Single,
+                target_ms: 100.0,
+            },
+        )
+        .unwrap();
+        assert!((v - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meeting_target_is_zero_violation() {
+        let report = report_with_frames(vec![frame(0, 0, 80)]);
+        let v = violation_for_input(
+            &report,
+            InputId(0),
+            InputExpectation {
+                qos_type: QosType::Single,
+                target_ms: 100.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn single_judges_only_response_frame() {
+        // Later frames (post-frame work) must not count for "single".
+        let report = report_with_frames(vec![frame(0, 0, 80), frame(0, 1, 500)]);
+        let v = violation_for_input(
+            &report,
+            InputId(0),
+            InputExpectation {
+                qos_type: QosType::Single,
+                target_ms: 100.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn continuous_uses_geometric_mean() {
+        // Frames at 33.3 target: one 66.6 (100% violation), one at target.
+        let report = report_with_frames(vec![frame(0, 0, 67), frame(0, 1, 33)]);
+        let v = violation_for_input(
+            &report,
+            InputId(0),
+            InputExpectation {
+                qos_type: QosType::Continuous,
+                target_ms: 33.5,
+            },
+        )
+        .unwrap();
+        // geomean(1+1.0, 1+0.0) - 1 = sqrt(2.0) - 1 ≈ 41.4%.
+        assert!(v > 30.0 && v < 50.0, "geomean violation {v}");
+    }
+
+    #[test]
+    fn no_frames_returns_none() {
+        let report = report_with_frames(vec![]);
+        assert!(violation_for_input(
+            &report,
+            InputId(9),
+            InputExpectation {
+                qos_type: QosType::Single,
+                target_ms: 100.0,
+            },
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn run_metrics_aggregate() {
+        let report = report_with_frames(vec![frame(0, 0, 200), frame(1, 0, 50)]);
+        let mut expectations = HashMap::new();
+        for uid in [0, 1] {
+            expectations.insert(
+                InputId(uid),
+                InputExpectation {
+                    qos_type: QosType::Single,
+                    target_ms: 100.0,
+                },
+            );
+        }
+        let metrics = RunMetrics::compute(&report, &expectations);
+        assert_eq!(metrics.judged_inputs, 2);
+        assert!((metrics.violation_pct - 50.0).abs() < 1e-9);
+        assert_eq!(metrics.energy_mj, 120.0);
+        assert_eq!(metrics.frames, 2);
+        assert_eq!(metrics.switches, (4, 2));
+        assert_eq!(metrics.switches_per_frame, 3.0);
+    }
+
+    #[test]
+    fn normalization_and_extra_violation() {
+        let report = report_with_frames(vec![frame(0, 0, 200)]);
+        let mut expectations = HashMap::new();
+        expectations.insert(
+            InputId(0),
+            InputExpectation {
+                qos_type: QosType::Single,
+                target_ms: 100.0,
+            },
+        );
+        let a = RunMetrics::compute(&report, &expectations);
+        let mut b = a.clone();
+        b.energy_mj = 60.0;
+        b.violation_pct = 110.0;
+        assert!((b.energy_normalized_to(&a) - 0.5).abs() < 1e-9);
+        assert!((b.extra_violation_over(&a) - 10.0).abs() < 1e-9);
+        assert_eq!(a.extra_violation_over(&b), 0.0);
+    }
+
+    #[test]
+    fn unjudged_inputs_ignored() {
+        let report = report_with_frames(vec![frame(0, 0, 500)]);
+        let metrics = RunMetrics::compute(&report, &HashMap::new());
+        assert_eq!(metrics.judged_inputs, 0);
+        assert_eq!(metrics.violation_pct, 0.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! The cascade: computing an element's style from stylesheet rules,
+//! specificity, source order, `!important`, inline style, and inheritance.
+
+use crate::selector::Specificity;
+use crate::stylesheet::{parse_declarations_str, Declaration, Stylesheet};
+use crate::value::CssValue;
+use greenweb_dom::{Document, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Properties that inherit from the parent element when unset.
+const INHERITED_PROPERTIES: &[&str] = &[
+    "color",
+    "font-family",
+    "font-size",
+    "font-weight",
+    "line-height",
+    "text-align",
+    "visibility",
+];
+
+/// The resolved style of one element: property name → value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ComputedStyle {
+    properties: HashMap<String, CssValue>,
+}
+
+impl ComputedStyle {
+    /// Creates an empty style.
+    pub fn new() -> Self {
+        ComputedStyle::default()
+    }
+
+    /// The value of `property`, if set.
+    pub fn get(&self, property: &str) -> Option<&CssValue> {
+        self.properties.get(property)
+    }
+
+    /// Sets `property` to `value`, returning the previous value.
+    pub fn set(&mut self, property: impl Into<String>, value: CssValue) -> Option<CssValue> {
+        self.properties.insert(property.into(), value)
+    }
+
+    /// Number of set properties.
+    pub fn len(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Whether no properties are set.
+    pub fn is_empty(&self) -> bool {
+        self.properties.is_empty()
+    }
+
+    /// Iterates over `(property, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CssValue)> {
+        self.properties.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The set of properties whose values differ between `self` and
+    /// `other`, including properties present in only one of them.
+    pub fn changed_properties(&self, other: &ComputedStyle) -> Vec<String> {
+        let mut changed = Vec::new();
+        for (prop, value) in &self.properties {
+            if other.get(prop) != Some(value) {
+                changed.push(prop.clone());
+            }
+        }
+        for prop in other.properties.keys() {
+            if !self.properties.contains_key(prop) {
+                changed.push(prop.clone());
+            }
+        }
+        changed.sort();
+        changed.dedup();
+        changed
+    }
+}
+
+impl fmt::Display for ComputedStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<_> = self.properties.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        write!(f, "{{ ")?;
+        for (prop, value) in entries {
+            write!(f, "{prop}: {value}; ")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Cascade origin/priority level, lowest to highest. Inline declarations
+/// are handled out-of-band (between these two levels when normal, above
+/// both when `!important`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Priority {
+    Stylesheet,
+    StylesheetImportant,
+}
+
+/// A style resolver bound to one stylesheet.
+///
+/// The engine re-resolves styles during the *style* pipeline stage of each
+/// frame; script-driven overrides (`element.style.x = …`) are written into
+/// the element's `style` attribute, which this resolver treats with inline
+/// priority exactly like a browser.
+#[derive(Debug, Clone)]
+pub struct StyleEngine {
+    stylesheet: Stylesheet,
+}
+
+impl StyleEngine {
+    /// Creates a resolver over `stylesheet`.
+    pub fn new(stylesheet: Stylesheet) -> Self {
+        StyleEngine { stylesheet }
+    }
+
+    /// The underlying stylesheet.
+    pub fn stylesheet(&self) -> &Stylesheet {
+        &self.stylesheet
+    }
+
+    /// Mutable access to the stylesheet (used when AUTOGREEN injects
+    /// generated annotations back into the application, Sec. 5).
+    pub fn stylesheet_mut(&mut self) -> &mut Stylesheet {
+        &mut self.stylesheet
+    }
+
+    /// Resolves the computed style of `node`, including inheritance from
+    /// `parent_style` (pass `None` at the root).
+    pub fn compute_style(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        parent_style: Option<&ComputedStyle>,
+    ) -> ComputedStyle {
+        self.compute_style_impl(doc, node, parent_style, true)
+    }
+
+    /// Like [`StyleEngine::compute_style`], but ignoring the element's
+    /// inline `style` attribute. Used to recover the cascaded value a
+    /// property had *before* a script wrote an inline override — the
+    /// start point of a CSS transition whose initial value came from the
+    /// stylesheet (the paper's Fig. 4 pattern).
+    pub fn compute_style_without_inline(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        parent_style: Option<&ComputedStyle>,
+    ) -> ComputedStyle {
+        self.compute_style_impl(doc, node, parent_style, false)
+    }
+
+    fn compute_style_impl(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        parent_style: Option<&ComputedStyle>,
+        include_inline: bool,
+    ) -> ComputedStyle {
+        // Collect matching declarations as (priority, specificity, order).
+        let mut matched: Vec<(Priority, Specificity, usize, &Declaration)> = Vec::new();
+        for (order, rule) in self.stylesheet.rules().iter().enumerate() {
+            let best = rule
+                .selectors()
+                .iter()
+                .filter(|sel| sel.matches(doc, node))
+                .map(|sel| sel.specificity())
+                .max();
+            if let Some(spec) = best {
+                for decl in rule.declarations() {
+                    let priority = if decl.important {
+                        Priority::StylesheetImportant
+                    } else {
+                        Priority::Stylesheet
+                    };
+                    matched.push((priority, spec, order, decl));
+                }
+            }
+        }
+        // Inline style.
+        let inline_decls = if include_inline {
+            doc.element(node)
+                .and_then(|el| el.attribute("style"))
+                .map(|style| parse_declarations_str(style).unwrap_or_default())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        // Sort stylesheet declarations ascending; later wins on apply.
+        matched.sort_by_key(|a| (a.0, a.1, a.2));
+        let mut style = ComputedStyle::new();
+        // Inheritance first (lowest priority).
+        if let Some(parent) = parent_style {
+            for &prop in INHERITED_PROPERTIES {
+                if let Some(value) = parent.get(prop) {
+                    style.set(prop, value.clone());
+                }
+            }
+        }
+        let mut important_pending: Vec<(Specificity, usize, &Declaration)> = Vec::new();
+        for (priority, spec, order, decl) in matched {
+            match priority {
+                Priority::Stylesheet => {
+                    style.set(decl.property.clone(), decl.value.clone());
+                }
+                Priority::StylesheetImportant => important_pending.push((spec, order, decl)),
+            }
+        }
+        for decl in &inline_decls {
+            if !decl.important {
+                style.set(decl.property.clone(), decl.value.clone());
+            }
+        }
+        for (_, _, decl) in important_pending {
+            style.set(decl.property.clone(), decl.value.clone());
+        }
+        for decl in &inline_decls {
+            if decl.important {
+                style.set(decl.property.clone(), decl.value.clone());
+            }
+        }
+        style
+    }
+
+    /// Resolves computed styles for the whole tree in document order.
+    pub fn compute_all(&self, doc: &Document) -> HashMap<NodeId, ComputedStyle> {
+        let mut styles: HashMap<NodeId, ComputedStyle> = HashMap::new();
+        let order: Vec<NodeId> = doc.descendants(doc.root()).collect();
+        for node in order {
+            if doc.element(node).is_none() {
+                continue;
+            }
+            let parent_style = doc
+                .parent(node)
+                .and_then(|p| styles.get(&p))
+                .cloned();
+            let style = self.compute_style(doc, node, parent_style.as_ref());
+            styles.insert(node, style);
+        }
+        styles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stylesheet::parse_stylesheet;
+    use crate::value::Length;
+    use greenweb_dom::parse_html;
+
+    fn engine(css: &str) -> StyleEngine {
+        StyleEngine::new(parse_stylesheet(css).unwrap())
+    }
+
+    #[test]
+    fn later_rule_wins_at_equal_specificity() {
+        let doc = parse_html("<p id='x'>t</p>").unwrap();
+        let p = doc.element_by_id("x").unwrap();
+        let eng = engine("p { width: 1px; } p { width: 2px; }");
+        let style = eng.compute_style(&doc, p, None);
+        assert_eq!(style.get("width"), Some(&CssValue::Length(Length::px(2.0))));
+    }
+
+    #[test]
+    fn higher_specificity_wins_over_order() {
+        let doc = parse_html("<p id='x' class='c'>t</p>").unwrap();
+        let p = doc.element_by_id("x").unwrap();
+        let eng = engine("#x { width: 1px; } p.c { width: 2px; } p { width: 3px; }");
+        let style = eng.compute_style(&doc, p, None);
+        assert_eq!(style.get("width"), Some(&CssValue::Length(Length::px(1.0))));
+    }
+
+    #[test]
+    fn important_beats_specificity() {
+        let doc = parse_html("<p id='x'>t</p>").unwrap();
+        let p = doc.element_by_id("x").unwrap();
+        let eng = engine("#x { width: 1px; } p { width: 2px !important; }");
+        let style = eng.compute_style(&doc, p, None);
+        assert_eq!(style.get("width"), Some(&CssValue::Length(Length::px(2.0))));
+    }
+
+    #[test]
+    fn inline_style_beats_stylesheet() {
+        let doc = parse_html("<p id='x' style='width: 9px'>t</p>").unwrap();
+        let p = doc.element_by_id("x").unwrap();
+        let eng = engine("#x { width: 1px; }");
+        let style = eng.compute_style(&doc, p, None);
+        assert_eq!(style.get("width"), Some(&CssValue::Length(Length::px(9.0))));
+    }
+
+    #[test]
+    fn stylesheet_important_beats_inline() {
+        let doc = parse_html("<p id='x' style='width: 9px'>t</p>").unwrap();
+        let p = doc.element_by_id("x").unwrap();
+        let eng = engine("#x { width: 1px !important; }");
+        let style = eng.compute_style(&doc, p, None);
+        assert_eq!(style.get("width"), Some(&CssValue::Length(Length::px(1.0))));
+    }
+
+    #[test]
+    fn inline_important_beats_everything() {
+        let doc = parse_html("<p id='x' style='width: 9px !important'>t</p>").unwrap();
+        let p = doc.element_by_id("x").unwrap();
+        let eng = engine("#x { width: 1px !important; }");
+        let style = eng.compute_style(&doc, p, None);
+        assert_eq!(style.get("width"), Some(&CssValue::Length(Length::px(9.0))));
+    }
+
+    #[test]
+    fn inherited_properties_flow_down() {
+        let doc = parse_html("<div id='a'><p id='b'>t</p></div>").unwrap();
+        let eng = engine("#a { color: red; width: 5px; }");
+        let styles = eng.compute_all(&doc);
+        let b = doc.element_by_id("b").unwrap();
+        assert_eq!(
+            styles[&b].get("color"),
+            Some(&CssValue::Keyword("red".into()))
+        );
+        // width is not inherited.
+        assert_eq!(styles[&b].get("width"), None);
+    }
+
+    #[test]
+    fn child_overrides_inherited() {
+        let doc = parse_html("<div id='a'><p id='b'>t</p></div>").unwrap();
+        let eng = engine("#a { color: red; } #b { color: blue; }");
+        let styles = eng.compute_all(&doc);
+        let b = doc.element_by_id("b").unwrap();
+        assert_eq!(
+            styles[&b].get("color"),
+            Some(&CssValue::Keyword("blue".into()))
+        );
+    }
+
+    #[test]
+    fn changed_properties_diff() {
+        let mut a = ComputedStyle::new();
+        a.set("width", CssValue::Length(Length::px(1.0)));
+        a.set("color", CssValue::Keyword("red".into()));
+        let mut b = ComputedStyle::new();
+        b.set("width", CssValue::Length(Length::px(2.0)));
+        b.set("height", CssValue::Length(Length::px(3.0)));
+        assert_eq!(a.changed_properties(&b), vec!["color", "height", "width"]);
+        assert!(a.changed_properties(&a.clone()).is_empty());
+    }
+
+    #[test]
+    fn compute_all_covers_every_element() {
+        let doc = parse_html("<div><p>a</p><span>b</span></div>").unwrap();
+        let eng = engine("* { margin: 0; }");
+        let styles = eng.compute_all(&doc);
+        assert_eq!(styles.len(), doc.elements().count());
+    }
+}

@@ -1,0 +1,40 @@
+//! # greenweb-css
+//!
+//! A CSS engine for the GreenWeb browser simulator: tokenizer, parser,
+//! selector matching with specificity, the cascade, CSS transitions, and
+//! keyframe animations.
+//!
+//! The engine is a *dialect host* for the GreenWeb language extensions
+//! (PLDI 2016, Sec. 4): the `:QoS` pseudo-class parses as an ordinary
+//! pseudo-class and `on<event>-qos` parses as an ordinary declaration, so
+//! the GreenWeb runtime (`greenweb` crate) can extract QoS annotations from
+//! any stylesheet without this crate knowing their semantics — mirroring
+//! how the paper layers its extension on top of stock CSS syntax.
+//!
+//! ```
+//! use greenweb_css::{parse_stylesheet, Specificity};
+//!
+//! let sheet = parse_stylesheet(
+//!     "div#intro:QoS { ontouchstart-qos: continuous; } h1 { font-weight: bold; }",
+//! ).unwrap();
+//! assert_eq!(sheet.rules().len(), 2);
+//! let qos_rule = &sheet.rules()[0];
+//! assert_eq!(qos_rule.selectors()[0].specificity(), Specificity::new(1, 1, 1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod animation;
+pub mod cascade;
+pub mod selector;
+pub mod stylesheet;
+pub mod tokenizer;
+pub mod transition;
+pub mod value;
+
+pub use cascade::{ComputedStyle, StyleEngine};
+pub use selector::{Combinator, CompoundSelector, Selector, SimpleSelector, Specificity};
+pub use stylesheet::{parse_stylesheet, CssError, Declaration, KeyframesRule, Rule, Stylesheet};
+pub use tokenizer::{tokenize, Token};
+pub use transition::{TransitionSpec, TransitionState};
+pub use value::{CssValue, Length, TimeValue};

@@ -1,0 +1,541 @@
+//! Stylesheet parsing: rules, declarations, and `@keyframes`.
+
+use crate::selector::{parse_selector_list, Selector};
+use crate::tokenizer::{tokenize, Token};
+use crate::value::CssValue;
+use std::fmt;
+
+/// A single `property: value` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declaration {
+    /// Property name, lowercase.
+    pub property: String,
+    /// Parsed value.
+    pub value: CssValue,
+    /// Whether the declaration carried `!important`.
+    pub important: bool,
+}
+
+impl Declaration {
+    /// Creates a declaration without `!important`.
+    pub fn new(property: impl Into<String>, value: CssValue) -> Self {
+        Declaration {
+            property: property.into().to_ascii_lowercase(),
+            value,
+            important: false,
+        }
+    }
+}
+
+impl fmt::Display for Declaration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.property, self.value)?;
+        if self.important {
+            write!(f, " !important")?;
+        }
+        Ok(())
+    }
+}
+
+/// A style rule: selectors plus declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    selectors: Vec<Selector>,
+    declarations: Vec<Declaration>,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(selectors: Vec<Selector>, declarations: Vec<Declaration>) -> Self {
+        Rule {
+            selectors,
+            declarations,
+        }
+    }
+
+    /// The rule's selector list.
+    pub fn selectors(&self) -> &[Selector] {
+        &self.selectors
+    }
+
+    /// The rule's declarations in source order.
+    pub fn declarations(&self) -> &[Declaration] {
+        &self.declarations
+    }
+
+    /// Whether any selector carries the GreenWeb `:QoS` pseudo-class.
+    pub fn is_qos_rule(&self) -> bool {
+        self.selectors.iter().any(Selector::has_qos_pseudo)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, sel) in self.selectors.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{sel}")?;
+        }
+        write!(f, " {{ ")?;
+        for decl in &self.declarations {
+            write!(f, "{decl}; ")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One keyframe within an `@keyframes` rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Keyframe {
+    /// Progress offset in `[0, 1]` (`from` = 0, `to` = 1, `50%` = 0.5).
+    pub offset: f64,
+    /// Declarations applied at this offset.
+    pub declarations: Vec<Declaration>,
+}
+
+/// An `@keyframes name { … }` rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyframesRule {
+    /// The animation name.
+    pub name: String,
+    /// Keyframes sorted by offset.
+    pub frames: Vec<Keyframe>,
+}
+
+impl KeyframesRule {
+    /// Samples the animated value of `property` at progress `t ∈ [0, 1]`
+    /// by interpolating between the two neighbouring keyframes.
+    pub fn sample(&self, property: &str, t: f64) -> Option<CssValue> {
+        let t = t.clamp(0.0, 1.0);
+        let holding: Vec<(&f64, &CssValue)> = self
+            .frames
+            .iter()
+            .filter_map(|frame| {
+                frame
+                    .declarations
+                    .iter()
+                    .find(|d| d.property == property)
+                    .map(|d| (&frame.offset, &d.value))
+            })
+            .collect();
+        match holding.len() {
+            0 => None,
+            1 => Some(holding[0].1.clone()),
+            _ => {
+                // Find surrounding keyframes.
+                let mut prev = holding[0];
+                for &(offset, value) in &holding {
+                    if *offset >= t {
+                        let (o0, v0) = prev;
+                        let (o1, v1) = (offset, value);
+                        if (o1 - o0).abs() < f64::EPSILON {
+                            return Some(v1.clone());
+                        }
+                        let local = (t - o0) / (o1 - o0);
+                        return v0
+                            .interpolate(v1, local)
+                            .or_else(|| Some(if local >= 1.0 { v1.clone() } else { v0.clone() }));
+                    }
+                    prev = (offset, value);
+                }
+                Some(holding.last().expect("non-empty").1.clone())
+            }
+        }
+    }
+}
+
+/// A parsed stylesheet: style rules plus `@keyframes` definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Stylesheet {
+    rules: Vec<Rule>,
+    keyframes: Vec<KeyframesRule>,
+}
+
+impl Stylesheet {
+    /// Creates an empty stylesheet.
+    pub fn new() -> Self {
+        Stylesheet::default()
+    }
+
+    /// The style rules in source order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The `@keyframes` rules in source order.
+    pub fn keyframes(&self) -> &[KeyframesRule] {
+        &self.keyframes
+    }
+
+    /// Finds a `@keyframes` rule by name.
+    pub fn keyframes_by_name(&self, name: &str) -> Option<&KeyframesRule> {
+        self.keyframes.iter().find(|k| k.name == name)
+    }
+
+    /// Appends a rule.
+    pub fn push_rule(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Appends every rule and keyframes definition of `other`.
+    pub fn extend(&mut self, other: Stylesheet) {
+        self.rules.extend(other.rules);
+        self.keyframes.extend(other.keyframes);
+    }
+
+    /// The rules whose selectors carry `:QoS` — the GreenWeb annotations.
+    pub fn qos_rules(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().filter(|r| r.is_qos_rule())
+    }
+}
+
+/// Error produced by [`parse_stylesheet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CssError {
+    message: String,
+}
+
+impl CssError {
+    fn new(message: impl Into<String>) -> Self {
+        CssError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "css parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CssError {}
+
+/// Parses a stylesheet from source text.
+///
+/// # Errors
+///
+/// Returns [`CssError`] on unbalanced braces or malformed selectors.
+/// Unknown at-rules other than `@keyframes` are skipped wholesale, like
+/// real browsers do.
+pub fn parse_stylesheet(input: &str) -> Result<Stylesheet, CssError> {
+    let tokens = tokenize(input).map_err(|e| CssError::new(e.to_string()))?;
+    let mut sheet = Stylesheet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            Token::Whitespace => i += 1,
+            Token::AtKeyword(name) if name == "keyframes" => {
+                let (rule, next) = parse_keyframes(&tokens, i + 1)?;
+                sheet.keyframes.push(rule);
+                i = next;
+            }
+            Token::AtKeyword(_) => {
+                i = skip_at_rule(&tokens, i + 1)?;
+            }
+            _ => {
+                let (rule, next) = parse_style_rule(&tokens, i)?;
+                sheet.rules.push(rule);
+                i = next;
+            }
+        }
+    }
+    Ok(sheet)
+}
+
+/// Parses the declarations inside one `{ … }` block given as source text
+/// (used for `style="…"` inline attributes).
+pub fn parse_declarations_str(input: &str) -> Result<Vec<Declaration>, CssError> {
+    let tokens = tokenize(input).map_err(|e| CssError::new(e.to_string()))?;
+    parse_declarations(&tokens)
+}
+
+fn find_block(tokens: &[Token], mut i: usize) -> Result<(usize, usize), CssError> {
+    // Returns (open_brace_index, close_brace_index).
+    while i < tokens.len() && tokens[i] != Token::OpenBrace {
+        i += 1;
+    }
+    if i >= tokens.len() {
+        return Err(CssError::new("expected `{`"));
+    }
+    let open = i;
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i] {
+            Token::OpenBrace => depth += 1,
+            Token::CloseBrace => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((open, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Err(CssError::new("unbalanced braces"))
+}
+
+fn parse_style_rule(tokens: &[Token], start: usize) -> Result<(Rule, usize), CssError> {
+    let (open, close) = find_block(tokens, start)?;
+    let prelude = &tokens[start..open];
+    let selectors =
+        parse_selector_list(trim_ws(prelude)).map_err(|e| CssError::new(e.to_string()))?;
+    let declarations = parse_declarations(&tokens[open + 1..close])?;
+    Ok((Rule::new(selectors, declarations), close + 1))
+}
+
+fn trim_ws(tokens: &[Token]) -> &[Token] {
+    let mut start = 0;
+    let mut end = tokens.len();
+    while start < end && tokens[start] == Token::Whitespace {
+        start += 1;
+    }
+    while end > start && tokens[end - 1] == Token::Whitespace {
+        end -= 1;
+    }
+    &tokens[start..end]
+}
+
+fn parse_declarations(tokens: &[Token]) -> Result<Vec<Declaration>, CssError> {
+    let mut declarations = Vec::new();
+    for chunk in tokens.split(|t| *t == Token::Semicolon) {
+        let chunk = trim_ws(chunk);
+        if chunk.is_empty() {
+            continue;
+        }
+        let colon = chunk
+            .iter()
+            .position(|t| *t == Token::Colon)
+            .ok_or_else(|| CssError::new("declaration missing `:`"))?;
+        let property = match trim_ws(&chunk[..colon]) {
+            [Token::Ident(name)] => name.to_ascii_lowercase(),
+            _ => return Err(CssError::new("invalid property name")),
+        };
+        let mut value_tokens = trim_ws(&chunk[colon + 1..]).to_vec();
+        let mut important = false;
+        // Recognize a trailing `!important`.
+        if value_tokens.len() >= 2 {
+            let n = value_tokens.len();
+            if value_tokens[n - 2] == Token::Delim('!')
+                && value_tokens[n - 1]
+                    .as_ident()
+                    .is_some_and(|s| s.eq_ignore_ascii_case("important"))
+            {
+                important = true;
+                value_tokens.truncate(n - 2);
+            }
+        }
+        let value = CssValue::from_tokens(trim_ws(&value_tokens));
+        declarations.push(Declaration {
+            property,
+            value,
+            important,
+        });
+    }
+    Ok(declarations)
+}
+
+fn parse_keyframes(tokens: &[Token], start: usize) -> Result<(KeyframesRule, usize), CssError> {
+    let (open, close) = find_block(tokens, start)?;
+    let name = match trim_ws(&tokens[start..open]) {
+        [Token::Ident(name)] => name.clone(),
+        _ => return Err(CssError::new("expected keyframes name")),
+    };
+    let body = &tokens[open + 1..close];
+    let mut frames = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if body[i] == Token::Whitespace {
+            i += 1;
+            continue;
+        }
+        let (frame_open, frame_close) = find_block(body, i)?;
+        let offsets: Vec<f64> = trim_ws(&body[i..frame_open])
+            .split(|t| *t == Token::Comma)
+            .map(|sel| match trim_ws(sel) {
+                [Token::Ident(word)] if word == "from" => Ok(0.0),
+                [Token::Ident(word)] if word == "to" => Ok(1.0),
+                [Token::Percentage(p)] => Ok(p / 100.0),
+                _ => Err(CssError::new("invalid keyframe selector")),
+            })
+            .collect::<Result<_, _>>()?;
+        let declarations = parse_declarations(&body[frame_open + 1..frame_close])?;
+        for offset in offsets {
+            frames.push(Keyframe {
+                offset,
+                declarations: declarations.clone(),
+            });
+        }
+        i = frame_close + 1;
+    }
+    frames.sort_by(|a, b| a.offset.partial_cmp(&b.offset).expect("finite offsets"));
+    Ok((KeyframesRule { name, frames }, close + 1))
+}
+
+fn skip_at_rule(tokens: &[Token], mut i: usize) -> Result<usize, CssError> {
+    // Skip to either a `;` (statement at-rule) or a balanced block.
+    while i < tokens.len() {
+        match tokens[i] {
+            Token::Semicolon => return Ok(i + 1),
+            Token::OpenBrace => {
+                let (_, close) = find_block(tokens, i)?;
+                return Ok(close + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Length, TimeValue};
+
+    #[test]
+    fn parses_basic_rule() {
+        let sheet = parse_stylesheet("h1 { font-weight: bold; }").unwrap();
+        assert_eq!(sheet.rules().len(), 1);
+        let rule = &sheet.rules()[0];
+        assert_eq!(rule.declarations().len(), 1);
+        assert_eq!(rule.declarations()[0].property, "font-weight");
+        assert_eq!(
+            rule.declarations()[0].value,
+            CssValue::Keyword("bold".into())
+        );
+    }
+
+    #[test]
+    fn parses_fig4_example() {
+        // The paper's Fig. 4: a CSS transition plus a GreenWeb annotation.
+        let css = "
+            div#ex { width: 100px; transition: width 2s; }
+            div#ex:QoS { ontouchstart-qos: continuous; }
+        ";
+        let sheet = parse_stylesheet(css).unwrap();
+        assert_eq!(sheet.rules().len(), 2);
+        let qos: Vec<_> = sheet.qos_rules().collect();
+        assert_eq!(qos.len(), 1);
+        assert_eq!(qos[0].declarations()[0].property, "ontouchstart-qos");
+        assert_eq!(
+            qos[0].declarations()[0].value,
+            CssValue::Keyword("continuous".into())
+        );
+    }
+
+    #[test]
+    fn parses_fig5_example_with_explicit_targets() {
+        // Fig. 5: continuous with explicit 20 ms / 100 ms targets.
+        let css = "#canvas:QoS { ontouchmove-qos: continuous, 20, 100; }";
+        let sheet = parse_stylesheet(css).unwrap();
+        let rule = &sheet.rules()[0];
+        assert!(rule.is_qos_rule());
+        let items = rule.declarations()[0].value.items().len();
+        assert_eq!(items, 3);
+    }
+
+    #[test]
+    fn parses_multiple_selectors() {
+        let sheet = parse_stylesheet("h1, h2.x, #y { margin: 0; }").unwrap();
+        assert_eq!(sheet.rules()[0].selectors().len(), 3);
+    }
+
+    #[test]
+    fn parses_important() {
+        let sheet = parse_stylesheet("p { width: 10px !important; }").unwrap();
+        assert!(sheet.rules()[0].declarations()[0].important);
+        assert_eq!(
+            sheet.rules()[0].declarations()[0].value,
+            CssValue::Length(Length::px(10.0))
+        );
+    }
+
+    #[test]
+    fn missing_semicolon_on_last_declaration_ok() {
+        let sheet = parse_stylesheet("p { width: 10px }").unwrap();
+        assert_eq!(sheet.rules()[0].declarations().len(), 1);
+    }
+
+    #[test]
+    fn parses_keyframes() {
+        let css = "@keyframes slide { from { width: 0px; } 50% { width: 10px; } to { width: 100px; } }";
+        let sheet = parse_stylesheet(css).unwrap();
+        let kf = sheet.keyframes_by_name("slide").unwrap();
+        assert_eq!(kf.frames.len(), 3);
+        assert_eq!(kf.frames[1].offset, 0.5);
+    }
+
+    #[test]
+    fn keyframes_sampling_interpolates() {
+        let css = "@keyframes grow { from { width: 0px; } to { width: 100px; } }";
+        let sheet = parse_stylesheet(css).unwrap();
+        let kf = sheet.keyframes_by_name("grow").unwrap();
+        assert_eq!(
+            kf.sample("width", 0.5),
+            Some(CssValue::Length(Length::px(50.0)))
+        );
+        assert_eq!(
+            kf.sample("width", 0.0),
+            Some(CssValue::Length(Length::px(0.0)))
+        );
+        assert_eq!(kf.sample("height", 0.5), None);
+    }
+
+    #[test]
+    fn keyframes_sampling_multi_segment() {
+        let css =
+            "@keyframes z { from { left: 0px; } 25% { left: 100px; } to { left: 200px; } }";
+        let sheet = parse_stylesheet(css).unwrap();
+        let kf = sheet.keyframes_by_name("z").unwrap();
+        assert_eq!(
+            kf.sample("left", 0.125),
+            Some(CssValue::Length(Length::px(50.0)))
+        );
+        assert_eq!(
+            kf.sample("left", 0.625),
+            Some(CssValue::Length(Length::px(150.0)))
+        );
+    }
+
+    #[test]
+    fn unknown_at_rules_skipped() {
+        let css = "@media screen { p { color: red; } } h1 { margin: 0; } @import 'x';";
+        let sheet = parse_stylesheet(css).unwrap();
+        assert_eq!(sheet.rules().len(), 1);
+    }
+
+    #[test]
+    fn unbalanced_braces_error() {
+        assert!(parse_stylesheet("p { width: 1px;").is_err());
+    }
+
+    #[test]
+    fn declaration_without_colon_errors() {
+        assert!(parse_stylesheet("p { width }").is_err());
+    }
+
+    #[test]
+    fn inline_declarations_parse() {
+        let decls = parse_declarations_str("width: 100px; transition: width 2s").unwrap();
+        assert_eq!(decls.len(), 2);
+        assert_eq!(
+            decls[1].value,
+            CssValue::Sequence(vec![
+                CssValue::Keyword("width".into()),
+                CssValue::Time(TimeValue::seconds(2.0)),
+            ])
+        );
+    }
+
+    #[test]
+    fn extend_merges_sheets() {
+        let mut a = parse_stylesheet("p { margin: 0; }").unwrap();
+        let b = parse_stylesheet("h1 { margin: 0; } @keyframes k { from { width: 0px; } }")
+            .unwrap();
+        a.extend(b);
+        assert_eq!(a.rules().len(), 2);
+        assert_eq!(a.keyframes().len(), 1);
+    }
+}

@@ -1,0 +1,427 @@
+//! CSS tokenizer, loosely following the CSS Syntax Module Level 3
+//! tokenization algorithm, restricted to the token set the GreenWeb
+//! dialect needs.
+
+use std::fmt;
+
+/// A CSS token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier (`div`, `font-weight`, `continuous`).
+    Ident(String),
+    /// A `#name` hash token (ID selectors, hex colors).
+    Hash(String),
+    /// An `@name` at-keyword (`@keyframes`, `@media`).
+    AtKeyword(String),
+    /// A quoted string, quotes removed.
+    String(String),
+    /// A number without a unit (`1.5`, `-2`).
+    Number(f64),
+    /// A number with a `%` suffix; the payload is the raw number (`50` for
+    /// `50%`).
+    Percentage(f64),
+    /// A number with a unit (`16.6ms`, `2s`, `100px`).
+    Dimension(f64, String),
+    /// `name(` — a function opener (`rgb(`, `cubic-bezier(`).
+    Function(String),
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `{`
+    OpenBrace,
+    /// `}`
+    CloseBrace,
+    /// `(`
+    OpenParen,
+    /// `)`
+    CloseParen,
+    /// `[`
+    OpenBracket,
+    /// `]`
+    CloseBracket,
+    /// Any other single code point (`.`, `>`, `*`, `+`, `~`, `=`, `!`).
+    Delim(char),
+    /// One or more whitespace characters. Significant between selector
+    /// parts (descendant combinator), insignificant elsewhere.
+    Whitespace,
+}
+
+impl Token {
+    /// The identifier payload, if this is an [`Token::Ident`].
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Hash(s) => write!(f, "#{s}"),
+            Token::AtKeyword(s) => write!(f, "@{s}"),
+            Token::String(s) => write!(f, "{s:?}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Percentage(n) => write!(f, "{n}%"),
+            Token::Dimension(n, u) => write!(f, "{n}{u}"),
+            Token::Function(s) => write!(f, "{s}("),
+            Token::Colon => write!(f, ":"),
+            Token::Semicolon => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::OpenBrace => write!(f, "{{"),
+            Token::CloseBrace => write!(f, "}}"),
+            Token::OpenParen => write!(f, "("),
+            Token::CloseParen => write!(f, ")"),
+            Token::OpenBracket => write!(f, "["),
+            Token::CloseBracket => write!(f, "]"),
+            Token::Delim(c) => write!(f, "{c}"),
+            Token::Whitespace => write!(f, " "),
+        }
+    }
+}
+
+/// Error produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenizeError {
+    message: String,
+    /// Byte offset where the error occurred.
+    pub offset: usize,
+}
+
+impl fmt::Display for TokenizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "css tokenize error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TokenizeError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '-' || !c.is_ascii()
+}
+
+fn is_ident_char(c: char) -> bool {
+    is_ident_start(c) || c.is_ascii_digit()
+}
+
+/// Tokenizes `input` into a flat token stream. Comments (`/* … */`) are
+/// stripped; runs of whitespace collapse into one [`Token::Whitespace`].
+///
+/// # Errors
+///
+/// Returns [`TokenizeError`] for unterminated strings or comments.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, TokenizeError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            _ if c.is_whitespace() => {
+                while i < chars.len() && chars[i].is_whitespace() {
+                    i += 1;
+                }
+                tokens.push(Token::Whitespace);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(TokenizeError {
+                            message: "unterminated comment".into(),
+                            offset: start,
+                        });
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some(&ch) if ch == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            if let Some(&escaped) = chars.get(i + 1) {
+                                s.push(escaped);
+                                i += 2;
+                            } else {
+                                return Err(TokenizeError {
+                                    message: "unterminated string".into(),
+                                    offset: start,
+                                });
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(TokenizeError {
+                                message: "unterminated string".into(),
+                                offset: start,
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::String(s));
+            }
+            '#' => {
+                i += 1;
+                let mut name = String::new();
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    name.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Hash(name));
+            }
+            '@' => {
+                i += 1;
+                let mut name = String::new();
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    name.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::AtKeyword(name));
+            }
+            ':' => {
+                i += 1;
+                tokens.push(Token::Colon);
+            }
+            ';' => {
+                i += 1;
+                tokens.push(Token::Semicolon);
+            }
+            ',' => {
+                i += 1;
+                tokens.push(Token::Comma);
+            }
+            '{' => {
+                i += 1;
+                tokens.push(Token::OpenBrace);
+            }
+            '}' => {
+                i += 1;
+                tokens.push(Token::CloseBrace);
+            }
+            '(' => {
+                i += 1;
+                tokens.push(Token::OpenParen);
+            }
+            ')' => {
+                i += 1;
+                tokens.push(Token::CloseParen);
+            }
+            '[' => {
+                i += 1;
+                tokens.push(Token::OpenBracket);
+            }
+            ']' => {
+                i += 1;
+                tokens.push(Token::CloseBracket);
+            }
+            _ if c.is_ascii_digit()
+                || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == '-' || c == '+')
+                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit() || *d == '.')) =>
+            {
+                let start = i;
+                if c == '-' || c == '+' {
+                    i += 1;
+                }
+                let digits_start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i == digits_start {
+                    // A bare sign whose lookahead was `.` not followed by
+                    // a digit (e.g. `+.x`): the sign is just a delimiter.
+                    tokens.push(Token::Delim(c));
+                    continue;
+                }
+                let number: f64 = chars[start..i]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .expect("scanned digits parse as f64");
+                if chars.get(i) == Some(&'%') {
+                    i += 1;
+                    tokens.push(Token::Percentage(number));
+                } else if i < chars.len() && is_ident_start(chars[i]) {
+                    let mut unit = String::new();
+                    while i < chars.len() && is_ident_char(chars[i]) {
+                        unit.push(chars[i]);
+                        i += 1;
+                    }
+                    tokens.push(Token::Dimension(number, unit));
+                } else {
+                    tokens.push(Token::Number(number));
+                }
+            }
+            _ if is_ident_start(c) => {
+                // `-` alone (e.g. in `a - b`) is a delim; `-ident` is an ident.
+                if c == '-' && !chars.get(i + 1).copied().is_some_and(is_ident_char) {
+                    i += 1;
+                    tokens.push(Token::Delim('-'));
+                    continue;
+                }
+                let mut name = String::new();
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    name.push(chars[i]);
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'(') {
+                    i += 1;
+                    tokens.push(Token::Function(name));
+                } else {
+                    tokens.push(Token::Ident(name));
+                }
+            }
+            _ => {
+                i += 1;
+                tokens.push(Token::Delim(c));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_rule() {
+        let tokens = tokenize("h1 { font-weight: bold; }").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("h1".into()),
+                Token::Whitespace,
+                Token::OpenBrace,
+                Token::Whitespace,
+                Token::Ident("font-weight".into()),
+                Token::Colon,
+                Token::Whitespace,
+                Token::Ident("bold".into()),
+                Token::Semicolon,
+                Token::Whitespace,
+                Token::CloseBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_dimensions_and_percentages() {
+        let tokens = tokenize("16.6ms 2s 100px 50% 1.5 -3em").unwrap();
+        let nonspace: Vec<_> = tokens
+            .into_iter()
+            .filter(|t| *t != Token::Whitespace)
+            .collect();
+        assert_eq!(
+            nonspace,
+            vec![
+                Token::Dimension(16.6, "ms".into()),
+                Token::Dimension(2.0, "s".into()),
+                Token::Dimension(100.0, "px".into()),
+                Token::Percentage(50.0),
+                Token::Number(1.5),
+                Token::Dimension(-3.0, "em".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_qos_pseudo_class() {
+        let tokens = tokenize("div#intro:QoS").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("div".into()),
+                Token::Hash("intro".into()),
+                Token::Colon,
+                Token::Ident("QoS".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_function() {
+        let tokens = tokenize("cubic-bezier(0.4, 0, 1, 1)").unwrap();
+        assert_eq!(tokens[0], Token::Function("cubic-bezier".into()));
+        assert_eq!(*tokens.last().unwrap(), Token::CloseParen);
+    }
+
+    #[test]
+    fn strips_comments() {
+        let tokens = tokenize("a /* comment */ b").unwrap();
+        let idents: Vec<_> = tokens.iter().filter_map(Token::as_ident).collect();
+        assert_eq!(idents, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn string_quotes_and_escapes() {
+        let tokens = tokenize(r#""he said \"hi\"" 'x'"#).unwrap();
+        assert_eq!(tokens[0], Token::String("he said \"hi\"".into()));
+        assert_eq!(tokens[2], Token::String("x".into()));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn at_keyword() {
+        let tokens = tokenize("@keyframes slide").unwrap();
+        assert_eq!(tokens[0], Token::AtKeyword("keyframes".into()));
+    }
+
+    #[test]
+    fn negative_ident_vs_number() {
+        let tokens = tokenize("-webkit-foo -3").unwrap();
+        assert_eq!(tokens[0], Token::Ident("-webkit-foo".into()));
+        assert_eq!(tokens[2], Token::Number(-3.0));
+    }
+
+    #[test]
+    fn delims() {
+        let tokens = tokenize("* > . ! =").unwrap();
+        let delims: Vec<_> = tokens
+            .into_iter()
+            .filter_map(|t| match t {
+                Token::Delim(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delims, vec!['*', '>', '.', '!', '=']);
+    }
+}

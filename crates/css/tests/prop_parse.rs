@@ -1,0 +1,117 @@
+//! Property tests for the CSS engine: total functions never panic on
+//! arbitrary input, structured inputs round-trip, and selector
+//! specificity behaves like a monotone measure.
+
+use greenweb_css::{parse_stylesheet, tokenize, Selector};
+use proptest::prelude::*;
+
+proptest! {
+    /// The tokenizer is total: any string either tokenizes or returns an
+    /// error — it never panics.
+    #[test]
+    fn tokenizer_never_panics(input in ".{0,200}") {
+        let _ = tokenize(&input);
+    }
+
+    /// The stylesheet parser is total over arbitrary input.
+    #[test]
+    fn stylesheet_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_stylesheet(&input);
+    }
+
+    /// Selector parsing is total over arbitrary input.
+    #[test]
+    fn selector_parser_never_panics(input in ".{0,80}") {
+        let _ = Selector::parse(&input);
+    }
+
+    /// Well-formed selectors round-trip through Display.
+    #[test]
+    fn selector_display_round_trip(
+        tag in "[a-z]{1,6}",
+        id in "[a-z][a-z0-9]{0,6}",
+        class in "[a-z]{1,6}",
+        with_id in any::<bool>(),
+        with_class in any::<bool>(),
+        with_qos in any::<bool>(),
+    ) {
+        let mut src = tag.clone();
+        if with_id {
+            src.push('#');
+            src.push_str(&id);
+        }
+        if with_class {
+            src.push('.');
+            src.push_str(&class);
+        }
+        if with_qos {
+            src.push_str(":QoS");
+        }
+        let parsed = Selector::parse(&src).unwrap();
+        let reparsed = Selector::parse(&parsed.to_string()).unwrap();
+        prop_assert_eq!(&parsed, &reparsed);
+        prop_assert_eq!(parsed.has_qos_pseudo(), with_qos);
+    }
+
+    /// Adding a simple selector never decreases specificity, and an id
+    /// outweighs any number of classes the generator can produce.
+    #[test]
+    fn specificity_is_monotone(
+        tag in "[a-z]{1,6}",
+        classes in prop::collection::vec("[a-z]{1,6}", 0..6),
+    ) {
+        let base = Selector::parse(&tag).unwrap().specificity();
+        let mut with_classes = tag.clone();
+        for c in &classes {
+            with_classes.push('.');
+            with_classes.push_str(c);
+        }
+        let classed = Selector::parse(&with_classes).unwrap().specificity();
+        prop_assert!(classed >= base);
+        let with_id = format!("{with_classes}#x");
+        let idd = Selector::parse(&with_id).unwrap().specificity();
+        prop_assert!(idd > classed);
+    }
+
+    /// A stylesheet assembled from well-formed rules parses, and every
+    /// rule survives with its declarations intact.
+    #[test]
+    fn structured_stylesheets_parse_fully(
+        rules in prop::collection::vec(
+            ("[a-z]{1,5}", "[a-z][a-z-]{0,8}", 0u32..10_000),
+            1..10
+        ),
+    ) {
+        let css: String = rules
+            .iter()
+            .map(|(sel, prop, v)| format!("{sel} {{ {prop}: {v}px; }}\n"))
+            .collect();
+        let sheet = parse_stylesheet(&css).unwrap();
+        prop_assert_eq!(sheet.rules().len(), rules.len());
+        for (rule, (_, prop, _)) in sheet.rules().iter().zip(&rules) {
+            prop_assert_eq!(rule.declarations().len(), 1);
+            prop_assert_eq!(&rule.declarations()[0].property, prop);
+        }
+    }
+
+    /// Keyframe sampling is bounded by the endpoint values for monotone
+    /// two-frame animations.
+    #[test]
+    fn keyframe_sampling_is_bounded(
+        from in 0.0_f64..500.0,
+        to in 0.0_f64..500.0,
+        t in 0.0_f64..1.0,
+    ) {
+        let css = format!(
+            "@keyframes k {{ from {{ width: {from}px; }} to {{ width: {to}px; }} }}"
+        );
+        let sheet = parse_stylesheet(&css).unwrap();
+        let kf = sheet.keyframes_by_name("k").unwrap();
+        let sampled = kf
+            .sample("width", t)
+            .and_then(|v| v.as_number())
+            .unwrap();
+        let (lo, hi) = if from <= to { (from, to) } else { (to, from) };
+        prop_assert!(sampled >= lo - 1e-9 && sampled <= hi + 1e-9);
+    }
+}

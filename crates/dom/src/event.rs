@@ -1,0 +1,330 @@
+//! DOM event model.
+//!
+//! The paper's LTM interaction model (Sec. 3.1) maps user interactions onto
+//! a small vocabulary of mobile DOM events: `click`, `scroll`,
+//! `touchstart`, `touchend`, and `touchmove`, plus the loading (`load`)
+//! pseudo-event. The engine additionally uses `transitionend` /
+//! `animationend` (needed by AUTOGREEN's detection, Sec. 5) and
+//! `requestAnimationFrame` ticks, which are not DOM events and live in the
+//! engine instead.
+//!
+//! [`ListenerSet`] stores callbacks generically: the engine instantiates it
+//! with script function handles, the tests with plain integers.
+
+use crate::document::{Document, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// The DOM event vocabulary understood by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventType {
+    /// Finger tap translated to a click (LTM: **T**).
+    Click,
+    /// Scroll produced by a finger move (LTM: **M**).
+    Scroll,
+    /// Finger makes contact (LTM: **T**/**M** prefix).
+    TouchStart,
+    /// Finger lifts (LTM: **T** suffix).
+    TouchEnd,
+    /// Finger drags across the display (LTM: **M**).
+    TouchMove,
+    /// Page load (LTM: **L**); fired once on the document root.
+    Load,
+    /// A CSS transition finished (used by AUTOGREEN's QoS-type detection).
+    TransitionEnd,
+    /// A CSS keyframe animation finished (ditto).
+    AnimationEnd,
+}
+
+impl EventType {
+    /// All event types, in a stable order.
+    pub const ALL: [EventType; 8] = [
+        EventType::Click,
+        EventType::Scroll,
+        EventType::TouchStart,
+        EventType::TouchEnd,
+        EventType::TouchMove,
+        EventType::Load,
+        EventType::TransitionEnd,
+        EventType::AnimationEnd,
+    ];
+
+    /// The canonical DOM name (`click`, `touchstart`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventType::Click => "click",
+            EventType::Scroll => "scroll",
+            EventType::TouchStart => "touchstart",
+            EventType::TouchEnd => "touchend",
+            EventType::TouchMove => "touchmove",
+            EventType::Load => "load",
+            EventType::TransitionEnd => "transitionend",
+            EventType::AnimationEnd => "animationend",
+        }
+    }
+
+    /// Whether this event can be triggered directly by one of the paper's
+    /// LTM user interactions (loading, tapping, moving). `transitionend`
+    /// and `animationend` are browser-generated, not user-generated.
+    pub fn is_user_interaction(self) -> bool {
+        !matches!(self, EventType::TransitionEnd | EventType::AnimationEnd)
+    }
+}
+
+impl fmt::Display for EventType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown event name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEventTypeError {
+    name: String,
+}
+
+impl fmt::Display for ParseEventTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown event type `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseEventTypeError {}
+
+impl FromStr for EventType {
+    type Err = ParseEventTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        EventType::ALL
+            .into_iter()
+            .find(|e| e.name() == lower)
+            .ok_or(ParseEventTypeError { name: s.into() })
+    }
+}
+
+/// Propagation phase during dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventPhase {
+    /// Root-to-target, exclusive of the target.
+    Capture,
+    /// At the target node.
+    AtTarget,
+    /// Target-to-root, exclusive of the target.
+    Bubble,
+}
+
+/// A concrete event instance aimed at a target node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The event type.
+    pub event_type: EventType,
+    /// The node the event targets.
+    pub target: NodeId,
+}
+
+impl Event {
+    /// Creates an event of `event_type` targeting `target`.
+    pub fn new(event_type: EventType, target: NodeId) -> Self {
+        Event { event_type, target }
+    }
+
+    /// Computes the full propagation path for this event: capture from the
+    /// root down to (excluding) the target, the target itself, then bubble
+    /// back to the root. Scroll and load do not bubble per the DOM spec;
+    /// for those the path is capture + target only.
+    pub fn propagation_path(&self, doc: &Document) -> Vec<(NodeId, EventPhase)> {
+        let mut ancestors: Vec<NodeId> = doc.ancestors(self.target).collect();
+        ancestors.reverse(); // root first
+        let mut path = Vec::with_capacity(ancestors.len() * 2 + 1);
+        for &node in &ancestors {
+            path.push((node, EventPhase::Capture));
+        }
+        path.push((self.target, EventPhase::AtTarget));
+        let bubbles = !matches!(self.event_type, EventType::Scroll | EventType::Load);
+        if bubbles {
+            for &node in ancestors.iter().rev() {
+                path.push((node, EventPhase::Bubble));
+            }
+        }
+        path
+    }
+}
+
+/// Registration of event listeners, generic over the callback handle type.
+///
+/// The engine uses script function handles; AUTOGREEN wraps them during its
+/// instrumentation phase (Sec. 5) by re-registering decorated callbacks.
+#[derive(Debug, Clone)]
+pub struct ListenerSet<T> {
+    listeners: HashMap<(NodeId, EventType), Vec<T>>,
+}
+
+impl<T> ListenerSet<T> {
+    /// Creates an empty listener set.
+    pub fn new() -> Self {
+        ListenerSet {
+            listeners: HashMap::new(),
+        }
+    }
+
+    /// Registers `callback` for `event_type` on `node`.
+    pub fn add(&mut self, node: NodeId, event_type: EventType, callback: T) {
+        self.listeners
+            .entry((node, event_type))
+            .or_default()
+            .push(callback);
+    }
+
+    /// Removes all listeners for `event_type` on `node`, returning them.
+    pub fn remove_all(&mut self, node: NodeId, event_type: EventType) -> Vec<T> {
+        self.listeners.remove(&(node, event_type)).unwrap_or_default()
+    }
+
+    /// The listeners registered for `event_type` on `node` in registration
+    /// order.
+    pub fn get(&self, node: NodeId, event_type: EventType) -> &[T] {
+        self.listeners
+            .get(&(node, event_type))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether any listener exists for `event_type` on `node`.
+    pub fn has(&self, node: NodeId, event_type: EventType) -> bool {
+        !self.get(node, event_type).is_empty()
+    }
+
+    /// Iterates over every `(node, event type)` pair with at least one
+    /// listener, in unspecified order.
+    pub fn targets(&self) -> impl Iterator<Item = (NodeId, EventType)> + '_ {
+        self.listeners
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&k, _)| k)
+    }
+
+    /// Total number of registered listeners.
+    pub fn len(&self) -> usize {
+        self.listeners.values().map(Vec::len).sum()
+    }
+
+    /// Whether no listener is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collects the callbacks that `event` would invoke, in dispatch order
+    /// (capture from root, target, bubble to root).
+    pub fn dispatch_order(&self, doc: &Document, event: &Event) -> Vec<&T>
+    where
+        T: Sized,
+    {
+        let mut out = Vec::new();
+        for (node, _phase) in event.propagation_path(doc) {
+            // Like real browsers we do not distinguish capture/bubble
+            // registration; each listener fires once, at the earliest
+            // phase its node appears in. Nodes appear twice (capture +
+            // bubble), so only take the capture/target occurrence.
+            if _phase == EventPhase::Bubble {
+                continue;
+            }
+            out.extend(self.get(node, event.event_type).iter());
+        }
+        out
+    }
+}
+
+impl<T> Default for ListenerSet<T> {
+    fn default() -> Self {
+        ListenerSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_html;
+
+    #[test]
+    fn event_names_round_trip() {
+        for ty in EventType::ALL {
+            assert_eq!(ty.name().parse::<EventType>().unwrap(), ty);
+        }
+        assert!("mouseover".parse::<EventType>().is_err());
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("TouchStart".parse::<EventType>().unwrap(), EventType::TouchStart);
+    }
+
+    #[test]
+    fn user_interaction_classification() {
+        assert!(EventType::Click.is_user_interaction());
+        assert!(EventType::Load.is_user_interaction());
+        assert!(!EventType::TransitionEnd.is_user_interaction());
+        assert!(!EventType::AnimationEnd.is_user_interaction());
+    }
+
+    #[test]
+    fn propagation_path_captures_then_bubbles() {
+        let doc = parse_html("<div id='a'><p id='b'></p></div>").unwrap();
+        let b = doc.element_by_id("b").unwrap();
+        let a = doc.element_by_id("a").unwrap();
+        let event = Event::new(EventType::Click, b);
+        let path = event.propagation_path(&doc);
+        assert_eq!(path.first(), Some(&(doc.root(), EventPhase::Capture)));
+        assert!(path.contains(&(a, EventPhase::Capture)));
+        assert!(path.contains(&(b, EventPhase::AtTarget)));
+        assert_eq!(path.last(), Some(&(doc.root(), EventPhase::Bubble)));
+    }
+
+    #[test]
+    fn scroll_does_not_bubble() {
+        let doc = parse_html("<div id='a'><p id='b'></p></div>").unwrap();
+        let b = doc.element_by_id("b").unwrap();
+        let path = Event::new(EventType::Scroll, b).propagation_path(&doc);
+        assert_eq!(path.last(), Some(&(b, EventPhase::AtTarget)));
+    }
+
+    #[test]
+    fn listener_set_add_get_remove() {
+        let doc = parse_html("<div id='a'></div>").unwrap();
+        let a = doc.element_by_id("a").unwrap();
+        let mut set: ListenerSet<u32> = ListenerSet::new();
+        assert!(set.is_empty());
+        set.add(a, EventType::Click, 1);
+        set.add(a, EventType::Click, 2);
+        assert_eq!(set.get(a, EventType::Click), &[1, 2]);
+        assert!(set.has(a, EventType::Click));
+        assert!(!set.has(a, EventType::Scroll));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.remove_all(a, EventType::Click), vec![1, 2]);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn dispatch_order_outer_before_inner_then_target() {
+        let doc = parse_html("<div id='a'><p id='b'></p></div>").unwrap();
+        let a = doc.element_by_id("a").unwrap();
+        let b = doc.element_by_id("b").unwrap();
+        let mut set: ListenerSet<&str> = ListenerSet::new();
+        set.add(a, EventType::Click, "outer");
+        set.add(b, EventType::Click, "inner");
+        let order = set.dispatch_order(&doc, &Event::new(EventType::Click, b));
+        assert_eq!(order, vec![&"outer", &"inner"]);
+    }
+
+    #[test]
+    fn dispatch_does_not_double_fire_on_bubble() {
+        let doc = parse_html("<div id='a'><p id='b'></p></div>").unwrap();
+        let a = doc.element_by_id("a").unwrap();
+        let b = doc.element_by_id("b").unwrap();
+        let mut set: ListenerSet<&str> = ListenerSet::new();
+        set.add(a, EventType::Click, "outer");
+        let order = set.dispatch_order(&doc, &Event::new(EventType::Click, b));
+        assert_eq!(order.len(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # greenweb-dom
+//!
+//! A small, self-contained Document Object Model used by the GreenWeb
+//! browser simulator.
+//!
+//! The crate provides:
+//!
+//! * an arena-backed node tree ([`Document`], [`NodeId`]) with element,
+//!   text, and comment nodes;
+//! * an HTML parser ([`parse_html`]) supporting the subset of HTML needed
+//!   by the GreenWeb workloads (elements, attributes, void elements,
+//!   comments, doctype, text);
+//! * the DOM event model ([`event`]): the mobile event vocabulary of the
+//!   paper (`click`, `scroll`, `touchstart`, `touchend`, `touchmove`, …),
+//!   listener registration, and capture/target/bubble propagation paths.
+//!
+//! The DOM is deliberately synchronous and single-threaded: the GreenWeb
+//! engine simulates browser concurrency in virtual time rather than with
+//! real threads, so the tree never needs interior mutability or locking.
+//!
+//! ```
+//! use greenweb_dom::{parse_html, event::EventType};
+//!
+//! let doc = parse_html("<div id='intro' class='fancy'><p>hi</p></div>").unwrap();
+//! let intro = doc.element_by_id("intro").unwrap();
+//! assert_eq!(doc.tag_name(intro), Some("div"));
+//! assert_eq!(EventType::Click.name(), "click");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod document;
+pub mod event;
+pub mod html;
+pub mod node;
+
+pub use document::{Document, NodeId};
+pub use event::{Event, EventPhase, EventType, ListenerSet};
+pub use html::{parse_html, HtmlError};
+pub use node::{Attribute, ElementData, NodeKind};

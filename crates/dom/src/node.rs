@@ -1,0 +1,213 @@
+//! Node payloads: element data, attributes, and node kinds.
+
+use std::fmt;
+
+/// A single `name="value"` attribute on an element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Attribute name, always stored lowercase.
+    pub name: String,
+    /// Attribute value (empty for valueless attributes such as `disabled`).
+    pub value: String,
+}
+
+impl Attribute {
+    /// Creates an attribute, lowercasing the name.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into().to_ascii_lowercase(),
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}=\"{}\"", self.name, self.value)
+    }
+}
+
+/// The payload of an element node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementData {
+    tag: String,
+    attributes: Vec<Attribute>,
+}
+
+impl ElementData {
+    /// Creates element data for `tag` (stored lowercase) with no attributes.
+    pub fn new(tag: impl Into<String>) -> Self {
+        ElementData {
+            tag: tag.into().to_ascii_lowercase(),
+            attributes: Vec::new(),
+        }
+    }
+
+    /// The lowercase tag name (`div`, `p`, …).
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// All attributes in document order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Returns the value of attribute `name` (case-insensitive), if present.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.attributes
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Sets attribute `name` to `value`, replacing an existing attribute of
+    /// the same name.
+    pub fn set_attribute(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let attr = Attribute::new(name, value);
+        match self.attributes.iter_mut().find(|a| a.name == attr.name) {
+            Some(existing) => existing.value = attr.value,
+            None => self.attributes.push(attr),
+        }
+    }
+
+    /// Removes attribute `name`, returning its previous value.
+    pub fn remove_attribute(&mut self, name: &str) -> Option<String> {
+        let name = name.to_ascii_lowercase();
+        let idx = self.attributes.iter().position(|a| a.name == name)?;
+        Some(self.attributes.remove(idx).value)
+    }
+
+    /// The element's `id` attribute, if any.
+    pub fn id(&self) -> Option<&str> {
+        self.attribute("id")
+    }
+
+    /// Iterates over the whitespace-separated class list.
+    pub fn classes(&self) -> impl Iterator<Item = &str> {
+        self.attribute("class")
+            .unwrap_or("")
+            .split_ascii_whitespace()
+    }
+
+    /// Whether the class list contains `class`.
+    pub fn has_class(&self, class: &str) -> bool {
+        self.classes().any(|c| c == class)
+    }
+}
+
+impl fmt::Display for ElementData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}", self.tag)?;
+        for attr in &self.attributes {
+            write!(f, " {attr}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// What a node in the tree is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The document root. Exactly one per [`crate::Document`].
+    Document,
+    /// An element such as `<div>`.
+    Element(ElementData),
+    /// A text run.
+    Text(String),
+    /// A comment (`<!-- … -->`). Preserved so serialization round-trips.
+    Comment(String),
+}
+
+impl NodeKind {
+    /// Returns the element payload if this is an element node.
+    pub fn as_element(&self) -> Option<&ElementData> {
+        match self {
+            NodeKind::Element(data) => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Mutable variant of [`NodeKind::as_element`].
+    pub fn as_element_mut(&mut self) -> Option<&mut ElementData> {
+        match self {
+            NodeKind::Element(data) => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Returns the text content if this is a text node.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            NodeKind::Text(text) => Some(text),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Document => write!(f, "#document"),
+            NodeKind::Element(data) => write!(f, "{data}"),
+            NodeKind::Text(text) => write!(f, "{text:?}"),
+            NodeKind::Comment(text) => write!(f, "<!--{text}-->"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_name_is_lowercased() {
+        let attr = Attribute::new("ID", "intro");
+        assert_eq!(attr.name, "id");
+        assert_eq!(attr.value, "intro");
+    }
+
+    #[test]
+    fn set_attribute_replaces_existing() {
+        let mut el = ElementData::new("div");
+        el.set_attribute("class", "a");
+        el.set_attribute("CLASS", "b c");
+        assert_eq!(el.attributes().len(), 1);
+        assert_eq!(el.attribute("class"), Some("b c"));
+        assert!(el.has_class("b"));
+        assert!(el.has_class("c"));
+        assert!(!el.has_class("a"));
+    }
+
+    #[test]
+    fn remove_attribute_returns_value() {
+        let mut el = ElementData::new("div");
+        el.set_attribute("id", "x");
+        assert_eq!(el.remove_attribute("id"), Some("x".to_string()));
+        assert_eq!(el.remove_attribute("id"), None);
+        assert_eq!(el.id(), None);
+    }
+
+    #[test]
+    fn tag_is_lowercased() {
+        assert_eq!(ElementData::new("DIV").tag(), "div");
+    }
+
+    #[test]
+    fn display_round_trip_contains_attrs() {
+        let mut el = ElementData::new("a");
+        el.set_attribute("href", "#");
+        assert_eq!(el.to_string(), "<a href=\"#\">");
+    }
+
+    #[test]
+    fn node_kind_accessors() {
+        let el = NodeKind::Element(ElementData::new("p"));
+        assert!(el.as_element().is_some());
+        assert!(el.as_text().is_none());
+        let text = NodeKind::Text("hi".into());
+        assert_eq!(text.as_text(), Some("hi"));
+        assert!(text.as_element().is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the DOM tree: random operation sequences must
+//! preserve the arena's structural invariants, and serialization must
+//! round-trip through the parser.
+
+use greenweb_dom::{parse_html, Document, NodeId, NodeKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    CreateElement(u8),
+    CreateText(u8),
+    Append { parent: u8, child: u8 },
+    Detach(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..8).prop_map(Op::CreateElement),
+            (0u8..8).prop_map(Op::CreateText),
+            (any::<u8>(), any::<u8>()).prop_map(|(parent, child)| Op::Append { parent, child }),
+            any::<u8>().prop_map(Op::Detach),
+        ],
+        0..40,
+    )
+}
+
+/// Applies ops defensively (skipping ones the API forbids) and returns
+/// the document plus every allocated node.
+fn apply(ops: &[Op]) -> (Document, Vec<NodeId>) {
+    let mut doc = Document::new();
+    let mut nodes = vec![doc.root()];
+    for op in ops {
+        match op {
+            Op::CreateElement(tag) => {
+                nodes.push(doc.create_element(format!("t{tag}")));
+            }
+            Op::CreateText(t) => {
+                nodes.push(doc.create_text(format!("x{t}")));
+            }
+            Op::Append { parent, child } => {
+                let parent = nodes[*parent as usize % nodes.len()];
+                let child = nodes[*child as usize % nodes.len()];
+                let child_is_root = child == doc.root();
+                let attached = doc.parent(child).is_some();
+                let cyclic = doc.is_ancestor_or_self(child, parent);
+                let parent_is_text = doc.kind(parent).as_text().is_some();
+                if !child_is_root && !attached && !cyclic && !parent_is_text {
+                    doc.append_child(parent, child);
+                }
+            }
+            Op::Detach(i) => {
+                let node = nodes[*i as usize % nodes.len()];
+                doc.detach(node);
+            }
+        }
+    }
+    (doc, nodes)
+}
+
+proptest! {
+    /// Parent/child links are mutually consistent after any op sequence.
+    #[test]
+    fn links_stay_consistent(ops in arb_ops()) {
+        let (doc, nodes) = apply(&ops);
+        for &node in &nodes {
+            for child in doc.children(node).collect::<Vec<_>>() {
+                prop_assert_eq!(doc.parent(child), Some(node));
+            }
+            if let Some(parent) = doc.parent(node) {
+                prop_assert!(
+                    doc.children(parent).any(|c| c == node),
+                    "{node} not among its parent's children"
+                );
+            }
+            // Sibling chain is symmetric.
+            if let Some(next) = doc.next_sibling(node) {
+                prop_assert_eq!(doc.prev_sibling(next), Some(node));
+            }
+            if let Some(prev) = doc.prev_sibling(node) {
+                prop_assert_eq!(doc.next_sibling(prev), Some(node));
+            }
+        }
+    }
+
+    /// No node is reachable from the root twice, and ancestor chains
+    /// terminate (no cycles).
+    #[test]
+    fn no_cycles_no_duplicates(ops in arb_ops()) {
+        let (doc, nodes) = apply(&ops);
+        let reachable: Vec<NodeId> = doc.descendants(doc.root()).collect();
+        let mut sorted = reachable.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), reachable.len(), "duplicate reachable node");
+        for &node in &nodes {
+            prop_assert!(doc.ancestors(node).count() <= nodes.len());
+        }
+    }
+
+    /// Depth equals the ancestor count for every attached node.
+    #[test]
+    fn depth_matches_ancestors(ops in arb_ops()) {
+        let (doc, _) = apply(&ops);
+        for node in doc.descendants(doc.root()).collect::<Vec<_>>() {
+            prop_assert_eq!(doc.depth(node), doc.ancestors(node).count());
+        }
+    }
+
+    /// Serializing a random element tree and reparsing produces the same
+    /// markup (text nodes with whitespace-only content are excluded by
+    /// construction: `x{t}` is never whitespace).
+    #[test]
+    fn serialize_reparse_round_trip(ops in arb_ops()) {
+        let (doc, _) = apply(&ops);
+        let html = doc.serialize(doc.root());
+        let reparsed = parse_html(&html).unwrap();
+        prop_assert_eq!(reparsed.serialize(reparsed.root()), html);
+    }
+
+    /// `elements()` yields exactly the reachable nodes whose kind is
+    /// Element.
+    #[test]
+    fn elements_iterator_agrees_with_kinds(ops in arb_ops()) {
+        let (doc, _) = apply(&ops);
+        let from_iter: Vec<NodeId> = doc.elements().collect();
+        let filtered: Vec<NodeId> = doc
+            .descendants(doc.root())
+            .filter(|&n| matches!(doc.kind(n), NodeKind::Element(_)))
+            .collect();
+        prop_assert_eq!(from_iter, filtered);
+    }
+}

@@ -1,0 +1,96 @@
+//! Application bundles: the HTML + CSS + scripts the browser loads.
+
+use crate::cost::FrameCostModel;
+
+/// A Web application: markup, stylesheets, and scripts, plus the cost
+/// parameters the engine charges for its frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct App {
+    /// Application name (reports key off this).
+    pub name: String,
+    /// HTML source.
+    pub html: String,
+    /// CSS sources, concatenated in order (GreenWeb annotations included —
+    /// they are plain CSS rules with a `:QoS` pseudo-class).
+    pub css: Vec<String>,
+    /// Script sources, run in order at load to register listeners.
+    pub scripts: Vec<String>,
+    /// Frame cost parameters.
+    pub cost: FrameCostModel,
+}
+
+impl App {
+    /// Starts building an app.
+    pub fn builder(name: impl Into<String>) -> AppBuilder {
+        AppBuilder {
+            app: App {
+                name: name.into(),
+                html: String::new(),
+                css: Vec::new(),
+                scripts: Vec::new(),
+                cost: FrameCostModel::default(),
+            },
+        }
+    }
+
+    /// The concatenated CSS source.
+    pub fn css_source(&self) -> String {
+        self.css.join("\n")
+    }
+}
+
+/// Builder for [`App`].
+#[derive(Debug, Clone)]
+pub struct AppBuilder {
+    app: App,
+}
+
+impl AppBuilder {
+    /// Sets the HTML source.
+    pub fn html(mut self, html: impl Into<String>) -> Self {
+        self.app.html = html.into();
+        self
+    }
+
+    /// Appends a CSS source.
+    pub fn css(mut self, css: impl Into<String>) -> Self {
+        self.app.css.push(css.into());
+        self
+    }
+
+    /// Appends a script source.
+    pub fn script(mut self, script: impl Into<String>) -> Self {
+        self.app.scripts.push(script.into());
+        self
+    }
+
+    /// Overrides the frame cost model.
+    pub fn cost(mut self, cost: FrameCostModel) -> Self {
+        self.app.cost = cost;
+        self
+    }
+
+    /// Finalizes the app.
+    pub fn build(self) -> App {
+        self.app
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_sources() {
+        let app = App::builder("demo")
+            .html("<p></p>")
+            .css("p { margin: 0; }")
+            .css("#x:QoS { onclick-qos: single, short; }")
+            .script("var x = 1;")
+            .build();
+        assert_eq!(app.name, "demo");
+        assert_eq!(app.css.len(), 2);
+        assert!(app.css_source().contains(":QoS"));
+        assert_eq!(app.scripts.len(), 1);
+    }
+}

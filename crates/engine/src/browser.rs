@@ -1,0 +1,1009 @@
+//! The browser simulation: event loop, main-thread executor, VSync
+//! batching, animation ticking, and frame production.
+//!
+//! One simulated CPU executes main-thread work (callbacks and pipeline
+//! stages) in FIFO order; a [`Scheduler`] picks the ACMP configuration at
+//! the paper's decision points. Time is discrete-event: the loop pops the
+//! earliest of {input arrival, VSync, task completion, timer, governor
+//! tick} and reacts. Configuration switches mid-task re-scale the task's
+//! remaining work and charge the platform's switch penalty.
+
+use crate::app::App;
+use crate::cost::{FrameCostModel, Stage};
+use crate::events::{InputId, TargetSpec, Trace, TraceEvent};
+use crate::frame::{FrameTracker, Msg};
+use crate::host::{CallbackEffects, ScriptHost};
+use crate::report::{InputRecord, SimReport};
+use crate::scheduler::{Scheduler, SchedulerCtx};
+use greenweb_acmp::{Cpu, CpuConfig, Duration, Platform, PowerModel, SimTime, WorkUnit};
+use greenweb_css::animation::{AnimationSpec, AnimationState};
+use greenweb_css::stylesheet::parse_stylesheet;
+use greenweb_css::transition::{TransitionSpec, TransitionState};
+use greenweb_css::value::{CssValue, Length};
+use greenweb_css::{ComputedStyle, StyleEngine};
+use greenweb_dom::{parse_html, Document, Event, EventType, ListenerSet, NodeId};
+use greenweb_script::{parse_program, Interpreter, Value};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// The VSync period: 60 Hz, like the paper's mobile display.
+pub const VSYNC_PERIOD: Duration = Duration::from_nanos(16_666_667);
+
+/// Error constructing or running a [`Browser`].
+#[derive(Debug)]
+pub enum BrowserError {
+    /// HTML failed to parse.
+    Html(greenweb_dom::HtmlError),
+    /// CSS failed to parse.
+    Css(greenweb_css::CssError),
+    /// A script failed to parse.
+    Parse(greenweb_script::ParseError),
+    /// A script failed at runtime.
+    Script(greenweb_script::ScriptError),
+}
+
+impl fmt::Display for BrowserError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrowserError::Html(e) => write!(f, "{e}"),
+            BrowserError::Css(e) => write!(f, "{e}"),
+            BrowserError::Parse(e) => write!(f, "{e}"),
+            BrowserError::Script(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BrowserError {}
+
+impl From<greenweb_dom::HtmlError> for BrowserError {
+    fn from(e: greenweb_dom::HtmlError) -> Self {
+        BrowserError::Html(e)
+    }
+}
+
+impl From<greenweb_css::CssError> for BrowserError {
+    fn from(e: greenweb_css::CssError) -> Self {
+        BrowserError::Css(e)
+    }
+}
+
+impl From<greenweb_script::ParseError> for BrowserError {
+    fn from(e: greenweb_script::ParseError) -> Self {
+        BrowserError::Parse(e)
+    }
+}
+
+impl From<greenweb_script::ScriptError> for BrowserError {
+    fn from(e: greenweb_script::ScriptError) -> Self {
+        BrowserError::Script(e)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum SimEventKind {
+    Input(TraceEvent),
+    VSync,
+    TaskDone { gen: u64 },
+    Timer { id: u64 },
+    GovTick,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    kind: SimEventKind,
+}
+
+impl Eq for QueuedEvent {}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[derive(Debug)]
+enum Task {
+    Callback {
+        callback: Value,
+        arg: Option<Value>,
+        origin: Msg,
+    },
+    BeginFrame,
+    Stage {
+        stage: Stage,
+        msgs: Rc<Vec<Msg>>,
+        seq: u32,
+    },
+}
+
+#[derive(Debug)]
+enum RunningKind {
+    Callback { effects: CallbackEffects, origin: Msg },
+    Stage { stage: Stage, msgs: Rc<Vec<Msg>> },
+}
+
+#[derive(Debug)]
+struct Running {
+    kind: RunningKind,
+    remaining: WorkUnit,
+    since: SimTime,
+    gen: u64,
+}
+
+#[derive(Debug)]
+struct ActiveTransition {
+    node: NodeId,
+    state: TransitionState,
+    origin: InputId,
+}
+
+#[derive(Debug)]
+struct ActiveCssAnimation {
+    node: NodeId,
+    state: AnimationState,
+    origin: InputId,
+}
+
+#[derive(Debug)]
+struct ActiveHostAnimation {
+    node: NodeId,
+    property: String,
+    from_px: f64,
+    to_px: f64,
+    start_ms: f64,
+    duration_ms: f64,
+    origin: InputId,
+}
+
+/// The simulated browser, generic over the scheduling policy.
+pub struct Browser<S: Scheduler> {
+    app_name: String,
+    doc: Document,
+    style: StyleEngine,
+    interp: Interpreter,
+    listeners: ListenerSet<Value>,
+    cost: FrameCostModel,
+    cpu: Cpu,
+    scheduler: S,
+    now: SimTime,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    running: Option<Running>,
+    ready: VecDeque<Task>,
+    gen: u64,
+    tracker: FrameTracker,
+    raf_queue: Vec<(Value, InputId)>,
+    timers: HashMap<u64, (Value, InputId)>,
+    next_timer: u64,
+    transitions: Vec<ActiveTransition>,
+    css_animations: Vec<ActiveCssAnimation>,
+    host_animations: Vec<ActiveHostAnimation>,
+    overlay: HashMap<(NodeId, String), CssValue>,
+    input_meta: Vec<InputRecord>,
+    /// Scroll/touchmove inputs waiting for VSync-aligned dispatch
+    /// (Chromium aligns move-type input delivery to BeginFrame).
+    pending_moves: Vec<TraceEvent>,
+    next_uid: u64,
+    util_mark: Duration,
+    logs: Vec<String>,
+}
+
+impl<S: Scheduler> Browser<S> {
+    /// Loads `app` and attaches `scheduler`, using the default ODroid
+    /// XU+E platform and power model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError`] if any of the app's sources fail to parse
+    /// or a setup script fails.
+    pub fn new(app: &App, scheduler: S) -> Result<Self, BrowserError> {
+        Self::with_hardware(
+            app,
+            scheduler,
+            Platform::odroid_xu_e(),
+            PowerModel::odroid_xu_e(),
+        )
+    }
+
+    /// Loads `app` on custom hardware.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Browser::new`].
+    pub fn with_hardware(
+        app: &App,
+        mut scheduler: S,
+        platform: Platform,
+        power: PowerModel,
+    ) -> Result<Self, BrowserError> {
+        let doc = parse_html(&app.html)?;
+        let stylesheet = parse_stylesheet(&app.css_source())?;
+        scheduler.on_attach(&stylesheet, &doc);
+        let style = StyleEngine::new(stylesheet);
+        let cpu = Cpu::new(platform, power);
+        let mut browser = Browser {
+            app_name: app.name.clone(),
+            doc,
+            style,
+            interp: Interpreter::new(),
+            listeners: ListenerSet::new(),
+            cost: app.cost.clone(),
+            cpu,
+            scheduler,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            running: None,
+            ready: VecDeque::new(),
+            gen: 0,
+            tracker: FrameTracker::new(),
+            raf_queue: Vec::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+            transitions: Vec::new(),
+            css_animations: Vec::new(),
+            host_animations: Vec::new(),
+            overlay: HashMap::new(),
+            input_meta: Vec::new(),
+            pending_moves: Vec::new(),
+            next_uid: 0,
+            util_mark: Duration::ZERO,
+            logs: Vec::new(),
+        };
+        // Run setup scripts: they register listeners and may set initial
+        // styles. Scheduling effects (dirty/rAF/timers) are ignored at
+        // setup — loading work is modeled by the `load` trace event.
+        for src in &app.scripts {
+            let program = parse_program(src)?;
+            let mut host = ScriptHost::new(&mut browser.doc, 0.0);
+            browser.interp.run(&program, &mut host)?;
+            for (node, event, callback) in host.effects.listeners.drain(..) {
+                browser.listeners.add(node, event, callback);
+            }
+        }
+        Ok(browser)
+    }
+
+    /// The live document.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The style engine (stylesheet + resolver).
+    pub fn style_engine(&self) -> &StyleEngine {
+        &self.style
+    }
+
+    /// Every `(node, event)` pair with a registered listener — what
+    /// AUTOGREEN's DOM-discovery phase enumerates.
+    pub fn listener_targets(&self) -> Vec<(NodeId, EventType)> {
+        let mut targets: Vec<_> = self.listeners.targets().collect();
+        targets.sort();
+        targets
+    }
+
+    /// The current animated value of `property` on `node`, if an
+    /// animation overlay is active.
+    pub fn animated_value(&self, node: NodeId, property: &str) -> Option<&CssValue> {
+        self.overlay.get(&(node, property.to_string()))
+    }
+
+    /// Collected `log()` output.
+    pub fn logs(&self) -> &[String] {
+        &self.logs
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: SimEventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent {
+            at,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn next_gen(&mut self) -> u64 {
+        self.gen += 1;
+        self.gen
+    }
+
+    /// Runs the trace to completion and produces the report.
+    ///
+    /// A browser accumulates state across runs; evaluation code should
+    /// construct a fresh browser per measured run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError::Script`] if a callback raises an error.
+    pub fn run(&mut self, trace: &Trace) -> Result<SimReport, BrowserError> {
+        for event in &trace.events {
+            self.push_event(event.at, SimEventKind::Input(event.clone()));
+        }
+        self.push_event(SimTime::ZERO + VSYNC_PERIOD, SimEventKind::VSync);
+        if let Some(period) = self.scheduler.timer_period() {
+            self.push_event(SimTime::ZERO + period, SimEventKind::GovTick);
+        }
+        let end = trace.end;
+        while let Some(Reverse(event)) = self.queue.pop() {
+            if event.at > end {
+                break;
+            }
+            debug_assert!(event.at >= self.now, "event queue went backwards");
+            self.now = event.at;
+            match event.kind {
+                // Move-type inputs are VSync-aligned: the browser
+                // coalesces them into the next frame rather than waking
+                // the main thread mid-frame (Chromium's input pipeline).
+                SimEventKind::Input(input)
+                    if matches!(input.event, EventType::Scroll | EventType::TouchMove) =>
+                {
+                    self.pending_moves.push(input);
+                }
+                SimEventKind::Input(input) => self.on_input(input)?,
+                SimEventKind::VSync => self.on_vsync(end)?,
+                SimEventKind::TaskDone { gen } => self.on_task_done(gen)?,
+                SimEventKind::Timer { id } => self.on_timer_fired(id)?,
+                SimEventKind::GovTick => self.on_gov_tick(end),
+            }
+        }
+        self.now = end;
+        self.cpu.advance(end);
+        Ok(self.build_report(end))
+    }
+
+    fn build_report(&mut self, end: SimTime) -> SimReport {
+        let mut inputs = self.input_meta.clone();
+        for input in &mut inputs {
+            input.frames = self.tracker.frames_for(input.uid);
+        }
+        SimReport {
+            app: self.app_name.clone(),
+            scheduler: self.scheduler.name(),
+            energy: self.cpu.energy(),
+            frames: self.tracker.records().to_vec(),
+            inputs,
+            residency: self.cpu.residency().clone(),
+            switches: self.cpu.switch_counts(),
+            busy_time: self.cpu.busy_time(),
+            total_time: end.since(SimTime::ZERO),
+        }
+    }
+
+    fn resolve_target(&self, spec: &TargetSpec) -> NodeId {
+        match spec {
+            TargetSpec::Id(id) => self
+                .doc
+                .element_by_id(id)
+                .unwrap_or_else(|| self.doc.root()),
+            // Root events (load, page scroll) target the document
+            // element, like real browsers; listeners registered on the
+            // document root still fire via the propagation path.
+            TargetSpec::Root => {
+                let root = self.doc.root();
+                self.doc
+                    .children(root)
+                    .find(|&c| self.doc.element(c).is_some())
+                    .unwrap_or(root)
+            }
+        }
+    }
+
+    fn on_input(&mut self, input: TraceEvent) -> Result<(), BrowserError> {
+        let uid = InputId(self.next_uid);
+        self.next_uid += 1;
+        let target = self.resolve_target(&input.target);
+        self.tracker.register_input(uid, input.event);
+        self.cpu.advance(self.now);
+        let desired = {
+            let ctx = SchedulerCtx {
+                doc: &self.doc,
+                cpu: &self.cpu,
+            };
+            self.scheduler
+                .on_input(self.now, uid, input.event, target, &ctx)
+        };
+        self.apply_config(desired);
+        let event = Event::new(input.event, target);
+        let callbacks: Vec<Value> = self
+            .listeners
+            .dispatch_order(&self.doc, &event)
+            .into_iter()
+            .cloned()
+            .collect();
+        let had_listener = !callbacks.is_empty();
+        self.input_meta.push(InputRecord {
+            uid,
+            event: input.event,
+            target_id: self
+                .doc
+                .element(target)
+                .and_then(|el| el.id())
+                .map(str::to_string),
+            at: self.now,
+            had_listener,
+            used_raf: false,
+            used_animate: false,
+            armed_css_animation: false,
+            frames: 0,
+        });
+        let origin = Msg {
+            uid,
+            start_ts: self.now,
+        };
+        if had_listener {
+            let arg = self.event_arg(input.event, target);
+            for callback in callbacks {
+                self.ready.push_back(Task::Callback {
+                    callback,
+                    arg: Some(arg.clone()),
+                    origin,
+                });
+            }
+        } else if matches!(input.event, EventType::Scroll | EventType::TouchMove) {
+            // Compositor-driven scrolling: a frame without script.
+            self.tracker.mark_dirty(origin);
+        }
+        self.try_start()?;
+        Ok(())
+    }
+
+    /// Registers a move input that was coalesced into a later one: it
+    /// runs no callback of its own but is attributed the shared frame.
+    fn register_coalesced_move(&mut self, input: &TraceEvent) {
+        let uid = InputId(self.next_uid);
+        self.next_uid += 1;
+        let target = self.resolve_target(&input.target);
+        self.tracker.register_input(uid, input.event);
+        self.input_meta.push(InputRecord {
+            uid,
+            event: input.event,
+            target_id: self
+                .doc
+                .element(target)
+                .and_then(|el| el.id())
+                .map(str::to_string),
+            at: self.now,
+            had_listener: self.listeners.has(target, input.event),
+            used_raf: false,
+            used_animate: false,
+            armed_css_animation: false,
+            frames: 0,
+        });
+        self.tracker.mark_dirty(Msg {
+            uid,
+            start_ts: self.now,
+        });
+    }
+
+    fn event_arg(&self, event: EventType, target: NodeId) -> Value {
+        let obj = Value::object();
+        if let Value::Object(map) = &obj {
+            let mut map = map.borrow_mut();
+            map.insert("type".into(), Value::str(event.name()));
+            map.insert("target".into(), Value::Number(target.index() as f64));
+        }
+        obj
+    }
+
+    fn on_vsync(&mut self, end: SimTime) -> Result<(), BrowserError> {
+        // If the main thread is still chewing on the previous frame, skip
+        // this VSync entirely — real browsers do not dispatch rAF or
+        // begin a frame under main-thread congestion; the animation
+        // simply drops to the next achievable frame rate. Dispatching
+        // here anyway would anchor latencies one VSync early and charge
+        // the runtime for queueing delay it cannot control.
+        let congested = self.running.is_some() || !self.ready.is_empty();
+        if !congested {
+            // Deliver the move-type inputs first (input handlers run
+            // ahead of rAF within a frame). Like Chromium, moves that
+            // queued up behind a slow frame are *coalesced*: one callback
+            // fires per (event, target) with the latest sample, while
+            // every absorbed input still gets a latency record for the
+            // shared frame (they are all "answered" by it).
+            let moves: Vec<TraceEvent> = self.pending_moves.drain(..).collect();
+            let moved = !moves.is_empty();
+            for (i, input) in moves.iter().enumerate() {
+                let is_last_of_kind = !moves[i + 1..]
+                    .iter()
+                    .any(|m| m.event == input.event && m.target == input.target);
+                if is_last_of_kind {
+                    self.on_input(input.clone())?;
+                } else {
+                    self.register_coalesced_move(input);
+                }
+            }
+            // A continuation frame's work begins with its rAF callbacks
+            // at this VSync — give the scheduler its per-frame decision
+            // point *before* the callbacks run, so the whole frame
+            // (callback + pipeline stages) executes at one configuration
+            // (the paper's runtime operates per-frame, Sec. 6.1).
+            let mut upcoming: Vec<InputId> = self
+                .raf_queue
+                .iter()
+                .map(|(_, uid)| *uid)
+                .chain(self.transitions.iter().map(|t| t.origin))
+                .chain(self.css_animations.iter().map(|a| a.origin))
+                .chain(self.host_animations.iter().map(|a| a.origin))
+                .collect();
+            upcoming.sort();
+            upcoming.dedup();
+            if !upcoming.is_empty() {
+                let origins: Vec<(InputId, EventType)> = upcoming
+                    .into_iter()
+                    .map(|uid| (uid, self.origin_event(uid)))
+                    .collect();
+                self.cpu.advance(self.now);
+                let desired = {
+                    let ctx = SchedulerCtx {
+                        doc: &self.doc,
+                        cpu: &self.cpu,
+                    };
+                    self.scheduler.on_frame_start(self.now, &origins, &ctx)
+                };
+                self.apply_config(desired);
+            }
+            self.tick_animations();
+            let rafs: Vec<(Value, InputId)> = self.raf_queue.drain(..).collect();
+            let ticked = !rafs.is_empty();
+            for (callback, uid) in rafs {
+                let origin = Msg {
+                    uid,
+                    start_ts: self.now,
+                };
+                self.ready.push_back(Task::Callback {
+                    callback,
+                    arg: Some(Value::Number(self.now.as_millis_f64())),
+                    origin,
+                });
+            }
+            if self.tracker.is_dirty() || ticked || moved {
+                // The dirty bit for move callbacks is only set when their
+                // simulated execution completes; BeginFrame sits behind
+                // them in the FIFO queue, so the frame still commits
+                // within this VSync's work batch.
+                self.ready.push_back(Task::BeginFrame);
+            }
+        }
+        let next = self.now + VSYNC_PERIOD;
+        if next <= end {
+            self.push_event(next, SimEventKind::VSync);
+        }
+        self.try_start()?;
+        Ok(())
+    }
+
+    /// Samples every active animation at the current VSync, updates the
+    /// overlay, marks the frame dirty on behalf of each animation's root
+    /// input, and fires `transitionend`/`animationend` for finished ones.
+    fn tick_animations(&mut self) {
+        let now_ms = self.now.as_millis_f64();
+        let mut end_events: Vec<(NodeId, EventType, InputId)> = Vec::new();
+        let mut dirty_origins: Vec<InputId> = Vec::new();
+
+        let mut transitions = std::mem::take(&mut self.transitions);
+        transitions.retain_mut(|t| {
+            let value = t.state.value_at(now_ms);
+            self.overlay
+                .insert((t.node, t.state.property.clone()), value);
+            dirty_origins.push(t.origin);
+            if t.state.is_finished(now_ms) {
+                end_events.push((t.node, EventType::TransitionEnd, t.origin));
+                false
+            } else {
+                true
+            }
+        });
+        self.transitions = transitions;
+
+        let mut animations = std::mem::take(&mut self.css_animations);
+        animations.retain_mut(|a| {
+            if let Some(keyframes) = self
+                .style
+                .stylesheet()
+                .keyframes_by_name(&a.state.spec.name)
+            {
+                // Sample every property the keyframes animate.
+                let mut properties: Vec<String> = keyframes
+                    .frames
+                    .iter()
+                    .flat_map(|f| f.declarations.iter().map(|d| d.property.clone()))
+                    .collect();
+                properties.sort();
+                properties.dedup();
+                for property in properties {
+                    if let Some(value) = a.state.sample(keyframes, &property, now_ms) {
+                        self.overlay.insert((a.node, property), value);
+                    }
+                }
+            }
+            dirty_origins.push(a.origin);
+            if a.state.is_finished(now_ms) {
+                end_events.push((a.node, EventType::AnimationEnd, a.origin));
+                false
+            } else {
+                true
+            }
+        });
+        self.css_animations = animations;
+
+        let mut host_anims = std::mem::take(&mut self.host_animations);
+        host_anims.retain_mut(|a| {
+            let t = if a.duration_ms <= 0.0 {
+                1.0
+            } else {
+                ((now_ms - a.start_ms) / a.duration_ms).clamp(0.0, 1.0)
+            };
+            let px = a.from_px + (a.to_px - a.from_px) * t;
+            self.overlay.insert(
+                (a.node, a.property.clone()),
+                CssValue::Length(Length::px(px)),
+            );
+            dirty_origins.push(a.origin);
+            t < 1.0
+        });
+        self.host_animations = host_anims;
+
+        for origin in dirty_origins {
+            self.tracker.mark_dirty(Msg {
+                uid: origin,
+                start_ts: self.now,
+            });
+        }
+        for (node, event_type, origin) in end_events {
+            let event = Event::new(event_type, node);
+            let callbacks: Vec<Value> = self
+                .listeners
+                .dispatch_order(&self.doc, &event)
+                .into_iter()
+                .cloned()
+                .collect();
+            let arg = self.event_arg(event_type, node);
+            for callback in callbacks {
+                self.ready.push_back(Task::Callback {
+                    callback,
+                    arg: Some(arg.clone()),
+                    origin: Msg {
+                        uid: origin,
+                        start_ts: self.now,
+                    },
+                });
+            }
+        }
+    }
+
+    fn on_timer_fired(&mut self, id: u64) -> Result<(), BrowserError> {
+        if let Some((callback, uid)) = self.timers.remove(&id) {
+            self.ready.push_back(Task::Callback {
+                callback,
+                arg: None,
+                origin: Msg {
+                    uid,
+                    start_ts: self.now,
+                },
+            });
+            self.try_start()?;
+        }
+        Ok(())
+    }
+
+    fn on_gov_tick(&mut self, end: SimTime) {
+        let Some(period) = self.scheduler.timer_period() else {
+            return;
+        };
+        self.cpu.advance(self.now);
+        let busy = self.cpu.busy_time();
+        let delta = busy - self.util_mark;
+        self.util_mark = busy;
+        let utilization = (delta.as_secs_f64() / period.as_secs_f64()).clamp(0.0, 1.0);
+        let desired = {
+            let ctx = SchedulerCtx {
+                doc: &self.doc,
+                cpu: &self.cpu,
+            };
+            self.scheduler.on_timer(self.now, utilization, &ctx)
+        };
+        self.apply_config(desired);
+        let next = self.now + period;
+        if next <= end {
+            self.push_event(next, SimEventKind::GovTick);
+        }
+    }
+
+    fn on_task_done(&mut self, gen: u64) -> Result<(), BrowserError> {
+        let matches = self.running.as_ref().is_some_and(|r| r.gen == gen);
+        if !matches {
+            return Ok(()); // Stale completion from before a config switch.
+        }
+        self.cpu.advance(self.now);
+        let running = self.running.take().expect("checked above");
+        match running.kind {
+            RunningKind::Callback { effects, origin } => {
+                self.apply_effects(effects, origin);
+            }
+            RunningKind::Stage { stage, msgs } => {
+                if stage == Stage::Composite {
+                    let records = self.tracker.complete_frame(&msgs, self.now);
+                    let desired = {
+                        let ctx = SchedulerCtx {
+                            doc: &self.doc,
+                            cpu: &self.cpu,
+                        };
+                        self.scheduler.on_frames_complete(self.now, &records, &ctx)
+                    };
+                    self.apply_config(desired);
+                }
+            }
+        }
+        if self.ready.is_empty() && self.running.is_none() {
+            self.cpu.set_busy(self.now, false);
+            let desired = {
+                let ctx = SchedulerCtx {
+                    doc: &self.doc,
+                    cpu: &self.cpu,
+                };
+                self.scheduler.on_idle(self.now, &ctx)
+            };
+            self.apply_config(desired);
+        }
+        self.try_start()?;
+        Ok(())
+    }
+
+    fn apply_effects(&mut self, effects: CallbackEffects, origin: Msg) {
+        let meta = self
+            .input_meta
+            .iter_mut()
+            .find(|m| m.uid == origin.uid);
+        if let Some(meta) = meta {
+            meta.used_raf |= effects.used_raf();
+            meta.used_animate |= effects.used_animate();
+        }
+        for (node, event, callback) in effects.listeners {
+            self.listeners.add(node, event, callback);
+        }
+        for (callback, delay_ms) in effects.timers {
+            self.next_timer += 1;
+            let id = self.next_timer;
+            self.timers.insert(id, (callback, origin.uid));
+            self.push_event(
+                self.now + Duration::from_millis_f64(delay_ms),
+                SimEventKind::Timer { id },
+            );
+        }
+        for callback in effects.raf {
+            self.raf_queue.push((callback, origin.uid));
+        }
+        for call in effects.animates {
+            let from_px = self
+                .overlay
+                .get(&(call.node, call.property.clone()))
+                .and_then(CssValue::as_number)
+                .unwrap_or(0.0);
+            self.host_animations.push(ActiveHostAnimation {
+                node: call.node,
+                property: call.property,
+                from_px,
+                to_px: call.to_px,
+                start_ms: self.now.as_millis_f64(),
+                duration_ms: call.duration_ms,
+                origin: origin.uid,
+            });
+        }
+        let mut armed_css = false;
+        for write in effects.style_writes {
+            armed_css |= self.maybe_arm_animation(&write, origin.uid);
+        }
+        if armed_css {
+            if let Some(meta) = self
+                .input_meta
+                .iter_mut()
+                .find(|m| m.uid == origin.uid)
+            {
+                meta.armed_css_animation = true;
+            }
+        }
+        self.logs.extend(effects.logs);
+        if effects.dirty {
+            self.tracker.mark_dirty(origin);
+        }
+    }
+
+    /// Arms a CSS transition or keyframe animation for a style write, per
+    /// the element's computed `transition` / `animation` properties.
+    fn maybe_arm_animation(&mut self, write: &crate::host::StyleWrite, origin: InputId) -> bool {
+        let now_ms = self.now.as_millis_f64();
+        if write.property == "animation" {
+            if let Some(spec) = AnimationSpec::parse(&write.new) {
+                if self
+                    .style
+                    .stylesheet()
+                    .keyframes_by_name(&spec.name)
+                    .is_some()
+                {
+                    self.css_animations.push(ActiveCssAnimation {
+                        node: write.node,
+                        state: AnimationState::start(spec, now_ms),
+                        origin,
+                    });
+                    return true;
+                }
+            }
+            return false;
+        }
+        let computed = self.computed_style(write.node);
+        let Some(transition_value) = computed.get("transition") else {
+            return false;
+        };
+        let specs = TransitionSpec::parse_list(transition_value);
+        let Some(spec) = specs.iter().find(|s| s.covers(&write.property)) else {
+            return false;
+        };
+        // The transition's start value: the previous inline value, or —
+        // when the property's initial value came from the stylesheet
+        // (Fig. 4's `div#ex { width: 100px; }`) — the cascaded value
+        // without the just-written inline override.
+        let old = write.old.clone().or_else(|| {
+            self.style
+                .compute_style_without_inline(&self.doc, write.node, None)
+                .get(&write.property)
+                .cloned()
+        });
+        let Some(old) = old else {
+            // No previous value at all: a property gaining its first
+            // value does not transition (per CSS).
+            return false;
+        };
+        if old == write.new {
+            return false;
+        }
+        // Cancel a running transition on the same property, if any.
+        self.transitions
+            .retain(|t| !(t.node == write.node && t.state.property == write.property));
+        self.transitions.push(ActiveTransition {
+            node: write.node,
+            state: TransitionState::start(spec, &write.property, old, write.new.clone(), now_ms),
+            origin,
+        });
+        true
+    }
+
+    fn computed_style(&self, node: NodeId) -> ComputedStyle {
+        self.style.compute_style(&self.doc, node, None)
+    }
+
+    fn apply_config(&mut self, desired: Option<CpuConfig>) {
+        let Some(to) = desired else { return };
+        if to == self.cpu.config() {
+            return;
+        }
+        if let Some(running) = self.running.as_mut() {
+            let elapsed = self.now.saturating_since(running.since);
+            running.remaining = self.cpu.remaining_after(&running.remaining, elapsed);
+            running.since = self.now;
+        }
+        let penalty = self.cpu.switch(self.now, to);
+        if self.running.is_some() {
+            let gen = self.next_gen();
+            let running = self.running.as_mut().expect("checked");
+            running.remaining.independent_ns += penalty.as_nanos() as f64;
+            running.gen = gen;
+            let duration = self.cpu.duration_of(&running.remaining);
+            self.push_event(self.now + duration, SimEventKind::TaskDone { gen });
+        }
+    }
+
+    fn try_start(&mut self) -> Result<(), BrowserError> {
+        while self.running.is_none() {
+            let Some(task) = self.ready.pop_front() else {
+                return Ok(());
+            };
+            match task {
+                Task::BeginFrame => self.begin_frame(),
+                Task::Callback {
+                    callback,
+                    arg,
+                    origin,
+                } => {
+                    self.start_callback(callback, arg, origin)?;
+                }
+                Task::Stage { stage, msgs, seq } => {
+                    let elements = self.doc.elements().count();
+                    let work = self.cost.stage_work(stage, elements, seq);
+                    self.start_task(RunningKind::Stage { stage, msgs }, work);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn origin_event(&self, uid: InputId) -> EventType {
+        self.input_meta
+            .iter()
+            .find(|i| i.uid == uid)
+            .map(|i| i.event)
+            .unwrap_or(EventType::Click)
+    }
+
+    fn begin_frame(&mut self) {
+        let Some(msgs) = self.tracker.begin_frame() else {
+            return;
+        };
+        let seq = msgs
+            .iter()
+            .map(|m| self.tracker.frames_for(m.uid))
+            .max()
+            .unwrap_or(0);
+        let origins: Vec<(InputId, EventType)> = msgs
+            .iter()
+            .map(|m| (m.uid, self.origin_event(m.uid)))
+            .collect();
+        self.cpu.advance(self.now);
+        let desired = {
+            let ctx = SchedulerCtx {
+                doc: &self.doc,
+                cpu: &self.cpu,
+            };
+            self.scheduler.on_frame_start(self.now, &origins, &ctx)
+        };
+        self.apply_config(desired);
+        let msgs = Rc::new(msgs);
+        for stage in Stage::ALL.into_iter().rev() {
+            self.ready.push_front(Task::Stage {
+                stage,
+                msgs: Rc::clone(&msgs),
+                seq,
+            });
+        }
+    }
+
+    fn start_callback(
+        &mut self,
+        callback: Value,
+        arg: Option<Value>,
+        origin: Msg,
+    ) -> Result<(), BrowserError> {
+        self.interp.reset_ops();
+        let mut host = ScriptHost::new(&mut self.doc, self.now.as_millis_f64());
+        let args: Vec<Value> = arg.into_iter().collect();
+        self.interp.call_function(&callback, &args, &mut host)?;
+        let effects = host.effects;
+        let work = self
+            .cost
+            .callback_work(self.interp.ops(), effects.work_cycles, effects.gpu_ms);
+        self.start_task(RunningKind::Callback { effects, origin }, work);
+        Ok(())
+    }
+
+    fn start_task(&mut self, kind: RunningKind, work: WorkUnit) {
+        self.cpu.set_busy(self.now, true);
+        let gen = self.next_gen();
+        let duration = self.cpu.duration_of(&work);
+        self.running = Some(Running {
+            kind,
+            remaining: work,
+            since: self.now,
+            gen,
+        });
+        self.push_event(self.now + duration, SimEventKind::TaskDone { gen });
+    }
+}
+
+impl<S: Scheduler> fmt::Debug for Browser<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Browser")
+            .field("app", &self.app_name)
+            .field("now", &self.now)
+            .field("config", &self.cpu.config())
+            .finish_non_exhaustive()
+    }
+}

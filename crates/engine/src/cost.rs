@@ -1,0 +1,199 @@
+//! Frame pipeline cost model.
+//!
+//! Translates browser work into [`WorkUnit`]s for the ACMP executor. The
+//! rendering stages (style → layout → paint → composite, Fig. 7) scale
+//! with the document's element count; the composite stage carries a
+//! frequency-independent GPU component, which is what gives Eq. 1 its
+//! non-zero `T_independent` intercept. Event callbacks are charged by the
+//! interpreter's op count plus any explicit `work()` the script performs.
+//!
+//! `surge_every`/`surge_factor` model the frame-complexity surges the
+//! paper observes in W3School and Cnet (Sec. 7.2: "most of the QoS
+//! violations come from frame complexity surges in a continuous frame
+//! sequence"), which defeat a reactive predictor that scaled down too far.
+
+use greenweb_acmp::WorkUnit;
+
+/// The rendering pipeline stages of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Style resolution.
+    Style,
+    /// Layout.
+    Layout,
+    /// Paint.
+    Paint,
+    /// Composite (partially on the GPU).
+    Composite,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 4] = [Stage::Style, Stage::Layout, Stage::Paint, Stage::Composite];
+}
+
+/// Cost parameters for one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameCostModel {
+    /// CPU cycles charged per interpreter operation.
+    pub cycles_per_op: f64,
+    /// Style-stage cycles per element.
+    pub style_cycles_per_element: f64,
+    /// Layout-stage cycles per element.
+    pub layout_cycles_per_element: f64,
+    /// Fixed paint-stage cycles per frame.
+    pub paint_cycles: f64,
+    /// Fixed composite-stage CPU cycles per frame.
+    pub composite_cycles: f64,
+    /// Frequency-independent (GPU) composite time per frame, ms.
+    pub composite_independent_ms: f64,
+    /// Browser→renderer IPC latency charged to each input's callback, ms.
+    pub input_ipc_ms: f64,
+    /// Every `surge_every`-th frame of a continuous sequence costs
+    /// `surge_factor`× (0 disables surges).
+    pub surge_every: u32,
+    /// Cost multiplier applied on surge frames.
+    pub surge_factor: f64,
+}
+
+impl Default for FrameCostModel {
+    fn default() -> Self {
+        FrameCostModel {
+            cycles_per_op: 2_000.0,
+            style_cycles_per_element: 40_000.0,
+            layout_cycles_per_element: 30_000.0,
+            paint_cycles: 8.0e6,
+            composite_cycles: 2.0e6,
+            composite_independent_ms: 1.0,
+            input_ipc_ms: 0.2,
+            surge_every: 0,
+            surge_factor: 1.0,
+        }
+    }
+}
+
+impl FrameCostModel {
+    /// The multiplier for the `seq`-th frame of a continuous sequence.
+    pub fn surge_multiplier(&self, seq: u32) -> f64 {
+        if self.surge_every > 0 && seq > 0 && seq.is_multiple_of(self.surge_every) {
+            self.surge_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Work for `stage` on a document of `elements` elements at frame
+    /// sequence index `seq`.
+    pub fn stage_work(&self, stage: Stage, elements: usize, seq: u32) -> WorkUnit {
+        let mult = self.surge_multiplier(seq);
+        let elements = elements as f64;
+        match stage {
+            Stage::Style => WorkUnit::cycles(self.style_cycles_per_element * elements * mult),
+            Stage::Layout => WorkUnit::cycles(self.layout_cycles_per_element * elements * mult),
+            Stage::Paint => WorkUnit::cycles(self.paint_cycles * mult),
+            Stage::Composite => WorkUnit::new(
+                self.composite_cycles * mult,
+                self.composite_independent_ms,
+            ),
+        }
+    }
+
+    /// Total work of a whole frame.
+    pub fn frame_work(&self, elements: usize, seq: u32) -> WorkUnit {
+        Stage::ALL
+            .iter()
+            .fold(WorkUnit::default(), |acc, &s| {
+                acc.plus(&self.stage_work(s, elements, seq))
+            })
+    }
+
+    /// Work of an event callback that executed `ops` interpreter
+    /// operations, requested `work_cycles` of explicit CPU work, and
+    /// `gpu_ms` of frequency-independent work.
+    pub fn callback_work(&self, ops: u64, work_cycles: f64, gpu_ms: f64) -> WorkUnit {
+        WorkUnit::new(
+            ops as f64 * self.cycles_per_op + work_cycles,
+            gpu_ms + self.input_ipc_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenweb_acmp::{CoreType, Platform};
+
+    #[test]
+    fn frame_work_scales_with_elements() {
+        let m = FrameCostModel::default();
+        let small = m.frame_work(10, 0);
+        let large = m.frame_work(1000, 0);
+        assert!(large.cycles > small.cycles);
+        assert_eq!(small.independent_ns, large.independent_ns);
+    }
+
+    #[test]
+    fn default_frame_fits_60fps_at_peak() {
+        // A 100-element frame must comfortably make 16.6 ms at A15 peak —
+        // otherwise even Perf would violate the imperceptible target.
+        let m = FrameCostModel::default();
+        let p = Platform::odroid_xu_e();
+        let work = m.frame_work(100, 0);
+        let d = work.duration_on(p.peak(), p.cluster(CoreType::Big).ipc);
+        assert!(
+            d.as_millis_f64() < 10.0,
+            "frame takes {} at peak",
+            d.as_millis_f64()
+        );
+    }
+
+    #[test]
+    fn default_frame_close_to_target_on_little() {
+        // The same frame should be near/over the 16.6 ms imperceptible
+        // target on the little cluster — that tension is what forces
+        // GreenWeb-I onto the big core (Fig. 11a vs 11b).
+        let m = FrameCostModel::default();
+        let p = Platform::odroid_xu_e();
+        let work = m.frame_work(100, 0);
+        let d = work.duration_on(p.lowest(), p.cluster(CoreType::Little).ipc);
+        assert!(
+            d.as_millis_f64() > 16.6,
+            "little@min too fast: {}",
+            d.as_millis_f64()
+        );
+    }
+
+    #[test]
+    fn surge_multiplier_applies_periodically() {
+        let m = FrameCostModel {
+            surge_every: 8,
+            surge_factor: 3.0,
+            ..FrameCostModel::default()
+        };
+        assert_eq!(m.surge_multiplier(0), 1.0);
+        assert_eq!(m.surge_multiplier(7), 1.0);
+        assert_eq!(m.surge_multiplier(8), 3.0);
+        assert_eq!(m.surge_multiplier(16), 3.0);
+        let normal = m.frame_work(100, 7);
+        let surged = m.frame_work(100, 8);
+        assert!(surged.cycles > normal.cycles * 2.5);
+    }
+
+    #[test]
+    fn callback_work_combines_components() {
+        let m = FrameCostModel::default();
+        let w = m.callback_work(1_000, 5.0e6, 2.0);
+        assert_eq!(w.cycles, 1_000.0 * m.cycles_per_op + 5.0e6);
+        assert!((w.independent_ns - (2.0 + m.input_ipc_ms) * 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn stage_sum_equals_frame_work() {
+        let m = FrameCostModel::default();
+        let total = m.frame_work(50, 0);
+        let sum = Stage::ALL.iter().fold(WorkUnit::default(), |acc, &s| {
+            acc.plus(&m.stage_work(s, 50, 0))
+        });
+        assert_eq!(total, sum);
+    }
+}

@@ -1,0 +1,179 @@
+//! Input events and interaction traces.
+
+use greenweb_acmp::SimTime;
+use greenweb_dom::EventType;
+use std::fmt;
+
+/// Unique identifier of one user input — the `UID` of the paper's Fig. 8
+/// tracking algorithm. Assigned by the browser at input arrival and
+/// propagated as metadata through the frame pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InputId(pub u64);
+
+impl fmt::Display for InputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "input#{}", self.0)
+    }
+}
+
+/// How a trace event names its target element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TargetSpec {
+    /// An element looked up by its `id` attribute.
+    Id(String),
+    /// The document root (page-level events such as `load` / `scroll`).
+    Root,
+}
+
+impl fmt::Display for TargetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetSpec::Id(id) => write!(f, "#{id}"),
+            TargetSpec::Root => write!(f, ":root"),
+        }
+    }
+}
+
+/// One user input in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Arrival time.
+    pub at: SimTime,
+    /// DOM event type.
+    pub event: EventType,
+    /// Target element.
+    pub target: TargetSpec,
+}
+
+/// A deterministic sequence of user inputs (the simulator's equivalent of
+/// the paper's Mosaic record-and-replay traces).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Inputs sorted by arrival time.
+    pub events: Vec<TraceEvent>,
+    /// Simulation end time (the measurement window).
+    pub end: SimTime,
+}
+
+impl Trace {
+    /// Starts building a trace.
+    pub fn builder() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// Number of inputs.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no inputs.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Builder for [`Trace`]. Events may be added out of order; `build` sorts
+/// them and extends the end time to cover the last event.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    events: Vec<TraceEvent>,
+    end: SimTime,
+}
+
+impl TraceBuilder {
+    /// Adds an event at `at_ms` milliseconds.
+    pub fn event(mut self, at_ms: f64, event: EventType, target: TargetSpec) -> Self {
+        self.events.push(TraceEvent {
+            at: SimTime::from_millis_f64(at_ms),
+            event,
+            target,
+        });
+        self
+    }
+
+    /// Adds a `click` on element `id`.
+    pub fn click_id(self, at_ms: f64, id: &str) -> Self {
+        self.event(at_ms, EventType::Click, TargetSpec::Id(id.into()))
+    }
+
+    /// Adds a `load` on the document root.
+    pub fn load(self, at_ms: f64) -> Self {
+        self.event(at_ms, EventType::Load, TargetSpec::Root)
+    }
+
+    /// Adds a `touchstart` on element `id`.
+    pub fn touchstart_id(self, at_ms: f64, id: &str) -> Self {
+        self.event(at_ms, EventType::TouchStart, TargetSpec::Id(id.into()))
+    }
+
+    /// Adds a run of `touchmove` events on element `id`, one every
+    /// `period_ms`, starting at `at_ms`.
+    pub fn touchmove_run(mut self, at_ms: f64, id: &str, count: usize, period_ms: f64) -> Self {
+        for i in 0..count {
+            self = self.event(
+                at_ms + i as f64 * period_ms,
+                EventType::TouchMove,
+                TargetSpec::Id(id.into()),
+            );
+        }
+        self
+    }
+
+    /// Sets the measurement window end, in milliseconds.
+    pub fn end_ms(mut self, end_ms: f64) -> Self {
+        self.end = SimTime::from_millis_f64(end_ms);
+        self
+    }
+
+    /// Finalizes the trace.
+    pub fn build(mut self) -> Trace {
+        self.events.sort_by_key(|e| e.at);
+        let end = match self.events.last() {
+            Some(last) => self
+                .end
+                .max(last.at + greenweb_acmp::Duration::from_millis(100)),
+            None => self.end,
+        };
+        Trace {
+            events: self.events,
+            end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sorts_events() {
+        let trace = Trace::builder()
+            .click_id(500.0, "b")
+            .click_id(100.0, "a")
+            .build();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.events[0].target, TargetSpec::Id("a".into()));
+        assert!(trace.events[0].at < trace.events[1].at);
+    }
+
+    #[test]
+    fn end_covers_last_event() {
+        let trace = Trace::builder().click_id(1000.0, "a").end_ms(10.0).build();
+        assert!(trace.end >= SimTime::from_millis(1000));
+    }
+
+    #[test]
+    fn touchmove_run_spacing() {
+        let trace = Trace::builder().touchmove_run(0.0, "x", 5, 16.0).build();
+        assert_eq!(trace.len(), 5);
+        let delta = trace.events[1].at.since(trace.events[0].at);
+        assert_eq!(delta.as_millis_f64(), 16.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = Trace::builder().end_ms(50.0).build();
+        assert!(trace.is_empty());
+        assert_eq!(trace.end, SimTime::from_millis(50));
+    }
+}

@@ -1,0 +1,221 @@
+//! Frame latency tracking — the paper's Fig. 8 algorithm.
+//!
+//! Every input is assigned a unique ID and a start timestamp (*Part I*).
+//! When a callback sets the dirty bit, the input's metadata is pushed onto
+//! a message queue attached to the dirty bit (*Part II*); all queued
+//! messages propagate with the frame begun at the next VSync. When the
+//! frame-ready signal arrives, a latency is computed for every propagated
+//! message from its own start timestamp (*Part III*).
+//!
+//! Frames produced by continuations of a root event (rAF re-registrations,
+//! CSS transition ticks) carry the root's ID — the transitive closure of
+//! Sec. 6.4 — with their start timestamp reset to the frame's VSync, so
+//! every animation frame reports a per-frame production latency against
+//! the event's QoS target, as the paper requires ("the QoS target applies
+//! to each frame rather than an average latency", Sec. 3.3).
+
+use crate::events::InputId;
+use greenweb_acmp::{Duration, SimTime};
+use greenweb_dom::EventType;
+use std::collections::HashMap;
+
+/// Metadata propagated with an input through the pipeline (the `Msg` of
+/// Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// The unique input ID.
+    pub uid: InputId,
+    /// The latency-measurement start timestamp.
+    pub start_ts: SimTime,
+}
+
+/// One completed frame's latency attribution for one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRecord {
+    /// The input the frame is attributed to.
+    pub uid: InputId,
+    /// The input's DOM event type.
+    pub event: EventType,
+    /// 0-based index of this frame within the input's frame sequence
+    /// (always 0 for "single"-type events).
+    pub seq: u32,
+    /// Frame latency: first frame measures from the input, later frames
+    /// from their VSync.
+    pub latency: Duration,
+    /// When the frame was displayed.
+    pub completed_at: SimTime,
+}
+
+/// The dirty bit augmented with a message queue (Fig. 8, Part II), plus
+/// per-input bookkeeping for sequence numbers.
+#[derive(Debug, Default)]
+pub struct FrameTracker {
+    dirty: bool,
+    queue: Vec<Msg>,
+    event_types: HashMap<InputId, EventType>,
+    seq: HashMap<InputId, u32>,
+    records: Vec<FrameRecord>,
+}
+
+impl FrameTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        FrameTracker::default()
+    }
+
+    /// Registers a new input (Fig. 8, Part I).
+    pub fn register_input(&mut self, uid: InputId, event: EventType) {
+        self.event_types.insert(uid, event);
+    }
+
+    /// A callback attributed to `uid` requested a new frame: set the
+    /// dirty bit and enqueue the metadata once per input per frame.
+    pub fn mark_dirty(&mut self, msg: Msg) {
+        self.dirty = true;
+        if !self.queue.iter().any(|m| m.uid == msg.uid) {
+            self.queue.push(msg);
+        }
+    }
+
+    /// Whether a frame is needed.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// At VSync: clears the dirty bit and takes the batched messages that
+    /// will propagate with the new frame. Returns `None` if not dirty.
+    pub fn begin_frame(&mut self) -> Option<Vec<Msg>> {
+        if !self.dirty {
+            return None;
+        }
+        self.dirty = false;
+        Some(std::mem::take(&mut self.queue))
+    }
+
+    /// Frame-ready signal (Fig. 8, Part III): computes a latency record
+    /// for every message propagated with the frame.
+    pub fn complete_frame(&mut self, msgs: &[Msg], now: SimTime) -> Vec<FrameRecord> {
+        let mut out = Vec::with_capacity(msgs.len());
+        for msg in msgs {
+            let seq = self.seq.entry(msg.uid).or_insert(0);
+            let record = FrameRecord {
+                uid: msg.uid,
+                event: self
+                    .event_types
+                    .get(&msg.uid)
+                    .copied()
+                    .unwrap_or(EventType::Click),
+                seq: *seq,
+                latency: now.saturating_since(msg.start_ts),
+                completed_at: now,
+            };
+            *seq += 1;
+            out.push(record.clone());
+            self.records.push(record);
+        }
+        out
+    }
+
+    /// All records so far, in completion order.
+    pub fn records(&self) -> &[FrameRecord] {
+        &self.records
+    }
+
+    /// Number of frames attributed to `uid` so far.
+    pub fn frames_for(&self, uid: InputId) -> u32 {
+        self.seq.get(&uid).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn single_input_single_frame() {
+        let mut t = FrameTracker::new();
+        let uid = InputId(1);
+        t.register_input(uid, EventType::Click);
+        t.mark_dirty(Msg { uid, start_ts: ms(10) });
+        assert!(t.is_dirty());
+        let msgs = t.begin_frame().unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert!(!t.is_dirty());
+        let records = t.complete_frame(&msgs, ms(40));
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].latency, Duration::from_millis(30));
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[0].event, EventType::Click);
+    }
+
+    #[test]
+    fn batched_inputs_share_one_frame() {
+        // Two callbacks write the dirty bit before one VSync: one frame,
+        // two latency records — the second complexity of Sec. 6.3.
+        let mut t = FrameTracker::new();
+        t.register_input(InputId(1), EventType::Click);
+        t.register_input(InputId(2), EventType::TouchStart);
+        t.mark_dirty(Msg { uid: InputId(1), start_ts: ms(0) });
+        t.mark_dirty(Msg { uid: InputId(2), start_ts: ms(5) });
+        let msgs = t.begin_frame().unwrap();
+        assert_eq!(msgs.len(), 2);
+        let records = t.complete_frame(&msgs, ms(20));
+        assert_eq!(records[0].latency, Duration::from_millis(20));
+        assert_eq!(records[1].latency, Duration::from_millis(15));
+    }
+
+    #[test]
+    fn interleaved_inputs_attribute_correctly() {
+        // Input 2 arrives while input 1's frame is in flight; each frame
+        // must be attributed to its own input — the first complexity of
+        // Sec. 6.3 (naive "next frame" attribution would blame input 2).
+        let mut t = FrameTracker::new();
+        t.register_input(InputId(1), EventType::Click);
+        t.register_input(InputId(2), EventType::Click);
+        t.mark_dirty(Msg { uid: InputId(1), start_ts: ms(0) });
+        let frame1 = t.begin_frame().unwrap();
+        // Input 2 dirties while frame 1 is in production.
+        t.mark_dirty(Msg { uid: InputId(2), start_ts: ms(8) });
+        let r1 = t.complete_frame(&frame1, ms(16));
+        assert_eq!(r1[0].uid, InputId(1));
+        let frame2 = t.begin_frame().unwrap();
+        let r2 = t.complete_frame(&frame2, ms(33));
+        assert_eq!(r2[0].uid, InputId(2));
+        assert_eq!(r2[0].latency, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn duplicate_marks_enqueue_once() {
+        let mut t = FrameTracker::new();
+        t.register_input(InputId(1), EventType::TouchMove);
+        let msg = Msg { uid: InputId(1), start_ts: ms(0) };
+        t.mark_dirty(msg);
+        t.mark_dirty(msg);
+        assert_eq!(t.begin_frame().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn begin_frame_when_clean_returns_none() {
+        let mut t = FrameTracker::new();
+        assert!(t.begin_frame().is_none());
+    }
+
+    #[test]
+    fn sequence_numbers_advance_per_input() {
+        let mut t = FrameTracker::new();
+        let uid = InputId(7);
+        t.register_input(uid, EventType::TouchMove);
+        for i in 0..3u64 {
+            t.mark_dirty(Msg { uid, start_ts: ms(i * 16) });
+            let msgs = t.begin_frame().unwrap();
+            t.complete_frame(&msgs, ms(i * 16 + 10));
+        }
+        assert_eq!(t.frames_for(uid), 3);
+        let seqs: Vec<u32> = t.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Abstract syntax tree for the GreenWeb scripting language.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A complete program: a list of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level statements in source order.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var x = e;` / `let x = e;` (both create a binding in the current
+    /// scope; the language is block-scoped throughout for simplicity).
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Optional initializer; `null` when absent.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `function name(params) { body }`
+    FunctionDecl {
+        /// Function name.
+        name: String,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body statements, shared so closures stay cheap to clone.
+        body: Rc<Vec<Stmt>>,
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for effect.
+    Expr(Expr),
+    /// `if (cond) { … } else { … }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_branch: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; update) { … }`
+    For {
+        /// Optional initializer statement.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (true when absent).
+        cond: Option<Expr>,
+        /// Optional update expression.
+        update: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return e;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `{ … }` block with its own scope.
+    Block(Vec<Stmt>),
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the operators are their own documentation
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let symbol = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Rem => "%",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "&&",
+            BinaryOp::Or => "||",
+        };
+        f.write_str(symbol)
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-e`
+    Neg,
+    /// `!e`
+    Not,
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A plain variable.
+    Var(String),
+    /// `obj.name`
+    Member(Box<Expr>, String),
+    /// `obj[index]`
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// Variable reference.
+    Var(String),
+    /// `[a, b, c]`
+    Array(Vec<Expr>),
+    /// `{ key: value, … }`
+    Object(Vec<(String, Expr)>),
+    /// Anonymous `function (params) { body }`.
+    Function {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body statements.
+        body: Rc<Vec<Stmt>>,
+    },
+    /// `target = value` (also compound `+=` etc., desugared by the parser).
+    Assign {
+        /// Where to store.
+        target: Target,
+        /// What to store.
+        value: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// `cond ? a : b`
+    Conditional {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when truthy.
+        then_value: Box<Expr>,
+        /// Value when falsy.
+        else_value: Box<Expr>,
+    },
+    /// `callee(args)` — `callee` may be a variable (host or script
+    /// function) or any expression evaluating to a function.
+    Call {
+        /// The called expression.
+        callee: Box<Expr>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Source line, for runtime error messages.
+        line: u32,
+    },
+    /// `obj.name`
+    Member {
+        /// The object expression.
+        object: Box<Expr>,
+        /// The property name.
+        property: String,
+    },
+    /// `obj[index]`
+    Index {
+        /// The object expression.
+        object: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_op_display() {
+        assert_eq!(BinaryOp::Add.to_string(), "+");
+        assert_eq!(BinaryOp::Le.to_string(), "<=");
+        assert_eq!(BinaryOp::And.to_string(), "&&");
+    }
+
+    #[test]
+    fn expr_var_helper() {
+        assert_eq!(Expr::var("x"), Expr::Var("x".into()));
+    }
+}

@@ -1,0 +1,418 @@
+//! Lexer for the GreenWeb scripting language.
+
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A numeric literal.
+    Number(f64),
+    /// A string literal (quotes removed, escapes resolved).
+    Str(String),
+    /// An identifier.
+    Ident(String),
+    /// A reserved keyword (`var`, `function`, `if`, …).
+    Keyword(Keyword),
+    /// A punctuator or operator (`+`, `==`, `{`, …).
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the keywords are their own documentation
+pub enum Keyword {
+    Var,
+    Let,
+    Function,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    True,
+    False,
+    Null,
+}
+
+impl Keyword {
+    fn from_ident(word: &str) -> Option<Keyword> {
+        Some(match word {
+            "var" => Keyword::Var,
+            "let" => Keyword::Let,
+            "function" => Keyword::Function,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "null" => Keyword::Null,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let word = match self {
+            Keyword::Var => "var",
+            Keyword::Let => "let",
+            Keyword::Function => "function",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::True => "true",
+            Keyword::False => "false",
+            Keyword::Null => "null",
+        };
+        f.write_str(word)
+    }
+}
+
+/// A token with its source line (1-based), for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Ident(name) => write!(f, "{name}"),
+            TokenKind::Keyword(kw) => write!(f, "{kw}"),
+            TokenKind::Punct(p) => write!(f, "{p}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Error produced by [`lex`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    message: String,
+    /// 1-based source line of the error.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character punctuators, longest first so maximal munch works.
+const PUNCTUATORS: &[&str] = &[
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", ":", "?", "+", "-", "*", "/", "%", "<",
+    ">", "=", "!",
+];
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings, malformed numbers, or
+/// unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            i += 2;
+            loop {
+                if i + 1 >= chars.len() {
+                    return Err(LexError {
+                        message: "unterminated block comment".into(),
+                        line: start_line,
+                    });
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                if chars[i] == '*' && chars[i + 1] == '/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Strings.
+        if c == '"' || c == '\'' {
+            let quote = c;
+            let start_line = line;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match chars.get(i) {
+                    Some(&ch) if ch == quote => {
+                        i += 1;
+                        break;
+                    }
+                    Some('\\') => {
+                        let escaped = chars.get(i + 1).ok_or_else(|| LexError {
+                            message: "unterminated string".into(),
+                            line: start_line,
+                        })?;
+                        s.push(match escaped {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => *other,
+                        });
+                        i += 2;
+                    }
+                    Some('\n') | None => {
+                        return Err(LexError {
+                            message: "unterminated string".into(),
+                            line: start_line,
+                        })
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        i += 1;
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str(s),
+                line: start_line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            // Scientific notation.
+            if matches!(chars.get(i), Some('e' | 'E')) {
+                let mut j = i + 1;
+                if matches!(chars.get(j), Some('+' | '-')) {
+                    j += 1;
+                }
+                if chars.get(j).is_some_and(|d| d.is_ascii_digit()) {
+                    i = j;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            let number: f64 = text.parse().map_err(|_| LexError {
+                message: format!("invalid number `{text}`"),
+                line,
+            })?;
+            tokens.push(Token {
+                kind: TokenKind::Number(number),
+                line,
+            });
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+            {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            let kind = match Keyword::from_ident(&word) {
+                Some(kw) => TokenKind::Keyword(kw),
+                None => TokenKind::Ident(word),
+            };
+            tokens.push(Token { kind, line });
+            continue;
+        }
+        // Punctuators (maximal munch).
+        let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+        let punct = PUNCTUATORS.iter().find(|p| rest.starts_with(**p));
+        match punct {
+            Some(p) => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
+                i += p.len();
+            }
+            None => {
+                return Err(LexError {
+                    message: format!("unexpected character `{c}`"),
+                    line,
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_var_declaration() {
+        assert_eq!(
+            kinds("var x = 1;"),
+            vec![
+                TokenKind::Keyword(Keyword::Var),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Number(1.0),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            kinds("a === b != c <= d && e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("==="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("!="),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct("<="),
+                TokenKind::Ident("d".into()),
+                TokenKind::Punct("&&"),
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("3.5"), vec![TokenKind::Number(3.5), TokenKind::Eof]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Number(1000.0), TokenKind::Eof]);
+        assert_eq!(
+            kinds("2.5e-1"),
+            vec![TokenKind::Number(0.25), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn member_access_after_number() {
+        // `1.toString` style is not needed; but `x.y` must lex as ident . ident.
+        assert_eq!(
+            kinds("a.b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("."),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\n\"b\"""#),
+            vec![TokenKind::Str("a\n\"b\"".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_lines_counted() {
+        let tokens = lex("// line comment\n/* block\ncomment */ x").unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(tokens[0].line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = lex("'abc").unwrap_err();
+        assert!(err.to_string().contains("unterminated string"));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = lex("a # b").unwrap_err();
+        assert!(err.to_string().contains('#'));
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("iffy if"),
+            vec![
+                TokenKind::Ident("iffy".into()),
+                TokenKind::Keyword(Keyword::If),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let tokens = lex("a\nb\nc").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[2].line, 3);
+    }
+}

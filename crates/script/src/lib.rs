@@ -1,0 +1,49 @@
+//! # greenweb-script
+//!
+//! A small JavaScript-like scripting language used for event callbacks in
+//! the GreenWeb browser simulator.
+//!
+//! The paper's workloads are Web applications whose event handlers are
+//! JavaScript. GreenWeb only observes handlers through (a) the CPU work
+//! they perform and (b) the browser facilities they invoke —
+//! `requestAnimationFrame`, timers, style writes that arm CSS transitions,
+//! and DOM mutations that set the dirty bit. This crate provides a real
+//! interpreted language with exactly those observables so AUTOGREEN has
+//! genuine programs to instrument and the engine has genuine callbacks to
+//! schedule.
+//!
+//! The language supports: `var`/`let` declarations, functions and lexical
+//! closures, `if`/`else`, `while`, `for`, `return`/`break`/`continue`,
+//! numbers, strings, booleans, `null`, arrays, objects, the usual
+//! operators, and calls into a pluggable [`Host`].
+//!
+//! ```
+//! use greenweb_script::{parse_program, Interpreter, NoHost, Value};
+//!
+//! let program = parse_program(
+//!     "function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+//!      var answer = fib(10);",
+//! ).unwrap();
+//! let mut interp = Interpreter::new();
+//! interp.run(&program, &mut NoHost).unwrap();
+//! assert_eq!(interp.global("answer"), Some(Value::Number(55.0)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub(crate) mod builtins;
+pub mod compiler;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+pub mod vm;
+
+pub use ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+pub use interp::{Host, Interpreter, NoHost, ScriptError};
+pub use lexer::{lex, LexError, Token, TokenKind};
+pub use compiler::{compile, CompileError, CompiledProgram};
+pub use parser::{parse_program, ParseError};
+pub use vm::Vm;
+pub use value::Value;

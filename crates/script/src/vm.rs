@@ -1,0 +1,535 @@
+//! The bytecode virtual machine: the language's second backend.
+//!
+//! Executes [`crate::compiler::CompiledProgram`]s on an operand stack
+//! with the same observable semantics as the tree-walking
+//! [`crate::Interpreter`] — same values, same scoping (a shared
+//! scope-chain representation), same host interface, same deterministic
+//! `Math.random`. The differential test suite in `tests/` runs random
+//! programs through both backends and requires identical results.
+//!
+//! One documented divergence: shadowing the `Math` namespace with a user
+//! binding is rejected at runtime by the VM (the compiler specializes
+//! `Math.*` calls), where the interpreter would treat it as an object.
+
+use crate::builtins;
+use crate::compiler::{compile, CompiledProgram, Const, Op, Proto};
+use crate::interp::{Host, Scope, ScopeRef, ScriptError};
+use crate::parser::parse_program;
+use crate::value::{Value, VmClosure};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The bytecode VM: global scope + op budget + RNG state.
+#[derive(Debug)]
+pub struct Vm {
+    globals: ScopeRef,
+    ops: u64,
+    op_limit: u64,
+    rng_state: u64,
+}
+
+impl Vm {
+    /// Creates a VM with an empty global scope.
+    pub fn new() -> Self {
+        Vm {
+            globals: Rc::new(RefCell::new(Scope::default())),
+            ops: 0,
+            op_limit: crate::Interpreter::DEFAULT_OP_LIMIT,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Overrides the op limit.
+    pub fn with_op_limit(mut self, limit: u64) -> Self {
+        self.op_limit = limit;
+        self
+    }
+
+    /// Instructions executed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Reads a global binding.
+    pub fn global(&self, name: &str) -> Option<Value> {
+        Scope::lookup(&self.globals, name)
+    }
+
+    /// Creates or overwrites a global binding.
+    pub fn set_global(&mut self, name: impl Into<String>, value: Value) {
+        Scope::declare(&self.globals, &name.into(), value);
+    }
+
+    /// Compiles and runs `source` in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScriptError`] on parse, compile, or runtime errors.
+    pub fn run_source(&mut self, source: &str, host: &mut dyn Host) -> Result<(), ScriptError> {
+        let program = parse_program(source).map_err(|e| ScriptError::new(e.to_string()))?;
+        let compiled = compile(&program).map_err(|e| ScriptError::new(e.to_string()))?;
+        self.run(&compiled, host)
+    }
+
+    /// Runs a compiled program at global scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScriptError`] on runtime errors.
+    pub fn run(&mut self, program: &CompiledProgram, host: &mut dyn Host) -> Result<(), ScriptError> {
+        // The main body runs directly in the global scope, like the
+        // tree-walking interpreter.
+        let globals = self.globals.clone();
+        self.exec(Rc::clone(&program.protos), program.main, globals, host)?;
+        Ok(())
+    }
+
+    /// Calls a VM function value with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScriptError`] if `callee` is not a VM function.
+    pub fn call_function(
+        &mut self,
+        callee: &Value,
+        args: &[Value],
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError> {
+        match callee {
+            Value::VmFunction(closure) => {
+                let frame = Scope::child(closure.env.clone());
+                let proto = &closure.protos[closure.proto];
+                for (i, param) in proto.params.iter().enumerate() {
+                    Scope::declare(&frame, param, args.get(i).cloned().unwrap_or(Value::Null));
+                }
+                self.exec(Rc::clone(&closure.protos), closure.proto, frame, host)
+            }
+            Value::Function(_) => Err(ScriptError::new(
+                "cannot call a tree-walker closure from the bytecode VM",
+            )),
+            other => Err(ScriptError::new(format!(
+                "cannot call a value of type {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), ScriptError> {
+        self.ops += 1;
+        if self.ops > self.op_limit {
+            return Err(ScriptError::new(
+                "op limit exceeded (possible infinite loop)",
+            ));
+        }
+        Ok(())
+    }
+
+    fn exec(
+        &mut self,
+        protos: Rc<Vec<Proto>>,
+        proto_idx: usize,
+        frame_scope: ScopeRef,
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError> {
+        let proto = &protos[proto_idx];
+        let mut scopes: Vec<ScopeRef> = vec![frame_scope];
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let mut pc: usize = 0;
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or_else(|| ScriptError::new("stack underflow"))?
+            };
+        }
+        while pc < proto.code.len() {
+            self.tick()?;
+            let op = proto.code[pc];
+            pc += 1;
+            match op {
+                Op::Const(i) => stack.push(match &proto.consts[i as usize] {
+                    Const::Null => Value::Null,
+                    Const::Bool(b) => Value::Bool(*b),
+                    Const::Number(n) => Value::Number(*n),
+                    Const::Str(s) => Value::str(s),
+                }),
+                Op::GetVar(i) => {
+                    let name = &proto.names[i as usize];
+                    let scope = scopes.last().expect("frame scope always present");
+                    let value = Scope::lookup(scope, name).ok_or_else(|| {
+                        ScriptError::new(format!("undefined variable `{name}`"))
+                    })?;
+                    stack.push(value);
+                }
+                Op::SetVar(i) => {
+                    let name = &proto.names[i as usize];
+                    let value = pop!();
+                    let scope = scopes.last().expect("frame scope always present");
+                    if !Scope::assign(scope, name, value) {
+                        return Err(ScriptError::new(format!(
+                            "assignment to undeclared variable `{name}`"
+                        )));
+                    }
+                }
+                Op::DeclVar(i) => {
+                    let name = &proto.names[i as usize];
+                    let value = pop!();
+                    let scope = scopes.last().expect("frame scope always present");
+                    Scope::declare(scope, name, value);
+                }
+                Op::Pop => {
+                    pop!();
+                }
+                Op::Dup => {
+                    let top = stack
+                        .last()
+                        .cloned()
+                        .ok_or_else(|| ScriptError::new("stack underflow"))?;
+                    stack.push(top);
+                }
+                Op::PushScope => {
+                    let parent = scopes.last().expect("frame scope always present").clone();
+                    scopes.push(Scope::child(parent));
+                }
+                Op::PopScope => {
+                    if scopes.len() <= 1 {
+                        return Err(ScriptError::new("scope underflow"));
+                    }
+                    scopes.pop();
+                }
+                Op::Binary(binop) => {
+                    let r = pop!();
+                    let l = pop!();
+                    stack.push(builtins::binary_op(binop, &l, &r)?);
+                }
+                Op::Unary(unop) => {
+                    let v = pop!();
+                    stack.push(match unop {
+                        crate::ast::UnaryOp::Neg => match v {
+                            Value::Number(n) => Value::Number(-n),
+                            other => {
+                                return Err(ScriptError::new(format!(
+                                    "cannot negate a {}",
+                                    other.type_name()
+                                )))
+                            }
+                        },
+                        crate::ast::UnaryOp::Not => Value::Bool(!v.is_truthy()),
+                    });
+                }
+                Op::Jump(t) => pc = t as usize,
+                Op::JumpIfFalse(t) => {
+                    if !pop!().is_truthy() {
+                        pc = t as usize;
+                    }
+                }
+                Op::JumpIfFalsePeek(t) => {
+                    let falsy = !stack
+                        .last()
+                        .ok_or_else(|| ScriptError::new("stack underflow"))?
+                        .is_truthy();
+                    if falsy {
+                        pc = t as usize;
+                    }
+                }
+                Op::JumpIfTruePeek(t) => {
+                    let truthy = stack
+                        .last()
+                        .ok_or_else(|| ScriptError::new("stack underflow"))?
+                        .is_truthy();
+                    if truthy {
+                        pc = t as usize;
+                    }
+                }
+                Op::MakeArray(n) => {
+                    let at = stack.len() - n as usize;
+                    let items = stack.split_off(at);
+                    stack.push(Value::array(items));
+                }
+                Op::MakeObject { base, count } => {
+                    let at = stack.len() - count as usize;
+                    let values = stack.split_off(at);
+                    let object = Value::object();
+                    if let Value::Object(map) = &object {
+                        let mut map = map.borrow_mut();
+                        for (i, value) in values.into_iter().enumerate() {
+                            let key = proto.names[base as usize + i].clone();
+                            map.insert(key, value);
+                        }
+                    }
+                    stack.push(object);
+                }
+                Op::MakeClosure(idx) => {
+                    let scope = scopes.last().expect("frame scope always present").clone();
+                    stack.push(Value::VmFunction(Rc::new(VmClosure {
+                        proto: idx as usize,
+                        protos: Rc::clone(&protos),
+                        env: scope,
+                    })));
+                }
+                Op::CallName { name, argc } => {
+                    let at = stack.len() - argc as usize;
+                    let args: Vec<Value> = stack.split_off(at);
+                    let name = &proto.names[name as usize];
+                    let scope = scopes.last().expect("frame scope always present");
+                    match Scope::lookup(scope, name) {
+                        Some(callee) => {
+                            let result = self.call_function(&callee, &args, host)?;
+                            stack.push(result);
+                        }
+                        None => match host.call(name, &args) {
+                            Some(result) => stack.push(result?),
+                            None => {
+                                return Err(ScriptError::new(format!(
+                                    "undefined function `{name}`"
+                                )))
+                            }
+                        },
+                    }
+                }
+                Op::CallValue { argc } => {
+                    let at = stack.len() - argc as usize;
+                    let args: Vec<Value> = stack.split_off(at);
+                    let callee = pop!();
+                    let result = self.call_function(&callee, &args, host)?;
+                    stack.push(result);
+                }
+                Op::CallMethod { name, argc } => {
+                    let at = stack.len() - argc as usize;
+                    let args: Vec<Value> = stack.split_off(at);
+                    let object = pop!();
+                    let name = &proto.names[name as usize];
+                    let result = match &object {
+                        Value::Array(items) => builtins::array_method(items, name, &args)?,
+                        Value::Str(s) => builtins::string_method(s, name, &args)?,
+                        Value::Object(map) => {
+                            let method = map.borrow().get(name.as_str()).cloned();
+                            match method {
+                                Some(f) => self.call_function(&f, &args, host)?,
+                                None => {
+                                    return Err(ScriptError::new(format!(
+                                        "object has no method `{name}`"
+                                    )))
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(ScriptError::new(format!(
+                                "{} has no method `{name}`",
+                                other.type_name()
+                            )))
+                        }
+                    };
+                    stack.push(result);
+                }
+                Op::CallMath { name, argc } => {
+                    let at = stack.len() - argc as usize;
+                    let args: Vec<Value> = stack.split_off(at);
+                    let scope = scopes.last().expect("frame scope always present");
+                    if Scope::lookup(scope, "Math").is_some() {
+                        return Err(ScriptError::new(
+                            "shadowing `Math` is not supported by the bytecode backend",
+                        ));
+                    }
+                    let name = &proto.names[name as usize];
+                    stack.push(builtins::math_call(&mut self.rng_state, name, &args)?);
+                }
+                Op::GetMember(i) => {
+                    let object = pop!();
+                    stack.push(builtins::get_member(&object, &proto.names[i as usize])?);
+                }
+                Op::SetMember(i) => {
+                    let object = pop!();
+                    let value = pop!();
+                    builtins::set_member(&object, &proto.names[i as usize], value)?;
+                }
+                Op::GetIndex => {
+                    let index = pop!();
+                    let object = pop!();
+                    stack.push(builtins::get_index(&object, &index)?);
+                }
+                Op::SetIndex => {
+                    let index = pop!();
+                    let object = pop!();
+                    let value = pop!();
+                    builtins::set_index(&object, &index, value)?;
+                }
+                Op::Return => {
+                    return Ok(pop!());
+                }
+            }
+        }
+        Ok(Value::Null)
+    }
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Vm::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoHost;
+
+    fn run(src: &str) -> Vm {
+        let mut vm = Vm::new();
+        vm.run_source(src, &mut NoHost).unwrap();
+        vm
+    }
+
+    fn number(vm: &Vm, name: &str) -> f64 {
+        vm.global(name).unwrap().as_number().unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let vm = run("var x = 1 + 2 * 3 - 4 / 2;");
+        assert_eq!(number(&vm, "x"), 5.0);
+    }
+
+    #[test]
+    fn control_flow() {
+        let vm = run(
+            "var s = 0;
+             for (var i = 1; i <= 100; i++) { s += i; }
+             var sign = s > 0 ? 'pos' : 'neg';
+             var clipped = 0;
+             while (true) { clipped = clipped + 1; if (clipped >= 7) { break; } }",
+        );
+        assert_eq!(number(&vm, "s"), 5050.0);
+        assert_eq!(vm.global("sign").unwrap().as_str(), Some("pos"));
+        assert_eq!(number(&vm, "clipped"), 7.0);
+    }
+
+    #[test]
+    fn continue_skips() {
+        let vm = run(
+            "var sum = 0;
+             for (var i = 0; i < 10; i++) { if (i % 2 == 0) { continue; } sum += i; }",
+        );
+        assert_eq!(number(&vm, "sum"), 25.0);
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        let vm = run(
+            "function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+             var x = fib(15);",
+        );
+        assert_eq!(number(&vm, "x"), 610.0);
+    }
+
+    #[test]
+    fn closures_capture() {
+        let vm = run(
+            "function counter() { var n = 0; return function() { n = n + 1; return n; }; }
+             var c = counter();
+             c(); c();
+             var x = c();",
+        );
+        assert_eq!(number(&vm, "x"), 3.0);
+    }
+
+    #[test]
+    fn arrays_objects_strings() {
+        let vm = run(
+            "var a = [1, 2]; a.push(3); a[0] = 10;
+             var o = { k: 4 }; o.j = o.k + a.length;
+             var s = 'Hello'.toUpperCase();
+             var n = a[0] + o.j;",
+        );
+        assert_eq!(number(&vm, "n"), 17.0);
+        assert_eq!(vm.global("s").unwrap().as_str(), Some("HELLO"));
+    }
+
+    #[test]
+    fn math_namespace() {
+        let vm = run("var x = Math.floor(3.9) + Math.pow(2, 5);");
+        assert_eq!(number(&vm, "x"), 35.0);
+    }
+
+    #[test]
+    fn short_circuit() {
+        let vm = run("var a = null || 5; var b = 0 && boom(); var c = 1 && 2;");
+        assert_eq!(number(&vm, "a"), 5.0);
+        assert_eq!(number(&vm, "b"), 0.0);
+        assert_eq!(number(&vm, "c"), 2.0);
+    }
+
+    #[test]
+    fn block_scoping_matches_interpreter() {
+        let vm = run("var x = 1; { var x = 2; } var y = x;");
+        assert_eq!(number(&vm, "y"), 1.0);
+    }
+
+    #[test]
+    fn break_inside_nested_block_unwinds_scopes() {
+        let vm = run(
+            "var out = 0;
+             for (var i = 0; i < 5; i++) {
+                 { var tmp = i * 10; if (i == 2) { out = tmp; break; } }
+             }",
+        );
+        assert_eq!(number(&vm, "out"), 20.0);
+    }
+
+    #[test]
+    fn op_limit_stops_loops() {
+        let mut vm = Vm::new().with_op_limit(5_000);
+        let err = vm.run_source("while (true) { }", &mut NoHost).unwrap_err();
+        assert!(err.to_string().contains("op limit"));
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let mut vm = Vm::new();
+        let err = vm.run_source("var x = nope;", &mut NoHost).unwrap_err();
+        assert!(err.to_string().contains("undefined variable"));
+    }
+
+    #[test]
+    fn host_calls_work() {
+        struct H(Vec<f64>);
+        impl Host for H {
+            fn call(&mut self, name: &str, args: &[Value]) -> Option<Result<Value, ScriptError>> {
+                (name == "work").then(|| {
+                    self.0.push(args[0].as_number().unwrap_or(0.0));
+                    Ok(Value::Null)
+                })
+            }
+        }
+        let mut vm = Vm::new();
+        let mut host = H(Vec::new());
+        vm.run_source("work(42); work(7);", &mut host).unwrap();
+        assert_eq!(host.0, vec![42.0, 7.0]);
+    }
+
+    #[test]
+    fn external_call_of_vm_function() {
+        let mut vm = Vm::new();
+        vm.run_source("function double(x) { return x * 2; }", &mut NoHost)
+            .unwrap();
+        let f = vm.global("double").unwrap();
+        let result = vm
+            .call_function(&f, &[Value::Number(21.0)], &mut NoHost)
+            .unwrap();
+        assert_eq!(result, Value::Number(42.0));
+    }
+
+    #[test]
+    fn math_random_matches_interpreter_sequence() {
+        let mut vm = Vm::new();
+        vm.run_source("var a = Math.random(); var b = Math.random();", &mut NoHost)
+            .unwrap();
+        let mut interp = crate::Interpreter::new();
+        interp
+            .run(
+                &crate::parse_program("var a = Math.random(); var b = Math.random();").unwrap(),
+                &mut NoHost,
+            )
+            .unwrap();
+        assert_eq!(vm.global("a"), interp.global("a"));
+        assert_eq!(vm.global("b"), interp.global("b"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Differential testing of the two language backends: every generated
+//! program must produce identical observable results in the tree-walking
+//! interpreter and the bytecode VM.
+
+use greenweb_script::{parse_program, Interpreter, NoHost, Value, Vm};
+use proptest::prelude::*;
+
+/// Runs `source` on both backends and returns the values of `globals`
+/// from each.
+fn run_both(source: &str, globals: &[&str]) -> (Vec<Option<Value>>, Vec<Option<Value>>) {
+    let program = parse_program(source).unwrap_or_else(|e| panic!("{e}\n{source}"));
+    let mut interp = Interpreter::new();
+    interp
+        .run(&program, &mut NoHost)
+        .unwrap_or_else(|e| panic!("interp: {e}\n{source}"));
+    let mut vm = Vm::new();
+    vm.run_source(source, &mut NoHost)
+        .unwrap_or_else(|e| panic!("vm: {e}\n{source}"));
+    let a = globals.iter().map(|g| interp.global(g)).collect();
+    let b = globals.iter().map(|g| vm.global(g)).collect();
+    (a, b)
+}
+
+/// Deep comparison through `Display` (arrays/objects compare by identity
+/// in `PartialEq`, so render them instead).
+fn assert_same(source: &str, a: &[Option<Value>], b: &[Option<Value>]) {
+    for (x, y) in a.iter().zip(b) {
+        let xs = x.as_ref().map(|v| v.to_string());
+        let ys = y.as_ref().map(|v| v.to_string());
+        assert_eq!(xs, ys, "backends diverge on:\n{source}");
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GenExpr(String);
+
+fn arb_numeric_expr(depth: u32) -> BoxedStrategy<GenExpr> {
+    let leaf = prop_oneof![
+        (-50i32..50).prop_map(|n| GenExpr(if n < 0 {
+            format!("({n})")
+        } else {
+            n.to_string()
+        })),
+        Just(GenExpr("v0".into())),
+        Just(GenExpr("v1".into())),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0u8..5).prop_map(|(a, b, op)| {
+                let symbol = ["+", "-", "*", "%", "/"][op as usize];
+                GenExpr(format!("({} {symbol} {})", a.0, b.0))
+            }),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| {
+                GenExpr(format!("(({}) > 0 ? ({}) : ({}))", c.0, t.0, e.0))
+            }),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary arithmetic/conditional expressions agree.
+    #[test]
+    fn expressions_agree(expr in arb_numeric_expr(3), v0 in -20i32..20, v1 in 1i32..20) {
+        let source = format!(
+            "var v0 = {v0}; var v1 = {v1}; var result = {};",
+            expr.0
+        );
+        let (a, b) = run_both(&source, &["result"]);
+        assert_same(&source, &a, &b);
+    }
+
+    /// Loop programs agree (for/while, break/continue, accumulators).
+    #[test]
+    fn loops_agree(n in 1u32..40, step in 1u32..5, cutoff in 0u32..40) {
+        let source = format!(
+            "var total = 0;
+             var hits = 0;
+             for (var i = 0; i < {n}; i += {step}) {{
+                 if (i == {cutoff}) {{ break; }}
+                 if (i % 3 == 0) {{ continue; }}
+                 total += i;
+                 hits += 1;
+             }}
+             var j = 0;
+             var w = 0;
+             while (j < {n}) {{ w += j * 2; j += {step}; }}"
+        );
+        let (a, b) = run_both(&source, &["total", "hits", "w"]);
+        assert_same(&source, &a, &b);
+    }
+
+    /// Function/closure programs agree, including captured state.
+    #[test]
+    fn closures_agree(seed in 0u32..100, calls in 1usize..8) {
+        let invocations: String = (0..calls).map(|_| "acc(); ".to_string()).collect();
+        let source = format!(
+            "function mk(start) {{
+                 var n = start;
+                 return function() {{ n = n + 3; return n; }};
+             }}
+             var acc = mk({seed});
+             {invocations}
+             var out = acc();"
+        );
+        let (a, b) = run_both(&source, &["out"]);
+        assert_same(&source, &a, &b);
+    }
+
+    /// Array/object/string manipulation agrees (rendered deeply).
+    #[test]
+    fn collections_agree(items in prop::collection::vec(-30i32..30, 0..12), key in "[a-z]{1,5}") {
+        let pushes: String = items.iter().map(|i| format!("a.push({i}); ")).collect();
+        let source = format!(
+            "var a = [];
+             {pushes}
+             var o = {{ {key}: a.length }};
+             o.total = 0;
+             var i = 0;
+             for (i = 0; i < a.length; i += 1) {{ o.total += a[i]; }}
+             var joined = a.join('-');
+             var idx = a.indexOf({first});
+             var shout = ('n=' + a.length).toUpperCase();",
+            first = items.first().copied().unwrap_or(99),
+        );
+        let (a, b) = run_both(&source, &["a", "o", "joined", "idx", "shout"]);
+        assert_same(&source, &a, &b);
+    }
+
+    /// Math builtins agree, including the deterministic random sequence.
+    #[test]
+    fn math_agrees(x in -100.0_f64..100.0, y in 1.0_f64..10.0) {
+        let source = format!(
+            "var f = Math.floor({x});
+             var c = Math.ceil({x});
+             var p = Math.pow({y}, 2);
+             var m = Math.min({x}, {y}) + Math.max({x}, {y});
+             var r1 = Math.random();
+             var r2 = Math.random();"
+        );
+        let (a, b) = run_both(&source, &["f", "c", "p", "m", "r1", "r2"]);
+        assert_same(&source, &a, &b);
+    }
+
+    /// Op counts of both backends scale together (within a constant
+    /// factor): the engine can charge either backend consistently.
+    #[test]
+    fn op_counts_scale_together(n in 10u32..200) {
+        let source = format!(
+            "var s = 0; for (var i = 0; i < {n}; i += 1) {{ s += i; }}"
+        );
+        let program = parse_program(&source).unwrap();
+        let mut interp = Interpreter::new();
+        interp.run(&program, &mut NoHost).unwrap();
+        let mut vm = Vm::new();
+        vm.run_source(&source, &mut NoHost).unwrap();
+        let ratio = vm.ops() as f64 / interp.ops() as f64;
+        prop_assert!((0.2..5.0).contains(&ratio), "op ratio {ratio}");
+    }
+}
+
+#[test]
+fn string_semantics_agree() {
+    let source = "
+        var s = 'Hello World';
+        var up = s.toUpperCase();
+        var low = s.toLowerCase();
+        var at = s.charCodeAt(1);
+        var sub = s.substring(2, 7);
+        var found = s.indexOf('World');
+        var concat = s + '!' + 42 + true;
+    ";
+    let (a, b) = run_both(source, &["up", "low", "at", "sub", "found", "concat"]);
+    assert_same(source, &a, &b);
+}
+
+#[test]
+fn short_circuit_side_effects_agree() {
+    let source = "
+        var calls = 0;
+        function bump() { calls = calls + 1; return true; }
+        var a = false && bump();
+        var b = true || bump();
+        var c = true && bump();
+        var d = false || bump();
+    ";
+    let (a, b) = run_both(source, &["calls", "a", "b", "c", "d"]);
+    assert_same(source, &a, &b);
+}
+
+#[test]
+fn higher_order_functions_agree() {
+    let source = "
+        function apply(f, x) { return f(x); }
+        function compose(f, g) { return function(x) { return f(g(x)); }; }
+        function inc(x) { return x + 1; }
+        function dbl(x) { return x * 2; }
+        var h = compose(inc, dbl);
+        var r1 = apply(h, 10);
+        var r2 = apply(compose(dbl, inc), 10);
+    ";
+    let (a, b) = run_both(source, &["r1", "r2"]);
+    assert_same(source, &a, &b);
+}
+
+#[test]
+fn object_methods_agree() {
+    let source = "
+        var counter = {
+            n: 0,
+            tick: function() { return 1; }
+        };
+        var t = counter.tick();
+        counter.n = counter.n + t;
+        var n = counter.n;
+    ";
+    let (a, b) = run_both(source, &["t", "n"]);
+    assert_same(source, &a, &b);
+}

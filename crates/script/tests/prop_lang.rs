@@ -1,0 +1,117 @@
+//! Property tests for the scripting language: totality of the frontend,
+//! determinism of the interpreter, and structural invariants of the
+//! evaluator.
+
+use greenweb_script::{lex, parse_program, Interpreter, NoHost, Value};
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer is total: any string either lexes or errors, never
+    /// panics.
+    #[test]
+    fn lexer_never_panics(input in ".{0,300}") {
+        let _ = lex(&input);
+    }
+
+    /// The parser is total over arbitrary input.
+    #[test]
+    fn parser_never_panics(input in ".{0,300}") {
+        let _ = parse_program(&input);
+    }
+
+    /// Number literals survive lex → parse → eval exactly.
+    #[test]
+    fn number_literals_round_trip(n in 0.0_f64..1e12) {
+        let source = format!("var x = {n};");
+        let program = parse_program(&source).unwrap();
+        let mut interp = Interpreter::new();
+        interp.run(&program, &mut NoHost).unwrap();
+        prop_assert_eq!(interp.global("x"), Some(Value::Number(n)));
+    }
+
+    /// String literals with arbitrary safe contents round-trip.
+    #[test]
+    fn string_literals_round_trip(s in "[a-zA-Z0-9 _.,!?-]{0,40}") {
+        let source = format!("var x = \"{s}\";");
+        let program = parse_program(&source).unwrap();
+        let mut interp = Interpreter::new();
+        interp.run(&program, &mut NoHost).unwrap();
+        let value = interp.global("x").unwrap();
+        prop_assert_eq!(value.as_str(), Some(s.as_str()));
+    }
+
+    /// Execution is deterministic: the same program leaves identical
+    /// globals and op counts on independent interpreters.
+    #[test]
+    fn interpretation_is_deterministic(seed in 0u32..1_000, loops in 1u32..50) {
+        let source = format!(
+            "var acc = {seed};
+             var i = 0;
+             for (i = 0; i < {loops}; i = i + 1) {{
+                 acc = (acc * 31 + i) % 65521;
+             }}"
+        );
+        let program = parse_program(&source).unwrap();
+        let mut a = Interpreter::new();
+        a.run(&program, &mut NoHost).unwrap();
+        let mut b = Interpreter::new();
+        b.run(&program, &mut NoHost).unwrap();
+        prop_assert_eq!(a.global("acc"), b.global("acc"));
+        prop_assert_eq!(a.ops(), b.ops());
+    }
+
+    /// Op count grows monotonically with loop trip count — the property
+    /// the engine's cost model depends on.
+    #[test]
+    fn op_count_monotone_in_work(n in 1u32..200) {
+        let run = |count: u32| {
+            let source = format!(
+                "var s = 0; var i = 0; for (i = 0; i < {count}; i = i + 1) {{ s = s + i; }}"
+            );
+            let program = parse_program(&source).unwrap();
+            let mut interp = Interpreter::new();
+            interp.run(&program, &mut NoHost).unwrap();
+            interp.ops()
+        };
+        prop_assert!(run(n + 1) > run(n));
+    }
+
+    /// Array push/length agree for arbitrary element counts.
+    #[test]
+    fn array_length_tracks_pushes(count in 0usize..64) {
+        let source = format!(
+            "var a = [];
+             var i = 0;
+             for (i = 0; i < {count}; i = i + 1) {{ a.push(i * 2); }}
+             var len = a.length;
+             var last = len > 0 ? a[len - 1] : null;"
+        );
+        let program = parse_program(&source).unwrap();
+        let mut interp = Interpreter::new();
+        interp.run(&program, &mut NoHost).unwrap();
+        prop_assert_eq!(interp.global("len"), Some(Value::Number(count as f64)));
+        if count > 0 {
+            prop_assert_eq!(
+                interp.global("last"),
+                Some(Value::Number((count as f64 - 1.0) * 2.0))
+            );
+        }
+    }
+
+    /// Comparison operators form a total order consistent with f64.
+    #[test]
+    fn comparisons_match_f64(a in -1e6_f64..1e6, b in -1e6_f64..1e6) {
+        let source = format!(
+            "var lt = {a} < {b}; var le = {a} <= {b}; var gt = {a} > {b};
+             var ge = {a} >= {b}; var eq = {a} == {b};"
+        );
+        let program = parse_program(&source).unwrap();
+        let mut interp = Interpreter::new();
+        interp.run(&program, &mut NoHost).unwrap();
+        prop_assert_eq!(interp.global("lt"), Some(Value::Bool(a < b)));
+        prop_assert_eq!(interp.global("le"), Some(Value::Bool(a <= b)));
+        prop_assert_eq!(interp.global("gt"), Some(Value::Bool(a > b)));
+        prop_assert_eq!(interp.global("ge"), Some(Value::Bool(a >= b)));
+        prop_assert_eq!(interp.global("eq"), Some(Value::Bool(a == b)));
+    }
+}

@@ -1,0 +1,124 @@
+//! **Amazon** — a product-browsing page (Table 3 row 7).
+//!
+//! Microbenchmark: **moving** (scrolling the product list), *continuous*
+//! with the default (16.6, 33.3) ms targets. Scrolling is script-driven:
+//! a `touchmove` listener repositions the list and marks the frame dirty
+//! (the common virtualized-list pattern), so every move event charges
+//! callback time plus a full pipeline pass. Only a third of the events
+//! are annotated — the listing carousel and buy-box taps are not.
+
+use crate::apps::{id_range, item_list, nav_bar};
+use crate::traces::{micro_swipe, session, Gesture};
+use crate::{Interaction, Workload};
+use greenweb::qos::{QosTarget, QosType};
+use greenweb_engine::{App, FrameCostModel};
+
+fn html() -> String {
+    format!(
+        "<div id='shop'>{nav}\
+         <div id='listing'>{products}</div>\
+         <aside id='buybox'><button id='buy'>Buy now</button>\
+         <button id='cart'>Add to cart</button></aside></div>",
+        nav = nav_bar("dept", 5),
+        products = item_list("div", "product", 56, "Product")
+    )
+}
+
+const BASE_CSS: &str = "
+    .product { margin: 6px; font-size: 13px; }
+    #buybox { font-weight: bold; }
+";
+
+/// Only the listing scroll is annotated (~33% of triggered events).
+const ANNOTATIONS: &str = "#listing:QoS { ontouchmove-qos: continuous; }";
+
+const SCRIPT: &str = "
+    var offset = 0;
+    addEventListener(getElementById('listing'), 'touchmove', function(e) {
+        offset = offset + 12;
+        // Re-position + recycle virtualized rows.
+        work(5500000);
+        markDirty();
+    });
+    function openProduct(e) {
+        work(90000000);
+        markDirty();
+    }
+    var i = 0;
+    for (i = 1; i <= 56; i = i + 1) {
+        addEventListener(getElementById('product-' + i), 'click', openProduct);
+    }
+    addEventListener(getElementById('buy'), 'click', function(e) {
+        work(60000000);
+        markDirty();
+    });
+    addEventListener(getElementById('cart'), 'click', function(e) {
+        work(40000000);
+        markDirty();
+    });
+";
+
+/// Builds the Amazon workload.
+pub fn workload() -> Workload {
+    let cost = FrameCostModel {
+        style_cycles_per_element: 35_000.0,
+        layout_cycles_per_element: 25_000.0,
+        paint_cycles: 6.0e6,
+        composite_cycles: 2.0e6,
+        ..FrameCostModel::default()
+    };
+    let base = App::builder("Amazon")
+        .html(html())
+        .css(BASE_CSS)
+        .script(SCRIPT)
+        .cost(cost);
+    let app = base.clone().css(ANNOTATIONS).build();
+    let unannotated_app = base.build();
+    let menu = [
+        Gesture::Swipe {
+            target: "listing",
+            moves: (8, 18),
+        },
+        Gesture::Tap(id_range("product", 56)),
+        Gesture::Tap(id_range("product", 56)),
+        Gesture::Tap(vec!["buy", "cart"]),
+        Gesture::Flick { scrolls: (3, 8) },
+        Gesture::Flick { scrolls: (3, 8) },
+        Gesture::Flick { scrolls: (3, 8) },
+    ];
+    Workload {
+        name: "Amazon",
+        app,
+        unannotated_app,
+        micro: micro_swipe("listing", 45, 1_600.0),
+        full: session(0xA3A204, false, &menu, 101, 36),
+        interaction: Interaction::Moving,
+        micro_qos_type: QosType::Continuous,
+        micro_target: QosTarget::CONTINUOUS,
+        full_secs: 36,
+        full_events: 101,
+        annotation_pct: 33.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenweb_acmp::PerfGovernor;
+    use greenweb_engine::{Browser, GovernorScheduler};
+
+    #[test]
+    fn scroll_produces_smooth_frames_at_peak() {
+        let w = workload();
+        let mut b = Browser::new(&w.app, GovernorScheduler::new(PerfGovernor)).unwrap();
+        let report = b.run(&w.micro).unwrap();
+        assert!(report.frames.len() >= 30, "{} frames", report.frames.len());
+        // At peak, every per-frame latency makes the 16.6 ms target.
+        let violations = report
+            .frames
+            .iter()
+            .filter(|f| f.seq > 0 && f.latency.as_millis_f64() > 16.7)
+            .count();
+        assert_eq!(violations, 0, "peak must deliver 60 FPS scrolling");
+    }
+}

@@ -1,0 +1,130 @@
+//! **Cnet** — a tech-news site with animated menus (Table 3 row 10).
+//!
+//! Microbenchmark: **tapping** the hamburger menu, QoS type *continuous*:
+//! the tap triggers a CSS-transition slide-in, a whole sequence of
+//! frames. The frame cost model carries periodic complexity *surges*
+//! (ad/iframe reflow every few frames) — the paper singles Cnet out for
+//! exactly this: "most of the QoS violations come from frame complexity
+//! surges in a continuous frame sequence" under the usable target
+//! (Sec. 7.2).
+
+use crate::apps::{id_range, item_list};
+use crate::traces::{micro_taps, session, Gesture};
+use crate::{Interaction, Workload};
+use greenweb::qos::{QosTarget, QosType};
+use greenweb_engine::{App, FrameCostModel};
+
+fn html() -> String {
+    format!(
+        "<div id='site'><button id='menu'>≡</button>\
+         <nav id='drawer' style='width: 0px'>{links}</nav>\
+         <main id='feed'>{stories}</main></div>",
+        links = item_list("a", "link", 9, "Section"),
+        stories = item_list("article", "news", 30, "Review")
+    )
+}
+
+/// The drawer slides open via a CSS transition (Fig. 4's mechanism).
+const BASE_CSS: &str = "
+    #drawer { transition: width 400ms ease-out; }
+    .news { margin: 5px; }
+";
+
+const ANNOTATIONS: &str = "
+    #menu:QoS { onclick-qos: continuous; }
+    .news:QoS { onclick-qos: single, short; }
+";
+
+const SCRIPT: &str = "
+    var open = false;
+    addEventListener(getElementById('menu'), 'click', function(e) {
+        open = !open;
+        setStyle(getElementById('drawer'), 'width', open ? 280 : 0);
+        work(7000000);
+    });
+    function openStory(e) {
+        work(120000000);
+        markDirty();
+    }
+    var i = 0;
+    for (i = 1; i <= 30; i = i + 1) {
+        addEventListener(getElementById('news-' + i), 'click', openStory);
+    }
+";
+
+/// Builds the Cnet workload.
+pub fn workload() -> Workload {
+    let cost = FrameCostModel {
+        style_cycles_per_element: 40_000.0,
+        layout_cycles_per_element: 30_000.0,
+        paint_cycles: 6.0e6,
+        composite_cycles: 2.0e6,
+        // Ad-reflow surge: every 6th animation frame costs 2.6×.
+        surge_every: 6,
+        surge_factor: 2.6,
+        ..FrameCostModel::default()
+    };
+    let base = App::builder("Cnet")
+        .html(html())
+        .css(BASE_CSS)
+        .script(SCRIPT)
+        .cost(cost);
+    let app = base.clone().css(ANNOTATIONS).build();
+    let unannotated_app = base.build();
+    let menu = [
+        Gesture::Tap(vec!["menu"]),
+        Gesture::Tap(id_range("news", 30)),
+        Gesture::Flick { scrolls: (3, 7) },
+    ];
+    Workload {
+        name: "Cnet",
+        app,
+        unannotated_app,
+        micro: micro_taps("menu", 5, 800.0, 4_500.0),
+        full: session(0xC2E7, false, &menu, 60, 46),
+        interaction: Interaction::Tapping,
+        micro_qos_type: QosType::Continuous,
+        micro_target: QosTarget::CONTINUOUS,
+        full_secs: 46,
+        full_events: 60,
+        annotation_pct: 55.3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenweb_acmp::PerfGovernor;
+    use greenweb_engine::{Browser, GovernorScheduler, InputId, Trace};
+
+    #[test]
+    fn menu_tap_runs_a_transition_sequence() {
+        let w = workload();
+        let trace = Trace::builder().click_id(10.0, "menu").end_ms(1_200.0).build();
+        let mut b = Browser::new(&w.app, GovernorScheduler::new(PerfGovernor)).unwrap();
+        let report = b.run(&trace).unwrap();
+        let frames = report.frames_for(InputId(0));
+        // A 400 ms transition at ~60 Hz: ~24 frames.
+        assert!(
+            frames.len() >= 18 && frames.len() <= 30,
+            "{} transition frames",
+            frames.len()
+        );
+        assert!(report.inputs[0].armed_css_animation);
+    }
+
+    #[test]
+    fn surge_frames_stick_out() {
+        let w = workload();
+        let trace = Trace::builder().click_id(10.0, "menu").end_ms(1_200.0).build();
+        let mut b = Browser::new(&w.app, GovernorScheduler::new(PerfGovernor)).unwrap();
+        let report = b.run(&trace).unwrap();
+        let frames = report.frames_for(InputId(0));
+        let normal = frames.iter().find(|f| f.seq == 5).unwrap().latency;
+        let surged = frames.iter().find(|f| f.seq == 6).unwrap().latency;
+        assert!(
+            surged.as_millis_f64() > normal.as_millis_f64() * 1.8,
+            "surge {surged} vs normal {normal}"
+        );
+    }
+}

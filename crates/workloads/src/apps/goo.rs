@@ -1,0 +1,114 @@
+//! **Goo.ne.jp** — a Japanese web portal (Table 3 row 11).
+//!
+//! Microbenchmark: **tapping** a category header, *continuous*: the tap
+//! expands a panel through a jQuery-style `animate()` call — the third
+//! animation mechanism AUTOGREEN detects (alongside rAF and CSS
+//! transitions). The animation is short and the page moderate, so this
+//! is the "well-behaved" end of the continuous-tap spectrum, in contrast
+//! to Cnet/W3School's surges.
+
+use crate::apps::{id_range, item_list, nav_bar};
+use crate::traces::{micro_taps, session, Gesture};
+use crate::{Interaction, Workload};
+use greenweb::qos::{QosTarget, QosType};
+use greenweb_engine::{App, FrameCostModel};
+
+fn html() -> String {
+    format!(
+        "<div id='portal'>{nav}\
+         <div id='panel' style='height: 40px'>{items}</div>\
+         <ul id='headlines'>{heads}</ul></div>",
+        nav = nav_bar("cat", 7),
+        items = item_list("span", "svc", 12, "service"),
+        heads = item_list("li", "head", 18, "headline")
+    )
+}
+
+const BASE_CSS: &str = "
+    #panel { margin: 4px; }
+    #headlines { font-size: 13px; }
+";
+
+const ANNOTATIONS: &str = "
+    .navbtn:QoS { onclick-qos: continuous; }
+    .head:QoS { onclick-qos: single, short; }
+";
+
+const SCRIPT: &str = "
+    var expanded = false;
+    function togglePanel(e) {
+        expanded = !expanded;
+        // jQuery-style animate(): the engine drives the tween.
+        animate(getElementById('panel'), 'height', expanded ? 320 : 40, 350);
+        work(5000000);
+    }
+    var i = 0;
+    for (i = 1; i <= 7; i = i + 1) {
+        addEventListener(getElementById('cat-' + i), 'click', togglePanel);
+    }
+    function openHeadline(e) {
+        work(70000000);
+        markDirty();
+    }
+    for (i = 1; i <= 18; i = i + 1) {
+        addEventListener(getElementById('head-' + i), 'click', openHeadline);
+    }
+";
+
+/// Builds the Goo.ne.jp workload.
+pub fn workload() -> Workload {
+    let cost = FrameCostModel {
+        style_cycles_per_element: 32_000.0,
+        layout_cycles_per_element: 24_000.0,
+        paint_cycles: 5.5e6,
+        ..FrameCostModel::default()
+    };
+    let base = App::builder("Goo.ne.jp")
+        .html(html())
+        .css(BASE_CSS)
+        .script(SCRIPT)
+        .cost(cost);
+    let app = base.clone().css(ANNOTATIONS).build();
+    let unannotated_app = base.build();
+    let menu = [
+        Gesture::Tap(id_range("cat", 7)),
+        Gesture::Tap(id_range("head", 18)),
+        Gesture::Flick { scrolls: (2, 5) },
+    ];
+    Workload {
+        name: "Goo.ne.jp",
+        app,
+        unannotated_app,
+        micro: micro_taps("cat-1", 5, 700.0, 4_000.0),
+        full: session(0x600, false, &menu, 23, 16),
+        interaction: Interaction::Tapping,
+        micro_qos_type: QosType::Continuous,
+        micro_target: QosTarget::CONTINUOUS,
+        full_secs: 16,
+        full_events: 23,
+        annotation_pct: 51.8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenweb_acmp::PerfGovernor;
+    use greenweb_engine::{Browser, GovernorScheduler, InputId, Trace};
+
+    #[test]
+    fn category_tap_animates_via_host_animate() {
+        let w = workload();
+        let trace = Trace::builder().click_id(10.0, "cat-3").end_ms(900.0).build();
+        let mut b = Browser::new(&w.app, GovernorScheduler::new(PerfGovernor)).unwrap();
+        let report = b.run(&trace).unwrap();
+        assert!(report.inputs[0].used_animate);
+        let frames = report.frames_for(InputId(0));
+        // A 350 ms tween: ~21 frames.
+        assert!(
+            frames.len() >= 15 && frames.len() <= 28,
+            "{} tween frames",
+            frames.len()
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! **Google** — a search landing page (Table 3 row 2).
+//!
+//! Microbenchmark: **loading**, *single/long*. The page itself is light
+//! (the famously sparse search box), so the load's first meaningful frame
+//! is far cheaper than BBC's — the runtime can serve it from the little
+//! cluster. Full interaction (31 s, 26 events): load, query taps that
+//! populate a suggestion list, result taps. 87.5% of events are
+//! annotated (AUTOGREEN covers nearly everything).
+
+use crate::apps::{id_range, item_list};
+use crate::traces::{session, Gesture};
+use crate::{Interaction, Workload};
+use greenweb::qos::{QosTarget, QosType};
+use greenweb_engine::{App, FrameCostModel};
+
+fn html() -> String {
+    format!(
+        "<div id='page'><header id='logo'>Search</header>\
+         <input id='query' type='text'>\
+         <button id='go'>Search</button>\
+         <ul id='suggestions'></ul>\
+         <section id='results'>{}</section></div>",
+        item_list("div", "result", 10, "Result")
+    )
+}
+
+const BASE_CSS: &str = "
+    #logo { font-size: 32px; }
+    #suggestions { margin: 4px; }
+    .result { margin: 6px; }
+";
+
+const ANNOTATIONS: &str = "
+    #page:QoS { onload-qos: single, long; }
+    #query:QoS { onclick-qos: single, short; }
+    #go:QoS { onclick-qos: single, short; }
+    .result:QoS { onclick-qos: single, short; }
+    #page:QoS { onscroll-qos: continuous; }
+";
+
+const SCRIPT: &str = "
+    addEventListener(getElementById('page'), 'load', function(e) {
+        work(260000000);
+        gpuWork(10);
+        markDirty();
+    });
+    var queries = 0;
+    addEventListener(getElementById('query'), 'click', function(e) {
+        // Focus + render the suggestion dropdown.
+        queries = queries + 1;
+        var box = getElementById('suggestions');
+        var j = 0;
+        for (j = 0; j < 5; j = j + 1) {
+            var li = createElement('li');
+            setText(li, 'suggestion ' + queries + '-' + j);
+            appendChild(box, li);
+        }
+        work(18000000);
+        markDirty();
+    });
+    addEventListener(getElementById('go'), 'click', function(e) {
+        // Fetch + render results (network modeled as GPU-independent
+        // time: it does not scale with CPU frequency).
+        work(45000000);
+        gpuWork(35);
+        markDirty();
+    });
+";
+
+/// Builds the Google workload.
+pub fn workload() -> Workload {
+    let cost = FrameCostModel {
+        style_cycles_per_element: 30_000.0,
+        layout_cycles_per_element: 22_000.0,
+        paint_cycles: 5.0e6,
+        ..FrameCostModel::default()
+    };
+    let base = App::builder("Google")
+        .html(html())
+        .css(BASE_CSS)
+        .script(SCRIPT)
+        .cost(cost);
+    let app = base.clone().css(ANNOTATIONS).build();
+    let unannotated_app = base.build();
+    let menu = [
+        Gesture::Tap(vec!["query", "go"]),
+        Gesture::Tap(id_range("result", 10)),
+        Gesture::Flick { scrolls: (2, 4) },
+    ];
+    Workload {
+        name: "Google",
+        app,
+        unannotated_app,
+        micro: {
+            let mut b = greenweb_engine::Trace::builder();
+            for i in 0..4 {
+                b = b.load(5.0 + i as f64 * 1_500.0);
+            }
+            b.end_ms(6_000.0).build()
+        },
+        full: session(0x600613, true, &menu, 26, 31),
+        interaction: Interaction::Loading,
+        micro_qos_type: QosType::Single,
+        micro_target: QosTarget::SINGLE_LONG,
+        full_secs: 31,
+        full_events: 26,
+        annotation_pct: 87.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::micro_load;
+    use greenweb_acmp::PerfGovernor;
+    use greenweb_engine::{Browser, GovernorScheduler, InputId};
+
+    #[test]
+    fn light_load_is_fast_at_peak() {
+        let w = workload();
+        let mut b = Browser::new(&w.app, GovernorScheduler::new(PerfGovernor)).unwrap();
+        let report = b.run(&micro_load(2_000.0)).unwrap();
+        let ms = report.frames_for(InputId(0))[0].latency.as_millis_f64();
+        assert!(ms < 200.0, "google load should be light, got {ms} ms");
+    }
+
+    #[test]
+    fn query_tap_builds_suggestions() {
+        let w = workload();
+        let trace = greenweb_engine::Trace::builder()
+            .click_id(10.0, "query")
+            .click_id(400.0, "query")
+            .end_ms(900.0)
+            .build();
+        let mut b = Browser::new(&w.app, GovernorScheduler::new(PerfGovernor)).unwrap();
+        let report = b.run(&trace).unwrap();
+        assert_eq!(report.frames.len(), 2);
+        assert_eq!(b.document().elements_by_tag("li").len(), 10);
+    }
+}

@@ -1,0 +1,138 @@
+//! **LZMA-JS** — an in-browser compression utility (Table 3 row 4).
+//!
+//! Microbenchmark: **tapping** the compress button, *single/long*.
+//! Compression cost scales with the input buffer the user has selected;
+//! the script actually performs a (small) dictionary-ish pass in the
+//! interpreter on top of the bulk `work()`, so callback cost is partly
+//! organic interpreter time. The paper groups LZMA-JS with CamanJS/Todo
+//! as the biggest imperceptible-mode savers, but also calls out its
+//! profiling-induced violations (Sec. 7.2): the min-frequency profiling
+//! run of a ~0.5 s job overshoots 1 s.
+
+use crate::traces::{micro_taps, session, Gesture};
+use crate::{Interaction, Workload};
+use greenweb::qos::{QosTarget, QosType};
+use greenweb_engine::{App, FrameCostModel};
+
+fn html() -> String {
+    let sizes = [256, 384, 512]
+        .iter()
+        .map(|kb| format!("<button id='size-{kb}' class='size'>{kb} KB</button>"))
+        .collect::<String>();
+    format!(
+        "<div id='tool'><h1 id='title'>LZMA</h1>{sizes}\
+         <button id='compress'>Compress</button>\
+         <button id='decompress'>Decompress</button>\
+         <pre id='output'>ready</pre></div>"
+    )
+}
+
+const BASE_CSS: &str = "
+    .size { margin: 4px; }
+    #output { font-size: 12px; }
+";
+
+const ANNOTATIONS: &str = "
+    #compress:QoS { onclick-qos: single, long; }
+    #decompress:QoS { onclick-qos: single, long; }
+    .size:QoS { onclick-qos: single, short; }
+";
+
+const SCRIPT: &str = "
+    var sizeKb = 384;
+    function pickSize(e) {
+        var label = getAttribute(e.target, 'id');
+        if (label == 'size-256') { sizeKb = 256; }
+        if (label == 'size-384') { sizeKb = 384; }
+        if (label == 'size-512') { sizeKb = 512; }
+        setText(getElementById('output'), 'input: ' + sizeKb + ' KB');
+    }
+    addEventListener(getElementById('size-256'), 'click', pickSize);
+    addEventListener(getElementById('size-384'), 'click', pickSize);
+    addEventListener(getElementById('size-512'), 'click', pickSize);
+    function checksum(n) {
+        // A genuine interpreter-time pass (range-coder flavored mixing).
+        var acc = 7;
+        var i = 0;
+        for (i = 0; i < n; i = i + 1) {
+            acc = (acc * 31 + i) % 65521;
+        }
+        return acc;
+    }
+    addEventListener(getElementById('compress'), 'click', function(e) {
+        var tag = checksum(800);
+        work(sizeKb * 1700000);
+        setText(getElementById('output'), 'compressed#' + tag);
+        markDirty();
+    });
+    addEventListener(getElementById('decompress'), 'click', function(e) {
+        var tag = checksum(400);
+        work(sizeKb * 600000);
+        setText(getElementById('output'), 'plain#' + tag);
+        markDirty();
+    });
+";
+
+/// Builds the LZMA-JS workload.
+pub fn workload() -> Workload {
+    let cost = FrameCostModel {
+        paint_cycles: 4.0e6,
+        composite_cycles: 1.5e6,
+        ..FrameCostModel::default()
+    };
+    let base = App::builder("LZMA-JS")
+        .html(html())
+        .css(BASE_CSS)
+        .script(SCRIPT)
+        .cost(cost);
+    let app = base.clone().css(ANNOTATIONS).build();
+    let unannotated_app = base.build();
+    let menu = [
+        Gesture::Tap(vec!["compress", "decompress"]),
+        Gesture::Tap(vec!["size-256", "size-384", "size-512"]),
+    ];
+    Workload {
+        name: "LZMA-JS",
+        app,
+        unannotated_app,
+        micro: micro_taps("compress", 6, 1_300.0, 8_500.0),
+        full: session(0x17A3A, false, &menu, 39, 53),
+        interaction: Interaction::Tapping,
+        micro_qos_type: QosType::Single,
+        micro_target: QosTarget::SINGLE_LONG,
+        full_secs: 53,
+        full_events: 39,
+        annotation_pct: 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenweb_acmp::PerfGovernor;
+    use greenweb_engine::{Browser, GovernorScheduler, InputId, Trace};
+
+    #[test]
+    fn compression_scales_with_selected_size() {
+        let w = workload();
+        let trace = Trace::builder()
+            .click_id(10.0, "size-256")
+            .click_id(300.0, "compress")
+            .click_id(2_000.0, "size-512")
+            .click_id(2_300.0, "compress")
+            .end_ms(5_000.0)
+            .build();
+        let mut b = Browser::new(&w.app, GovernorScheduler::new(PerfGovernor)).unwrap();
+        let report = b.run(&trace).unwrap();
+        let small = report.frames_for(InputId(1))[0].latency;
+        let large = report.frames_for(InputId(3))[0].latency;
+        assert!(
+            large.as_millis_f64() > small.as_millis_f64() * 1.5,
+            "512 KB ({large}) must outlast 256 KB ({small})"
+        );
+        assert!(b
+            .document()
+            .text_content(b.document().root())
+            .contains("compressed#"));
+    }
+}

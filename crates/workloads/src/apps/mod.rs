@@ -1,0 +1,68 @@
+//! The twelve Table 3 applications.
+//!
+//! Each module builds one application: generated HTML matching the site's
+//! structural scale, CSS (including the GreenWeb annotations the paper's
+//! methodology applies manually + via AUTOGREEN), scripts implementing
+//! the interactive behaviour, a tuned frame cost model, and the micro /
+//! full interaction traces.
+
+pub mod amazon;
+pub mod bbc;
+pub mod camanjs;
+pub mod cnet;
+pub mod craigslist;
+pub mod goo;
+pub mod lzma_js;
+pub mod msn;
+pub mod paperjs;
+pub mod todo;
+pub mod w3school;
+pub mod google;
+
+use std::fmt::Write;
+
+/// Generates a list of `count` elements `<tag id="{prefix}-{i}">…</tag>`.
+pub(crate) fn item_list(tag: &str, prefix: &str, count: usize, text: &str) -> String {
+    let mut out = String::new();
+    for i in 1..=count {
+        let _ = write!(out, "<{tag} id='{prefix}-{i}' class='{prefix}'>{text} {i}</{tag}>");
+    }
+    out
+}
+
+/// Generates a nav bar of `count` buttons with ids `{prefix}-{i}`.
+pub(crate) fn nav_bar(prefix: &str, count: usize) -> String {
+    let mut out = String::from("<nav class='topnav'>");
+    for i in 1..=count {
+        let _ = write!(out, "<button id='{prefix}-{i}' class='navbtn'>{prefix} {i}</button>");
+    }
+    out.push_str("</nav>");
+    out
+}
+
+/// Ids `prefix-1 … prefix-n` as owned strings leaked into `'static`
+/// (workload definitions are program-lifetime constants).
+pub(crate) fn id_range(prefix: &str, count: usize) -> Vec<&'static str> {
+    (1..=count)
+        .map(|i| Box::leak(format!("{prefix}-{i}").into_boxed_str()) as &'static str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_list_generates_ids() {
+        let html = item_list("li", "row", 3, "item");
+        assert!(html.contains("id='row-1'"));
+        assert!(html.contains("id='row-3'"));
+        assert!(!html.contains("id='row-4'"));
+    }
+
+    #[test]
+    fn id_range_matches_item_list() {
+        let ids = id_range("row", 3);
+        assert_eq!(ids, vec!["row-1", "row-2", "row-3"]);
+    }
+}

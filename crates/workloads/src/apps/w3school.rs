@@ -1,0 +1,138 @@
+//! **W3School** — a reference/tutorial site (Table 3 row 12).
+//!
+//! Microbenchmark: **tapping** a chapter accordion, *continuous*: the
+//! tap drives an explicit rAF animation that expands the section. The
+//! expansion reflows a long code-example page, and every few frames a
+//! syntax-highlight pass lands — a strong periodic surge. The paper names
+//! W3School (with Cnet) as the usable-scenario violation outlier:
+//! "GreenWeb aggressively scales down performance when the QoS target is
+//! low, and did not always react to the sudden frame complexity increase
+//! quickly" (Sec. 7.2). 100% of events are annotated (AUTOGREEN covers
+//! the whole site).
+
+use crate::apps::{id_range, item_list};
+use crate::traces::{micro_taps, session, Gesture};
+use crate::{Interaction, Workload};
+use greenweb::qos::{QosTarget, QosType};
+use greenweb_engine::{App, FrameCostModel};
+
+fn html() -> String {
+    format!(
+        "<div id='tutorial'><aside id='chapters'>{chapters}</aside>\
+         <main id='lesson'>{paras}</main>\
+         <button id='tryit'>Try it yourself</button></div>",
+        chapters = item_list("div", "chapter", 14, "Chapter"),
+        paras = item_list("p", "para", 40, "Example paragraph")
+    )
+}
+
+const BASE_CSS: &str = "
+    .chapter { margin: 3px; }
+    #lesson { font-size: 14px; }
+";
+
+const ANNOTATIONS: &str = "
+    .chapter:QoS { onclick-qos: continuous; }
+    #tryit:QoS { onclick-qos: single, short; }
+    #tutorial:QoS { onscroll-qos: continuous; }
+";
+
+/// An explicit 30-frame rAF expansion animation per chapter tap.
+const SCRIPT: &str = "
+    var frame = 0;
+    var animating = false;
+    function expandStep(ts) {
+        frame = frame + 1;
+        work(6500000);
+        markDirty();
+        if (frame < 30) {
+            requestAnimationFrame(expandStep);
+        } else {
+            animating = false;
+        }
+    }
+    function expandChapter(e) {
+        if (!animating) {
+            animating = true;
+            frame = 0;
+            requestAnimationFrame(expandStep);
+        }
+    }
+    var i = 0;
+    for (i = 1; i <= 14; i = i + 1) {
+        addEventListener(getElementById('chapter-' + i), 'click', expandChapter);
+    }
+    addEventListener(getElementById('tryit'), 'click', function(e) {
+        work(95000000);
+        markDirty();
+    });
+";
+
+/// Builds the W3School workload.
+pub fn workload() -> Workload {
+    let cost = FrameCostModel {
+        style_cycles_per_element: 38_000.0,
+        layout_cycles_per_element: 28_000.0,
+        paint_cycles: 5.0e6,
+        // Syntax-highlight surge: every 5th frame costs 3×.
+        surge_every: 5,
+        surge_factor: 3.0,
+        ..FrameCostModel::default()
+    };
+    let base = App::builder("W3School")
+        .html(html())
+        .css(BASE_CSS)
+        .script(SCRIPT)
+        .cost(cost);
+    let app = base.clone().css(ANNOTATIONS).build();
+    let unannotated_app = base.build();
+    let menu = [
+        Gesture::Tap(id_range("chapter", 14)),
+        Gesture::Tap(vec!["tryit"]),
+        Gesture::Flick { scrolls: (2, 6) },
+    ];
+    Workload {
+        name: "W3School",
+        app,
+        unannotated_app,
+        micro: micro_taps("chapter-2", 5, 900.0, 5_500.0),
+        full: session(0x3357, false, &menu, 59, 64),
+        interaction: Interaction::Tapping,
+        micro_qos_type: QosType::Continuous,
+        micro_target: QosTarget::CONTINUOUS,
+        full_secs: 64,
+        full_events: 59,
+        annotation_pct: 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenweb_acmp::PerfGovernor;
+    use greenweb_engine::{Browser, GovernorScheduler, InputId, Trace};
+
+    #[test]
+    fn chapter_tap_runs_raf_sequence_with_surges() {
+        let w = workload();
+        let trace = Trace::builder()
+            .click_id(10.0, "chapter-1")
+            .end_ms(1_500.0)
+            .build();
+        let mut b = Browser::new(&w.app, GovernorScheduler::new(PerfGovernor)).unwrap();
+        let report = b.run(&trace).unwrap();
+        assert!(report.inputs[0].used_raf);
+        let frames = report.frames_for(InputId(0));
+        assert!(
+            frames.len() >= 25 && frames.len() <= 35,
+            "{} expansion frames",
+            frames.len()
+        );
+        let normal = frames.iter().find(|f| f.seq == 4).unwrap().latency;
+        let surged = frames.iter().find(|f| f.seq == 5).unwrap().latency;
+        assert!(
+            surged.as_millis_f64() > normal.as_millis_f64() * 1.6,
+            "surge {surged} vs normal {normal}"
+        );
+    }
+}

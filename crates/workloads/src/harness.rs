@@ -1,0 +1,239 @@
+//! Running workloads under policies and computing the paper's metrics.
+
+use crate::Workload;
+use greenweb::lang::AnnotationTable;
+use greenweb::metrics::{InputExpectation, RunMetrics};
+use greenweb::qos::Scenario;
+use greenweb::{EbsScheduler, EnergyBudgetUai, GreenWebScheduler};
+use greenweb_acmp::{InteractiveGovernor, OndemandGovernor, PerfGovernor, Platform, PowersaveGovernor};
+use greenweb_css::parse_stylesheet;
+use greenweb_dom::parse_html;
+use greenweb_engine::{
+    App, Browser, BrowserError, GovernorScheduler, InputId, Scheduler, SimReport, TargetSpec,
+    Trace,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The energy/QoS policies the evaluation compares (Sec. 7.1 plus the
+/// ablation variants).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// Peak performance (the paper's *Perf* baseline).
+    Perf,
+    /// Android's default interactive governor.
+    Interactive,
+    /// The ondemand governor (extra reference point).
+    Ondemand,
+    /// Always-lowest (extra reference point).
+    Powersave,
+    /// The annotation-free event-based-scheduling baseline (Sec. 9).
+    Ebs,
+    /// The GreenWeb runtime for a scenario.
+    GreenWeb(Scenario),
+    /// GreenWeb with the feedback loop disabled (ablation).
+    GreenWebNoFeedback(Scenario),
+    /// GreenWeb behind the Sec. 8 UAI energy budget, in millijoules.
+    GreenWebUai(Scenario, f64),
+}
+
+impl Policy {
+    /// The canonical set the paper's figures compare: Perf, Interactive,
+    /// GreenWeb-I, GreenWeb-U.
+    pub fn paper_set() -> [Policy; 4] {
+        [
+            Policy::Perf,
+            Policy::Interactive,
+            Policy::GreenWeb(Scenario::Imperceptible),
+            Policy::GreenWeb(Scenario::Usable),
+        ]
+    }
+
+    fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            Policy::Perf => Box::new(GovernorScheduler::new(PerfGovernor)),
+            Policy::Interactive => Box::new(GovernorScheduler::new(
+                InteractiveGovernor::android_default(&Platform::odroid_xu_e()),
+            )),
+            Policy::Ondemand => Box::new(GovernorScheduler::new(OndemandGovernor::default())),
+            Policy::Powersave => Box::new(GovernorScheduler::new(PowersaveGovernor)),
+            Policy::Ebs => Box::new(EbsScheduler::new()),
+            Policy::GreenWeb(scenario) => Box::new(GreenWebScheduler::new(*scenario)),
+            Policy::GreenWebNoFeedback(scenario) => {
+                let mut scheduler = GreenWebScheduler::new(*scenario);
+                scheduler.feedback_enabled = false;
+                Box::new(scheduler)
+            }
+            Policy::GreenWebUai(scenario, budget_mj) => Box::new(EnergyBudgetUai::new(
+                GreenWebScheduler::new(*scenario),
+                *budget_mj,
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Perf => write!(f, "Perf"),
+            Policy::Interactive => write!(f, "Interactive"),
+            Policy::Ondemand => write!(f, "Ondemand"),
+            Policy::Powersave => write!(f, "Powersave"),
+            Policy::Ebs => write!(f, "EBS"),
+            Policy::GreenWeb(Scenario::Imperceptible) => write!(f, "GreenWeb-I"),
+            Policy::GreenWeb(Scenario::Usable) => write!(f, "GreenWeb-U"),
+            Policy::GreenWebNoFeedback(s) => write!(f, "GreenWeb-nofb({s})"),
+            Policy::GreenWebUai(s, b) => write!(f, "GreenWeb-uai({s},{b}mJ)"),
+        }
+    }
+}
+
+/// Runs `trace` against `app` under `policy`.
+///
+/// # Errors
+///
+/// Returns [`BrowserError`] if the app fails to load or a callback
+/// errors.
+pub fn run(app: &App, trace: &Trace, policy: &Policy) -> Result<SimReport, BrowserError> {
+    let mut browser = Browser::new(app, policy.build())?;
+    browser.run(trace)
+}
+
+/// Pre-computes, per input of `trace`, the QoS expectation the
+/// evaluation judges it against (from the app's annotations under
+/// `scenario`). Inputs on unannotated `(element, event)` pairs are
+/// absent — they are not optimization targets (Table 3's note).
+pub fn expectations(
+    app: &App,
+    trace: &Trace,
+    scenario: Scenario,
+) -> HashMap<InputId, InputExpectation> {
+    let doc = parse_html(&app.html).expect("workload html parses");
+    let sheet = parse_stylesheet(&app.css_source()).expect("workload css parses");
+    let table = AnnotationTable::from_stylesheet(&sheet).expect("workload annotations parse");
+    let document_element = doc
+        .children(doc.root())
+        .find(|&c| doc.element(c).is_some())
+        .unwrap_or_else(|| doc.root());
+    let mut map = HashMap::new();
+    for (index, event) in trace.events.iter().enumerate() {
+        let target = match &event.target {
+            TargetSpec::Id(id) => doc.element_by_id(id).unwrap_or(document_element),
+            TargetSpec::Root => document_element,
+        };
+        if let Some(spec) = table.lookup(&doc, target, event.event) {
+            map.insert(
+                InputId(index as u64),
+                InputExpectation {
+                    qos_type: spec.qos_type,
+                    target_ms: spec.target.for_scenario(scenario),
+                },
+            );
+        }
+    }
+    map
+}
+
+/// The fraction of trace events that carry an annotation (the measured
+/// counterpart of Table 3's "Annotation" column).
+pub fn annotated_fraction(app: &App, trace: &Trace) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let n = expectations(app, trace, Scenario::Usable).len();
+    n as f64 / trace.len() as f64
+}
+
+/// One measured cell of an evaluation figure.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The workload name.
+    pub workload: &'static str,
+    /// The policy.
+    pub policy: Policy,
+    /// The scenario the violations were judged under.
+    pub scenario: Scenario,
+    /// The run's metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Runs `policy` on a workload trace and judges it under `scenario`.
+///
+/// # Errors
+///
+/// Returns [`BrowserError`] on load or script failure.
+pub fn evaluate(
+    workload: &Workload,
+    trace: &Trace,
+    policy: &Policy,
+    scenario: Scenario,
+) -> Result<Measurement, BrowserError> {
+    let report = run(&workload.app, trace, policy)?;
+    let expected = expectations(&workload.app, trace, scenario);
+    Ok(Measurement {
+        workload: workload.name,
+        policy: policy.clone(),
+        scenario,
+        metrics: RunMetrics::compute(&report, &expected),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::by_name;
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(Policy::Perf.to_string(), "Perf");
+        assert_eq!(
+            Policy::GreenWeb(Scenario::Imperceptible).to_string(),
+            "GreenWeb-I"
+        );
+        assert_eq!(Policy::GreenWeb(Scenario::Usable).to_string(), "GreenWeb-U");
+        assert_eq!(Policy::paper_set().len(), 4);
+    }
+
+    #[test]
+    fn expectations_cover_annotated_events_only() {
+        let w = by_name("Todo").unwrap();
+        let map = expectations(&w.app, &w.full, Scenario::Usable);
+        assert!(!map.is_empty());
+        assert!(
+            map.len() < w.full.len(),
+            "todo is only partially annotated"
+        );
+        let frac = annotated_fraction(&w.app, &w.full);
+        assert!(frac > 0.0 && frac < 1.0);
+    }
+
+    #[test]
+    fn fully_annotated_apps_cover_most_events() {
+        // Paper.js is 100% annotated; its full trace is dominated by
+        // touchmove on the annotated canvas (touchstart/touchend are
+        // bookkeeping, not QoS-bearing, and some taps hit tool buttons).
+        let w = by_name("Paper.js").unwrap();
+        let frac = annotated_fraction(&w.app, &w.full);
+        assert!(frac > 0.7, "paper.js annotated fraction {frac}");
+    }
+
+    #[test]
+    fn scenario_changes_targets_not_coverage() {
+        let w = by_name("Amazon").unwrap();
+        let i = expectations(&w.app, &w.full, Scenario::Imperceptible);
+        let u = expectations(&w.app, &w.full, Scenario::Usable);
+        assert_eq!(i.len(), u.len());
+        let (uid, imp) = i.iter().next().unwrap();
+        assert!(imp.target_ms < u[uid].target_ms);
+    }
+
+    #[test]
+    fn evaluate_micro_runs_all_paper_policies() {
+        let w = by_name("Todo").unwrap();
+        for policy in Policy::paper_set() {
+            let m = evaluate(&w, &w.micro, &policy, Scenario::Usable).unwrap();
+            assert!(m.metrics.energy_mj > 0.0, "{policy}: no energy measured");
+            assert!(m.metrics.frames > 0, "{policy}: no frames");
+        }
+    }
+}

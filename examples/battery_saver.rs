@@ -1,0 +1,79 @@
+//! Battery-aware scenario switching plus the Sec. 8 mis-annotation
+//! defense: the same image-filter interaction under the imperceptible
+//! and usable scenarios, and a hostile annotation reined in by the UAI
+//! energy budget.
+//!
+//! ```sh
+//! cargo run --release --example battery_saver
+//! ```
+
+use greenweb::qos::Scenario;
+use greenweb::{EnergyBudgetUai, GreenWebScheduler};
+use greenweb_engine::{App, Browser, InputId, Trace};
+
+fn editor(annotations: &str) -> App {
+    App::builder("photo-editor")
+        .html("<div id='studio'><canvas id='c'>img</canvas><button id='filter'>sepia</button></div>")
+        .css(annotations)
+        .script(
+            "addEventListener(getElementById('filter'), 'click', function(e) {
+                 work(420000000); // whole-image kernel
+                 gpuWork(8);
+                 markDirty();
+             });",
+        )
+        .build()
+}
+
+fn taps() -> Trace {
+    let mut t = Trace::builder();
+    for i in 0..6 {
+        t = t.click_id(50.0 + i as f64 * 1_500.0, "filter");
+    }
+    t.end_ms(9_500.0).build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let honest = editor("#filter:QoS { onclick-qos: single, long; }");
+
+    println!("scenario comparison (honest `single, long` annotation):\n");
+    println!("{:<15} {:>10} {:>14} {:>12}", "scenario", "energy mJ", "worst tap ms", "target ms");
+    for scenario in Scenario::ALL {
+        let mut browser = Browser::new(&honest, GreenWebScheduler::new(scenario))?;
+        let report = browser.run(&taps())?;
+        let worst = (0..6)
+            .filter_map(|i| report.frames_for(InputId(i)).first().map(|f| f.latency))
+            .map(|d| d.as_millis_f64())
+            .fold(0.0_f64, f64::max);
+        let target = match scenario {
+            Scenario::Imperceptible => 1_000.0,
+            Scenario::Usable => 10_000.0,
+        };
+        println!(
+            "{:<15} {:>10.1} {:>14.1} {:>12.0}",
+            scenario.to_string(),
+            report.total_mj(),
+            worst,
+            target
+        );
+    }
+
+    // A hostile developer demands a 1 ms response from a 400M-cycle
+    // kernel: the runtime pins peak performance and burns energy.
+    let hostile = editor("#filter:QoS { onclick-qos: single, 1, 1; }");
+    let mut unguarded = Browser::new(&hostile, GreenWebScheduler::new(Scenario::Imperceptible))?;
+    let wasted = unguarded.run(&taps())?.total_mj();
+
+    // The same app behind a UAI energy budget (Sec. 8).
+    let budget = wasted * 0.4;
+    let mut guarded = Browser::new(
+        &hostile,
+        EnergyBudgetUai::new(GreenWebScheduler::new(Scenario::Imperceptible), budget),
+    )?;
+    let capped = guarded.run(&taps())?.total_mj();
+
+    println!("\nmis-annotation defense (hostile 1 ms target):");
+    println!("  without UAI: {wasted:.1} mJ");
+    println!("  with a {budget:.0} mJ budget: {capped:.1} mJ (annotations ignored once spent)");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Why annotations beat runtime inference (the paper's Sec. 9 argument):
+//! the same two-button app under the annotation-free EBS baseline and
+//! under GreenWeb. EBS budgets each event from its *measured* latency —
+//! a property of the machine — so it slows the heavyweight tap past the
+//! user's true 100 ms expectation and cannot relax the lightweight one.
+//!
+//! ```sh
+//! cargo run --release --example ebs_vs_greenweb
+//! ```
+
+use greenweb::qos::Scenario;
+use greenweb::{EbsScheduler, GreenWebScheduler};
+use greenweb_engine::{App, Browser, InputId, Scheduler, SimReport, Trace};
+
+fn app() -> App {
+    App::builder("mail-client")
+        .html(
+            "<div id='inbox'>\
+             <button id='archive'>archive</button>\
+             <button id='search'>search all mail</button></div>",
+        )
+        .css(
+            "/* both expect an instant (100 ms / 300 ms) response */
+             #archive:QoS { onclick-qos: single, short; }
+             #search:QoS  { onclick-qos: single, short; }",
+        )
+        .script(
+            "addEventListener(getElementById('archive'), 'click', function(e) {
+                 work(6000000);   // trivial state flip
+                 markDirty();
+             });
+             addEventListener(getElementById('search'), 'click', function(e) {
+                 work(280000000); // heavyweight index scan
+                 markDirty();
+             });",
+        )
+        .build()
+}
+
+fn trace() -> Trace {
+    let mut t = Trace::builder();
+    for i in 0..7 {
+        t = t.click_id(50.0 + i as f64 * 1_600.0, "search");
+        t = t.click_id(850.0 + i as f64 * 1_600.0, "archive");
+    }
+    t.end_ms(11_600.0).build()
+}
+
+fn run(scheduler: impl Scheduler + 'static) -> SimReport {
+    let mut browser =
+        Browser::new(&app(), Box::new(scheduler) as Box<dyn Scheduler>).expect("app loads");
+    browser.run(&trace()).expect("trace runs")
+}
+
+fn main() {
+    let ebs = run(EbsScheduler::new());
+    let green = run(GreenWebScheduler::new(Scenario::Imperceptible));
+
+    println!("per-tap latency (ms) — user expectation: 100 ms for both buttons\n");
+    println!("{:>4} {:>9} {:>11} {:>11}", "tap", "button", "EBS", "GreenWeb");
+    for i in 0..14u64 {
+        let button = if i % 2 == 0 { "search" } else { "archive" };
+        let latency = |r: &SimReport| {
+            r.frames_for(InputId(i))
+                .first()
+                .map(|f| f.latency.as_millis_f64())
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{:>4} {:>9} {:>11.1} {:>11.1}",
+            i,
+            button,
+            latency(&ebs),
+            latency(&green)
+        );
+    }
+    println!(
+        "\nenergy: EBS {:.0} mJ, GreenWeb {:.0} mJ",
+        ebs.total_mj(),
+        green.total_mj()
+    );
+    println!(
+        "EBS learns that `search` *can* take long and budgets it at 2x its inherent\n\
+         latency — violating the user's real expectation. GreenWeb reads the\n\
+         expectation from the annotation and holds the line once profiled."
+    );
+}

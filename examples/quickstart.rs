@@ -1,0 +1,69 @@
+//! Quickstart: annotate a button with GreenWeb, run it on the simulated
+//! big.LITTLE browser, and compare energy against the Perf baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use greenweb::qos::Scenario;
+use greenweb::GreenWebScheduler;
+use greenweb_acmp::PerfGovernor;
+use greenweb_engine::{App, Browser, GovernorScheduler, InputId, Trace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny Web app: a search button whose handler does some work and
+    // repaints. The GreenWeb annotation (plain CSS!) declares that a tap
+    // on it is a "single" interaction users expect to finish instantly.
+    let app = App::builder("quickstart")
+        .html("<div id='page'><button id='search'>Search</button><ul id='hits'></ul></div>")
+        .css(
+            "#search:QoS { onclick-qos: single, short; }  /* <- GreenWeb */
+             #hits { margin: 4px; }",
+        )
+        .script(
+            "addEventListener(getElementById('search'), 'click', function(e) {
+                 var li = createElement('li');
+                 setText(li, 'result at ' + now());
+                 appendChild(getElementById('hits'), li);
+                 work(30000000); // ~30M cycles of ranking work
+                 markDirty();
+             });",
+        )
+        .build();
+
+    // Six taps, half a second apart.
+    let mut trace = Trace::builder();
+    for i in 0..6 {
+        trace = trace.click_id(100.0 + i as f64 * 500.0, "search");
+    }
+    let trace = trace.end_ms(3_500.0).build();
+
+    // Baseline: always-peak performance.
+    let mut perf_browser = Browser::new(&app, GovernorScheduler::new(PerfGovernor))?;
+    let perf = perf_browser.run(&trace)?;
+
+    // GreenWeb under the battery-saving "usable" scenario.
+    let mut green_browser = Browser::new(&app, GreenWebScheduler::new(Scenario::Usable))?;
+    let green = green_browser.run(&trace)?;
+
+    println!("tap latencies (ms), target = 300 ms usable:");
+    println!("  {:>4} {:>10} {:>10}", "tap", "perf", "greenweb");
+    for i in 0..6 {
+        let uid = InputId(i);
+        let p = perf.frames_for(uid)[0].latency.as_millis_f64();
+        let g = green.frames_for(uid)[0].latency.as_millis_f64();
+        println!("  {:>4} {:>10.1} {:>10.1}", i, p, g);
+    }
+    println!();
+    println!("energy: perf {:.1} mJ, greenweb {:.1} mJ  ({:.0}% saved)",
+        perf.total_mj(),
+        green.total_mj(),
+        (1.0 - green.total_mj() / perf.total_mj()) * 100.0
+    );
+    println!(
+        "greenweb spent {:.0}% of the window on the big cluster (perf: {:.0}%)",
+        green.big_residency_fraction() * 100.0,
+        perf.big_residency_fraction() * 100.0
+    );
+    Ok(())
+}

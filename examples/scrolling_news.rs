@@ -1,0 +1,100 @@
+//! A news-reader scrolling scenario: the motivating workload of the
+//! paper's intro (smooth scrolling on a tight energy budget). Compares
+//! all four policies on the same flick gesture and prints the per-frame
+//! latency series plus the energy/QoS table.
+//!
+//! ```sh
+//! cargo run --release --example scrolling_news
+//! ```
+
+use greenweb::qos::Scenario;
+use greenweb::GreenWebScheduler;
+use greenweb_acmp::{InteractiveGovernor, PerfGovernor, Platform};
+use greenweb_engine::{App, Browser, GovernorScheduler, Scheduler, SimReport, Trace};
+
+fn news_app() -> App {
+    let stories: String = (1..=30)
+        .map(|i| format!("<article id='story-{i}' class='story'>Story {i}</article>"))
+        .collect();
+    App::builder("news-reader")
+        .html(format!("<div id='reader'><div id='feed'>{stories}</div></div>"))
+        .css(
+            "#feed:QoS { ontouchmove-qos: continuous; }
+             .story { margin: 6px; }",
+        )
+        .script(
+            "var offset = 0;
+             addEventListener(getElementById('feed'), 'touchmove', function(e) {
+                 offset = offset + 8;
+                 work(4000000); // reposition + recycle rows
+                 markDirty();
+             });",
+        )
+        .build()
+}
+
+fn flick() -> Trace {
+    Trace::builder()
+        .touchstart_id(20.0, "feed")
+        .touchmove_run(50.0, "feed", 60, 16.6)
+        .end_ms(1_800.0)
+        .build()
+}
+
+fn run(app: &App, scheduler: impl Scheduler + 'static) -> SimReport {
+    let mut browser = Browser::new(app, Box::new(scheduler) as Box<dyn Scheduler>)
+        .expect("app loads");
+    browser.run(&flick()).expect("trace runs")
+}
+
+fn main() {
+    let app = news_app();
+    let platform = Platform::odroid_xu_e();
+    let runs = [
+        ("Perf", run(&app, GovernorScheduler::new(PerfGovernor))),
+        (
+            "Interactive",
+            run(
+                &app,
+                GovernorScheduler::new(InteractiveGovernor::android_default(&platform)),
+            ),
+        ),
+        (
+            "GreenWeb-I",
+            run(&app, GreenWebScheduler::new(Scenario::Imperceptible)),
+        ),
+        ("GreenWeb-U", run(&app, GreenWebScheduler::new(Scenario::Usable))),
+    ];
+
+    println!("per-frame latency (ms) over the flick, one column per policy:\n");
+    print!("{:>6}", "frame");
+    for (name, _) in &runs {
+        print!("{name:>13}");
+    }
+    println!();
+    let count = runs.iter().map(|(_, r)| r.frames.len()).min().unwrap_or(0);
+    for i in (0..count).step_by(4) {
+        print!("{i:>6}");
+        for (_, report) in &runs {
+            print!("{:>13.1}", report.frames[i].latency.as_millis_f64());
+        }
+        println!();
+    }
+
+    println!("\n{:<12} {:>10} {:>8} {:>10} {:>10}", "policy", "energy mJ", "frames", "A15 time", "switches");
+    let perf_mj = runs[0].1.total_mj();
+    for (name, report) in &runs {
+        println!(
+            "{:<12} {:>10.1} {:>8} {:>9.0}% {:>10}",
+            name,
+            report.total_mj(),
+            report.frames.len(),
+            report.big_residency_fraction() * 100.0,
+            report.switches.0 + report.switches.1,
+        );
+    }
+    println!(
+        "\nGreenWeb-U used {:.0}% of Perf's energy for the same gesture.",
+        runs[3].1.total_mj() / perf_mj * 100.0
+    );
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the GreenWeb reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! the cross-crate integration tests in `tests/` have a single
+//! dependency. Library users should depend on the individual crates
+//! (`greenweb`, `greenweb-engine`, …) directly.
+
+#![warn(missing_docs)]
+
+pub use greenweb as core;
+pub use greenweb_acmp as acmp;
+pub use greenweb_css as css;
+pub use greenweb_dom as dom;
+pub use greenweb_engine as engine;
+pub use greenweb_script as script;
+pub use greenweb_workloads as workloads;

@@ -1,0 +1,195 @@
+//! Conformance tests for the GreenWeb language extensions against the
+//! paper's own artifacts: the Fig. 3 grammar, the Table 2 semantics, and
+//! the Fig. 4 / Fig. 5 example programs reproduced verbatim in spirit.
+
+use greenweb::lang::AnnotationTable;
+use greenweb::qos::{QosTarget, QosType, Scenario};
+use greenweb::GreenWebScheduler;
+use greenweb_acmp::PerfGovernor;
+use greenweb_css::parse_stylesheet;
+use greenweb_dom::{parse_html, EventType};
+use greenweb_engine::{App, Browser, GovernorScheduler, InputId, Trace};
+
+/// Fig. 4: a CSS-transition animation annotated "continuous" with the
+/// default targets.
+const FIG4_CSS: &str = "
+    div#ex { width: 100px; transition: width 2s; }
+    div#ex:QoS { ontouchstart-qos: continuous; }
+";
+
+const FIG4_HTML: &str = "<div id='page'><div id='ex'>expanding box</div></div>";
+
+const FIG4_SCRIPT: &str = "
+    function animateExpanding(e) {
+        setStyle(getElementById('ex'), 'width', 500);
+    }
+    addEventListener(getElementById('ex'), 'touchstart', animateExpanding);
+";
+
+#[test]
+fn fig4_annotation_extracts_with_default_targets() {
+    let sheet = parse_stylesheet(FIG4_CSS).unwrap();
+    let table = AnnotationTable::from_stylesheet(&sheet).unwrap();
+    assert_eq!(table.len(), 1);
+    let doc = parse_html(FIG4_HTML).unwrap();
+    let ex = doc.element_by_id("ex").unwrap();
+    let spec = table.lookup(&doc, ex, EventType::TouchStart).unwrap();
+    assert_eq!(spec.qos_type, QosType::Continuous);
+    assert_eq!(spec.target, QosTarget::CONTINUOUS);
+}
+
+#[test]
+fn fig4_transition_runs_the_two_second_animation() {
+    let app = App::builder("fig4")
+        .html(FIG4_HTML)
+        .css(FIG4_CSS)
+        .script(FIG4_SCRIPT)
+        .build();
+    let trace = Trace::builder()
+        .touchstart_id(10.0, "ex")
+        .end_ms(2_400.0)
+        .build();
+    let mut browser = Browser::new(&app, GovernorScheduler::new(PerfGovernor)).unwrap();
+    let report = browser.run(&trace).unwrap();
+    let frames = report.frames_for(InputId(0));
+    // A 2 s transition at 60 Hz: on the order of 120 frames.
+    assert!(
+        frames.len() > 90 && frames.len() < 140,
+        "{} frames for the 2s transition",
+        frames.len()
+    );
+    assert!(report.inputs[0].armed_css_animation);
+}
+
+/// Fig. 5: a rAF drawing loop annotated continuous with explicit
+/// (20, 100) ms targets.
+const FIG5_CSS: &str = "#canvas:QoS { ontouchmove-qos: continuous, 20, 100; }";
+
+const FIG5_HTML: &str = "<div id='page'><canvas id='canvas'>x</canvas></div>";
+
+const FIG5_SCRIPT: &str = "
+    var ticking = false;
+    function update(ts) {
+        ticking = false;
+        work(3000000);
+        markDirty();
+    }
+    addEventListener(getElementById('canvas'), 'touchmove', function(e) {
+        if (!ticking) {
+            ticking = true;
+            requestAnimationFrame(update);
+        }
+    });
+";
+
+#[test]
+fn fig5_explicit_targets_override_defaults() {
+    let sheet = parse_stylesheet(FIG5_CSS).unwrap();
+    let table = AnnotationTable::from_stylesheet(&sheet).unwrap();
+    let doc = parse_html(FIG5_HTML).unwrap();
+    let canvas = doc.element_by_id("canvas").unwrap();
+    let spec = table.lookup(&doc, canvas, EventType::TouchMove).unwrap();
+    assert_eq!(spec.target.for_scenario(Scenario::Imperceptible), 20.0);
+    assert_eq!(spec.target.for_scenario(Scenario::Usable), 100.0);
+}
+
+#[test]
+fn fig5_raf_coalescing_under_greenweb() {
+    let app = App::builder("fig5")
+        .html(FIG5_HTML)
+        .css(FIG5_CSS)
+        .script(FIG5_SCRIPT)
+        .build();
+    let trace = Trace::builder()
+        .touchstart_id(10.0, "canvas")
+        .touchmove_run(30.0, "canvas", 30, 16.6)
+        .end_ms(1_200.0)
+        .build();
+    let mut browser =
+        Browser::new(&app, GreenWebScheduler::new(Scenario::Usable)).unwrap();
+    let report = browser.run(&trace).unwrap();
+    assert!(report.frames.len() >= 15, "{} frames", report.frames.len());
+    assert!(report.inputs.iter().any(|i| i.used_raf));
+}
+
+#[test]
+fn table2_semantics_every_row() {
+    // Row 1: continuous with defaults. Row 2: single short/long with
+    // defaults. Row 3: explicit targets, both types.
+    let cases = [
+        ("#a:QoS { onscroll-qos: continuous; }", QosType::Continuous, 16.6, 33.3),
+        ("#a:QoS { onclick-qos: single, short; }", QosType::Single, 100.0, 300.0),
+        ("#a:QoS { onload-qos: single, long; }", QosType::Single, 1_000.0, 10_000.0),
+        ("#a:QoS { ontouchmove-qos: continuous, 20, 100; }", QosType::Continuous, 20.0, 100.0),
+        ("#a:QoS { onclick-qos: single, 50, 500; }", QosType::Single, 50.0, 500.0),
+    ];
+    for (css, qos_type, ti, tu) in cases {
+        let sheet = parse_stylesheet(css).unwrap();
+        let table = AnnotationTable::from_stylesheet(&sheet).unwrap();
+        let spec = table.annotations()[0].spec;
+        assert_eq!(spec.qos_type, qos_type, "{css}");
+        assert_eq!(spec.target.imperceptible_ms, ti, "{css}");
+        assert_eq!(spec.target.usable_ms, tu, "{css}");
+    }
+}
+
+#[test]
+fn fig3_grammar_selector_forms() {
+    // GreenWebRule ::= Selector? { QoSDecl+ }; Selector ::= Element:QoS.
+    for css in [
+        "div:QoS { onclick-qos: continuous; }",
+        "div#intro:QoS { onclick-qos: continuous; }",
+        ".fancy:QoS { onclick-qos: continuous; }",
+        "div#intro.fancy:QoS { onclick-qos: continuous; }",
+        "#a:QoS, #b:QoS { onclick-qos: continuous; }",
+    ] {
+        let sheet = parse_stylesheet(css).unwrap();
+        let table = AnnotationTable::from_stylesheet(&sheet).unwrap();
+        assert!(!table.is_empty(), "{css}");
+    }
+}
+
+#[test]
+fn annotations_are_modular_wrt_implementation() {
+    // Sec. 4.2's modularity claim: the identical annotation works whether
+    // the animation is implemented via CSS transition or rAF — the QoS
+    // declaration references only the element and event.
+    let annotation = "#widget:QoS { onclick-qos: continuous; }";
+    let via_transition = App::builder("t")
+        .html("<div id='page'><div id='widget' style='width: 0px'></div></div>")
+        .css("#widget { transition: width 300ms; }")
+        .css(annotation)
+        .script(
+            "addEventListener(getElementById('widget'), 'click', function(e) {
+                 setStyle(getElementById('widget'), 'width', 200);
+             });",
+        )
+        .build();
+    let via_raf = App::builder("r")
+        .html("<div id='page'><div id='widget'></div></div>")
+        .css(annotation)
+        .script(
+            "var n = 0;
+             function step(ts) {
+                 n = n + 1;
+                 markDirty();
+                 if (n < 18) { requestAnimationFrame(step); }
+             }
+             addEventListener(getElementById('widget'), 'click', function(e) {
+                 n = 0;
+                 requestAnimationFrame(step);
+             });",
+        )
+        .build();
+    let trace = Trace::builder().click_id(10.0, "widget").end_ms(800.0).build();
+    for app in [via_transition, via_raf] {
+        let mut browser =
+            Browser::new(&app, GreenWebScheduler::new(Scenario::Usable)).unwrap();
+        let report = browser.run(&trace).unwrap();
+        assert!(
+            report.frames_for(InputId(0)).len() >= 12,
+            "{}: continuous annotation must govern a frame sequence",
+            report.app
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Cross-crate property-based tests: invariants that must hold for all
+//! inputs, checked with proptest.
+
+use greenweb::lang::{Annotation, AnnotationTable};
+use greenweb::qos::{QosSpec, QosTarget, QosType, Scenario};
+use greenweb_acmp::{CoreType, Cpu, CpuConfig, Duration, Platform, PowerModel, SimTime, WorkUnit};
+use greenweb_css::{parse_stylesheet, Selector};
+use greenweb_dom::EventType;
+use proptest::prelude::*;
+
+fn arb_qos_spec() -> impl Strategy<Value = QosSpec> {
+    (
+        prop::bool::ANY,
+        1.0_f64..5_000.0,
+        1.0_f64..5_000.0,
+    )
+        .prop_map(|(continuous, a, b)| {
+            let (ti, tu) = if a <= b { (a, b) } else { (b, a) };
+            // Keep two decimals so text round-trips are exact.
+            let ti = (ti * 100.0).round() / 100.0;
+            let tu = (tu * 100.0).round() / 100.0;
+            let qos_type = if continuous {
+                QosType::Continuous
+            } else {
+                QosType::Single
+            };
+            QosSpec::with_target(qos_type, QosTarget::new(ti, tu))
+        })
+}
+
+fn arb_event() -> impl Strategy<Value = EventType> {
+    prop::sample::select(vec![
+        EventType::Click,
+        EventType::Scroll,
+        EventType::TouchStart,
+        EventType::TouchEnd,
+        EventType::TouchMove,
+        EventType::Load,
+    ])
+}
+
+proptest! {
+    /// Every annotation the library can express round-trips through its
+    /// own CSS syntax: emit → parse → identical semantics.
+    #[test]
+    fn annotation_css_round_trip(spec in arb_qos_spec(), event in arb_event(), id in "[a-z][a-z0-9]{0,8}") {
+        let annotation = Annotation {
+            selector: Selector::parse(&format!("#{id}:QoS")).unwrap(),
+            event,
+            spec,
+        };
+        let css = annotation.to_css();
+        let sheet = parse_stylesheet(&css).unwrap();
+        let table = AnnotationTable::from_stylesheet(&sheet).unwrap();
+        prop_assert_eq!(table.len(), 1);
+        let parsed = &table.annotations()[0];
+        prop_assert_eq!(parsed.event, event);
+        prop_assert_eq!(parsed.spec.qos_type, spec.qos_type);
+        prop_assert!((parsed.spec.target.imperceptible_ms - spec.target.imperceptible_ms).abs() < 1e-9);
+        prop_assert!((parsed.spec.target.usable_ms - spec.target.usable_ms).abs() < 1e-9);
+    }
+
+    /// The imperceptible target never exceeds the usable target, and
+    /// scenario selection honors that order.
+    #[test]
+    fn scenario_targets_ordered(spec in arb_qos_spec()) {
+        prop_assert!(
+            spec.target.for_scenario(Scenario::Imperceptible)
+                <= spec.target.for_scenario(Scenario::Usable)
+        );
+    }
+
+    /// Splitting a work unit's execution at any point preserves its total
+    /// duration on any configuration (the invariant the engine relies on
+    /// when a configuration switch interrupts a task).
+    #[test]
+    fn work_split_preserves_duration(
+        cycles in 1.0e5_f64..5.0e8,
+        indep_ms in 0.0_f64..20.0,
+        split_fraction in 0.0_f64..1.5,
+        config_idx in 0usize..17,
+    ) {
+        let platform = Platform::odroid_xu_e();
+        let configs: Vec<CpuConfig> = platform.configs().collect();
+        let config = configs[config_idx % configs.len()];
+        let ipc = platform.cluster(config.core).ipc;
+        let work = WorkUnit::new(cycles, indep_ms);
+        let total = work.duration_on(config, ipc);
+        let split = Duration::from_nanos(
+            (total.as_nanos() as f64 * split_fraction.min(1.0)) as u64,
+        );
+        let rest = work.remaining_after(config, ipc, split);
+        let recombined = split + rest.duration_on(config, ipc);
+        let diff = (recombined.as_millis_f64() - total.as_millis_f64()).abs();
+        prop_assert!(diff < 1e-3, "split at {split}: {diff} ms drift");
+        prop_assert!(rest.cycles >= 0.0 && rest.independent_ns >= 0.0);
+    }
+
+    /// Energy accounting is additive: advancing the CPU through any
+    /// partition of an interval yields the same energy as one advance.
+    #[test]
+    fn energy_additive_over_partitions(
+        cuts in prop::collection::vec(1u64..1_000, 1..8),
+        busy in prop::bool::ANY,
+        config_idx in 0usize..17,
+    ) {
+        let platform = Platform::odroid_xu_e();
+        let configs: Vec<CpuConfig> = platform.configs().collect();
+        let config = configs[config_idx % configs.len()];
+        let total_ms: u64 = cuts.iter().sum();
+
+        let mut whole = Cpu::new(platform.clone(), PowerModel::odroid_xu_e())
+            .with_config(config);
+        whole.set_busy(SimTime::ZERO, busy);
+        whole.advance(SimTime::from_millis(total_ms));
+
+        let mut pieces = Cpu::new(platform, PowerModel::odroid_xu_e()).with_config(config);
+        pieces.set_busy(SimTime::ZERO, busy);
+        let mut t = 0;
+        for cut in &cuts {
+            t += cut;
+            pieces.advance(SimTime::from_millis(t));
+        }
+        let diff = (whole.energy().total_mj() - pieces.energy().total_mj()).abs();
+        prop_assert!(diff < 1e-6, "energy drift {diff}");
+    }
+
+    /// The step_up/step_down ladder is consistent: stepping up then down
+    /// returns to the start anywhere except at the saturating ends.
+    #[test]
+    fn ladder_is_invertible(config_idx in 0usize..17) {
+        let platform = Platform::odroid_xu_e();
+        let configs: Vec<CpuConfig> = platform.configs().collect();
+        let config = configs[config_idx % configs.len()];
+        if let Some(up) = platform.step_up(config) {
+            prop_assert_eq!(platform.step_down(up), Some(config));
+        }
+        if let Some(down) = platform.step_down(config) {
+            prop_assert_eq!(platform.step_up(down), Some(config));
+        }
+    }
+
+    /// Active power dominates idle power at every configuration, and
+    /// big-cluster configs outdraw every little config.
+    #[test]
+    fn power_model_orderings(config_idx in 0usize..17) {
+        let platform = Platform::odroid_xu_e();
+        let power = PowerModel::odroid_xu_e();
+        let configs: Vec<CpuConfig> = platform.configs().collect();
+        let config = configs[config_idx % configs.len()];
+        prop_assert!(power.active_mw(&platform, config) > power.idle_mw(config));
+        if config.core == CoreType::Big {
+            let little_peak = power.active_mw(&platform, platform.max_config(CoreType::Little));
+            prop_assert!(power.active_mw(&platform, config) > little_peak);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated arithmetic programs evaluate identically in the script
+    /// interpreter and a Rust-side reference evaluator.
+    #[test]
+    fn script_arithmetic_matches_reference(expr in arb_expr(3)) {
+        let source = format!("var result = {};", expr.text);
+        let program = greenweb_script::parse_program(&source).unwrap();
+        let mut interp = greenweb_script::Interpreter::new();
+        interp.run(&program, &mut greenweb_script::NoHost).unwrap();
+        let got = interp.global("result").unwrap().as_number().unwrap();
+        if expr.value.is_finite() && got.is_finite() {
+            let diff = (got - expr.value).abs();
+            let scale = expr.value.abs().max(1.0);
+            prop_assert!(diff / scale < 1e-9, "{source} => {got}, expected {}", expr.value);
+        }
+    }
+}
+
+/// A generated expression: its source text and reference value.
+#[derive(Debug, Clone)]
+struct ExprCase {
+    text: String,
+    value: f64,
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<ExprCase> {
+    let leaf = (-100.0_f64..100.0).prop_map(|n| {
+        let n = (n * 4.0).round() / 4.0; // keep representable
+        ExprCase {
+            text: if n < 0.0 {
+                format!("({n})")
+            } else {
+                format!("{n}")
+            },
+            value: n,
+        }
+    });
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        (inner.clone(), inner, 0u8..4).prop_map(|(a, b, op)| {
+            let (symbol, value) = match op {
+                0 => ("+", a.value + b.value),
+                1 => ("-", a.value - b.value),
+                2 => ("*", a.value * b.value),
+                _ => ("/", a.value / b.value),
+            };
+            ExprCase {
+                text: format!("({} {symbol} {})", a.text, b.text),
+                value,
+            }
+        })
+    })
+    .boxed()
+}

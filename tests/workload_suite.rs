@@ -1,0 +1,105 @@
+//! Suite-wide smoke tests: every Table 3 workload runs end to end under
+//! the paper's four policies on its microbenchmark, with the headline
+//! invariants holding per app.
+
+use greenweb::qos::Scenario;
+use greenweb_workloads::harness::{evaluate, Policy};
+use greenweb_workloads::{all, Interaction};
+
+#[test]
+fn every_workload_micro_runs_under_all_paper_policies() {
+    for w in all() {
+        let perf = evaluate(&w, &w.micro, &Policy::Perf, Scenario::Usable)
+            .unwrap_or_else(|e| panic!("{} perf: {e}", w.name));
+        assert!(perf.metrics.frames > 0, "{}: perf produced no frames", w.name);
+        assert!(
+            perf.metrics.judged_inputs > 0,
+            "{}: no annotated inputs judged",
+            w.name
+        );
+        for policy in [
+            Policy::Interactive,
+            Policy::GreenWeb(Scenario::Imperceptible),
+            Policy::GreenWeb(Scenario::Usable),
+        ] {
+            let m = evaluate(&w, &w.micro, &policy, Scenario::Usable)
+                .unwrap_or_else(|e| panic!("{} {policy}: {e}", w.name));
+            assert!(
+                m.metrics.energy_mj <= perf.metrics.energy_mj * 1.02,
+                "{} {policy}: {} mJ exceeds perf {} mJ",
+                w.name,
+                m.metrics.energy_mj,
+                perf.metrics.energy_mj
+            );
+            assert!(m.metrics.frames > 0, "{} {policy}: no frames", w.name);
+        }
+    }
+}
+
+#[test]
+fn greenweb_saves_energy_on_every_workload_micro() {
+    for w in all() {
+        let perf = evaluate(&w, &w.micro, &Policy::Perf, Scenario::Usable).unwrap();
+        let gwu = evaluate(
+            &w,
+            &w.micro,
+            &Policy::GreenWeb(Scenario::Usable),
+            Scenario::Usable,
+        )
+        .unwrap();
+        let ratio = gwu.metrics.energy_normalized_to(&perf.metrics);
+        assert!(
+            ratio < 0.90,
+            "{}: greenweb-usable saves only {:.0}%",
+            w.name,
+            (1.0 - ratio) * 100.0
+        );
+    }
+}
+
+#[test]
+fn usable_never_outspends_imperceptible() {
+    for w in all() {
+        let gwi = evaluate(
+            &w,
+            &w.micro,
+            &Policy::GreenWeb(Scenario::Imperceptible),
+            Scenario::Imperceptible,
+        )
+        .unwrap();
+        let gwu = evaluate(
+            &w,
+            &w.micro,
+            &Policy::GreenWeb(Scenario::Usable),
+            Scenario::Usable,
+        )
+        .unwrap();
+        assert!(
+            gwu.metrics.energy_mj <= gwi.metrics.energy_mj * 1.05,
+            "{}: usable {} mJ vs imperceptible {} mJ",
+            w.name,
+            gwu.metrics.energy_mj,
+            gwi.metrics.energy_mj
+        );
+    }
+}
+
+#[test]
+fn moving_workloads_animate_and_tapping_singles_respond() {
+    for w in all() {
+        let perf = evaluate(&w, &w.micro, &Policy::Perf, Scenario::Usable).unwrap();
+        match w.interaction {
+            Interaction::Moving => assert!(
+                perf.metrics.frames >= 20,
+                "{}: moving micro produced only {} frames",
+                w.name,
+                perf.metrics.frames
+            ),
+            Interaction::Tapping | Interaction::Loading => assert!(
+                perf.metrics.frames >= 1,
+                "{}: no response frame",
+                w.name
+            ),
+        }
+    }
+}
