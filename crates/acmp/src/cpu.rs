@@ -56,6 +56,8 @@ pub struct Cpu {
     busy: bool,
     last_update: SimTime,
     energy: EnergyBreakdown,
+    metered: EnergyBreakdown,
+    sensor_gain: f64,
     residency: HashMap<CpuConfig, Duration>,
     busy_residency: HashMap<CpuConfig, Duration>,
     busy_time: Duration,
@@ -76,6 +78,8 @@ impl Cpu {
             busy: false,
             last_update: SimTime::ZERO,
             energy: EnergyBreakdown::default(),
+            metered: EnergyBreakdown::default(),
+            sensor_gain: 1.0,
             residency: HashMap::new(),
             busy_residency: HashMap::new(),
             busy_time: Duration::ZERO,
@@ -142,13 +146,16 @@ impl Cpu {
         if self.busy {
             let mw = self.power.active_mw(&self.platform, self.config);
             self.energy.active_mj += mw * secs;
+            self.metered.active_mj += mw * secs * self.sensor_gain;
             self.busy_time += span;
             *self
                 .busy_residency
                 .entry(self.config)
                 .or_insert(Duration::ZERO) += span;
         } else {
-            self.energy.idle_mj += self.power.idle_mw(self.config) * secs;
+            let mw = self.power.idle_mw(self.config);
+            self.energy.idle_mj += mw * secs;
+            self.metered.idle_mj += mw * secs * self.sensor_gain;
         }
         *self.residency.entry(self.config).or_insert(Duration::ZERO) += span;
         self.total_time += span;
@@ -189,9 +196,33 @@ impl Cpu {
         cost
     }
 
-    /// Accumulated energy.
+    /// Accumulated energy (ground truth, as dissipated by the model).
     pub fn energy(&self) -> EnergyBreakdown {
         self.energy
+    }
+
+    /// Energy as reported by the platform's power sensor (the XU+E's
+    /// on-board current/voltage meters). Equal to [`Cpu::energy`] unless a
+    /// sensor distortion has been applied with [`Cpu::set_sensor_gain`] —
+    /// fault injection uses that to model sensor noise and dropout.
+    /// Policies that meter their own consumption (e.g. energy-budget UAI
+    /// fallback) read this, not the ground truth.
+    pub fn metered_energy(&self) -> EnergyBreakdown {
+        self.metered
+    }
+
+    /// Sets the gain the power sensor applies to all subsequent energy
+    /// increments: `1.0` is a faithful sensor, `0.0` a dropout (the meter
+    /// reads nothing), other values model calibration noise. Advances the
+    /// integrator to `now` first so the new gain only affects the future.
+    pub fn set_sensor_gain(&mut self, now: SimTime, gain: f64) {
+        self.advance(now);
+        self.sensor_gain = gain.max(0.0);
+    }
+
+    /// The current power-sensor gain.
+    pub fn sensor_gain(&self) -> f64 {
+        self.sensor_gain
     }
 
     /// Total wall-clock residency per configuration (the Fig. 11 data).
@@ -332,6 +363,29 @@ mod tests {
     fn switch_rejects_invalid_config() {
         let mut c = cpu();
         c.switch(SimTime::ZERO, CpuConfig::new(CoreType::Big, 1234));
+    }
+
+    #[test]
+    fn metered_energy_tracks_truth_with_unit_gain() {
+        let mut c = cpu();
+        c.set_busy(SimTime::ZERO, true);
+        c.advance(SimTime::from_secs(1));
+        assert_eq!(c.metered_energy(), c.energy());
+    }
+
+    #[test]
+    fn sensor_gain_distorts_metered_but_not_truth() {
+        let mut c = cpu();
+        c.set_busy(SimTime::ZERO, true);
+        c.advance(SimTime::from_millis(500));
+        c.set_sensor_gain(SimTime::from_millis(500), 0.0); // dropout
+        c.advance(SimTime::from_secs(1));
+        let truth = c.energy().total_mj();
+        let metered = c.metered_energy().total_mj();
+        assert!((metered - truth / 2.0).abs() < 1e-9, "{metered} vs {truth}");
+        c.set_sensor_gain(SimTime::from_secs(1), 2.0); // over-reading noise
+        c.advance(SimTime::from_millis(1500));
+        assert!(c.metered_energy().total_mj() > c.energy().total_mj() * 0.99);
     }
 
     #[test]

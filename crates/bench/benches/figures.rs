@@ -1,94 +1,91 @@
-//! Criterion benchmarks wrapping the figure/table generators: one bench
-//! per table and figure of the paper's evaluation, so `cargo bench`
-//! regenerates every result and reports how long each regeneration takes.
+//! Benchmarks wrapping the figure/table generators: one bench per table
+//! and figure of the paper's evaluation, so `cargo bench` regenerates
+//! every result and reports how long each regeneration takes.
 //!
 //! Each iteration re-runs the underlying simulations from scratch
 //! (the simulator is deterministic, so every iteration does identical
 //! work). Figure benches run on one representative workload per QoS
 //! category to keep `cargo bench` wall-time sane; the `evaluate` binary
 //! runs the full twelve-app suite.
+//!
+//! Plain timing harness (`harness = false`): no external benchmarking
+//! crate is available in this build environment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use greenweb::qos::Scenario;
 use greenweb_bench::figures::{fig11, fig12, run_app, SuiteKind};
 use greenweb_bench::{render, tables};
 use greenweb_workloads::by_name;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table1_qos_categories", |b| {
-        b.iter(|| black_box(tables::table1()))
-    });
-    c.bench_function("table2_api_spec", |b| b.iter(|| black_box(tables::table2())));
-    c.bench_function("table3_applications", |b| {
-        b.iter(|| black_box(tables::table3_rows()))
-    });
+/// Run `f` for `iters` measured iterations (after one warmup iteration)
+/// and print the mean time per iteration.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<40} {per_iter:>12.2?}/iter  ({iters} iters)");
 }
 
-fn bench_fig9(c: &mut Criterion) {
+fn bench_tables() {
+    bench("table1_qos_categories", 1000, tables::table1);
+    bench("table2_api_spec", 1000, tables::table2);
+    bench("table3_applications", 1000, tables::table3_rows);
+}
+
+fn bench_fig9() {
     // Microbenchmark energy + violations: one app per QoS category.
-    let mut group = c.benchmark_group("fig9_micro");
-    group.sample_size(10);
     for name in ["Todo", "CamanJS", "Goo.ne.jp"] {
         let workload = by_name(name).expect("workload exists");
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let runs = run_app(&workload, SuiteKind::Micro);
-                black_box((
-                    runs.normalized_energy(),
-                    runs.extra_violations_imperceptible(),
-                    runs.extra_violations_usable(),
-                ))
-            })
+        bench(&format!("fig9_micro/{name}"), 3, || {
+            let runs = run_app(&workload, SuiteKind::Micro);
+            (
+                runs.normalized_energy(),
+                runs.extra_violations_imperceptible(),
+                runs.extra_violations_usable(),
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_fig10(c: &mut Criterion) {
+fn bench_fig10() {
     // Full-interaction energy + violations on a medium-length trace.
-    let mut group = c.benchmark_group("fig10_full");
-    group.sample_size(10);
     for name in ["Goo.ne.jp", "Craigslist"] {
         let workload = by_name(name).expect("workload exists");
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let runs = run_app(&workload, SuiteKind::Full);
-                black_box((
-                    runs.normalized_energy(),
-                    runs.extra_violations_imperceptible(),
-                    runs.extra_violations_usable(),
-                ))
-            })
+        bench(&format!("fig10_full/{name}"), 3, || {
+            let runs = run_app(&workload, SuiteKind::Full);
+            (
+                runs.normalized_energy(),
+                runs.extra_violations_imperceptible(),
+                runs.extra_violations_usable(),
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_fig11_fig12(c: &mut Criterion) {
+fn bench_fig11_fig12() {
     // Residency and switching statistics: the simulation dominates, the
     // slicing is what these two benches isolate.
     let workload = by_name("Cnet").expect("workload exists");
     let suite = vec![run_app(&workload, SuiteKind::Micro)];
-    c.bench_function("fig11_residency", |b| {
-        b.iter(|| {
-            black_box((
-                fig11(&suite, Scenario::Imperceptible),
-                fig11(&suite, Scenario::Usable),
-            ))
-        })
+    bench("fig11_residency", 200, || {
+        (
+            fig11(&suite, Scenario::Imperceptible),
+            fig11(&suite, Scenario::Usable),
+        )
     });
-    c.bench_function("fig12_switching", |b| b.iter(|| black_box(fig12(&suite))));
-    c.bench_function("fig11_render", |b| {
-        b.iter(|| {
-            black_box(render::residency_figure(
-                "Fig. 11a",
-                &suite,
-                Scenario::Imperceptible,
-            ))
-        })
+    bench("fig12_switching", 200, || fig12(&suite));
+    bench("fig11_render", 200, || {
+        render::residency_figure("Fig. 11a", &suite, Scenario::Imperceptible)
     });
 }
 
-criterion_group!(benches, bench_tables, bench_fig9, bench_fig10, bench_fig11_fig12);
-criterion_main!(benches);
+fn main() {
+    bench_tables();
+    bench_fig9();
+    bench_fig10();
+    bench_fig11_fig12();
+}

@@ -1,8 +1,12 @@
-//! Criterion microbenchmarks of the substrate components: how fast the
-//! simulator itself is (HTML/CSS/script parsing, selector matching,
-//! interpretation, and end-to-end simulated seconds per wall second).
+//! Microbenchmarks of the substrate components: how fast the simulator
+//! itself is (HTML/CSS/script parsing, selector matching, interpretation,
+//! and end-to-end simulated seconds per wall second).
+//!
+//! Plain timing harness (`harness = false`): each benchmark runs a warmup
+//! pass, then a measured batch, and prints the mean wall time per
+//! iteration. No external benchmarking crate is available in this build
+//! environment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use greenweb::qos::Scenario;
 use greenweb::GreenWebScheduler;
 use greenweb_acmp::PerfGovernor;
@@ -12,26 +16,39 @@ use greenweb_engine::{Browser, GovernorScheduler};
 use greenweb_script::{compile, parse_program, Interpreter, NoHost, Vm};
 use greenweb_workloads::by_name;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_dom(c: &mut Criterion) {
+/// Run `f` for `iters` measured iterations (after `iters/10 + 1` warmup
+/// iterations) and print the mean time per iteration.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    for _ in 0..(iters / 10 + 1) {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<40} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
+fn bench_dom() {
     let html: String = (0..200)
         .map(|i| format!("<div id='d{i}' class='row'><p>cell {i}</p></div>"))
         .collect();
-    c.bench_function("html_parse_200_elements", |b| {
-        b.iter(|| black_box(parse_html(&html).unwrap()))
+    bench("html_parse_200_elements", 200, || {
+        parse_html(&html).unwrap()
     });
     let doc = parse_html(&html).unwrap();
-    c.bench_function("element_by_id", |b| {
-        b.iter(|| black_box(doc.element_by_id("d150")))
-    });
+    bench("element_by_id", 2000, || doc.element_by_id("d150"));
 }
 
-fn bench_css(c: &mut Criterion) {
+fn bench_css() {
     let css: String = (0..100)
         .map(|i| format!("#d{i}.row:QoS {{ onclick-qos: single, short; width: {i}px; }}"))
         .collect();
-    c.bench_function("css_parse_100_rules", |b| {
-        b.iter(|| black_box(parse_stylesheet(&css).unwrap()))
+    bench("css_parse_100_rules", 200, || {
+        parse_stylesheet(&css).unwrap()
     });
     let doc = parse_html(
         &(0..200)
@@ -41,62 +58,46 @@ fn bench_css(c: &mut Criterion) {
     .unwrap();
     let selector = Selector::parse("div#d42.row:QoS").unwrap();
     let node = doc.element_by_id("d42").unwrap();
-    c.bench_function("selector_match", |b| {
-        b.iter(|| black_box(selector.matches(&doc, node)))
-    });
+    bench("selector_match", 5000, || selector.matches(&doc, node));
     let engine = StyleEngine::new(parse_stylesheet(&css).unwrap());
-    c.bench_function("cascade_compute_all", |b| {
-        b.iter(|| black_box(engine.compute_all(&doc)))
-    });
+    bench("cascade_compute_all", 200, || engine.compute_all(&doc));
 }
 
-fn bench_script(c: &mut Criterion) {
+fn bench_script() {
     let src = "function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
                var x = fib(16);";
-    c.bench_function("script_parse", |b| {
-        b.iter(|| black_box(parse_program(src).unwrap()))
-    });
+    bench("script_parse", 500, || parse_program(src).unwrap());
     let program = parse_program(src).unwrap();
-    c.bench_function("script_interp_fib16", |b| {
-        b.iter(|| {
-            let mut interp = Interpreter::new();
-            interp.run(&program, &mut NoHost).unwrap();
-            black_box(interp.ops())
-        })
+    bench("script_interp_fib16", 50, || {
+        let mut interp = Interpreter::new();
+        interp.run(&program, &mut NoHost).unwrap();
+        interp.ops()
     });
-    c.bench_function("script_compile", |b| {
-        b.iter(|| black_box(compile(&program).unwrap()))
-    });
+    bench("script_compile", 500, || compile(&program).unwrap());
     let compiled = compile(&program).unwrap();
-    c.bench_function("script_vm_fib16", |b| {
-        b.iter(|| {
-            let mut vm = Vm::new();
-            vm.run(&compiled, &mut NoHost).unwrap();
-            black_box(vm.ops())
-        })
+    bench("script_vm_fib16", 50, || {
+        let mut vm = Vm::new();
+        vm.run(&compiled, &mut NoHost).unwrap();
+        vm.ops()
     });
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation");
-    group.sample_size(10);
+fn bench_simulation() {
     let workload = by_name("Goo.ne.jp").expect("workload exists");
-    group.bench_function("full_trace_perf_governor", |b| {
-        b.iter(|| {
-            let mut browser =
-                Browser::new(&workload.app, GovernorScheduler::new(PerfGovernor)).unwrap();
-            black_box(browser.run(&workload.full).unwrap().total_mj())
-        })
+    bench("full_trace_perf_governor", 5, || {
+        let mut browser = Browser::new(&workload.app, GovernorScheduler::new(PerfGovernor)).unwrap();
+        browser.run(&workload.full).unwrap().total_mj()
     });
-    group.bench_function("full_trace_greenweb", |b| {
-        b.iter(|| {
-            let mut browser =
-                Browser::new(&workload.app, GreenWebScheduler::new(Scenario::Usable)).unwrap();
-            black_box(browser.run(&workload.full).unwrap().total_mj())
-        })
+    bench("full_trace_greenweb", 5, || {
+        let mut browser =
+            Browser::new(&workload.app, GreenWebScheduler::new(Scenario::Usable)).unwrap();
+        browser.run(&workload.full).unwrap().total_mj()
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_dom, bench_css, bench_script, bench_simulation);
-criterion_main!(benches);
+fn main() {
+    bench_dom();
+    bench_css();
+    bench_script();
+    bench_simulation();
+}

@@ -1,0 +1,390 @@
+//! Graceful QoS degradation: the watchdog and its degradation ladder.
+//!
+//! The GreenWeb runtime's per-frame predictions assume a well-behaved
+//! world: annotations describe real interactions, the frame model fits,
+//! and measured latencies reflect the chosen configuration. Fault
+//! injection (load spikes, dropped VSyncs, sensor noise — see
+//! `greenweb_engine::fault`) breaks each of those assumptions in turn.
+//! Rather than thrash the predictor, the runtime escalates through a
+//! *degradation ladder*, trading energy optimality for robustness one
+//! level at a time:
+//!
+//! 1. [`DegradationLevel::Annotated`] — normal operation: annotated QoS
+//!    targets, fitted frame models, feedback adjustment.
+//! 2. [`DegradationLevel::CategoryDefault`] — annotated *targets* are no
+//!    longer trusted; each event falls back to its Table 1 category
+//!    default, but model-driven prediction continues.
+//! 3. [`DegradationLevel::UaiFallback`] — the fitted models are no longer
+//!    trusted either; the runtime pins a conservative reactive
+//!    configuration (big-cluster floor), the same stance a user-agent
+//!    intervention takes against a hostile page (Sec. 8).
+//! 4. [`DegradationLevel::SafeMode`] — last resort: pin the peak
+//!    configuration everywhere, i.e. behave exactly like the `perf`
+//!    governor until QoS recovers.
+//!
+//! A [`Watchdog`] drives transitions: a run of consecutive QoS
+//! violations escalates one level; a run of consecutive clean frames
+//! de-escalates. Recovery uses *bounded backoff*: every escalation
+//! doubles the clean-frame streak required to step back down (capped),
+//! so a flapping fault cannot make the ladder oscillate at frame rate.
+//! Every transition is recorded in a [`DegradationLog`] with its
+//! timestamp, so reports can compute recovery latency.
+
+use greenweb_acmp::{Duration, SimTime};
+use std::fmt;
+
+/// One rung of the degradation ladder, ordered from full trust to none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradationLevel {
+    /// Normal operation: annotated targets + fitted models.
+    Annotated,
+    /// Annotated targets distrusted; Table 1 category defaults apply.
+    CategoryDefault,
+    /// Models distrusted; conservative reactive configuration.
+    UaiFallback,
+    /// Peak configuration pinned (perf-governor behaviour).
+    SafeMode,
+}
+
+impl DegradationLevel {
+    /// The next rung down (more degraded). Saturates at
+    /// [`DegradationLevel::SafeMode`].
+    pub fn escalated(self) -> DegradationLevel {
+        match self {
+            DegradationLevel::Annotated => DegradationLevel::CategoryDefault,
+            DegradationLevel::CategoryDefault => DegradationLevel::UaiFallback,
+            DegradationLevel::UaiFallback | DegradationLevel::SafeMode => {
+                DegradationLevel::SafeMode
+            }
+        }
+    }
+
+    /// The next rung up (less degraded). Saturates at
+    /// [`DegradationLevel::Annotated`].
+    pub fn recovered(self) -> DegradationLevel {
+        match self {
+            DegradationLevel::SafeMode => DegradationLevel::UaiFallback,
+            DegradationLevel::UaiFallback => DegradationLevel::CategoryDefault,
+            DegradationLevel::CategoryDefault | DegradationLevel::Annotated => {
+                DegradationLevel::Annotated
+            }
+        }
+    }
+}
+
+impl fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationLevel::Annotated => write!(f, "annotated"),
+            DegradationLevel::CategoryDefault => write!(f, "category-default"),
+            DegradationLevel::UaiFallback => write!(f, "uai-fallback"),
+            DegradationLevel::SafeMode => write!(f, "safe-mode"),
+        }
+    }
+}
+
+/// One recorded ladder transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// When the transition happened (completion time of the deciding
+    /// frame).
+    pub at: SimTime,
+    /// The level left.
+    pub from: DegradationLevel,
+    /// The level entered.
+    pub to: DegradationLevel,
+}
+
+impl Transition {
+    /// Whether this transition moved down the ladder (more degraded).
+    pub fn is_escalation(&self) -> bool {
+        self.to > self.from
+    }
+}
+
+/// The full transition history of one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationLog {
+    transitions: Vec<Transition>,
+}
+
+impl DegradationLog {
+    /// All transitions, in time order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Number of escalations.
+    pub fn escalations(&self) -> usize {
+        self.transitions.iter().filter(|t| t.is_escalation()).count()
+    }
+
+    /// Number of recoveries (de-escalations).
+    pub fn recoveries(&self) -> usize {
+        self.transitions.len() - self.escalations()
+    }
+
+    /// The most degraded level ever entered.
+    pub fn deepest(&self) -> DegradationLevel {
+        self.transitions
+            .iter()
+            .map(|t| t.to)
+            .max()
+            .unwrap_or(DegradationLevel::Annotated)
+    }
+
+    /// Whether the ladder ever left [`DegradationLevel::Annotated`].
+    pub fn ever_degraded(&self) -> bool {
+        !self.transitions.is_empty()
+    }
+
+    /// Time from the first escalation to the final return to
+    /// [`DegradationLevel::Annotated`] — the end-to-end recovery latency.
+    /// `None` if the ladder never escalated or never fully recovered.
+    pub fn recovery_latency(&self) -> Option<Duration> {
+        let first = self.transitions.first()?;
+        let last_return = self
+            .transitions
+            .iter()
+            .rev()
+            .find(|t| t.to == DegradationLevel::Annotated)?;
+        // Not recovered if something escalated again afterwards.
+        if self
+            .transitions
+            .iter()
+            .any(|t| t.at > last_return.at && t.is_escalation())
+        {
+            return None;
+        }
+        Some(last_return.at.saturating_since(first.at))
+    }
+
+    fn push(&mut self, transition: Transition) {
+        self.transitions.push(transition);
+    }
+}
+
+/// Maximum left-shift applied to the recovery requirement: after four or
+/// more escalations a recovery still only needs `recover_after << 3`
+/// clean frames (bounded backoff).
+const MAX_BACKOFF_SHIFT: u32 = 3;
+
+/// The deadline-miss watchdog driving the ladder.
+///
+/// Feed it one observation per QoS-relevant frame via
+/// [`Watchdog::observe`]; it returns the transition, if any, that the
+/// observation caused.
+#[derive(Debug)]
+pub struct Watchdog {
+    level: DegradationLevel,
+    /// Consecutive violations that trigger an escalation.
+    pub escalate_after: u32,
+    /// Base clean-frame streak required to de-escalate one level (grows
+    /// with bounded backoff on every escalation).
+    pub recover_after: u32,
+    violations: u32,
+    clean: u32,
+    /// Total escalations so far; drives the backoff shift.
+    backoff: u32,
+    log: DegradationLog,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog::new(4, 6)
+    }
+}
+
+impl Watchdog {
+    /// A watchdog escalating after `escalate_after` consecutive
+    /// violations and recovering after `recover_after` consecutive clean
+    /// frames (before backoff).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either threshold is zero.
+    pub fn new(escalate_after: u32, recover_after: u32) -> Self {
+        assert!(escalate_after > 0, "escalation threshold must be positive");
+        assert!(recover_after > 0, "recovery threshold must be positive");
+        Watchdog {
+            level: DegradationLevel::Annotated,
+            escalate_after,
+            recover_after,
+            violations: 0,
+            clean: 0,
+            backoff: 0,
+            log: DegradationLog::default(),
+        }
+    }
+
+    /// The current ladder level.
+    pub fn level(&self) -> DegradationLevel {
+        self.level
+    }
+
+    /// The transition history.
+    pub fn log(&self) -> &DegradationLog {
+        &self.log
+    }
+
+    /// Clean frames currently required to de-escalate one level.
+    pub fn required_clean(&self) -> u32 {
+        let shift = self.backoff.saturating_sub(1).min(MAX_BACKOFF_SHIFT);
+        self.recover_after << shift
+    }
+
+    /// Records the QoS outcome of one frame. Returns the ladder
+    /// transition this observation triggered, if any.
+    pub fn observe(&mut self, now: SimTime, violated: bool) -> Option<Transition> {
+        if violated {
+            self.clean = 0;
+            self.violations += 1;
+            if self.violations >= self.escalate_after
+                && self.level != DegradationLevel::SafeMode
+            {
+                self.violations = 0;
+                self.backoff += 1;
+                return Some(self.transition_to(now, self.level.escalated()));
+            }
+            None
+        } else {
+            self.violations = 0;
+            if self.level == DegradationLevel::Annotated {
+                return None;
+            }
+            self.clean += 1;
+            if self.clean >= self.required_clean() {
+                self.clean = 0;
+                return Some(self.transition_to(now, self.level.recovered()));
+            }
+            None
+        }
+    }
+
+    fn transition_to(&mut self, at: SimTime, to: DegradationLevel) -> Transition {
+        let transition = Transition {
+            at,
+            from: self.level,
+            to,
+        };
+        self.level = to;
+        self.log.push(transition.clone());
+        transition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn ladder_orders_and_saturates() {
+        use DegradationLevel::*;
+        assert!(Annotated < CategoryDefault);
+        assert!(CategoryDefault < UaiFallback);
+        assert!(UaiFallback < SafeMode);
+        assert_eq!(Annotated.escalated(), CategoryDefault);
+        assert_eq!(SafeMode.escalated(), SafeMode);
+        assert_eq!(SafeMode.recovered(), UaiFallback);
+        assert_eq!(Annotated.recovered(), Annotated);
+    }
+
+    #[test]
+    fn escalates_after_consecutive_violations_only() {
+        let mut w = Watchdog::new(3, 2);
+        assert_eq!(w.observe(t(0), true), None);
+        assert_eq!(w.observe(t(1), true), None);
+        // A clean frame breaks the streak.
+        assert_eq!(w.observe(t(2), false), None);
+        assert_eq!(w.observe(t(3), true), None);
+        assert_eq!(w.observe(t(4), true), None);
+        let transition = w.observe(t(5), true).expect("third consecutive violation");
+        assert_eq!(transition.from, DegradationLevel::Annotated);
+        assert_eq!(transition.to, DegradationLevel::CategoryDefault);
+        assert_eq!(w.level(), DegradationLevel::CategoryDefault);
+    }
+
+    #[test]
+    fn escalation_walks_the_whole_ladder_and_pins_at_safe_mode() {
+        let mut w = Watchdog::new(1, 1);
+        assert_eq!(
+            w.observe(t(0), true).unwrap().to,
+            DegradationLevel::CategoryDefault
+        );
+        assert_eq!(
+            w.observe(t(1), true).unwrap().to,
+            DegradationLevel::UaiFallback
+        );
+        assert_eq!(w.observe(t(2), true).unwrap().to, DegradationLevel::SafeMode);
+        // Further violations don't transition — SafeMode is the floor.
+        assert_eq!(w.observe(t(3), true), None);
+        assert_eq!(w.level(), DegradationLevel::SafeMode);
+    }
+
+    #[test]
+    fn recovery_needs_clean_streak_with_backoff() {
+        let mut w = Watchdog::new(1, 2);
+        w.observe(t(0), true); // → CategoryDefault, backoff 1 → need 2 clean
+        assert_eq!(w.required_clean(), 2);
+        assert_eq!(w.observe(t(1), false), None);
+        let back = w.observe(t(2), false).expect("second clean frame recovers");
+        assert_eq!(back.to, DegradationLevel::Annotated);
+        // Second escalation doubles the requirement.
+        w.observe(t(3), true);
+        assert_eq!(w.required_clean(), 4);
+        // Backoff is bounded.
+        w.observe(t(4), true);
+        w.observe(t(5), true);
+        w.observe(t(6), true);
+        w.observe(t(7), true);
+        assert!(w.required_clean() <= 2 << MAX_BACKOFF_SHIFT);
+    }
+
+    #[test]
+    fn violation_resets_clean_streak() {
+        let mut w = Watchdog::new(1, 3);
+        w.observe(t(0), true);
+        w.observe(t(1), false);
+        w.observe(t(2), false);
+        w.observe(t(3), true); // streak broken (and immediately escalates again)
+        assert_eq!(w.level(), DegradationLevel::UaiFallback);
+        w.observe(t(4), false);
+        w.observe(t(5), false);
+        assert_eq!(w.level(), DegradationLevel::UaiFallback, "streak restarted");
+    }
+
+    #[test]
+    fn log_counts_and_recovery_latency() {
+        let mut w = Watchdog::new(1, 1);
+        w.observe(t(100), true); // escalate at 100
+        w.observe(t(150), false); // recover at 150
+        assert_eq!(w.log().escalations(), 1);
+        assert_eq!(w.log().recoveries(), 1);
+        assert_eq!(w.log().deepest(), DegradationLevel::CategoryDefault);
+        assert_eq!(
+            w.log().recovery_latency(),
+            Some(Duration::from_millis(50))
+        );
+    }
+
+    #[test]
+    fn recovery_latency_none_while_still_degraded() {
+        let mut w = Watchdog::new(1, 8);
+        w.observe(t(0), true);
+        assert!(w.log().ever_degraded());
+        assert_eq!(w.log().recovery_latency(), None);
+        let quiet = Watchdog::default();
+        assert_eq!(quiet.log().recovery_latency(), None);
+        assert!(!quiet.log().ever_degraded());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        Watchdog::new(0, 1);
+    }
+}

@@ -16,27 +16,64 @@
 //! (Sec. 4.2's "modular design").
 
 use crate::qos::{QosSpec, QosTarget, QosType, ResponseExpectation};
-use greenweb_css::{CssValue, Rule, Selector, Specificity, Stylesheet};
+use greenweb_css::{CssValue, Declaration, Rule, Selector, Specificity, Stylesheet};
 use greenweb_dom::{Document, EventType, NodeId};
 use std::fmt;
 
 /// Error raised for malformed GreenWeb annotations.
+///
+/// The variants are typed so the runtime can degrade gracefully: a
+/// [`LangError::BadValue`] still names the event it was meant for, which
+/// lets [`AnnotationTable::from_stylesheet_lossy`] substitute the event's
+/// Table 1 category default instead of dropping the annotation (and the
+/// rest of the stylesheet) on the floor.
 #[derive(Debug, Clone, PartialEq)]
-pub struct LangError {
-    message: String,
+pub enum LangError {
+    /// An `on<event>-qos` property names an event the runtime doesn't
+    /// know; no fallback is possible.
+    UnknownEvent {
+        /// The offending CSS property (e.g. `onhover-qos`).
+        property: String,
+        /// What the event parser objected to.
+        detail: String,
+    },
+    /// The QoS value of a known event is malformed; the event's category
+    /// default is a safe fallback.
+    BadValue {
+        /// The annotated event.
+        event: EventType,
+        /// The offending CSS property.
+        property: String,
+        /// What the value parser objected to.
+        detail: String,
+    },
 }
 
 impl LangError {
-    fn new(message: impl Into<String>) -> Self {
-        LangError {
-            message: message.into(),
+    /// The event this error concerns, when it could be determined.
+    pub fn event(&self) -> Option<EventType> {
+        match self {
+            LangError::UnknownEvent { .. } => None,
+            LangError::BadValue { event, .. } => Some(*event),
         }
     }
 }
 
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "greenweb annotation error: {}", self.message)
+        match self {
+            LangError::UnknownEvent { property, detail } => {
+                write!(f, "greenweb annotation error: {detail} in `{property}`")
+            }
+            LangError::BadValue {
+                event,
+                property,
+                detail,
+            } => write!(
+                f,
+                "greenweb annotation error: {detail} in `{property}` (on{event})"
+            ),
+        }
     }
 }
 
@@ -99,36 +136,57 @@ impl AnnotationTable {
     pub fn from_stylesheet(stylesheet: &Stylesheet) -> Result<Self, LangError> {
         let mut table = AnnotationTable::new();
         for rule in stylesheet.qos_rules() {
-            table.extend_from_rule(rule)?;
+            for decl in rule.declarations() {
+                match parse_declaration(decl) {
+                    None => continue,
+                    Some(Err(e)) => return Err(e),
+                    Some(Ok((event, spec))) => table.push_for_rule(rule, event, spec),
+                }
+            }
         }
         Ok(table)
     }
 
-    fn extend_from_rule(&mut self, rule: &Rule) -> Result<(), LangError> {
-        for decl in rule.declarations() {
-            let Some(event_name) = decl
-                .property
-                .strip_prefix("on")
-                .and_then(|rest| rest.strip_suffix("-qos"))
-            else {
-                continue;
-            };
-            let event: EventType = event_name
-                .parse()
-                .map_err(|e| LangError::new(format!("{e} in `{}`", decl.property)))?;
-            let spec = parse_qos_value(&decl.value)?;
-            for selector in rule.selectors() {
-                if !selector.has_qos_pseudo() {
-                    continue;
+    /// Like [`AnnotationTable::from_stylesheet`], but malformed
+    /// annotations degrade instead of aborting the extraction: every
+    /// well-formed annotation is kept, every error is returned, and a
+    /// malformed *value* on a known event falls back to the event's
+    /// Table 1 category default ([`QosSpec::default_for_event`]) so the
+    /// element still gets QoS treatment. Only an unknown event drops the
+    /// declaration entirely.
+    pub fn from_stylesheet_lossy(stylesheet: &Stylesheet) -> (Self, Vec<LangError>) {
+        let mut table = AnnotationTable::new();
+        let mut errors = Vec::new();
+        for rule in stylesheet.qos_rules() {
+            for decl in rule.declarations() {
+                match parse_declaration(decl) {
+                    None => continue,
+                    Some(Ok((event, spec))) => table.push_for_rule(rule, event, spec),
+                    Some(Err(e)) => {
+                        if let Some(event) = e.event() {
+                            table.push_for_rule(rule, event, QosSpec::default_for_event(event));
+                        }
+                        errors.push(e);
+                    }
                 }
-                self.annotations.push(Annotation {
-                    selector: selector.clone(),
-                    event,
-                    spec,
-                });
             }
         }
-        Ok(())
+        (table, errors)
+    }
+
+    /// Pushes one `(event, spec)` annotation for every `:QoS` selector of
+    /// `rule`.
+    fn push_for_rule(&mut self, rule: &Rule, event: EventType, spec: QosSpec) {
+        for selector in rule.selectors() {
+            if !selector.has_qos_pseudo() {
+                continue;
+            }
+            self.annotations.push(Annotation {
+                selector: selector.clone(),
+                event,
+                spec,
+            });
+        }
     }
 
     /// Adds one annotation.
@@ -191,25 +249,51 @@ impl AnnotationTable {
     }
 }
 
+/// Parses one declaration. `None` for non-QoS properties (ignored for
+/// CSS forward compatibility); `Some(Err)` for malformed annotations.
+fn parse_declaration(decl: &Declaration) -> Option<Result<(EventType, QosSpec), LangError>> {
+    let event_name = decl
+        .property
+        .strip_prefix("on")
+        .and_then(|rest| rest.strip_suffix("-qos"))?;
+    let event: EventType = match event_name.parse() {
+        Ok(event) => event,
+        Err(e) => {
+            return Some(Err(LangError::UnknownEvent {
+                property: decl.property.clone(),
+                detail: e.to_string(),
+            }))
+        }
+    };
+    Some(match parse_qos_value(&decl.value) {
+        Ok(spec) => Ok((event, spec)),
+        Err(detail) => Err(LangError::BadValue {
+            event,
+            property: decl.property.clone(),
+            detail,
+        }),
+    })
+}
+
 /// Parses the value grammar of Table 2:
 ///
 /// ```text
 /// CDecl  ::= continuous [, v, v]
 /// SDecl  ::= single, short | long | v, v
 /// ```
-fn parse_qos_value(value: &CssValue) -> Result<QosSpec, LangError> {
+fn parse_qos_value(value: &CssValue) -> Result<QosSpec, String> {
     let items = value.items();
     let first = items
         .first()
         .and_then(|v| v.as_keyword())
-        .ok_or_else(|| LangError::new("QoS value must start with `continuous` or `single`"))?;
+        .ok_or_else(|| "QoS value must start with `continuous` or `single`".to_string())?;
     let qos_type = match first {
         "continuous" => QosType::Continuous,
         "single" => QosType::Single,
         other => {
-            return Err(LangError::new(format!(
+            return Err(format!(
                 "unknown QoS type `{other}` (expected `continuous` or `single`)"
-            )))
+            ))
         }
     };
     match (qos_type, items.len()) {
@@ -217,13 +301,11 @@ fn parse_qos_value(value: &CssValue) -> Result<QosSpec, LangError> {
         (QosType::Single, 2) => {
             let word = items[1]
                 .as_keyword()
-                .ok_or_else(|| LangError::new("expected `short` or `long`"))?;
+                .ok_or_else(|| "expected `short` or `long`".to_string())?;
             match word {
                 "short" => Ok(QosSpec::single(ResponseExpectation::Short)),
                 "long" => Ok(QosSpec::single(ResponseExpectation::Long)),
-                other => Err(LangError::new(format!(
-                    "expected `short` or `long`, found `{other}`"
-                ))),
+                other => Err(format!("expected `short` or `long`, found `{other}`")),
             }
         }
         (_, 3) => {
@@ -231,21 +313,21 @@ fn parse_qos_value(value: &CssValue) -> Result<QosSpec, LangError> {
             // values must either appear or be omitted together" (Table 2).
             let ti = items[1]
                 .as_number()
-                .ok_or_else(|| LangError::new("expected numeric T_I value"))?;
+                .ok_or_else(|| "expected numeric T_I value".to_string())?;
             let tu = items[2]
                 .as_number()
-                .ok_or_else(|| LangError::new("expected numeric T_U value"))?;
+                .ok_or_else(|| "expected numeric T_U value".to_string())?;
             if ti <= 0.0 || tu <= 0.0 || ti > tu {
-                return Err(LangError::new(format!(
+                return Err(format!(
                     "invalid QoS targets ({ti}, {tu}): need 0 < T_I <= T_U"
-                )));
+                ));
             }
             Ok(QosSpec::with_target(qos_type, QosTarget::new(ti, tu)))
         }
-        (QosType::Single, 1) => Err(LangError::new(
-            "`single` requires `short`/`long` or explicit targets",
-        )),
-        _ => Err(LangError::new("malformed QoS declaration value")),
+        (QosType::Single, 1) => {
+            Err("`single` requires `short`/`long` or explicit targets".to_string())
+        }
+        _ => Err("malformed QoS declaration value".to_string()),
     }
 }
 
@@ -314,6 +396,62 @@ mod tests {
                 "should reject {css}"
             );
         }
+    }
+
+    #[test]
+    fn lossy_keeps_good_annotations_and_reports_errors() {
+        let sheet = parse_stylesheet(
+            "#a:QoS { onclick-qos: single, short; }
+             #b:QoS { onhover-qos: continuous; }
+             #c:QoS { ontouchmove-qos: sideways; }",
+        )
+        .unwrap();
+        assert!(AnnotationTable::from_stylesheet(&sheet).is_err());
+        let (t, errors) = AnnotationTable::from_stylesheet_lossy(&sheet);
+        assert_eq!(errors.len(), 2);
+        // The good annotation survives.
+        assert_eq!(t.annotations()[0].spec.target, QosTarget::SINGLE_SHORT);
+        // The bad value on a known event falls back to its category
+        // default (touchmove → continuous)...
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.annotations()[1].event, EventType::TouchMove);
+        assert_eq!(t.annotations()[1].spec, QosSpec::continuous());
+        // ...and the unknown event is dropped with a typed error.
+        assert!(matches!(&errors[0], LangError::UnknownEvent { .. }));
+        assert!(matches!(
+            &errors[1],
+            LangError::BadValue {
+                event: EventType::TouchMove,
+                ..
+            }
+        ));
+        assert_eq!(errors[1].event(), Some(EventType::TouchMove));
+        assert_eq!(errors[0].event(), None);
+    }
+
+    #[test]
+    fn lossy_on_clean_stylesheet_matches_strict() {
+        let css = "div#ex:QoS { ontouchstart-qos: continuous; }
+                   #b:QoS { onclick-qos: single, short; }";
+        let sheet = parse_stylesheet(css).unwrap();
+        let strict = AnnotationTable::from_stylesheet(&sheet).unwrap();
+        let (lossy, errors) = AnnotationTable::from_stylesheet_lossy(&sheet);
+        assert!(errors.is_empty());
+        assert_eq!(strict, lossy);
+    }
+
+    #[test]
+    fn lossy_fallback_still_resolves_by_selector() {
+        // A truncated/garbled value must not cost the element its QoS
+        // treatment: the fallback annotation matches the same selector.
+        let doc = parse_html("<div id='c'></div>").unwrap();
+        let c = doc.element_by_id("c").unwrap();
+        let sheet =
+            parse_stylesheet("#c:QoS { ontouchmove-qos: continuous, 20; }").unwrap();
+        let (t, errors) = AnnotationTable::from_stylesheet_lossy(&sheet);
+        assert_eq!(errors.len(), 1);
+        let spec = t.lookup(&doc, c, EventType::TouchMove).unwrap();
+        assert_eq!(*spec, QosSpec::continuous());
     }
 
     #[test]

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod autogreen;
+pub mod degrade;
 pub mod ebs;
 pub mod lang;
 pub mod metrics;
@@ -55,9 +56,12 @@ pub mod runtime;
 pub mod uai;
 
 pub use autogreen::{AutoGreen, AutoGreenReport};
+pub use degrade::{DegradationLevel, DegradationLog, Transition, Watchdog};
 pub use ebs::EbsScheduler;
 pub use lang::{Annotation, AnnotationTable, LangError};
-pub use metrics::{mean_violation, violation_for_input, RunMetrics};
+pub use metrics::{
+    mean_violation, violation_for_input, violation_rate_in_window, ChaosMetrics, RunMetrics,
+};
 pub use model::{ConfigPredictor, FrameModel};
 pub use qos::{QosSpec, QosTarget, QosType, Scenario};
 pub use runtime::GreenWebScheduler;

@@ -6,7 +6,9 @@
 //! mean over all associated frames (Sec. 7.2). Energy is reported
 //! normalized to a baseline run (Perf in the paper's figures).
 
+use crate::degrade::{DegradationLevel, DegradationLog};
 use crate::qos::QosType;
+use greenweb_acmp::{Duration, SimTime};
 use greenweb_engine::{InputId, SimReport};
 use std::collections::HashMap;
 
@@ -132,6 +134,78 @@ impl RunMetrics {
     }
 }
 
+/// Fraction of frames completing in `[from, to)` whose latency exceeds
+/// `target_ms`. Returns 0 when the window holds no frames. Chaos
+/// harnesses use this to compare the violation rate during a fault storm
+/// against the rate after the watchdog has re-converged.
+pub fn violation_rate_in_window(
+    report: &SimReport,
+    target_ms: f64,
+    from: SimTime,
+    to: SimTime,
+) -> f64 {
+    let mut total = 0usize;
+    let mut violated = 0usize;
+    for frame in &report.frames {
+        if frame.completed_at < from || frame.completed_at >= to {
+            continue;
+        }
+        total += 1;
+        if frame.latency.as_millis_f64() > target_ms {
+            violated += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        violated as f64 / total as f64
+    }
+}
+
+/// Robustness metrics of one chaos run: what was injected, how far the
+/// runtime degraded, and how long it took to come back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosMetrics {
+    /// Total faults the injector fired.
+    pub injected_faults: usize,
+    /// Fault counts by category (`"load-spike"`, `"vsync"`, `"input"`,
+    /// `"sensor"`).
+    pub faults_by_category: HashMap<&'static str, usize>,
+    /// Ladder escalations the watchdog recorded.
+    pub escalations: usize,
+    /// Ladder recoveries (de-escalations).
+    pub recoveries: usize,
+    /// The most degraded level entered.
+    pub deepest_level: DegradationLevel,
+    /// Time from first escalation to the final return to
+    /// [`DegradationLevel::Annotated`]; `None` if never degraded or not
+    /// yet recovered.
+    pub recovery_latency: Option<Duration>,
+}
+
+impl ChaosMetrics {
+    /// Computes chaos metrics from a run's report and the scheduler's
+    /// degradation log. Works for fault-free runs too (all zeros).
+    pub fn compute(report: &SimReport, log: &DegradationLog) -> Self {
+        let mut faults_by_category = HashMap::new();
+        let mut injected_faults = 0;
+        if let Some(chaos) = &report.chaos {
+            injected_faults = chaos.total();
+            for fault in &chaos.faults {
+                *faults_by_category.entry(fault.kind.category()).or_insert(0) += 1;
+            }
+        }
+        ChaosMetrics {
+            injected_faults,
+            faults_by_category,
+            escalations: log.escalations(),
+            recoveries: log.recoveries(),
+            deepest_level: log.deepest(),
+            recovery_latency: log.recovery_latency(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +244,7 @@ mod tests {
             switches: (4, 2),
             busy_time: Duration::from_millis(10),
             total_time: Duration::from_millis(100),
+            chaos: None,
         }
     }
 

@@ -156,6 +156,21 @@ impl QosSpec {
     pub fn with_target(qos_type: QosType, target: QosTarget) -> Self {
         QosSpec { qos_type, target }
     }
+
+    /// The Table 1 category default for `event` — the fallback the
+    /// runtime substitutes when an annotation is malformed or its
+    /// declared targets stop being trustworthy (degradation ladder,
+    /// [`crate::degrade`]): move-type interactions are continuous,
+    /// page load is single/long, every other discrete interaction is
+    /// single/short.
+    pub fn default_for_event(event: greenweb_dom::EventType) -> Self {
+        use greenweb_dom::EventType;
+        match event {
+            EventType::TouchMove | EventType::Scroll => QosSpec::continuous(),
+            EventType::Load => QosSpec::single(ResponseExpectation::Long),
+            _ => QosSpec::single(ResponseExpectation::Short),
+        }
+    }
 }
 
 impl fmt::Display for QosSpec {
@@ -257,6 +272,27 @@ mod tests {
         // Magnitudes differ by ~an order across categories (Sec. 3.3).
         assert!(cats[1].target.imperceptible_ms / cats[0].target.imperceptible_ms > 5.0);
         assert!(cats[2].target.imperceptible_ms / cats[1].target.imperceptible_ms > 5.0);
+    }
+
+    #[test]
+    fn category_defaults_by_event() {
+        use greenweb_dom::EventType;
+        assert_eq!(
+            QosSpec::default_for_event(EventType::TouchMove),
+            QosSpec::continuous()
+        );
+        assert_eq!(
+            QosSpec::default_for_event(EventType::Scroll),
+            QosSpec::continuous()
+        );
+        assert_eq!(
+            QosSpec::default_for_event(EventType::Click).target,
+            QosTarget::SINGLE_SHORT
+        );
+        assert_eq!(
+            QosSpec::default_for_event(EventType::Load).target,
+            QosTarget::SINGLE_LONG
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub mod value;
 
 pub use cascade::{ComputedStyle, StyleEngine};
 pub use selector::{Combinator, CompoundSelector, Selector, SimpleSelector, Specificity};
-pub use stylesheet::{parse_stylesheet, CssError, Declaration, KeyframesRule, Rule, Stylesheet};
-pub use tokenizer::{tokenize, Token};
+pub use stylesheet::{
+    parse_declarations_str, parse_stylesheet, parse_stylesheet_with_errors, CssError, Declaration,
+    KeyframesRule, Rule, Stylesheet,
+};
+pub use tokenizer::{tokenize, tokenize_lossy, Token};
 pub use transition::{TransitionSpec, TransitionState};
 pub use value::{CssValue, Length, TimeValue};

@@ -1,7 +1,7 @@
 //! Stylesheet parsing: rules, declarations, and `@keyframes`.
 
 use crate::selector::{parse_selector_list, Selector};
-use crate::tokenizer::{tokenize, Token};
+use crate::tokenizer::{tokenize_lossy, Token};
 use crate::value::CssValue;
 use std::fmt;
 
@@ -212,52 +212,92 @@ impl fmt::Display for CssError {
 
 impl std::error::Error for CssError {}
 
-/// Parses a stylesheet from source text.
+/// Parses a stylesheet from source text with browser-style error
+/// recovery: a malformed rule, declaration, or token costs only itself —
+/// the parser records an error and resumes at the next construct — so
+/// one bad rule can never take the whole sheet (or its GreenWeb `:QoS`
+/// annotations) down with it. Unknown at-rules other than `@keyframes`
+/// are skipped wholesale, like real browsers do.
 ///
 /// # Errors
 ///
-/// Returns [`CssError`] on unbalanced braces or malformed selectors.
-/// Unknown at-rules other than `@keyframes` are skipped wholesale, like
-/// real browsers do.
+/// Never fails; the `Result` is kept for API stability. Use
+/// [`parse_stylesheet_with_errors`] to inspect what was recovered from.
 pub fn parse_stylesheet(input: &str) -> Result<Stylesheet, CssError> {
-    let tokens = tokenize(input).map_err(|e| CssError::new(e.to_string()))?;
+    Ok(parse_stylesheet_with_errors(input).0)
+}
+
+/// Like [`parse_stylesheet`], but also returns every error the parser
+/// recovered from, in source order.
+pub fn parse_stylesheet_with_errors(input: &str) -> (Stylesheet, Vec<CssError>) {
+    let (tokens, token_errors) = tokenize_lossy(input);
+    let mut errors: Vec<CssError> = token_errors
+        .into_iter()
+        .map(|e| CssError::new(e.to_string()))
+        .collect();
     let mut sheet = Stylesheet::new();
     let mut i = 0;
     while i < tokens.len() {
         match &tokens[i] {
             Token::Whitespace => i += 1,
+            Token::CloseBrace => {
+                // A stray `}` between rules; drop it and continue.
+                errors.push(CssError::new("unexpected `}`"));
+                i += 1;
+            }
             Token::AtKeyword(name) if name == "keyframes" => {
-                let (rule, next) = parse_keyframes(&tokens, i + 1)?;
-                sheet.keyframes.push(rule);
+                let (rule, next) = parse_keyframes(&tokens, i + 1, &mut errors);
+                if let Some(rule) = rule {
+                    sheet.keyframes.push(rule);
+                }
                 i = next;
             }
             Token::AtKeyword(_) => {
-                i = skip_at_rule(&tokens, i + 1)?;
+                i = skip_at_rule(&tokens, i + 1, &mut errors);
             }
             _ => {
-                let (rule, next) = parse_style_rule(&tokens, i)?;
-                sheet.rules.push(rule);
+                let (rule, next) = parse_style_rule(&tokens, i, &mut errors);
+                if let Some(rule) = rule {
+                    sheet.rules.push(rule);
+                }
                 i = next;
             }
         }
     }
-    Ok(sheet)
+    (sheet, errors)
 }
 
 /// Parses the declarations inside one `{ … }` block given as source text
-/// (used for `style="…"` inline attributes).
+/// (used for `style="…"` inline attributes). Malformed declarations are
+/// skipped individually, like browsers treat `style` attributes.
+///
+/// # Errors
+///
+/// Never fails; the `Result` is kept for API stability.
 pub fn parse_declarations_str(input: &str) -> Result<Vec<Declaration>, CssError> {
-    let tokens = tokenize(input).map_err(|e| CssError::new(e.to_string()))?;
-    parse_declarations(&tokens)
+    let (tokens, token_errors) = tokenize_lossy(input);
+    let mut errors: Vec<CssError> = token_errors
+        .into_iter()
+        .map(|e| CssError::new(e.to_string()))
+        .collect();
+    Ok(parse_declarations(&tokens, &mut errors))
 }
 
-fn find_block(tokens: &[Token], mut i: usize) -> Result<(usize, usize), CssError> {
-    // Returns (open_brace_index, close_brace_index).
+/// Returns `(open_brace_index, close_brace_index)`. A block the input
+/// truncates before its `}` is implicitly closed at end of input
+/// (`close == tokens.len()`), mirroring the CSS rule that EOF closes all
+/// open constructs. `None` when no `{` exists at or after `i`.
+fn find_block(
+    tokens: &[Token],
+    mut i: usize,
+    errors: &mut Vec<CssError>,
+) -> Option<(usize, usize)> {
     while i < tokens.len() && tokens[i] != Token::OpenBrace {
         i += 1;
     }
     if i >= tokens.len() {
-        return Err(CssError::new("expected `{`"));
+        errors.push(CssError::new("expected `{`"));
+        return None;
     }
     let open = i;
     let mut depth = 0usize;
@@ -267,23 +307,40 @@ fn find_block(tokens: &[Token], mut i: usize) -> Result<(usize, usize), CssError
             Token::CloseBrace => {
                 depth -= 1;
                 if depth == 0 {
-                    return Ok((open, i));
+                    return Some((open, i));
                 }
             }
             _ => {}
         }
         i += 1;
     }
-    Err(CssError::new("unbalanced braces"))
+    errors.push(CssError::new(
+        "unbalanced braces: block implicitly closed at end of input",
+    ));
+    Some((open, tokens.len()))
 }
 
-fn parse_style_rule(tokens: &[Token], start: usize) -> Result<(Rule, usize), CssError> {
-    let (open, close) = find_block(tokens, start)?;
+fn parse_style_rule(
+    tokens: &[Token],
+    start: usize,
+    errors: &mut Vec<CssError>,
+) -> (Option<Rule>, usize) {
+    let Some((open, close)) = find_block(tokens, start, errors) else {
+        return (None, tokens.len());
+    };
+    let next = (close + 1).min(tokens.len());
     let prelude = &tokens[start..open];
-    let selectors =
-        parse_selector_list(trim_ws(prelude)).map_err(|e| CssError::new(e.to_string()))?;
-    let declarations = parse_declarations(&tokens[open + 1..close])?;
-    Ok((Rule::new(selectors, declarations), close + 1))
+    let selectors = match parse_selector_list(trim_ws(prelude)) {
+        Ok(selectors) => selectors,
+        Err(e) => {
+            // Skip to the next rule: a malformed selector invalidates
+            // only its own rule.
+            errors.push(CssError::new(e.to_string()));
+            return (None, next);
+        }
+    };
+    let declarations = parse_declarations(&tokens[open + 1..close], errors);
+    (Some(Rule::new(selectors, declarations)), next)
 }
 
 fn trim_ws(tokens: &[Token]) -> &[Token] {
@@ -298,20 +355,25 @@ fn trim_ws(tokens: &[Token]) -> &[Token] {
     &tokens[start..end]
 }
 
-fn parse_declarations(tokens: &[Token]) -> Result<Vec<Declaration>, CssError> {
+fn parse_declarations(tokens: &[Token], errors: &mut Vec<CssError>) -> Vec<Declaration> {
     let mut declarations = Vec::new();
     for chunk in tokens.split(|t| *t == Token::Semicolon) {
         let chunk = trim_ws(chunk);
         if chunk.is_empty() {
             continue;
         }
-        let colon = chunk
-            .iter()
-            .position(|t| *t == Token::Colon)
-            .ok_or_else(|| CssError::new("declaration missing `:`"))?;
+        // A malformed declaration is dropped up to the next `;`, exactly
+        // like browsers treat it; its neighbours are unaffected.
+        let Some(colon) = chunk.iter().position(|t| *t == Token::Colon) else {
+            errors.push(CssError::new("declaration missing `:`"));
+            continue;
+        };
         let property = match trim_ws(&chunk[..colon]) {
             [Token::Ident(name)] => name.to_ascii_lowercase(),
-            _ => return Err(CssError::new("invalid property name")),
+            _ => {
+                errors.push(CssError::new("invalid property name"));
+                continue;
+            }
         };
         let mut value_tokens = trim_ws(&chunk[colon + 1..]).to_vec();
         let mut important = false;
@@ -334,14 +396,24 @@ fn parse_declarations(tokens: &[Token]) -> Result<Vec<Declaration>, CssError> {
             important,
         });
     }
-    Ok(declarations)
+    declarations
 }
 
-fn parse_keyframes(tokens: &[Token], start: usize) -> Result<(KeyframesRule, usize), CssError> {
-    let (open, close) = find_block(tokens, start)?;
+fn parse_keyframes(
+    tokens: &[Token],
+    start: usize,
+    errors: &mut Vec<CssError>,
+) -> (Option<KeyframesRule>, usize) {
+    let Some((open, close)) = find_block(tokens, start, errors) else {
+        return (None, tokens.len());
+    };
+    let next = (close + 1).min(tokens.len());
     let name = match trim_ws(&tokens[start..open]) {
         [Token::Ident(name)] => name.clone(),
-        _ => return Err(CssError::new("expected keyframes name")),
+        _ => {
+            errors.push(CssError::new("expected keyframes name"));
+            return (None, next);
+        }
     };
     let body = &tokens[open + 1..close];
     let mut frames = Vec::new();
@@ -351,8 +423,12 @@ fn parse_keyframes(tokens: &[Token], start: usize) -> Result<(KeyframesRule, usi
             i += 1;
             continue;
         }
-        let (frame_open, frame_close) = find_block(body, i)?;
-        let offsets: Vec<f64> = trim_ws(&body[i..frame_open])
+        let Some((frame_open, frame_close)) = find_block(body, i, errors) else {
+            // Trailing garbage after the last keyframe: drop it, keep
+            // the frames parsed so far.
+            break;
+        };
+        let offsets: Result<Vec<f64>, CssError> = trim_ws(&body[i..frame_open])
             .split(|t| *t == Token::Comma)
             .map(|sel| match trim_ws(sel) {
                 [Token::Ident(word)] if word == "from" => Ok(0.0),
@@ -360,33 +436,41 @@ fn parse_keyframes(tokens: &[Token], start: usize) -> Result<(KeyframesRule, usi
                 [Token::Percentage(p)] => Ok(p / 100.0),
                 _ => Err(CssError::new("invalid keyframe selector")),
             })
-            .collect::<Result<_, _>>()?;
-        let declarations = parse_declarations(&body[frame_open + 1..frame_close])?;
-        for offset in offsets {
-            frames.push(Keyframe {
-                offset,
-                declarations: declarations.clone(),
-            });
+            .collect();
+        let declarations = parse_declarations(&body[frame_open + 1..frame_close], errors);
+        match offsets {
+            Ok(offsets) => {
+                for offset in offsets {
+                    frames.push(Keyframe {
+                        offset,
+                        declarations: declarations.clone(),
+                    });
+                }
+            }
+            // A bad keyframe selector costs only its own frame.
+            Err(e) => errors.push(e),
         }
-        i = frame_close + 1;
+        i = (frame_close + 1).min(body.len());
     }
     frames.sort_by(|a, b| a.offset.partial_cmp(&b.offset).expect("finite offsets"));
-    Ok((KeyframesRule { name, frames }, close + 1))
+    (Some(KeyframesRule { name, frames }), next)
 }
 
-fn skip_at_rule(tokens: &[Token], mut i: usize) -> Result<usize, CssError> {
+fn skip_at_rule(tokens: &[Token], mut i: usize, errors: &mut Vec<CssError>) -> usize {
     // Skip to either a `;` (statement at-rule) or a balanced block.
     while i < tokens.len() {
         match tokens[i] {
-            Token::Semicolon => return Ok(i + 1),
+            Token::Semicolon => return i + 1,
             Token::OpenBrace => {
-                let (_, close) = find_block(tokens, i)?;
-                return Ok(close + 1);
+                return match find_block(tokens, i, errors) {
+                    Some((_, close)) => (close + 1).min(tokens.len()),
+                    None => tokens.len(),
+                };
             }
             _ => i += 1,
         }
     }
-    Ok(i)
+    i
 }
 
 #[cfg(test)]
@@ -507,13 +591,75 @@ mod tests {
     }
 
     #[test]
-    fn unbalanced_braces_error() {
-        assert!(parse_stylesheet("p { width: 1px;").is_err());
+    fn unbalanced_braces_recover_at_eof() {
+        // A truncated block is implicitly closed at end of input; its
+        // parsed content survives and the problem is reported.
+        let (sheet, errors) = parse_stylesheet_with_errors("p { width: 1px;");
+        assert_eq!(sheet.rules().len(), 1);
+        assert_eq!(sheet.rules()[0].declarations().len(), 1);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].to_string().contains("unbalanced braces"));
+        // The plain API recovers the same way.
+        assert_eq!(parse_stylesheet("p { width: 1px;").unwrap(), sheet);
     }
 
     #[test]
-    fn declaration_without_colon_errors() {
-        assert!(parse_stylesheet("p { width }").is_err());
+    fn declaration_without_colon_skipped() {
+        // The malformed declaration is dropped up to the next `;`; its
+        // neighbours and the rule itself survive.
+        let (sheet, errors) =
+            parse_stylesheet_with_errors("p { width; height: 2px; margin 3px }");
+        assert_eq!(sheet.rules().len(), 1);
+        let decls = sheet.rules()[0].declarations();
+        assert_eq!(decls.len(), 1);
+        assert_eq!(decls[0].property, "height");
+        assert_eq!(errors.len(), 2);
+    }
+
+    #[test]
+    fn bad_rule_does_not_kill_following_rules() {
+        // Skip-to-next-rule: the malformed selector invalidates only its
+        // own rule.
+        let css = "£bad&sel { color: red; } h1 { margin: 0; }";
+        let (sheet, errors) = parse_stylesheet_with_errors(css);
+        assert_eq!(sheet.rules().len(), 1);
+        assert_eq!(sheet.rules()[0].declarations()[0].property, "margin");
+        assert!(!errors.is_empty());
+    }
+
+    #[test]
+    fn stray_close_brace_between_rules_dropped() {
+        let (sheet, errors) = parse_stylesheet_with_errors("} h1 { margin: 0; }");
+        assert_eq!(sheet.rules().len(), 1);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].to_string().contains("unexpected `}`"));
+    }
+
+    #[test]
+    fn truncated_qos_block_keeps_annotation() {
+        // Regression test for the chaos scenario that motivated
+        // recovery: a stylesheet cut off mid-`:QoS` block (e.g. a
+        // truncated download) must still surface the annotations parsed
+        // so far, not silently drop every rule in the sheet.
+        let css = "h1 { margin: 0; }\n#c:QoS { ontouchmove-qos: continuous";
+        let (sheet, errors) = parse_stylesheet_with_errors(css);
+        assert_eq!(sheet.rules().len(), 2);
+        let qos: Vec<_> = sheet.qos_rules().collect();
+        assert_eq!(qos.len(), 1);
+        assert_eq!(qos[0].declarations()[0].property, "ontouchmove-qos");
+        assert_eq!(
+            qos[0].declarations()[0].value,
+            CssValue::Keyword("continuous".into())
+        );
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn recovery_reports_nothing_on_clean_sheets() {
+        let css = "div#ex { width: 100px; } div#ex:QoS { ontouchstart-qos: continuous; }";
+        let (sheet, errors) = parse_stylesheet_with_errors(css);
+        assert!(errors.is_empty());
+        assert_eq!(sheet.rules().len(), 2);
     }
 
     #[test]

@@ -114,9 +114,24 @@ fn is_ident_char(c: char) -> bool {
 ///
 /// # Errors
 ///
-/// Returns [`TokenizeError`] for unterminated strings or comments.
+/// Returns [`TokenizeError`] for unterminated strings or comments. For
+/// browser-style recovery, use [`tokenize_lossy`].
 pub fn tokenize(input: &str) -> Result<Vec<Token>, TokenizeError> {
+    let (tokens, mut errors) = tokenize_lossy(input);
+    match errors.is_empty() {
+        true => Ok(tokens),
+        false => Err(errors.remove(0)),
+    }
+}
+
+/// Tokenizes `input`, recovering from malformed constructs the way the
+/// CSS Syntax Module prescribes for real browsers: an unterminated
+/// comment consumes to end of input, an unterminated string yields the
+/// content scanned so far. Every recovery is reported alongside the
+/// token stream.
+pub fn tokenize_lossy(input: &str) -> (Vec<Token>, Vec<TokenizeError>) {
     let mut tokens = Vec::new();
+    let mut errors = Vec::new();
     let chars: Vec<char> = input.chars().collect();
     let mut i = 0;
     while i < chars.len() {
@@ -133,10 +148,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, TokenizeError> {
                 i += 2;
                 loop {
                     if i + 1 >= chars.len() {
-                        return Err(TokenizeError {
+                        // Per CSS Syntax §4.3.2: an unterminated comment
+                        // runs to end of input.
+                        errors.push(TokenizeError {
                             message: "unterminated comment".into(),
                             offset: start,
                         });
+                        i = chars.len();
+                        break;
                     }
                     if chars[i] == '*' && chars[i + 1] == '/' {
                         i += 2;
@@ -161,10 +180,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, TokenizeError> {
                                 s.push(escaped);
                                 i += 2;
                             } else {
-                                return Err(TokenizeError {
+                                // Trailing backslash at EOF: keep the
+                                // content scanned so far.
+                                errors.push(TokenizeError {
                                     message: "unterminated string".into(),
                                     offset: start,
                                 });
+                                i = chars.len();
+                                break;
                             }
                         }
                         Some(&ch) => {
@@ -172,10 +195,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, TokenizeError> {
                             i += 1;
                         }
                         None => {
-                            return Err(TokenizeError {
+                            // Per CSS Syntax §4.3.5: an unterminated
+                            // string yields a string token at EOF.
+                            errors.push(TokenizeError {
                                 message: "unterminated string".into(),
                                 offset: start,
-                            })
+                            });
+                            break;
                         }
                     }
                 }
@@ -306,7 +332,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, TokenizeError> {
             }
         }
     }
-    Ok(tokens)
+    (tokens, errors)
 }
 
 #[cfg(test)]
@@ -397,6 +423,32 @@ mod tests {
     #[test]
     fn unterminated_string_errors() {
         assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn lossy_recovers_unterminated_comment() {
+        let (tokens, errors) = tokenize_lossy("a /* oops");
+        assert_eq!(tokens, vec![Token::Ident("a".into()), Token::Whitespace]);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].to_string().contains("unterminated comment"));
+    }
+
+    #[test]
+    fn lossy_recovers_unterminated_string() {
+        let (tokens, errors) = tokenize_lossy("'oops");
+        assert_eq!(tokens, vec![Token::String("oops".into())]);
+        assert_eq!(errors.len(), 1);
+        let (tokens, errors) = tokenize_lossy("'trailing\\");
+        assert_eq!(tokens, vec![Token::String("trailing".into())]);
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_clean_input() {
+        let input = "h1 { font-weight: bold; } /* c */ 'str' 50%";
+        let (tokens, errors) = tokenize_lossy(input);
+        assert!(errors.is_empty());
+        assert_eq!(tokens, tokenize(input).unwrap());
     }
 
     #[test]

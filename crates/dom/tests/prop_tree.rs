@@ -2,8 +2,8 @@
 //! preserve the arena's structural invariants, and serialization must
 //! round-trip through the parser.
 
+use greenweb_det::prop::{check, Gen, DEFAULT_CASES};
 use greenweb_dom::{parse_html, Document, NodeId, NodeKind};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,16 +13,16 @@ enum Op {
     Detach(u8),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u8..8).prop_map(Op::CreateElement),
-            (0u8..8).prop_map(Op::CreateText),
-            (any::<u8>(), any::<u8>()).prop_map(|(parent, child)| Op::Append { parent, child }),
-            any::<u8>().prop_map(Op::Detach),
-        ],
-        0..40,
-    )
+fn gen_ops(g: &mut Gen) -> Vec<Op> {
+    g.vec_of(40, |g| match g.usize_in(0, 4) {
+        0 => Op::CreateElement(g.usize_in(0, 8) as u8),
+        1 => Op::CreateText(g.usize_in(0, 8) as u8),
+        2 => Op::Append {
+            parent: g.usize_in(0, 256) as u8,
+            child: g.usize_in(0, 256) as u8,
+        },
+        _ => Op::Detach(g.usize_in(0, 256) as u8),
+    })
 }
 
 /// Applies ops defensively (skipping ones the API forbids) and returns
@@ -58,76 +58,84 @@ fn apply(ops: &[Op]) -> (Document, Vec<NodeId>) {
     (doc, nodes)
 }
 
-proptest! {
-    /// Parent/child links are mutually consistent after any op sequence.
-    #[test]
-    fn links_stay_consistent(ops in arb_ops()) {
-        let (doc, nodes) = apply(&ops);
+/// Parent/child links are mutually consistent after any op sequence.
+#[test]
+fn links_stay_consistent() {
+    check("links_stay_consistent", DEFAULT_CASES, |g| {
+        let (doc, nodes) = apply(&gen_ops(g));
         for &node in &nodes {
             for child in doc.children(node).collect::<Vec<_>>() {
-                prop_assert_eq!(doc.parent(child), Some(node));
+                assert_eq!(doc.parent(child), Some(node));
             }
             if let Some(parent) = doc.parent(node) {
-                prop_assert!(
+                assert!(
                     doc.children(parent).any(|c| c == node),
                     "{node} not among its parent's children"
                 );
             }
             // Sibling chain is symmetric.
             if let Some(next) = doc.next_sibling(node) {
-                prop_assert_eq!(doc.prev_sibling(next), Some(node));
+                assert_eq!(doc.prev_sibling(next), Some(node));
             }
             if let Some(prev) = doc.prev_sibling(node) {
-                prop_assert_eq!(doc.next_sibling(prev), Some(node));
+                assert_eq!(doc.next_sibling(prev), Some(node));
             }
         }
-    }
+    });
+}
 
-    /// No node is reachable from the root twice, and ancestor chains
-    /// terminate (no cycles).
-    #[test]
-    fn no_cycles_no_duplicates(ops in arb_ops()) {
-        let (doc, nodes) = apply(&ops);
+/// No node is reachable from the root twice, and ancestor chains
+/// terminate (no cycles).
+#[test]
+fn no_cycles_no_duplicates() {
+    check("no_cycles_no_duplicates", DEFAULT_CASES, |g| {
+        let (doc, nodes) = apply(&gen_ops(g));
         let reachable: Vec<NodeId> = doc.descendants(doc.root()).collect();
         let mut sorted = reachable.clone();
         sorted.sort();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), reachable.len(), "duplicate reachable node");
+        assert_eq!(sorted.len(), reachable.len(), "duplicate reachable node");
         for &node in &nodes {
-            prop_assert!(doc.ancestors(node).count() <= nodes.len());
+            assert!(doc.ancestors(node).count() <= nodes.len());
         }
-    }
+    });
+}
 
-    /// Depth equals the ancestor count for every attached node.
-    #[test]
-    fn depth_matches_ancestors(ops in arb_ops()) {
-        let (doc, _) = apply(&ops);
+/// Depth equals the ancestor count for every attached node.
+#[test]
+fn depth_matches_ancestors() {
+    check("depth_matches_ancestors", DEFAULT_CASES, |g| {
+        let (doc, _) = apply(&gen_ops(g));
         for node in doc.descendants(doc.root()).collect::<Vec<_>>() {
-            prop_assert_eq!(doc.depth(node), doc.ancestors(node).count());
+            assert_eq!(doc.depth(node), doc.ancestors(node).count());
         }
-    }
+    });
+}
 
-    /// Serializing a random element tree and reparsing produces the same
-    /// markup (text nodes with whitespace-only content are excluded by
-    /// construction: `x{t}` is never whitespace).
-    #[test]
-    fn serialize_reparse_round_trip(ops in arb_ops()) {
-        let (doc, _) = apply(&ops);
+/// Serializing a random element tree and reparsing produces the same
+/// markup (text nodes with whitespace-only content are excluded by
+/// construction: `x{t}` is never whitespace).
+#[test]
+fn serialize_reparse_round_trip() {
+    check("serialize_reparse_round_trip", DEFAULT_CASES, |g| {
+        let (doc, _) = apply(&gen_ops(g));
         let html = doc.serialize(doc.root());
         let reparsed = parse_html(&html).unwrap();
-        prop_assert_eq!(reparsed.serialize(reparsed.root()), html);
-    }
+        assert_eq!(reparsed.serialize(reparsed.root()), html);
+    });
+}
 
-    /// `elements()` yields exactly the reachable nodes whose kind is
-    /// Element.
-    #[test]
-    fn elements_iterator_agrees_with_kinds(ops in arb_ops()) {
-        let (doc, _) = apply(&ops);
+/// `elements()` yields exactly the reachable nodes whose kind is
+/// Element.
+#[test]
+fn elements_iterator_agrees_with_kinds() {
+    check("elements_iterator_agrees_with_kinds", DEFAULT_CASES, |g| {
+        let (doc, _) = apply(&gen_ops(g));
         let from_iter: Vec<NodeId> = doc.elements().collect();
         let filtered: Vec<NodeId> = doc
             .descendants(doc.root())
             .filter(|&n| matches!(doc.kind(n), NodeKind::Element(_)))
             .collect();
-        prop_assert_eq!(from_iter, filtered);
-    }
+        assert_eq!(from_iter, filtered);
+    });
 }

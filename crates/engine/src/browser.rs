@@ -11,6 +11,7 @@
 use crate::app::App;
 use crate::cost::{FrameCostModel, Stage};
 use crate::events::{InputId, TargetSpec, Trace, TraceEvent};
+use crate::fault::{FaultInjector, FaultPlan, VsyncDisposition};
 use crate::frame::{FrameTracker, Msg};
 use crate::host::{CallbackEffects, ScriptHost};
 use crate::report::{InputRecord, SimReport};
@@ -196,6 +197,7 @@ pub struct Browser<S: Scheduler> {
     next_uid: u64,
     util_mark: Duration,
     logs: Vec<String>,
+    injector: Option<FaultInjector>,
 }
 
 impl<S: Scheduler> Browser<S> {
@@ -259,6 +261,7 @@ impl<S: Scheduler> Browser<S> {
             next_uid: 0,
             util_mark: Duration::ZERO,
             logs: Vec::new(),
+            injector: None,
         };
         // Run setup scripts: they register listeners and may set initial
         // styles. Scheduling effects (dirty/rAF/timers) are ignored at
@@ -272,6 +275,27 @@ impl<S: Scheduler> Browser<S> {
             }
         }
         Ok(browser)
+    }
+
+    /// Loads `app` with a fault-injection plan attached (default
+    /// hardware). See [`Browser::set_fault_plan`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Browser::new`].
+    pub fn with_faults(app: &App, scheduler: S, plan: FaultPlan) -> Result<Self, BrowserError> {
+        let mut browser = Self::new(app, scheduler)?;
+        browser.set_fault_plan(plan);
+        Ok(browser)
+    }
+
+    /// Attaches a seeded fault-injection plan. The next [`Browser::run`]
+    /// perturbs input delivery, VSync timing, callback cost, and the
+    /// power sensor per the plan; every fault that fires is recorded in
+    /// the report's [`crate::ChaosReport`]. Runs with the same plan (and
+    /// same app/trace/scheduler) are byte-for-byte reproducible.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
     }
 
     /// The live document.
@@ -303,6 +327,19 @@ impl<S: Scheduler> Browser<S> {
         &self.logs
     }
 
+    /// The attached scheduler. Chaos harnesses use this after a run to
+    /// read runtime state the report does not carry (e.g. a
+    /// degradation log).
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Mutable access to the attached scheduler (e.g. to tune watchdog
+    /// thresholds before a run).
+    pub fn scheduler_mut(&mut self) -> &mut S {
+        &mut self.scheduler
+    }
+
     fn push_event(&mut self, at: SimTime, kind: SimEventKind) {
         self.seq += 1;
         self.queue.push(Reverse(QueuedEvent {
@@ -326,8 +363,12 @@ impl<S: Scheduler> Browser<S> {
     ///
     /// Returns [`BrowserError::Script`] if a callback raises an error.
     pub fn run(&mut self, trace: &Trace) -> Result<SimReport, BrowserError> {
-        for event in &trace.events {
-            self.push_event(event.at, SimEventKind::Input(event.clone()));
+        let events = match self.injector.as_mut() {
+            Some(injector) => injector.perturb_inputs(&trace.events),
+            None => trace.events.clone(),
+        };
+        for event in events {
+            self.push_event(event.at, SimEventKind::Input(event));
         }
         self.push_event(SimTime::ZERO + VSYNC_PERIOD, SimEventKind::VSync);
         if let Some(period) = self.scheduler.timer_period() {
@@ -376,6 +417,7 @@ impl<S: Scheduler> Browser<S> {
             switches: self.cpu.switch_counts(),
             busy_time: self.cpu.busy_time(),
             total_time: end.since(SimTime::ZERO),
+            chaos: self.injector.as_ref().map(FaultInjector::report),
         }
     }
 
@@ -496,6 +538,31 @@ impl<S: Scheduler> Browser<S> {
     }
 
     fn on_vsync(&mut self, end: SimTime) -> Result<(), BrowserError> {
+        if let Some(injector) = self.injector.as_mut() {
+            // The power sensor is sampled at display rate (~60 Hz): apply
+            // this interval's (possibly distorted) gain before any other
+            // work charges energy.
+            let gain = injector.sensor_gain(self.now);
+            self.cpu.set_sensor_gain(self.now, gain);
+            match injector.on_vsync(self.now) {
+                VsyncDisposition::Deliver => {}
+                VsyncDisposition::Drop => {
+                    // The display swallowed the tick: no input delivery,
+                    // no rAF, no frame — but the clock keeps beating.
+                    let next = self.now + VSYNC_PERIOD;
+                    if next <= end {
+                        self.push_event(next, SimEventKind::VSync);
+                    }
+                    return Ok(());
+                }
+                VsyncDisposition::Defer(delay) => {
+                    // The tick arrives late; its work (and the schedule of
+                    // the following tick) shifts with it.
+                    self.push_event(self.now + delay, SimEventKind::VSync);
+                    return Ok(());
+                }
+            }
+        }
         // If the main thread is still chewing on the previous frame, skip
         // this VSync entirely — real browsers do not dispatch rAF or
         // begin a frame under main-thread congestion; the animation
@@ -977,9 +1044,16 @@ impl<S: Scheduler> Browser<S> {
         let args: Vec<Value> = arg.into_iter().collect();
         self.interp.call_function(&callback, &args, &mut host)?;
         let effects = host.effects;
-        let work = self
+        let mut work = self
             .cost
             .callback_work(self.interp.ops(), effects.work_cycles, effects.gpu_ms);
+        if let Some(injector) = self.injector.as_mut() {
+            let multiplier = injector.callback_multiplier(self.now);
+            if multiplier != 1.0 {
+                work.cycles *= multiplier;
+                work.independent_ns *= multiplier;
+            }
+        }
         self.start_task(RunningKind::Callback { effects, origin }, work);
         Ok(())
     }

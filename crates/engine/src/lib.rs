@@ -43,6 +43,7 @@ pub mod app;
 pub mod browser;
 pub mod cost;
 pub mod events;
+pub mod fault;
 pub mod frame;
 pub mod host;
 pub mod report;
@@ -52,6 +53,10 @@ pub use app::{App, AppBuilder};
 pub use browser::{Browser, BrowserError};
 pub use cost::FrameCostModel;
 pub use events::{InputId, TargetSpec, Trace, TraceBuilder, TraceEvent};
-pub use frame::{FrameRecord, FrameTracker};
+pub use fault::{
+    ChaosReport, FaultInjector, FaultKind, FaultPlan, FaultSpec, InjectedFault, InputFaultSpec,
+    LoadSpikeSpec, SensorFaultSpec, VsyncDisposition, VsyncFaultSpec,
+};
+pub use frame::{FrameRecord, FrameTracker, Msg};
 pub use report::{InputRecord, SimReport};
 pub use scheduler::{GovernorScheduler, Scheduler, SchedulerCtx};

@@ -2,6 +2,7 @@
 //! the paper's metrics.
 
 use crate::events::InputId;
+use crate::fault::ChaosReport;
 use crate::frame::FrameRecord;
 use greenweb_acmp::{CpuConfig, Duration, EnergyBreakdown, SimTime};
 use greenweb_dom::EventType;
@@ -52,6 +53,8 @@ pub struct SimReport {
     pub busy_time: Duration,
     /// The measurement window length.
     pub total_time: Duration,
+    /// Record of injected faults, when the run had a fault plan attached.
+    pub chaos: Option<ChaosReport>,
 }
 
 impl SimReport {
@@ -148,6 +151,7 @@ mod tests {
             switches: (3, 1),
             busy_time: Duration::from_millis(100),
             total_time: Duration::from_millis(1000),
+            chaos: None,
         }
     }
 

@@ -20,15 +20,22 @@ fn malformed_html_is_a_load_error() {
 }
 
 #[test]
-fn malformed_css_is_a_load_error() {
+fn malformed_css_recovers_instead_of_failing_load() {
+    // Browsers never fail a page load over bad CSS: the parser recovers
+    // rule by rule, so the truncated block costs only itself.
     let app = App::builder("bad-css")
         .html("<p></p>")
         .css("p { width: ")
         .build();
-    match Browser::new(&app, perf()) {
-        Err(BrowserError::Css(_)) => {}
-        other => panic!("expected css error, got {other:?}"),
-    }
+    let mut browser = Browser::new(&app, perf()).expect("css recovery keeps the page loadable");
+    let trace = Trace::builder().end_ms(100.0).build();
+    browser.run(&trace).expect("recovered page still runs");
+    // A rule following the malformed one survives too.
+    let app = App::builder("bad-css-2")
+        .html("<p></p>")
+        .css("&&& { nope } p { width: 10px; }")
+        .build();
+    assert!(Browser::new(&app, perf()).is_ok());
 }
 
 #[test]

@@ -2,9 +2,9 @@
 //! must hold for any randomly generated trace.
 
 use greenweb_acmp::{PerfGovernor, PowersaveGovernor};
+use greenweb_det::prop::{check, Gen};
 use greenweb_dom::EventType;
 use greenweb_engine::{App, Browser, GovernorScheduler, TargetSpec, Trace};
-use proptest::prelude::*;
 
 fn demo_app() -> App {
     App::builder("prop")
@@ -29,102 +29,80 @@ fn demo_app() -> App {
         .build()
 }
 
-#[derive(Debug, Clone)]
-enum Ev {
-    Click,
-    TouchStart,
-    Move,
-    Scroll,
+fn gen_trace(g: &mut Gen) -> Trace {
+    let count = g.usize_in(1, 25);
+    let mut builder = Trace::builder();
+    for _ in 0..count {
+        let at = g.f64_in(10.0, 1_500.0);
+        builder = match g.usize_in(0, 4) {
+            0 => builder.event(at, EventType::Click, TargetSpec::Id("a".into())),
+            1 => builder.event(at, EventType::TouchStart, TargetSpec::Id("b".into())),
+            2 => builder.event(at, EventType::TouchMove, TargetSpec::Id("b".into())),
+            _ => builder.event(at, EventType::Scroll, TargetSpec::Root),
+        };
+    }
+    builder.end_ms(2_200.0).build()
 }
 
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (
-            prop_oneof![
-                Just(Ev::Click),
-                Just(Ev::TouchStart),
-                Just(Ev::Move),
-                Just(Ev::Scroll),
-            ],
-            10.0_f64..1_500.0,
-        ),
-        1..25,
-    )
-    .prop_map(|events| {
-        let mut builder = Trace::builder();
-        for (kind, at) in events {
-            builder = match kind {
-                Ev::Click => builder.event(at, EventType::Click, TargetSpec::Id("a".into())),
-                Ev::TouchStart => {
-                    builder.event(at, EventType::TouchStart, TargetSpec::Id("b".into()))
-                }
-                Ev::Move => builder.event(at, EventType::TouchMove, TargetSpec::Id("b".into())),
-                Ev::Scroll => builder.event(at, EventType::Scroll, TargetSpec::Root),
-            };
-        }
-        builder.end_ms(2_200.0).build()
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Core report invariants hold for any trace: busy time bounded by
-    /// the window, latencies positive, frame records attributed to known
-    /// inputs, energy strictly positive.
-    #[test]
-    fn report_invariants(trace in arb_trace()) {
-        let app = demo_app();
+/// Core report invariants hold for any trace: busy time bounded by
+/// the window, latencies positive, frame records attributed to known
+/// inputs, energy strictly positive.
+#[test]
+fn report_invariants() {
+    let app = demo_app();
+    check("report_invariants", 48, |g| {
+        let trace = gen_trace(g);
         let mut browser = Browser::new(&app, GovernorScheduler::new(PerfGovernor)).unwrap();
         let report = browser.run(&trace).unwrap();
-        prop_assert!(report.busy_time <= report.total_time);
-        prop_assert!(report.total_mj() > 0.0);
-        prop_assert_eq!(report.inputs.len(), trace.len());
+        assert!(report.busy_time <= report.total_time);
+        assert!(report.total_mj() > 0.0);
+        assert_eq!(report.inputs.len(), trace.len());
         for frame in &report.frames {
-            prop_assert!(frame.latency.as_nanos() > 0);
-            prop_assert!(
+            assert!(frame.latency.as_nanos() > 0);
+            assert!(
                 report.inputs.iter().any(|i| i.uid == frame.uid),
                 "frame attributed to unknown input"
             );
         }
         // Frame sequence numbers per input are 0..n without gaps.
         for input in &report.inputs {
-            let mut seqs: Vec<u32> = report
-                .frames_for(input.uid)
-                .iter()
-                .map(|f| f.seq)
-                .collect();
+            let mut seqs: Vec<u32> = report.frames_for(input.uid).iter().map(|f| f.seq).collect();
             seqs.sort_unstable();
             for (expect, got) in seqs.iter().enumerate() {
-                prop_assert_eq!(*got, expect as u32);
+                assert_eq!(*got, expect as u32);
             }
         }
-    }
+    });
+}
 
-    /// The simulation is bit-deterministic for any trace.
-    #[test]
-    fn determinism(trace in arb_trace()) {
-        let app = demo_app();
+/// The simulation is bit-deterministic for any trace.
+#[test]
+fn determinism() {
+    let app = demo_app();
+    check("determinism", 48, |g| {
+        let trace = gen_trace(g);
         let run = || {
-            let mut browser =
-                Browser::new(&app, GovernorScheduler::new(PerfGovernor)).unwrap();
+            let mut browser = Browser::new(&app, GovernorScheduler::new(PerfGovernor)).unwrap();
             browser.run(&trace).unwrap()
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.total_mj(), b.total_mj());
-        prop_assert_eq!(a.frames.len(), b.frames.len());
+        assert_eq!(a.total_mj(), b.total_mj());
+        assert_eq!(a.frames.len(), b.frames.len());
         for (fa, fb) in a.frames.iter().zip(&b.frames) {
-            prop_assert_eq!(fa.latency, fb.latency);
-            prop_assert_eq!(fa.completed_at, fb.completed_at);
+            assert_eq!(fa.latency, fb.latency);
+            assert_eq!(fa.completed_at, fb.completed_at);
         }
-    }
+    });
+}
 
-    /// A slower configuration never produces more frames than a faster
-    /// one and never finishes a given frame earlier.
-    #[test]
-    fn slower_config_is_never_faster(trace in arb_trace()) {
-        let app = demo_app();
+/// A slower configuration never produces more frames than a faster
+/// one and never finishes a given frame earlier.
+#[test]
+fn slower_config_is_never_faster() {
+    let app = demo_app();
+    check("slower_config_is_never_faster", 48, |g| {
+        let trace = gen_trace(g);
         let fast = Browser::new(&app, GovernorScheduler::new(PerfGovernor))
             .unwrap()
             .run(&trace)
@@ -133,8 +111,8 @@ proptest! {
             .unwrap()
             .run(&trace)
             .unwrap();
-        prop_assert!(slow.frames.len() <= fast.frames.len());
-        prop_assert!(slow.busy_time >= fast.busy_time);
-        prop_assert!(slow.total_mj() <= fast.total_mj());
-    }
+        assert!(slow.frames.len() <= fast.frames.len());
+        assert!(slow.busy_time >= fast.busy_time);
+        assert!(slow.total_mj() <= fast.total_mj());
+    });
 }

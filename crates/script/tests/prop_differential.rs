@@ -2,8 +2,8 @@
 //! program must produce identical observable results in the tree-walking
 //! interpreter and the bytecode VM.
 
+use greenweb_det::prop::{check, Gen, DEFAULT_CASES};
 use greenweb_script::{parse_program, Interpreter, NoHost, Value, Vm};
-use proptest::prelude::*;
 
 /// Runs `source` on both backends and returns the values of `globals`
 /// from each.
@@ -31,50 +31,56 @@ fn assert_same(source: &str, a: &[Option<Value>], b: &[Option<Value>]) {
     }
 }
 
-#[derive(Debug, Clone)]
-struct GenExpr(String);
-
-fn arb_numeric_expr(depth: u32) -> BoxedStrategy<GenExpr> {
-    let leaf = prop_oneof![
-        (-50i32..50).prop_map(|n| GenExpr(if n < 0 {
-            format!("({n})")
-        } else {
-            n.to_string()
-        })),
-        Just(GenExpr("v0".into())),
-        Just(GenExpr("v1".into())),
-    ];
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), 0u8..5).prop_map(|(a, b, op)| {
-                let symbol = ["+", "-", "*", "%", "/"][op as usize];
-                GenExpr(format!("({} {symbol} {})", a.0, b.0))
-            }),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| {
-                GenExpr(format!("(({}) > 0 ? ({}) : ({}))", c.0, t.0, e.0))
-            }),
-        ]
-    })
-    .boxed()
+/// Recursively generate an arithmetic/conditional expression over the
+/// variables `v0`/`v1`.
+fn gen_numeric_expr(g: &mut Gen, depth: u32) -> String {
+    if depth == 0 || g.bool_with(0.3) {
+        return match g.usize_in(0, 3) {
+            0 => {
+                let n = g.usize_in(0, 100) as i32 - 50;
+                if n < 0 {
+                    format!("({n})")
+                } else {
+                    n.to_string()
+                }
+            }
+            1 => "v0".to_string(),
+            _ => "v1".to_string(),
+        };
+    }
+    if g.bool_with(0.75) {
+        let a = gen_numeric_expr(g, depth - 1);
+        let b = gen_numeric_expr(g, depth - 1);
+        let symbol = *g.choose(&["+", "-", "*", "%", "/"]);
+        format!("({a} {symbol} {b})")
+    } else {
+        let c = gen_numeric_expr(g, depth - 1);
+        let t = gen_numeric_expr(g, depth - 1);
+        let e = gen_numeric_expr(g, depth - 1);
+        format!("(({c}) > 0 ? ({t}) : ({e}))")
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Arbitrary arithmetic/conditional expressions agree.
-    #[test]
-    fn expressions_agree(expr in arb_numeric_expr(3), v0 in -20i32..20, v1 in 1i32..20) {
-        let source = format!(
-            "var v0 = {v0}; var v1 = {v1}; var result = {};",
-            expr.0
-        );
+/// Arbitrary arithmetic/conditional expressions agree.
+#[test]
+fn expressions_agree() {
+    check("expressions_agree", DEFAULT_CASES, |g| {
+        let expr = gen_numeric_expr(g, 3);
+        let v0 = g.usize_in(0, 40) as i32 - 20;
+        let v1 = g.usize_in(1, 20);
+        let source = format!("var v0 = {v0}; var v1 = {v1}; var result = {expr};");
         let (a, b) = run_both(&source, &["result"]);
         assert_same(&source, &a, &b);
-    }
+    });
+}
 
-    /// Loop programs agree (for/while, break/continue, accumulators).
-    #[test]
-    fn loops_agree(n in 1u32..40, step in 1u32..5, cutoff in 0u32..40) {
+/// Loop programs agree (for/while, break/continue, accumulators).
+#[test]
+fn loops_agree() {
+    check("loops_agree", DEFAULT_CASES, |g| {
+        let n = g.usize_in(1, 40);
+        let step = g.usize_in(1, 5);
+        let cutoff = g.usize_in(0, 40);
         let source = format!(
             "var total = 0;
              var hits = 0;
@@ -90,11 +96,15 @@ proptest! {
         );
         let (a, b) = run_both(&source, &["total", "hits", "w"]);
         assert_same(&source, &a, &b);
-    }
+    });
+}
 
-    /// Function/closure programs agree, including captured state.
-    #[test]
-    fn closures_agree(seed in 0u32..100, calls in 1usize..8) {
+/// Function/closure programs agree, including captured state.
+#[test]
+fn closures_agree() {
+    check("closures_agree", DEFAULT_CASES, |g| {
+        let seed = g.usize_in(0, 100);
+        let calls = g.usize_in(1, 8);
         let invocations: String = (0..calls).map(|_| "acc(); ".to_string()).collect();
         let source = format!(
             "function mk(start) {{
@@ -107,11 +117,20 @@ proptest! {
         );
         let (a, b) = run_both(&source, &["out"]);
         assert_same(&source, &a, &b);
-    }
+    });
+}
 
-    /// Array/object/string manipulation agrees (rendered deeply).
-    #[test]
-    fn collections_agree(items in prop::collection::vec(-30i32..30, 0..12), key in "[a-z]{1,5}") {
+/// Array/object/string manipulation agrees (rendered deeply).
+#[test]
+fn collections_agree() {
+    check("collections_agree", DEFAULT_CASES, |g| {
+        let items = g.vec_of(12, |g| g.usize_in(0, 60) as i32 - 30);
+        let key: String = {
+            let len = g.usize_in(1, 6);
+            (0..len)
+                .map(|_| (b'a' + g.usize_in(0, 26) as u8) as char)
+                .collect()
+        };
         let pushes: String = items.iter().map(|i| format!("a.push({i}); ")).collect();
         let source = format!(
             "var a = [];
@@ -127,11 +146,15 @@ proptest! {
         );
         let (a, b) = run_both(&source, &["a", "o", "joined", "idx", "shout"]);
         assert_same(&source, &a, &b);
-    }
+    });
+}
 
-    /// Math builtins agree, including the deterministic random sequence.
-    #[test]
-    fn math_agrees(x in -100.0_f64..100.0, y in 1.0_f64..10.0) {
+/// Math builtins agree, including the deterministic random sequence.
+#[test]
+fn math_agrees() {
+    check("math_agrees", DEFAULT_CASES, |g| {
+        let x = g.f64_in(-100.0, 100.0);
+        let y = g.f64_in(1.0, 10.0);
         let source = format!(
             "var f = Math.floor({x});
              var c = Math.ceil({x});
@@ -142,23 +165,24 @@ proptest! {
         );
         let (a, b) = run_both(&source, &["f", "c", "p", "m", "r1", "r2"]);
         assert_same(&source, &a, &b);
-    }
+    });
+}
 
-    /// Op counts of both backends scale together (within a constant
-    /// factor): the engine can charge either backend consistently.
-    #[test]
-    fn op_counts_scale_together(n in 10u32..200) {
-        let source = format!(
-            "var s = 0; for (var i = 0; i < {n}; i += 1) {{ s += i; }}"
-        );
+/// Op counts of both backends scale together (within a constant
+/// factor): the engine can charge either backend consistently.
+#[test]
+fn op_counts_scale_together() {
+    check("op_counts_scale_together", 32, |g| {
+        let n = g.usize_in(10, 200);
+        let source = format!("var s = 0; for (var i = 0; i < {n}; i += 1) {{ s += i; }}");
         let program = parse_program(&source).unwrap();
         let mut interp = Interpreter::new();
         interp.run(&program, &mut NoHost).unwrap();
         let mut vm = Vm::new();
         vm.run_source(&source, &mut NoHost).unwrap();
         let ratio = vm.ops() as f64 / interp.ops() as f64;
-        prop_assert!((0.2..5.0).contains(&ratio), "op ratio {ratio}");
-    }
+        assert!((0.2..5.0).contains(&ratio), "op ratio {ratio}");
+    });
 }
 
 #[test]

@@ -2,48 +2,65 @@
 //! determinism of the interpreter, and structural invariants of the
 //! evaluator.
 
+use greenweb_det::prop::{check, DEFAULT_CASES};
 use greenweb_script::{lex, parse_program, Interpreter, NoHost, Value};
-use proptest::prelude::*;
 
-proptest! {
-    /// The lexer is total: any string either lexes or errors, never
-    /// panics.
-    #[test]
-    fn lexer_never_panics(input in ".{0,300}") {
+/// The lexer is total: any string either lexes or errors, never
+/// panics.
+#[test]
+fn lexer_never_panics() {
+    check("lexer_never_panics", DEFAULT_CASES, |g| {
+        let input = g.arbitrary_string(300);
         let _ = lex(&input);
-    }
+    });
+}
 
-    /// The parser is total over arbitrary input.
-    #[test]
-    fn parser_never_panics(input in ".{0,300}") {
+/// The parser is total over arbitrary input.
+#[test]
+fn parser_never_panics() {
+    check("parser_never_panics", DEFAULT_CASES, |g| {
+        let input = g.arbitrary_string(300);
         let _ = parse_program(&input);
-    }
+    });
+}
 
-    /// Number literals survive lex → parse → eval exactly.
-    #[test]
-    fn number_literals_round_trip(n in 0.0_f64..1e12) {
+/// Number literals survive lex → parse → eval exactly.
+#[test]
+fn number_literals_round_trip() {
+    check("number_literals_round_trip", DEFAULT_CASES, |g| {
+        let n = g.f64_in(0.0, 1e12);
         let source = format!("var x = {n};");
         let program = parse_program(&source).unwrap();
         let mut interp = Interpreter::new();
         interp.run(&program, &mut NoHost).unwrap();
-        prop_assert_eq!(interp.global("x"), Some(Value::Number(n)));
-    }
+        assert_eq!(interp.global("x"), Some(Value::Number(n)));
+    });
+}
 
-    /// String literals with arbitrary safe contents round-trip.
-    #[test]
-    fn string_literals_round_trip(s in "[a-zA-Z0-9 _.,!?-]{0,40}") {
+/// String literals with arbitrary safe contents round-trip.
+#[test]
+fn string_literals_round_trip() {
+    const SAFE: [char; 15] = [
+        'a', 'Z', 'q', 'M', '0', '9', ' ', '_', '.', ',', '!', '?', '-', 'x', 'B',
+    ];
+    check("string_literals_round_trip", DEFAULT_CASES, |g| {
+        let s = g.string_from(&SAFE, 40);
         let source = format!("var x = \"{s}\";");
         let program = parse_program(&source).unwrap();
         let mut interp = Interpreter::new();
         interp.run(&program, &mut NoHost).unwrap();
         let value = interp.global("x").unwrap();
-        prop_assert_eq!(value.as_str(), Some(s.as_str()));
-    }
+        assert_eq!(value.as_str(), Some(s.as_str()));
+    });
+}
 
-    /// Execution is deterministic: the same program leaves identical
-    /// globals and op counts on independent interpreters.
-    #[test]
-    fn interpretation_is_deterministic(seed in 0u32..1_000, loops in 1u32..50) {
+/// Execution is deterministic: the same program leaves identical
+/// globals and op counts on independent interpreters.
+#[test]
+fn interpretation_is_deterministic() {
+    check("interpretation_is_deterministic", DEFAULT_CASES, |g| {
+        let seed = g.usize_in(0, 1_000);
+        let loops = g.usize_in(1, 50);
         let source = format!(
             "var acc = {seed};
              var i = 0;
@@ -56,14 +73,17 @@ proptest! {
         a.run(&program, &mut NoHost).unwrap();
         let mut b = Interpreter::new();
         b.run(&program, &mut NoHost).unwrap();
-        prop_assert_eq!(a.global("acc"), b.global("acc"));
-        prop_assert_eq!(a.ops(), b.ops());
-    }
+        assert_eq!(a.global("acc"), b.global("acc"));
+        assert_eq!(a.ops(), b.ops());
+    });
+}
 
-    /// Op count grows monotonically with loop trip count — the property
-    /// the engine's cost model depends on.
-    #[test]
-    fn op_count_monotone_in_work(n in 1u32..200) {
+/// Op count grows monotonically with loop trip count — the property
+/// the engine's cost model depends on.
+#[test]
+fn op_count_monotone_in_work() {
+    check("op_count_monotone_in_work", 32, |g| {
+        let n = g.usize_in(1, 200) as u32;
         let run = |count: u32| {
             let source = format!(
                 "var s = 0; var i = 0; for (i = 0; i < {count}; i = i + 1) {{ s = s + i; }}"
@@ -73,12 +93,15 @@ proptest! {
             interp.run(&program, &mut NoHost).unwrap();
             interp.ops()
         };
-        prop_assert!(run(n + 1) > run(n));
-    }
+        assert!(run(n + 1) > run(n));
+    });
+}
 
-    /// Array push/length agree for arbitrary element counts.
-    #[test]
-    fn array_length_tracks_pushes(count in 0usize..64) {
+/// Array push/length agree for arbitrary element counts.
+#[test]
+fn array_length_tracks_pushes() {
+    check("array_length_tracks_pushes", 32, |g| {
+        let count = g.usize_in(0, 64);
         let source = format!(
             "var a = [];
              var i = 0;
@@ -89,18 +112,22 @@ proptest! {
         let program = parse_program(&source).unwrap();
         let mut interp = Interpreter::new();
         interp.run(&program, &mut NoHost).unwrap();
-        prop_assert_eq!(interp.global("len"), Some(Value::Number(count as f64)));
+        assert_eq!(interp.global("len"), Some(Value::Number(count as f64)));
         if count > 0 {
-            prop_assert_eq!(
+            assert_eq!(
                 interp.global("last"),
                 Some(Value::Number((count as f64 - 1.0) * 2.0))
             );
         }
-    }
+    });
+}
 
-    /// Comparison operators form a total order consistent with f64.
-    #[test]
-    fn comparisons_match_f64(a in -1e6_f64..1e6, b in -1e6_f64..1e6) {
+/// Comparison operators form a total order consistent with f64.
+#[test]
+fn comparisons_match_f64() {
+    check("comparisons_match_f64", DEFAULT_CASES, |g| {
+        let a = g.f64_in(-1e6, 1e6);
+        let b = g.f64_in(-1e6, 1e6);
         let source = format!(
             "var lt = {a} < {b}; var le = {a} <= {b}; var gt = {a} > {b};
              var ge = {a} >= {b}; var eq = {a} == {b};"
@@ -108,10 +135,10 @@ proptest! {
         let program = parse_program(&source).unwrap();
         let mut interp = Interpreter::new();
         interp.run(&program, &mut NoHost).unwrap();
-        prop_assert_eq!(interp.global("lt"), Some(Value::Bool(a < b)));
-        prop_assert_eq!(interp.global("le"), Some(Value::Bool(a <= b)));
-        prop_assert_eq!(interp.global("gt"), Some(Value::Bool(a > b)));
-        prop_assert_eq!(interp.global("ge"), Some(Value::Bool(a >= b)));
-        prop_assert_eq!(interp.global("eq"), Some(Value::Bool(a == b)));
-    }
+        assert_eq!(interp.global("lt"), Some(Value::Bool(a < b)));
+        assert_eq!(interp.global("le"), Some(Value::Bool(a <= b)));
+        assert_eq!(interp.global("gt"), Some(Value::Bool(a > b)));
+        assert_eq!(interp.global("ge"), Some(Value::Bool(a >= b)));
+        assert_eq!(interp.global("eq"), Some(Value::Bool(a == b)));
+    });
 }

@@ -1,0 +1,161 @@
+//! Chaos harness: runs a workload under a seeded [`FaultPlan`] next to
+//! its fault-free twin and packages everything the robustness evaluation
+//! needs — both reports, both degradation logs, and the run's
+//! [`ChaosMetrics`].
+//!
+//! The two runs are built identically (same app, trace, and scheduler
+//! construction), so any difference between them is attributable to the
+//! injected faults alone, and a fixed seed makes the whole comparison
+//! reproducible byte for byte.
+
+use greenweb::metrics::{violation_rate_in_window, ChaosMetrics};
+use greenweb::qos::Scenario;
+use greenweb::{DegradationLog, GreenWebScheduler};
+use greenweb_acmp::SimTime;
+use greenweb_engine::{App, Browser, BrowserError, FaultPlan, SimReport, Trace};
+
+/// A faulted run paired with its fault-free twin.
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// The plan the faulted run executed.
+    pub plan: FaultPlan,
+    /// The fault-free run.
+    pub baseline: SimReport,
+    /// The faulted run (its `chaos` field holds the fault log).
+    pub faulted: SimReport,
+    /// Degradation-ladder transitions of the fault-free run (normally
+    /// empty).
+    pub baseline_log: DegradationLog,
+    /// Degradation-ladder transitions of the faulted run.
+    pub faulted_log: DegradationLog,
+    /// Robustness metrics of the faulted run.
+    pub metrics: ChaosMetrics,
+}
+
+impl ChaosRun {
+    /// Violation-rate ratio (faulted / fault-free) at `target_ms` over
+    /// the frames completing in `[from, to)`. A baseline rate of zero
+    /// yields 1.0 when the faulted rate is also zero and infinity
+    /// otherwise, so "within 2×" assertions stay meaningful.
+    pub fn violation_ratio(&self, target_ms: f64, from: SimTime, to: SimTime) -> f64 {
+        let faulted = violation_rate_in_window(&self.faulted, target_ms, from, to);
+        let baseline = violation_rate_in_window(&self.baseline, target_ms, from, to);
+        if baseline > 0.0 {
+            faulted / baseline
+        } else if faulted == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// True when the faulted run degraded at some point and its watchdog
+    /// walked all the way back to the annotated level.
+    pub fn recovered(&self) -> bool {
+        self.faulted_log.ever_degraded() && self.metrics.recovery_latency.is_some()
+    }
+}
+
+/// Runs `trace` on `app` twice — fault-free, then under `plan` — with a
+/// stock [`GreenWebScheduler`] for `scenario`.
+///
+/// # Errors
+///
+/// Returns [`BrowserError`] if either run fails to load or execute.
+pub fn chaos_run(
+    app: &App,
+    trace: &Trace,
+    scenario: Scenario,
+    plan: FaultPlan,
+) -> Result<ChaosRun, BrowserError> {
+    chaos_run_with(app, trace, plan, || GreenWebScheduler::new(scenario))
+}
+
+/// Like [`chaos_run`], but the caller constructs the scheduler (e.g. to
+/// tune watchdog thresholds). `build` is called once per run so both
+/// runs start from identical state.
+///
+/// # Errors
+///
+/// Returns [`BrowserError`] if either run fails to load or execute.
+pub fn chaos_run_with(
+    app: &App,
+    trace: &Trace,
+    plan: FaultPlan,
+    build: impl Fn() -> GreenWebScheduler,
+) -> Result<ChaosRun, BrowserError> {
+    let mut clean = Browser::new(app, build())?;
+    let baseline = clean.run(trace)?;
+    let baseline_log = clean.scheduler().degradation_log().clone();
+
+    let mut stormy = Browser::with_faults(app, build(), plan)?;
+    let faulted = stormy.run(trace)?;
+    let faulted_log = stormy.scheduler().degradation_log().clone();
+
+    let metrics = ChaosMetrics::compute(&faulted, &faulted_log);
+    Ok(ChaosRun {
+        plan,
+        baseline,
+        faulted,
+        baseline_log,
+        faulted_log,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::by_name;
+
+    #[test]
+    fn chaos_run_pairs_reports_and_logs() {
+        let w = by_name("Todo").unwrap();
+        let run = chaos_run(
+            &w.app,
+            &w.micro,
+            Scenario::Usable,
+            FaultPlan::storm(17),
+        )
+        .unwrap();
+        assert!(run.baseline.chaos.is_none(), "baseline must be fault-free");
+        let chaos = run.faulted.chaos.as_ref().expect("faulted run logs chaos");
+        assert_eq!(chaos.seed, 17);
+        assert_eq!(run.metrics.injected_faults, chaos.total());
+        assert!(chaos.total() > 0, "a storm must inject something");
+    }
+
+    #[test]
+    fn baseline_never_degrades_on_paper_workloads() {
+        let w = by_name("Craigslist").unwrap();
+        let run = chaos_run(
+            &w.app,
+            &w.micro,
+            Scenario::Usable,
+            FaultPlan::new(1),
+        )
+        .unwrap();
+        assert!(
+            !run.baseline_log.ever_degraded(),
+            "fault-free run escalated: {:?}",
+            run.baseline_log.transitions()
+        );
+    }
+
+    #[test]
+    fn empty_plan_matches_baseline_energy() {
+        // An empty plan still attaches an injector; it must not perturb
+        // the simulation. (Sampling the sensor gain each VSync splits the
+        // energy integration into more intervals, so the totals agree
+        // only up to float summation order.)
+        let w = by_name("Todo").unwrap();
+        let run = chaos_run(&w.app, &w.micro, Scenario::Usable, FaultPlan::new(9)).unwrap();
+        assert_eq!(run.faulted.chaos.as_ref().unwrap().total(), 0);
+        let (a, b) = (run.baseline.total_mj(), run.faulted.total_mj());
+        assert!((a - b).abs() < 1e-9 * a.max(1.0), "{a} vs {b}");
+        assert_eq!(run.baseline.frames.len(), run.faulted.frames.len());
+        for (fa, fb) in run.baseline.frames.iter().zip(&run.faulted.frames) {
+            assert_eq!(fa.latency, fb.latency);
+        }
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod chaos;
 pub mod harness;
 pub mod traces;
 

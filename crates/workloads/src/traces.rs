@@ -5,10 +5,9 @@
 //! a seeded RNG, so every run of the evaluation replays byte-identical
 //! input.
 
+use greenweb_det::DetRng;
 use greenweb_dom::EventType;
 use greenweb_engine::{TargetSpec, Trace, TraceBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A weighted menu of gestures the generator composes a session from.
 #[derive(Debug, Clone)]
@@ -45,7 +44,7 @@ pub fn session(
 ) -> Trace {
     assert!(!menu.is_empty(), "gesture menu must not be empty");
     assert!(total_events > 0, "a session needs at least one event");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::new(seed);
     // First pass: build events on a provisional timeline.
     let mut events: Vec<(f64, EventType, TargetSpec)> = Vec::new();
     let mut t = 0.0;
@@ -55,35 +54,37 @@ pub fn session(
     }
     while events.len() < total_events {
         let remaining = total_events - events.len();
-        let gesture = &menu[rng.gen_range(0..menu.len())];
+        let gesture = &menu[rng.usize_in(0, menu.len())];
         match gesture {
             Gesture::Tap(ids) => {
-                let id = ids[rng.gen_range(0..ids.len())];
+                let id = ids[rng.usize_in(0, ids.len())];
                 events.push((t, EventType::Click, TargetSpec::Id(id.to_string())));
-                t += rng.gen_range(250.0..900.0);
+                t += rng.f64_in(250.0, 900.0);
             }
             Gesture::Swipe { target, moves } => {
-                let count = rng.gen_range(moves.0..=moves.1).min(remaining.saturating_sub(1));
+                let count = rng
+                    .usize_in(moves.0, moves.1 + 1)
+                    .min(remaining.saturating_sub(1));
                 events.push((t, EventType::TouchStart, TargetSpec::Id(target.to_string())));
                 t += 30.0;
                 for _ in 0..count {
                     events.push((t, EventType::TouchMove, TargetSpec::Id(target.to_string())));
                     t += 16.6;
                 }
-                t += rng.gen_range(300.0..800.0);
+                t += rng.f64_in(300.0, 800.0);
             }
             Gesture::Flick { scrolls } => {
-                let count = rng.gen_range(scrolls.0..=scrolls.1).min(remaining);
+                let count = rng.usize_in(scrolls.0, scrolls.1 + 1).min(remaining);
                 for _ in 0..count {
                     events.push((t, EventType::Scroll, TargetSpec::Root));
                     t += 16.6;
                 }
-                t += rng.gen_range(300.0..900.0);
+                t += rng.f64_in(300.0, 900.0);
             }
         }
         // Occasional longer reading pause.
         if rng.gen_bool(0.2) {
-            t += rng.gen_range(800.0..2_000.0);
+            t += rng.f64_in(800.0, 2_000.0);
         }
     }
     events.truncate(total_events);

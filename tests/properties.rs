@@ -1,49 +1,52 @@
 //! Cross-crate property-based tests: invariants that must hold for all
-//! inputs, checked with proptest.
+//! inputs, checked with the in-repo `greenweb_det::prop` harness.
 
 use greenweb::lang::{Annotation, AnnotationTable};
 use greenweb::qos::{QosSpec, QosTarget, QosType, Scenario};
 use greenweb_acmp::{CoreType, Cpu, CpuConfig, Duration, Platform, PowerModel, SimTime, WorkUnit};
 use greenweb_css::{parse_stylesheet, Selector};
+use greenweb_det::prop::{check, Gen, DEFAULT_CASES};
 use greenweb_dom::EventType;
-use proptest::prelude::*;
+use greenweb_engine::{FrameTracker, InputId, Msg};
 
-fn arb_qos_spec() -> impl Strategy<Value = QosSpec> {
-    (
-        prop::bool::ANY,
-        1.0_f64..5_000.0,
-        1.0_f64..5_000.0,
-    )
-        .prop_map(|(continuous, a, b)| {
-            let (ti, tu) = if a <= b { (a, b) } else { (b, a) };
-            // Keep two decimals so text round-trips are exact.
-            let ti = (ti * 100.0).round() / 100.0;
-            let tu = (tu * 100.0).round() / 100.0;
-            let qos_type = if continuous {
-                QosType::Continuous
-            } else {
-                QosType::Single
-            };
-            QosSpec::with_target(qos_type, QosTarget::new(ti, tu))
-        })
+const EVENTS: [EventType; 6] = [
+    EventType::Click,
+    EventType::Scroll,
+    EventType::TouchStart,
+    EventType::TouchEnd,
+    EventType::TouchMove,
+    EventType::Load,
+];
+
+fn gen_qos_spec(g: &mut Gen) -> QosSpec {
+    let a = g.f64_in(1.0, 5_000.0);
+    let b = g.f64_in(1.0, 5_000.0);
+    let (ti, tu) = if a <= b { (a, b) } else { (b, a) };
+    // Keep two decimals so text round-trips are exact.
+    let ti = (ti * 100.0).round() / 100.0;
+    let tu = (tu * 100.0).round() / 100.0;
+    let qos_type = if g.bool_with(0.5) {
+        QosType::Continuous
+    } else {
+        QosType::Single
+    };
+    QosSpec::with_target(qos_type, QosTarget::new(ti, tu))
 }
 
-fn arb_event() -> impl Strategy<Value = EventType> {
-    prop::sample::select(vec![
-        EventType::Click,
-        EventType::Scroll,
-        EventType::TouchStart,
-        EventType::TouchEnd,
-        EventType::TouchMove,
-        EventType::Load,
-    ])
-}
-
-proptest! {
-    /// Every annotation the library can express round-trips through its
-    /// own CSS syntax: emit → parse → identical semantics.
-    #[test]
-    fn annotation_css_round_trip(spec in arb_qos_spec(), event in arb_event(), id in "[a-z][a-z0-9]{0,8}") {
+/// Every annotation the library can express round-trips through its
+/// own CSS syntax: emit → parse → identical semantics.
+#[test]
+fn annotation_css_round_trip() {
+    const ID_CHARS: [char; 36] = [
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+        's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9',
+    ];
+    check("annotation_css_round_trip", DEFAULT_CASES, |g| {
+        let spec = gen_qos_spec(g);
+        let event = *g.choose(&EVENTS);
+        let mut id = String::new();
+        id.push(*g.choose(&ID_CHARS[..26]));
+        id.push_str(&g.string_from(&ID_CHARS, 8));
         let annotation = Annotation {
             selector: Selector::parse(&format!("#{id}:QoS")).unwrap(),
             event,
@@ -52,65 +55,71 @@ proptest! {
         let css = annotation.to_css();
         let sheet = parse_stylesheet(&css).unwrap();
         let table = AnnotationTable::from_stylesheet(&sheet).unwrap();
-        prop_assert_eq!(table.len(), 1);
+        assert_eq!(table.len(), 1);
         let parsed = &table.annotations()[0];
-        prop_assert_eq!(parsed.event, event);
-        prop_assert_eq!(parsed.spec.qos_type, spec.qos_type);
-        prop_assert!((parsed.spec.target.imperceptible_ms - spec.target.imperceptible_ms).abs() < 1e-9);
-        prop_assert!((parsed.spec.target.usable_ms - spec.target.usable_ms).abs() < 1e-9);
-    }
+        assert_eq!(parsed.event, event);
+        assert_eq!(parsed.spec.qos_type, spec.qos_type);
+        assert!((parsed.spec.target.imperceptible_ms - spec.target.imperceptible_ms).abs() < 1e-9);
+        assert!((parsed.spec.target.usable_ms - spec.target.usable_ms).abs() < 1e-9);
+    });
+}
 
-    /// The imperceptible target never exceeds the usable target, and
-    /// scenario selection honors that order.
-    #[test]
-    fn scenario_targets_ordered(spec in arb_qos_spec()) {
-        prop_assert!(
+/// The imperceptible target never exceeds the usable target, and
+/// scenario selection honors that order.
+#[test]
+fn scenario_targets_ordered() {
+    check("scenario_targets_ordered", DEFAULT_CASES, |g| {
+        let spec = gen_qos_spec(g);
+        assert!(
             spec.target.for_scenario(Scenario::Imperceptible)
                 <= spec.target.for_scenario(Scenario::Usable)
         );
-    }
+    });
+}
 
-    /// Splitting a work unit's execution at any point preserves its total
-    /// duration on any configuration (the invariant the engine relies on
-    /// when a configuration switch interrupts a task).
-    #[test]
-    fn work_split_preserves_duration(
-        cycles in 1.0e5_f64..5.0e8,
-        indep_ms in 0.0_f64..20.0,
-        split_fraction in 0.0_f64..1.5,
-        config_idx in 0usize..17,
-    ) {
+/// Splitting a work unit's execution at any point preserves its total
+/// duration on any configuration (the invariant the engine relies on
+/// when a configuration switch interrupts a task).
+#[test]
+fn work_split_preserves_duration() {
+    check("work_split_preserves_duration", DEFAULT_CASES, |g| {
+        let cycles = g.f64_in(1.0e5, 5.0e8);
+        let indep_ms = g.f64_in(0.0, 20.0);
+        let split_fraction = g.f64_in(0.0, 1.5);
         let platform = Platform::odroid_xu_e();
         let configs: Vec<CpuConfig> = platform.configs().collect();
-        let config = configs[config_idx % configs.len()];
+        let config = *g.choose(&configs);
         let ipc = platform.cluster(config.core).ipc;
         let work = WorkUnit::new(cycles, indep_ms);
         let total = work.duration_on(config, ipc);
-        let split = Duration::from_nanos(
-            (total.as_nanos() as f64 * split_fraction.min(1.0)) as u64,
-        );
+        let split =
+            Duration::from_nanos((total.as_nanos() as f64 * split_fraction.min(1.0)) as u64);
         let rest = work.remaining_after(config, ipc, split);
         let recombined = split + rest.duration_on(config, ipc);
         let diff = (recombined.as_millis_f64() - total.as_millis_f64()).abs();
-        prop_assert!(diff < 1e-3, "split at {split}: {diff} ms drift");
-        prop_assert!(rest.cycles >= 0.0 && rest.independent_ns >= 0.0);
-    }
+        assert!(diff < 1e-3, "split at {split}: {diff} ms drift");
+        assert!(rest.cycles >= 0.0 && rest.independent_ns >= 0.0);
+    });
+}
 
-    /// Energy accounting is additive: advancing the CPU through any
-    /// partition of an interval yields the same energy as one advance.
-    #[test]
-    fn energy_additive_over_partitions(
-        cuts in prop::collection::vec(1u64..1_000, 1..8),
-        busy in prop::bool::ANY,
-        config_idx in 0usize..17,
-    ) {
+/// Energy accounting is additive: advancing the CPU through any
+/// partition of an interval yields the same energy as one advance.
+#[test]
+fn energy_additive_over_partitions() {
+    check("energy_additive_over_partitions", DEFAULT_CASES, |g| {
+        let cuts = {
+            let len = g.usize_in(1, 8);
+            (0..len)
+                .map(|_| g.usize_in(1, 1_000) as u64)
+                .collect::<Vec<u64>>()
+        };
+        let busy = g.bool_with(0.5);
         let platform = Platform::odroid_xu_e();
         let configs: Vec<CpuConfig> = platform.configs().collect();
-        let config = configs[config_idx % configs.len()];
+        let config = *g.choose(&configs);
         let total_ms: u64 = cuts.iter().sum();
 
-        let mut whole = Cpu::new(platform.clone(), PowerModel::odroid_xu_e())
-            .with_config(config);
+        let mut whole = Cpu::new(platform.clone(), PowerModel::odroid_xu_e()).with_config(config);
         whole.set_busy(SimTime::ZERO, busy);
         whole.advance(SimTime::from_millis(total_ms));
 
@@ -122,58 +131,42 @@ proptest! {
             pieces.advance(SimTime::from_millis(t));
         }
         let diff = (whole.energy().total_mj() - pieces.energy().total_mj()).abs();
-        prop_assert!(diff < 1e-6, "energy drift {diff}");
-    }
+        assert!(diff < 1e-6, "energy drift {diff}");
+    });
+}
 
-    /// The step_up/step_down ladder is consistent: stepping up then down
-    /// returns to the start anywhere except at the saturating ends.
-    #[test]
-    fn ladder_is_invertible(config_idx in 0usize..17) {
+/// The step_up/step_down ladder is consistent: stepping up then down
+/// returns to the start anywhere except at the saturating ends.
+#[test]
+fn ladder_is_invertible() {
+    check("ladder_is_invertible", 32, |g| {
         let platform = Platform::odroid_xu_e();
         let configs: Vec<CpuConfig> = platform.configs().collect();
-        let config = configs[config_idx % configs.len()];
+        let config = *g.choose(&configs);
         if let Some(up) = platform.step_up(config) {
-            prop_assert_eq!(platform.step_down(up), Some(config));
+            assert_eq!(platform.step_down(up), Some(config));
         }
         if let Some(down) = platform.step_down(config) {
-            prop_assert_eq!(platform.step_up(down), Some(config));
+            assert_eq!(platform.step_up(down), Some(config));
         }
-    }
+    });
+}
 
-    /// Active power dominates idle power at every configuration, and
-    /// big-cluster configs outdraw every little config.
-    #[test]
-    fn power_model_orderings(config_idx in 0usize..17) {
+/// Active power dominates idle power at every configuration, and
+/// big-cluster configs outdraw every little config.
+#[test]
+fn power_model_orderings() {
+    check("power_model_orderings", 32, |g| {
         let platform = Platform::odroid_xu_e();
         let power = PowerModel::odroid_xu_e();
         let configs: Vec<CpuConfig> = platform.configs().collect();
-        let config = configs[config_idx % configs.len()];
-        prop_assert!(power.active_mw(&platform, config) > power.idle_mw(config));
+        let config = *g.choose(&configs);
+        assert!(power.active_mw(&platform, config) > power.idle_mw(config));
         if config.core == CoreType::Big {
             let little_peak = power.active_mw(&platform, platform.max_config(CoreType::Little));
-            prop_assert!(power.active_mw(&platform, config) > little_peak);
+            assert!(power.active_mw(&platform, config) > little_peak);
         }
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Generated arithmetic programs evaluate identically in the script
-    /// interpreter and a Rust-side reference evaluator.
-    #[test]
-    fn script_arithmetic_matches_reference(expr in arb_expr(3)) {
-        let source = format!("var result = {};", expr.text);
-        let program = greenweb_script::parse_program(&source).unwrap();
-        let mut interp = greenweb_script::Interpreter::new();
-        interp.run(&program, &mut greenweb_script::NoHost).unwrap();
-        let got = interp.global("result").unwrap().as_number().unwrap();
-        if expr.value.is_finite() && got.is_finite() {
-            let diff = (got - expr.value).abs();
-            let scale = expr.value.abs().max(1.0);
-            prop_assert!(diff / scale < 1e-9, "{source} => {got}, expected {}", expr.value);
-        }
-    }
+    });
 }
 
 /// A generated expression: its source text and reference value.
@@ -183,31 +176,217 @@ struct ExprCase {
     value: f64,
 }
 
-fn arb_expr(depth: u32) -> BoxedStrategy<ExprCase> {
-    let leaf = (-100.0_f64..100.0).prop_map(|n| {
-        let n = (n * 4.0).round() / 4.0; // keep representable
-        ExprCase {
+fn gen_expr(g: &mut Gen, depth: u32) -> ExprCase {
+    if depth == 0 || g.bool_with(0.3) {
+        let n = (g.f64_in(-100.0, 100.0) * 4.0).round() / 4.0; // keep representable
+        return ExprCase {
             text: if n < 0.0 {
                 format!("({n})")
             } else {
                 format!("{n}")
             },
             value: n,
+        };
+    }
+    let a = gen_expr(g, depth - 1);
+    let b = gen_expr(g, depth - 1);
+    let (symbol, value) = match g.usize_in(0, 4) {
+        0 => ("+", a.value + b.value),
+        1 => ("-", a.value - b.value),
+        2 => ("*", a.value * b.value),
+        _ => ("/", a.value / b.value),
+    };
+    ExprCase {
+        text: format!("({} {symbol} {})", a.text, b.text),
+        value,
+    }
+}
+
+/// Generated arithmetic programs evaluate identically in the script
+/// interpreter and a Rust-side reference evaluator.
+#[test]
+fn script_arithmetic_matches_reference() {
+    check("script_arithmetic_matches_reference", 64, |g| {
+        let expr = gen_expr(g, 3);
+        let source = format!("var result = {};", expr.text);
+        let program = greenweb_script::parse_program(&source).unwrap();
+        let mut interp = greenweb_script::Interpreter::new();
+        interp.run(&program, &mut greenweb_script::NoHost).unwrap();
+        let got = interp.global("result").unwrap().as_number().unwrap();
+        if expr.value.is_finite() && got.is_finite() {
+            let diff = (got - expr.value).abs();
+            let scale = expr.value.abs().max(1.0);
+            assert!(
+                diff / scale < 1e-9,
+                "{source} => {got}, expected {}",
+                expr.value
+            );
         }
     });
-    leaf.prop_recursive(depth, 32, 2, |inner| {
-        (inner.clone(), inner, 0u8..4).prop_map(|(a, b, op)| {
-            let (symbol, value) = match op {
-                0 => ("+", a.value + b.value),
-                1 => ("-", a.value - b.value),
-                2 => ("*", a.value * b.value),
-                _ => ("/", a.value / b.value),
-            };
-            ExprCase {
-                text: format!("({} {symbol} {})", a.text, b.text),
-                value,
+}
+
+// ---------------------------------------------------------------------------
+// FrameTracker metadata propagation under adversarial input delivery:
+// duplicated, reordered, and dropped input events (Fig. 8 hardening).
+// ---------------------------------------------------------------------------
+
+/// One simulated frame's worth of adversarial delivery: which inputs mark
+/// dirty, how many duplicate marks each issues, and in what order.
+struct DeliveryPlan {
+    /// (uid index, duplicate mark count) in delivery order.
+    marks: Vec<(usize, usize)>,
+    complete_at_ms: u64,
+}
+
+fn gen_inputs(g: &mut Gen) -> Vec<(InputId, EventType, SimTime)> {
+    let count = g.usize_in(1, 12);
+    (0..count)
+        .map(|i| {
+            (
+                InputId(i as u64 + 1),
+                *g.choose(&EVENTS),
+                SimTime::from_millis(g.usize_in(0, 100) as u64),
+            )
+        })
+        .collect()
+}
+
+fn gen_frames(g: &mut Gen, input_count: usize) -> Vec<DeliveryPlan> {
+    let frames = g.usize_in(1, 8);
+    let mut clock = 120u64;
+    (0..frames)
+        .map(|_| {
+            // A random subset, in random (reordered) delivery order, with
+            // duplicates; inputs not in the subset are dropped this frame.
+            let mut idx: Vec<usize> = (0..input_count).filter(|_| g.bool_with(0.6)).collect();
+            g.rng.shuffle(&mut idx);
+            let marks = idx
+                .into_iter()
+                .map(|i| (i, g.usize_in(1, 4)))
+                .collect::<Vec<_>>();
+            clock += 16 + g.usize_in(0, 20) as u64;
+            DeliveryPlan {
+                marks,
+                complete_at_ms: clock,
             }
         })
-    })
-    .boxed()
+        .collect()
+}
+
+/// Duplicated marks never inflate frame attribution: each input gets at
+/// most one record per frame, no matter how many times (or in what order)
+/// its callbacks mark the dirty bit.
+#[test]
+fn frame_tracker_dedups_duplicate_marks() {
+    check("frame_tracker_dedups_duplicate_marks", DEFAULT_CASES, |g| {
+        let inputs = gen_inputs(g);
+        let mut tracker = FrameTracker::new();
+        for (uid, event, _) in &inputs {
+            tracker.register_input(*uid, *event);
+        }
+        for plan in gen_frames(g, inputs.len()) {
+            let distinct: std::collections::HashSet<usize> =
+                plan.marks.iter().map(|(i, _)| *i).collect();
+            for (i, dups) in &plan.marks {
+                let (uid, _, start) = inputs[*i];
+                for _ in 0..*dups {
+                    tracker.mark_dirty(Msg { uid, start_ts: start });
+                }
+            }
+            match tracker.begin_frame() {
+                Some(msgs) => {
+                    assert_eq!(msgs.len(), distinct.len(), "duplicate marks inflated frame");
+                    let records =
+                        tracker.complete_frame(&msgs, SimTime::from_millis(plan.complete_at_ms));
+                    assert_eq!(records.len(), distinct.len());
+                }
+                None => assert!(distinct.is_empty()),
+            }
+        }
+    });
+}
+
+/// Reordered delivery never corrupts metadata: every record carries the
+/// event type its uid was registered with, and the latency measured from
+/// its own start timestamp — regardless of queue order.
+#[test]
+fn frame_tracker_metadata_survives_reordering() {
+    check(
+        "frame_tracker_metadata_survives_reordering",
+        DEFAULT_CASES,
+        |g| {
+            let inputs = gen_inputs(g);
+            let mut tracker = FrameTracker::new();
+            for (uid, event, _) in &inputs {
+                tracker.register_input(*uid, *event);
+            }
+            for plan in gen_frames(g, inputs.len()) {
+                for (i, dups) in &plan.marks {
+                    let (uid, _, start) = inputs[*i];
+                    for _ in 0..*dups {
+                        tracker.mark_dirty(Msg { uid, start_ts: start });
+                    }
+                }
+                let now = SimTime::from_millis(plan.complete_at_ms);
+                if let Some(msgs) = tracker.begin_frame() {
+                    for record in tracker.complete_frame(&msgs, now) {
+                        let (_, event, start) = inputs[(record.uid.0 - 1) as usize];
+                        assert_eq!(record.event, event, "event metadata lost in reordering");
+                        assert_eq!(record.latency, now.saturating_since(start));
+                        assert_eq!(record.completed_at, now);
+                    }
+                }
+            }
+        },
+    );
+}
+
+/// Dropped inputs stay invisible: an input that never marks dirty gets no
+/// frame records, and per-input sequence numbers stay contiguous from 0
+/// for everyone else even when inputs vanish mid-sequence.
+#[test]
+fn frame_tracker_dropped_inputs_and_contiguous_seqs() {
+    check(
+        "frame_tracker_dropped_inputs_and_contiguous_seqs",
+        DEFAULT_CASES,
+        |g| {
+            let inputs = gen_inputs(g);
+            let mut tracker = FrameTracker::new();
+            for (uid, event, _) in &inputs {
+                tracker.register_input(*uid, *event);
+            }
+            let mut marked = std::collections::HashSet::new();
+            for plan in gen_frames(g, inputs.len()) {
+                for (i, dups) in &plan.marks {
+                    let (uid, _, start) = inputs[*i];
+                    marked.insert(uid);
+                    for _ in 0..*dups {
+                        tracker.mark_dirty(Msg { uid, start_ts: start });
+                    }
+                }
+                if let Some(msgs) = tracker.begin_frame() {
+                    tracker.complete_frame(&msgs, SimTime::from_millis(plan.complete_at_ms));
+                }
+            }
+            for (uid, _, _) in &inputs {
+                let count = tracker
+                    .records()
+                    .iter()
+                    .filter(|r| r.uid == *uid)
+                    .count() as u32;
+                if !marked.contains(uid) {
+                    assert_eq!(count, 0, "dropped input acquired records");
+                }
+                assert_eq!(tracker.frames_for(*uid), count);
+                let mut seqs: Vec<u32> = tracker
+                    .records()
+                    .iter()
+                    .filter(|r| r.uid == *uid)
+                    .map(|r| r.seq)
+                    .collect();
+                seqs.sort_unstable();
+                assert_eq!(seqs, (0..count).collect::<Vec<u32>>(), "seq gap for {uid:?}");
+            }
+        },
+    );
 }
