@@ -47,6 +47,22 @@ impl EnergyBreakdown {
     }
 }
 
+/// A point-in-time reading of the CPU's power state, as tracing
+/// samples it at display rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// The configuration at the sample point.
+    pub config: CpuConfig,
+    /// Whether the CPU was executing work.
+    pub busy: bool,
+    /// Instantaneous power draw at the sampled state, in milliwatts.
+    pub power_mw: f64,
+    /// Cumulative ground-truth energy.
+    pub energy: EnergyBreakdown,
+    /// Cumulative energy as the (possibly distorted) sensor reports it.
+    pub metered: EnergyBreakdown,
+}
+
 /// The simulated CPU.
 #[derive(Debug, Clone)]
 pub struct Cpu {
@@ -225,6 +241,24 @@ impl Cpu {
         self.sensor_gain
     }
 
+    /// Reads the instantaneous power state. Callers should
+    /// [`Cpu::advance`] to the sample time first so the cumulative
+    /// energies are current.
+    pub fn power_sample(&self) -> PowerSample {
+        let power_mw = if self.busy {
+            self.power.active_mw(&self.platform, self.config)
+        } else {
+            self.power.idle_mw(self.config)
+        };
+        PowerSample {
+            config: self.config,
+            busy: self.busy,
+            power_mw,
+            energy: self.energy,
+            metered: self.metered,
+        }
+    }
+
     /// Total wall-clock residency per configuration (the Fig. 11 data).
     pub fn residency(&self) -> &HashMap<CpuConfig, Duration> {
         &self.residency
@@ -386,6 +420,24 @@ mod tests {
         c.set_sensor_gain(SimTime::from_secs(1), 2.0); // over-reading noise
         c.advance(SimTime::from_millis(1500));
         assert!(c.metered_energy().total_mj() > c.energy().total_mj() * 0.99);
+    }
+
+    #[test]
+    fn power_sample_reflects_state() {
+        let mut c = cpu();
+        let idle = c.power_sample();
+        assert!(!idle.busy);
+        assert_eq!(idle.power_mw, c.power_model().idle_mw(c.config()));
+        c.set_busy(SimTime::ZERO, true);
+        c.advance(SimTime::from_secs(1));
+        let busy = c.power_sample();
+        assert!(busy.busy);
+        assert_eq!(
+            busy.power_mw,
+            c.power_model().active_mw(c.platform(), c.config())
+        );
+        assert_eq!(busy.energy, c.energy());
+        assert_eq!(busy.metered, c.metered_energy());
     }
 
     #[test]

@@ -143,9 +143,7 @@ impl InteractiveGovernor {
 
     fn clamp_to_big(&self, platform: &Platform, freq_mhz: u32) -> CpuConfig {
         let spec = platform.cluster(crate::platform::CoreType::Big);
-        let snapped = freq_mhz
-            .max(spec.min_mhz)
-            .min(spec.max_mhz);
+        let snapped = freq_mhz.max(spec.min_mhz).min(spec.max_mhz);
         // Snap to the DVFS grid, rounding up (the kernel picks the lowest
         // frequency >= target).
         let offset = snapped - spec.min_mhz;
@@ -193,7 +191,7 @@ impl Governor for InteractiveGovernor {
         } else {
             self.hispeed_since = None;
         }
-        
+
         if target.freq_mhz > cur_mhz {
             self.last_raise = now;
             target
@@ -214,9 +212,7 @@ impl Governor for InteractiveGovernor {
         self.last_raise = now;
         self.hispeed_since = Some(now);
         let boosted = self.clamp_to_big(platform, self.hispeed_freq_mhz);
-        if current.core == crate::platform::CoreType::Big
-            && current.freq_mhz >= boosted.freq_mhz
-        {
+        if current.core == crate::platform::CoreType::Big && current.freq_mhz >= boosted.freq_mhz {
             current
         } else {
             boosted
@@ -256,9 +252,7 @@ impl Governor for OndemandGovernor {
             platform.peak()
         } else {
             let wanted = (spec.max_mhz as f64 * utilization / self.up_threshold) as u32;
-            let snapped = wanted
-                .max(spec.min_mhz)
-                .min(spec.max_mhz);
+            let snapped = wanted.max(spec.min_mhz).min(spec.max_mhz);
             let offset = snapped - spec.min_mhz;
             let snapped = spec.min_mhz + offset / spec.step_mhz * spec.step_mhz;
             CpuConfig::new(crate::platform::CoreType::Big, snapped)
@@ -323,7 +317,10 @@ mod tests {
         // before the frequency drops.
         now += Duration::from_millis(20);
         let held = g.on_timer(now, 0.05, config, &p);
-        assert_eq!(held.freq_mhz, config.freq_mhz, "must hold during sample time");
+        assert_eq!(
+            held.freq_mhz, config.freq_mhz,
+            "must hold during sample time"
+        );
         now += Duration::from_millis(100);
         config = g.on_timer(now, 0.05, config, &p);
         assert!(config.freq_mhz < held.freq_mhz, "must eventually ramp down");

@@ -40,8 +40,10 @@ pub mod power;
 pub mod time;
 pub mod work;
 
-pub use cpu::{Cpu, EnergyBreakdown, SwitchKind};
-pub use governor::{Governor, InteractiveGovernor, OndemandGovernor, PerfGovernor, PowersaveGovernor};
+pub use cpu::{Cpu, EnergyBreakdown, PowerSample, SwitchKind};
+pub use governor::{
+    Governor, InteractiveGovernor, OndemandGovernor, PerfGovernor, PowersaveGovernor,
+};
 pub use platform::{CoreType, CpuConfig, Platform};
 pub use power::PowerModel;
 pub use time::{Duration, SimTime};

@@ -258,7 +258,10 @@ mod tests {
     fn step_up_migrates_little_to_big() {
         let p = Platform::odroid_xu_e();
         let top_little = p.max_config(CoreType::Little);
-        assert_eq!(p.step_up(top_little), Some(CpuConfig::new(CoreType::Big, 800)));
+        assert_eq!(
+            p.step_up(top_little),
+            Some(CpuConfig::new(CoreType::Big, 800))
+        );
         assert_eq!(p.step_up(p.peak()), None);
     }
 
@@ -286,7 +289,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(CpuConfig::new(CoreType::Big, 1800).to_string(), "A15@1800MHz");
+        assert_eq!(
+            CpuConfig::new(CoreType::Big, 1800).to_string(),
+            "A15@1800MHz"
+        );
         assert_eq!(CoreType::Little.to_string(), "A7");
     }
 }

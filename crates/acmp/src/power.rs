@@ -156,7 +156,10 @@ mod tests {
         let peak = m.active_mw(&p, p.peak());
         assert!((3000.0..6000.0).contains(&peak), "A15 peak {peak} mW");
         let little_peak = m.active_mw(&p, p.max_config(CoreType::Little));
-        assert!((300.0..800.0).contains(&little_peak), "A7 peak {little_peak} mW");
+        assert!(
+            (300.0..800.0).contains(&little_peak),
+            "A7 peak {little_peak} mW"
+        );
     }
 
     #[test]

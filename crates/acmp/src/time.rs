@@ -247,9 +247,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut times = [SimTime::from_millis(3),
+        let mut times = [
+            SimTime::from_millis(3),
             SimTime::from_millis(1),
-            SimTime::from_millis(2)];
+            SimTime::from_millis(2),
+        ];
         times.sort();
         assert_eq!(times[0], SimTime::from_millis(1));
         assert_eq!(times[2], SimTime::from_millis(3));

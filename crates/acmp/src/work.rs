@@ -150,7 +150,10 @@ mod tests {
         let n_over_ipc = (t1 - t2) / 1e3 / (inv1 - inv2);
         let t_indep_ms = t1 - n_over_ipc * inv1 * 1e3;
         assert!((t_indep_ms - 3.0).abs() < 1e-6, "t_indep {t_indep_ms}");
-        assert!((n_over_ipc * ipc / ipc - 45e6).abs() < 1.0, "N {n_over_ipc}");
+        assert!(
+            (n_over_ipc * ipc / ipc - 45e6).abs() < 1.0,
+            "N {n_over_ipc}"
+        );
     }
 
     #[test]
@@ -198,8 +201,7 @@ mod tests {
         let rest = w.remaining_after(config, ipc, split);
         let tail = rest.duration_on(config, ipc);
         let recombined = split + tail;
-        let diff =
-            (recombined.as_millis_f64() - total.as_millis_f64()).abs();
+        let diff = (recombined.as_millis_f64() - total.as_millis_f64()).abs();
         assert!(diff < 1e-3, "diff {diff} ms");
     }
 }

@@ -85,7 +85,8 @@ fn bench_script() {
 fn bench_simulation() {
     let workload = by_name("Goo.ne.jp").expect("workload exists");
     bench("full_trace_perf_governor", 5, || {
-        let mut browser = Browser::new(&workload.app, GovernorScheduler::new(PerfGovernor)).unwrap();
+        let mut browser =
+            Browser::new(&workload.app, GovernorScheduler::new(PerfGovernor)).unwrap();
         browser.run(&workload.full).unwrap().total_mj()
     });
     bench("full_trace_greenweb", 5, || {

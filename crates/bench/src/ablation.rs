@@ -32,8 +32,7 @@ pub fn feedback_ablation(workloads: &[Workload]) -> Vec<AblationCell> {
             ("feedback", Policy::GreenWeb(Scenario::Usable)),
             ("no-feedback", Policy::GreenWebNoFeedback(Scenario::Usable)),
         ] {
-            let report =
-                greenweb_workloads::harness::run(&w.app, &w.full, &policy).expect("run");
+            let report = greenweb_workloads::harness::run(&w.app, &w.full, &policy).expect("run");
             let exp = expectations(&w.app, &w.full, Scenario::Usable);
             cells.push(AblationCell {
                 app: w.name,
@@ -118,9 +117,13 @@ pub fn granularity_ablation(workload: &Workload) -> String {
             platform.clone(),
             PowerModel::odroid_xu_e(),
         );
-        let mut browser =
-            Browser::with_hardware(&workload.app, scheduler, platform, PowerModel::odroid_xu_e())
-                .expect("load");
+        let mut browser = Browser::with_hardware(
+            &workload.app,
+            scheduler,
+            platform,
+            PowerModel::odroid_xu_e(),
+        )
+        .expect("load");
         let report = browser.run(&workload.full).expect("run");
         let exp = expectations(&workload.app, &workload.full, Scenario::Usable);
         let metrics = RunMetrics::compute(&report, &exp);
@@ -142,19 +145,12 @@ pub fn acmp_ablation(workloads: &[Workload]) -> String {
         out,
         "Ablation: ACMP vs big-cluster-only DVFS (usable scenario, full traces)\n"
     );
-    let _ = writeln!(
-        out,
-        "{:<11} {:>12} {:>14}",
-        "app", "ACMP mJ", "big-only mJ"
-    );
+    let _ = writeln!(out, "{:<11} {:>12} {:>14}", "app", "ACMP mJ", "big-only mJ");
     let mut ratios = Vec::new();
     for w in workloads {
-        let acmp = greenweb_workloads::harness::run(
-            &w.app,
-            &w.full,
-            &Policy::GreenWeb(Scenario::Usable),
-        )
-        .expect("run");
+        let acmp =
+            greenweb_workloads::harness::run(&w.app, &w.full, &Policy::GreenWeb(Scenario::Usable))
+                .expect("run");
         // Big-only: a platform whose "little" cluster is just the big
         // cluster's low end, so migrations never leave A15.
         let big_only = Platform::custom(
@@ -180,8 +176,7 @@ pub fn acmp_ablation(workloads: &[Workload]) -> String {
             big_only.clone(),
             power.clone(),
         );
-        let mut browser =
-            Browser::with_hardware(&w.app, scheduler, big_only, power).expect("load");
+        let mut browser = Browser::with_hardware(&w.app, scheduler, big_only, power).expect("load");
         let report = browser.run(&w.full).expect("run");
         ratios.push(report.total_mj() / acmp.total_mj());
         let _ = writeln!(
@@ -216,8 +211,7 @@ pub fn ebs_comparison(workloads: &[Workload]) -> String {
     );
     for w in workloads {
         let judge = |policy: &Policy| {
-            let report =
-                greenweb_workloads::harness::run(&w.app, &w.full, policy).expect("run");
+            let report = greenweb_workloads::harness::run(&w.app, &w.full, policy).expect("run");
             let exp = expectations(&w.app, &w.full, Scenario::Imperceptible);
             RunMetrics::compute(&report, &exp)
         };
@@ -250,8 +244,8 @@ pub fn ebs_comparison(workloads: &[Workload]) -> String {
 /// GreenWeb's feedback must absorb the contention — more energy, but
 /// bounded QoS damage.
 pub fn background_load_experiment() -> String {
-    use greenweb::qos::QosType;
     use greenweb::metrics::{InputExpectation, RunMetrics};
+    use greenweb::qos::QosType;
     use greenweb_engine::{App, Trace};
     use std::collections::HashMap;
 
@@ -305,12 +299,9 @@ pub fn background_load_experiment() -> String {
     );
     for background in [false, true] {
         let app = build(background);
-        let report = greenweb_workloads::harness::run(
-            &app,
-            &trace,
-            &Policy::GreenWeb(Scenario::Usable),
-        )
-        .expect("run");
+        let report =
+            greenweb_workloads::harness::run(&app, &trace, &Policy::GreenWeb(Scenario::Usable))
+                .expect("run");
         // Judge the touchstart (input 1) against the continuous target.
         let mut exp = HashMap::new();
         exp.insert(
@@ -324,7 +315,11 @@ pub fn background_load_experiment() -> String {
         let _ = writeln!(
             out,
             "{:<16} {:>10.1} {:>10.1} {:>8}",
-            if background { "with background" } else { "alone" },
+            if background {
+                "with background"
+            } else {
+                "alone"
+            },
             metrics.energy_mj,
             metrics.violation_pct,
             metrics.frames

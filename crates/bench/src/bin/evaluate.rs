@@ -9,18 +9,48 @@
 //! evaluate autogreen                  AUTOGREEN coverage per app
 //! evaluate uai                        mis-annotation defense demo
 //! evaluate ablation                   design-choice ablations
+//! evaluate percentiles                per-stage latency percentiles + flame
 //! evaluate all                        everything above
+//! ```
+//!
+//! Flags (combinable with any command):
+//!
+//! ```text
+//! --trace out.json      write a Chrome trace-event JSON of the traced
+//!                       run (open in https://ui.perfetto.dev); with no
+//!                       command, implies `trace` (the traced run only)
+//! --workload NAME       workload for percentiles/trace (default Paper.js)
 //! ```
 
 use greenweb::autogreen::AutoGreen;
 use greenweb::qos::Scenario;
 use greenweb_bench::figures::{run_suite, AppRuns, SuiteKind};
-use greenweb_bench::{ablation, render, tables};
+use greenweb_bench::{ablation, profile, render, tables};
 use greenweb_workloads::harness::{expectations, run, Policy};
 use std::collections::HashMap;
 
 fn main() {
-    let command = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut command: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut workload = String::from("Paper.js");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--trace" => trace_path = Some(argv.next().expect("--trace requires a file path")),
+            "--workload" => {
+                workload = argv.next().expect("--workload requires a workload name");
+            }
+            other => command = Some(other.to_string()),
+        }
+    }
+    // A bare `--trace out.json` means "just the traced run, exported".
+    let command = command.unwrap_or_else(|| {
+        if trace_path.is_some() {
+            "trace".into()
+        } else {
+            "all".into()
+        }
+    });
     let mut cache: HashMap<SuiteKind, Vec<AppRuns>> = HashMap::new();
     let wants = |name: &str| command == name || command == "all";
 
@@ -159,6 +189,23 @@ fn main() {
     if wants("multiapp") {
         println!("{}", ablation::background_load_experiment());
     }
+    if wants("percentiles") || command == "trace" {
+        let w = greenweb_workloads::by_name(&workload)
+            .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+        let scenario = Scenario::Imperceptible;
+        let profiled =
+            profile::profile(&w, &Policy::GreenWeb(scenario), scenario).expect("traced run");
+        println!("{}", profile::render(&profiled));
+        if let Some(path) = &trace_path {
+            std::fs::write(path, profile::export_json(&profiled)).expect("write trace file");
+            println!(
+                "wrote Chrome trace-event JSON ({} events, {} dropped) to {path}",
+                profiled.buffer.events.len(),
+                profiled.buffer.dropped
+            );
+            println!("open it in https://ui.perfetto.dev or chrome://tracing");
+        }
+    }
 }
 
 fn suite(cache: &mut HashMap<SuiteKind, Vec<AppRuns>>, kind: SuiteKind) -> &Vec<AppRuns> {
@@ -221,8 +268,14 @@ fn uai_demo() {
     .expect("run");
     let honest = run(&w.app, &w.full, &Policy::GreenWeb(Scenario::Imperceptible)).expect("run");
     let _ = expectations(&hostile, &w.full, Scenario::Imperceptible);
-    println!("honest annotations:              {:>8.0} mJ", honest.total_mj());
-    println!("hostile 1 ms targets:            {:>8.0} mJ", unprotected.total_mj());
+    println!(
+        "honest annotations:              {:>8.0} mJ",
+        honest.total_mj()
+    );
+    println!(
+        "hostile 1 ms targets:            {:>8.0} mJ",
+        unprotected.total_mj()
+    );
     println!(
         "hostile + UAI budget ({budget:.0} mJ): {:>8.0} mJ",
         protected.total_mj()

@@ -238,7 +238,10 @@ mod tests {
         let (inter, gwi, gwu) = runs.normalized_energy();
         assert!(inter <= 1.05, "interactive ≈ perf, got {inter}");
         assert!(gwi < inter, "greenweb-i must beat interactive");
-        assert!(gwu <= gwi + 1e-9, "usable must not cost more than imperceptible");
+        assert!(
+            gwu <= gwi + 1e-9,
+            "usable must not cost more than imperceptible"
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`tables`] — Tables 1–3;
 //! * [`ablation`] — design-choice ablations (feedback loop, UAI budget,
 //!   baseline governors, big-only vs. ACMP);
+//! * [`profile`] — traced runs: per-stage latency percentiles, a text
+//!   flamegraph, and Perfetto-loadable Chrome trace-event export;
 //! * [`render`] — fixed-width text rendering used by the `evaluate`
 //!   binary.
 //!
@@ -20,7 +22,10 @@
 
 pub mod ablation;
 pub mod figures;
+pub mod profile;
 pub mod render;
 pub mod tables;
 
-pub use figures::{fig11, fig12, run_suite, AppRuns, PolicyRun, ResidencyRow, SuiteKind, SwitchRow};
+pub use figures::{
+    fig11, fig12, run_suite, AppRuns, PolicyRun, ResidencyRow, SuiteKind, SwitchRow,
+};

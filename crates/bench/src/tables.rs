@@ -36,7 +36,10 @@ pub fn table1() -> String {
 /// and echoing the extracted semantics — the table is *executable*.
 pub fn table2() -> String {
     let samples = [
-        ("E:QoS { onevent-qos: continuous; }", "#e:QoS { onclick-qos: continuous; }"),
+        (
+            "E:QoS { onevent-qos: continuous; }",
+            "#e:QoS { onclick-qos: continuous; }",
+        ),
         (
             "E:QoS { onevent-qos: single, short|long; }",
             "#e:QoS { onclick-qos: single, short; }",
@@ -102,7 +105,10 @@ fn table3_row(w: &Workload) -> Table3Row {
 /// Renders Table 3.
 pub fn table3() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 3: applications (paper vs. measured annotation coverage)\n");
+    let _ = writeln!(
+        out,
+        "Table 3: applications (paper vs. measured annotation coverage)\n"
+    );
     let _ = writeln!(
         out,
         "{:<11} {:<8} {:<11} {:>16} {:>6} {:>7} {:>8} {:>9}",

@@ -70,16 +70,21 @@ impl DegradationLevel {
             }
         }
     }
+
+    /// Stable lower-case name, used in reports and trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationLevel::Annotated => "annotated",
+            DegradationLevel::CategoryDefault => "category-default",
+            DegradationLevel::UaiFallback => "uai-fallback",
+            DegradationLevel::SafeMode => "safe-mode",
+        }
+    }
 }
 
 impl fmt::Display for DegradationLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DegradationLevel::Annotated => write!(f, "annotated"),
-            DegradationLevel::CategoryDefault => write!(f, "category-default"),
-            DegradationLevel::UaiFallback => write!(f, "uai-fallback"),
-            DegradationLevel::SafeMode => write!(f, "safe-mode"),
-        }
+        write!(f, "{}", self.name())
     }
 }
 
@@ -116,7 +121,10 @@ impl DegradationLog {
 
     /// Number of escalations.
     pub fn escalations(&self) -> usize {
-        self.transitions.iter().filter(|t| t.is_escalation()).count()
+        self.transitions
+            .iter()
+            .filter(|t| t.is_escalation())
+            .count()
     }
 
     /// Number of recoveries (de-escalations).
@@ -239,9 +247,7 @@ impl Watchdog {
         if violated {
             self.clean = 0;
             self.violations += 1;
-            if self.violations >= self.escalate_after
-                && self.level != DegradationLevel::SafeMode
-            {
+            if self.violations >= self.escalate_after && self.level != DegradationLevel::SafeMode {
                 self.violations = 0;
                 self.backoff += 1;
                 return Some(self.transition_to(now, self.level.escalated()));
@@ -319,7 +325,10 @@ mod tests {
             w.observe(t(1), true).unwrap().to,
             DegradationLevel::UaiFallback
         );
-        assert_eq!(w.observe(t(2), true).unwrap().to, DegradationLevel::SafeMode);
+        assert_eq!(
+            w.observe(t(2), true).unwrap().to,
+            DegradationLevel::SafeMode
+        );
         // Further violations don't transition — SafeMode is the floor.
         assert_eq!(w.observe(t(3), true), None);
         assert_eq!(w.level(), DegradationLevel::SafeMode);
@@ -365,10 +374,7 @@ mod tests {
         assert_eq!(w.log().escalations(), 1);
         assert_eq!(w.log().recoveries(), 1);
         assert_eq!(w.log().deepest(), DegradationLevel::CategoryDefault);
-        assert_eq!(
-            w.log().recovery_latency(),
-            Some(Duration::from_millis(50))
-        );
+        assert_eq!(w.log().recovery_latency(), Some(Duration::from_millis(50)));
     }
 
     #[test]

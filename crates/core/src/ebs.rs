@@ -196,11 +196,7 @@ mod tests {
         let trace = heavy_taps();
         let mut ebs = Browser::new(&app(), EbsScheduler::new()).unwrap();
         let ebs_report = ebs.run(&trace).unwrap();
-        let mut gw = Browser::new(
-            &app(),
-            GreenWebScheduler::new(Scenario::Imperceptible),
-        )
-        .unwrap();
+        let mut gw = Browser::new(&app(), GreenWebScheduler::new(Scenario::Imperceptible)).unwrap();
         let gw_report = gw.run(&trace).unwrap();
         // Compare post-profiling taps (the last three).
         let late = |report: &greenweb_engine::SimReport| -> f64 {

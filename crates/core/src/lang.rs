@@ -100,10 +100,7 @@ impl Annotation {
             (QosType::Single, t) if t == QosTarget::SINGLE_LONG => "single, long".to_string(),
             (kind, t) => format!("{kind}, {}, {}", t.imperceptible_ms, t.usable_ms),
         };
-        format!(
-            "{} {{ on{}-qos: {value}; }}",
-            self.selector, self.event
-        )
+        format!("{} {{ on{}-qos: {value}; }}", self.selector, self.event)
     }
 }
 
@@ -446,8 +443,7 @@ mod tests {
         // treatment: the fallback annotation matches the same selector.
         let doc = parse_html("<div id='c'></div>").unwrap();
         let c = doc.element_by_id("c").unwrap();
-        let sheet =
-            parse_stylesheet("#c:QoS { ontouchmove-qos: continuous, 20; }").unwrap();
+        let sheet = parse_stylesheet("#c:QoS { ontouchmove-qos: continuous, 20; }").unwrap();
         let (t, errors) = AnnotationTable::from_stylesheet_lossy(&sheet);
         assert_eq!(errors.len(), 1);
         let spec = t.lookup(&doc, c, EventType::TouchMove).unwrap();
@@ -504,18 +500,17 @@ mod tests {
 
     #[test]
     fn multiple_declarations_in_one_rule() {
-        let t = table(
-            "#x:QoS { onclick-qos: single, short; ontouchmove-qos: continuous; }",
-        );
+        let t = table("#x:QoS { onclick-qos: single, short; ontouchmove-qos: continuous; }");
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn annotation_without_qos_pseudo_not_extracted() {
         // A rule must carry :QoS on its selector to be an annotation.
-        let sheet =
-            parse_stylesheet("#a { onclick-qos: single, short; } #b:QoS { onclick-qos: single, short; }")
-                .unwrap();
+        let sheet = parse_stylesheet(
+            "#a { onclick-qos: single, short; } #b:QoS { onclick-qos: single, short; }",
+        )
+        .unwrap();
         let t = AnnotationTable::from_stylesheet(&sheet).unwrap();
         assert_eq!(t.len(), 1);
     }

@@ -10,6 +10,7 @@ use crate::degrade::{DegradationLevel, DegradationLog};
 use crate::qos::QosType;
 use greenweb_acmp::{Duration, SimTime};
 use greenweb_engine::{InputId, SimReport};
+use greenweb_trace::{Histogram, LatencySummary};
 use std::collections::HashMap;
 
 /// The QoS expectation used to judge one input.
@@ -54,10 +55,9 @@ pub fn violation_for_input(
             let product_log: f64 = frames
                 .iter()
                 .map(|f| {
-                    let ratio = frame_violation_pct(
-                        f.latency.as_millis_f64(),
-                        expectation.target_ms,
-                    ) / 100.0;
+                    let ratio =
+                        frame_violation_pct(f.latency.as_millis_f64(), expectation.target_ms)
+                            / 100.0;
                     (1.0 + ratio).ln()
                 })
                 .sum();
@@ -84,8 +84,15 @@ pub struct RunMetrics {
     pub violation_pct: f64,
     /// Number of inputs that were judged.
     pub judged_inputs: usize,
+    /// Inputs that carried a QoS expectation but could not be judged
+    /// (they produced no frames — e.g. the input was dropped by a fault,
+    /// or the run ended first). A nonzero value means `violation_pct`
+    /// silently excludes real user-visible failures.
+    pub unjudged_expected: usize,
     /// Total frames produced.
     pub frames: usize,
+    /// Percentile summary of all frame latencies.
+    pub latency: LatencySummary,
     /// Fraction of time on the big cluster.
     pub big_residency: f64,
     /// Configuration switches per frame (Fig. 12's metric).
@@ -108,11 +115,20 @@ impl RunMetrics {
                 violation_for_input(report, input.uid, *expectation)
             })
             .collect();
+        let mut latency = Histogram::new();
+        for frame in &report.frames {
+            latency.record(frame.latency.as_millis_f64());
+        }
         RunMetrics {
             energy_mj: report.total_mj(),
             violation_pct: mean_violation(&violations),
             judged_inputs: violations.len(),
+            // Every expectation that produced no judgment is an input the
+            // user cared about but the run never answered; surfacing the
+            // count keeps zero-frame inputs from vanishing silently.
+            unjudged_expected: expectations.len().saturating_sub(violations.len()),
             frames: report.frames.len(),
+            latency: latency.summary(),
             big_residency: report.big_residency_fraction(),
             switches_per_frame: report.switches_per_frame(),
             switches: report.switches,
@@ -135,15 +151,17 @@ impl RunMetrics {
 }
 
 /// Fraction of frames completing in `[from, to)` whose latency exceeds
-/// `target_ms`. Returns 0 when the window holds no frames. Chaos
-/// harnesses use this to compare the violation rate during a fault storm
-/// against the rate after the watchdog has re-converged.
+/// `target_ms`, or `None` when the window holds no frames — an empty
+/// window is "no evidence", which is not the same claim as "zero
+/// violations". Chaos harnesses use this to compare the violation rate
+/// during a fault storm against the rate after the watchdog has
+/// re-converged.
 pub fn violation_rate_in_window(
     report: &SimReport,
     target_ms: f64,
     from: SimTime,
     to: SimTime,
-) -> f64 {
+) -> Option<f64> {
     let mut total = 0usize;
     let mut violated = 0usize;
     for frame in &report.frames {
@@ -156,9 +174,9 @@ pub fn violation_rate_in_window(
         }
     }
     if total == 0 {
-        0.0
+        None
     } else {
-        violated as f64 / total as f64
+        Some(violated as f64 / total as f64)
     }
 }
 
@@ -352,11 +370,54 @@ mod tests {
         }
         let metrics = RunMetrics::compute(&report, &expectations);
         assert_eq!(metrics.judged_inputs, 2);
+        assert_eq!(metrics.unjudged_expected, 0);
         assert!((metrics.violation_pct - 50.0).abs() < 1e-9);
         assert_eq!(metrics.energy_mj, 120.0);
         assert_eq!(metrics.frames, 2);
+        assert_eq!(metrics.latency.count, 2);
+        assert!(metrics.latency.p99_ms > metrics.latency.p50_ms);
         assert_eq!(metrics.switches, (4, 2));
         assert_eq!(metrics.switches_per_frame, 3.0);
+    }
+
+    #[test]
+    fn expected_but_frameless_inputs_are_counted() {
+        // Input 1 carries an expectation but produced no frames (say, it
+        // was dropped by a fault): it must not vanish from the metrics.
+        let report = report_with_frames(vec![frame(0, 0, 50)]);
+        let mut expectations = HashMap::new();
+        for uid in [0, 1] {
+            expectations.insert(
+                InputId(uid),
+                InputExpectation {
+                    qos_type: QosType::Single,
+                    target_ms: 100.0,
+                },
+            );
+        }
+        let metrics = RunMetrics::compute(&report, &expectations);
+        assert_eq!(metrics.judged_inputs, 1);
+        assert_eq!(metrics.unjudged_expected, 1);
+    }
+
+    #[test]
+    fn empty_window_is_distinguished_from_zero_violations() {
+        let report = report_with_frames(vec![frame(0, 0, 50)]);
+        // Frames complete at t = 1000 ms; a window before that holds no
+        // frames and must report "no evidence", not a clean 0.0.
+        assert_eq!(
+            violation_rate_in_window(&report, 100.0, SimTime::ZERO, SimTime::from_millis(500)),
+            None
+        );
+        assert_eq!(
+            violation_rate_in_window(
+                &report,
+                100.0,
+                SimTime::from_millis(500),
+                SimTime::from_millis(1500)
+            ),
+            Some(0.0)
+        );
     }
 
     #[test]

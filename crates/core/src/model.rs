@@ -158,10 +158,7 @@ impl FrameModel {
         }
         if self.little.params.is_none() {
             let big_min = platform.min_config(CoreType::Big);
-            let predicted_big_min = self
-                .big
-                .params
-                .map(|p| p.latency_ms(big_min.freq_mhz));
+            let predicted_big_min = self.big.params.map(|p| p.latency_ms(big_min.freq_mhz));
             let little_max = platform.max_config(CoreType::Little);
             if let Some(t_big_min) = predicted_big_min {
                 if t_big_min > target_ms {

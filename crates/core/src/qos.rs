@@ -299,6 +299,9 @@ mod tests {
     fn display_formats() {
         assert_eq!(QosType::Continuous.to_string(), "continuous");
         assert_eq!(Scenario::Usable.to_string(), "usable");
-        assert_eq!(QosSpec::continuous().to_string(), "continuous (16.6, 33.3) ms");
+        assert_eq!(
+            QosSpec::continuous().to_string(),
+            "continuous (16.6, 33.3) ms"
+        );
     }
 }

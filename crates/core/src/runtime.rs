@@ -20,6 +20,7 @@ use greenweb_acmp::{CoreType, CpuConfig, Platform, PowerModel, SimTime};
 use greenweb_css::Stylesheet;
 use greenweb_dom::{Document, EventType, NodeId};
 use greenweb_engine::{FrameRecord, InputId, Scheduler, SchedulerCtx};
+use greenweb_trace::{record_into, EventKind as TraceKind, TraceHandle};
 use std::collections::HashMap;
 
 /// An event class: all inputs resolved by the same annotation rule share
@@ -92,6 +93,8 @@ pub struct GreenWebScheduler {
     pub watchdog: Watchdog,
     /// Typed errors from lossy annotation extraction at attach time.
     annotation_errors: Vec<LangError>,
+    /// Trace recorder shared with the browser, when tracing is on.
+    trace: Option<TraceHandle>,
 }
 
 /// How long after the last continuous frame the runtime still considers
@@ -121,6 +124,7 @@ impl GreenWebScheduler {
             last_continuous_frame: None,
             watchdog: Watchdog::default(),
             annotation_errors: Vec::new(),
+            trace: None,
         }
     }
 
@@ -179,18 +183,27 @@ impl GreenWebScheduler {
 
     /// Decides the configuration for the next frame of `class` given the
     /// active `target_ms`. Returns the profiling config while the class
-    /// model is unfitted.
-    fn decide(&mut self, class: ClassKey, target_ms: f64) -> Option<CpuConfig> {
+    /// model is unfitted. Every decision is traced with its "why":
+    /// target, prediction (if any), and whether it was a profiling run.
+    fn decide(&mut self, now: SimTime, class: ClassKey, target_ms: f64) -> Option<CpuConfig> {
         // Split borrows: compute with immutable predictor, then mutate.
         let platform = self.predictor.platform().clone();
         let state = self.classes.entry(class).or_default();
         if let Some(profile_config) = state.model.next_profile_config(&platform, target_ms) {
             state.pending_profile = Some(profile_config);
             state.last_prediction = None;
+            record_into(&self.trace, now, || TraceKind::Decision {
+                target_ms,
+                predicted_ms: None,
+                chosen: profile_config,
+                profiling: true,
+            });
             return Some(profile_config);
         }
         state.pending_profile = None;
-        let base = self.predictor.best_config(&self.classes[&class].model, target_ms)?;
+        let base = self
+            .predictor
+            .best_config(&self.classes[&class].model, target_ms)?;
         let bias = self.classes[&class].bias;
         let chosen = self.apply_bias(base, bias);
         let predicted = self.classes[&class]
@@ -199,6 +212,12 @@ impl GreenWebScheduler {
             .unwrap_or(target_ms);
         let state = self.classes.get_mut(&class).expect("created above");
         state.last_prediction = Some((chosen, predicted));
+        record_into(&self.trace, now, || TraceKind::Decision {
+            target_ms,
+            predicted_ms: Some(predicted),
+            chosen,
+            profiling: false,
+        });
         Some(chosen)
     }
 
@@ -263,9 +282,7 @@ impl GreenWebScheduler {
             DegradationLevel::SafeMode => Some(self.platform().peak()),
             // Models distrusted: a conservative reactive stance — the
             // big cluster's floor gives headroom without peak power.
-            DegradationLevel::UaiFallback => {
-                Some(self.platform().min_config(CoreType::Big))
-            }
+            DegradationLevel::UaiFallback => Some(self.platform().min_config(CoreType::Big)),
             _ => None,
         }
     }
@@ -304,17 +321,20 @@ impl Scheduler for GreenWebScheduler {
         self.annotation_errors.extend(errors);
     }
 
+    fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
     fn on_input(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         uid: InputId,
         event: EventType,
         target: NodeId,
         ctx: &SchedulerCtx<'_>,
     ) -> Option<CpuConfig> {
         let level = self.watchdog.level();
-        let Some((rule_index, annotation)) =
-            self.annotations.lookup_entry(ctx.doc, target, event)
+        let Some((rule_index, annotation)) = self.annotations.lookup_entry(ctx.doc, target, event)
         else {
             // Unannotated events get no per-event decision — except in
             // safe mode, which pins peak across the board.
@@ -330,12 +350,12 @@ impl Scheduler for GreenWebScheduler {
             return Some(pinned);
         }
         let target_ms = self.target_ms(&active.spec(level));
-        self.decide(active.class, target_ms)
+        self.decide(now, active.class, target_ms)
     }
 
     fn on_frame_start(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         origins: &[(InputId, EventType)],
         _ctx: &SchedulerCtx<'_>,
     ) -> Option<CpuConfig> {
@@ -355,7 +375,7 @@ impl Scheduler for GreenWebScheduler {
         if let Some(pinned) = self.pinned_config(level) {
             return Some(pinned);
         }
-        self.decide(active.class, target_ms)
+        self.decide(now, active.class, target_ms)
     }
 
     fn on_frames_complete(
@@ -380,10 +400,8 @@ impl Scheduler for GreenWebScheduler {
                 // by the browser's input pipeline, so every one of their
                 // frames (each seq 0 of its own input) is a clean
                 // per-frame latency.
-                let vsync_aligned = matches!(
-                    record.event,
-                    EventType::TouchMove | EventType::Scroll
-                );
+                let vsync_aligned =
+                    matches!(record.event, EventType::TouchMove | EventType::Scroll);
                 if record.seq == 0 && !vsync_aligned {
                     continue;
                 }
@@ -395,6 +413,10 @@ impl Scheduler for GreenWebScheduler {
             // correction this batch produced.
             let violated = measured_ms > target_ms;
             if let Some(transition) = self.watchdog.observe(record.completed_at, violated) {
+                record_into(&self.trace, record.completed_at, || TraceKind::Ladder {
+                    from: transition.from.name(),
+                    to: transition.to.name(),
+                });
                 decision = self.apply_transition(&transition);
                 continue;
             }
@@ -581,7 +603,10 @@ mod tests {
         let platform = Platform::odroid_xu_e();
         let doc = greenweb_dom::parse_html("<p></p>").unwrap();
         let cpu = greenweb_acmp::Cpu::new(platform.clone(), PowerModel::odroid_xu_e());
-        let ctx = SchedulerCtx { doc: &doc, cpu: &cpu };
+        let ctx = SchedulerCtx {
+            doc: &doc,
+            cpu: &cpu,
+        };
         // Idle first drops to the current cluster's floor...
         assert_eq!(
             sched.on_idle(SimTime::ZERO, &ctx),
@@ -624,7 +649,7 @@ mod tests {
         let platform = Platform::odroid_xu_e();
         let mut profile_configs = Vec::new();
         for _ in 0..3 {
-            let config = sched.decide(class, 33.3).unwrap();
+            let config = sched.decide(SimTime::ZERO, class, 33.3).unwrap();
             profile_configs.push(config);
             // Report a plausible Eq.1-ish latency for that config.
             let latency = 5.0 + 20_000.0 / config.freq_mhz as f64;
@@ -634,7 +659,7 @@ mod tests {
         assert_eq!(profile_configs[1], platform.min_config(CoreType::Big));
         assert_eq!(profile_configs[2], platform.max_config(CoreType::Little));
         // ...then a fitted prediction.
-        let predicted = sched.decide(class, 33.3).unwrap();
+        let predicted = sched.decide(SimTime::ZERO, class, 33.3).unwrap();
         assert!(sched.classes[&class].model.is_fitted());
         assert!(sched.classes[&class].last_prediction.is_some());
         // The prediction should not be a profiling endpoint necessarily;
@@ -652,11 +677,11 @@ mod tests {
         let class = (EventType::TouchMove, 0usize);
         // Finish profiling.
         for _ in 0..4 {
-            let config = sched.decide(class, 33.3).unwrap();
+            let config = sched.decide(SimTime::ZERO, class, 33.3).unwrap();
             let latency = 5.0 + 20_000.0 / config.freq_mhz as f64;
             sched.feedback(class, 33.3, latency);
         }
-        let chosen = sched.decide(class, 33.3).unwrap();
+        let chosen = sched.decide(SimTime::ZERO, class, 33.3).unwrap();
         // A violated frame must bump the config a level up.
         let correction = sched.feedback(class, 33.3, 50.0);
         assert_eq!(
@@ -673,14 +698,14 @@ mod tests {
         sched.reprofile_threshold = 3;
         let class = (EventType::TouchMove, 0usize);
         for _ in 0..4 {
-            let config = sched.decide(class, 33.3).unwrap();
+            let config = sched.decide(SimTime::ZERO, class, 33.3).unwrap();
             let latency = 5.0 + 20_000.0 / config.freq_mhz as f64;
             sched.feedback(class, 33.3, latency);
         }
         assert!(sched.classes[&class].model.is_fitted());
         // Wildly wrong measurements, repeatedly.
         for _ in 0..3 {
-            sched.decide(class, 33.3).unwrap();
+            sched.decide(SimTime::ZERO, class, 33.3).unwrap();
             sched.feedback(class, 33.3, 500.0);
         }
         assert!(
@@ -725,7 +750,10 @@ mod tests {
         let platform = Platform::odroid_xu_e();
         let doc = greenweb_dom::parse_html("<p></p>").unwrap();
         let cpu = greenweb_acmp::Cpu::new(platform.clone(), PowerModel::odroid_xu_e());
-        let ctx = SchedulerCtx { doc: &doc, cpu: &cpu };
+        let ctx = SchedulerCtx {
+            doc: &doc,
+            cpu: &cpu,
+        };
         let mut sched = GreenWebScheduler::new(Scenario::Usable);
         sched.watchdog.escalate_after = 1;
         sched.watchdog.recover_after = 1;
@@ -735,7 +763,10 @@ mod tests {
         }
         assert_eq!(sched.degradation_level(), DegradationLevel::SafeMode);
         // Safe mode overrides idle and timer decisions with peak.
-        assert_eq!(sched.on_idle(SimTime::from_millis(5), &ctx), Some(platform.peak()));
+        assert_eq!(
+            sched.on_idle(SimTime::from_millis(5), &ctx),
+            Some(platform.peak())
+        );
         assert_eq!(
             sched.on_timer(SimTime::from_millis(6), 0.0, &ctx),
             Some(platform.peak())
@@ -748,8 +779,14 @@ mod tests {
             ms += 1;
             assert!(ms < 200, "recovery must terminate");
         }
-        assert_eq!(sched.on_timer(SimTime::from_millis(300), 0.0, &ctx), Some(platform.lowest()));
+        assert_eq!(
+            sched.on_timer(SimTime::from_millis(300), 0.0, &ctx),
+            Some(platform.lowest())
+        );
         assert!(sched.degradation_log().recovery_latency().is_some());
-        assert_eq!(sched.degradation_log().deepest(), DegradationLevel::SafeMode);
+        assert_eq!(
+            sched.degradation_log().deepest(),
+            DegradationLevel::SafeMode
+        );
     }
 }

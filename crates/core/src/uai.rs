@@ -14,6 +14,7 @@ use greenweb_acmp::{CpuConfig, Duration, SimTime};
 use greenweb_css::Stylesheet;
 use greenweb_dom::{Document, EventType, NodeId};
 use greenweb_engine::{FrameRecord, InputId, Scheduler, SchedulerCtx};
+use greenweb_trace::TraceHandle;
 
 /// A scheduler decorator enforcing an application energy budget.
 #[derive(Debug)]
@@ -73,6 +74,10 @@ impl<S: Scheduler> Scheduler for EnergyBudgetUai<S> {
 
     fn on_attach(&mut self, stylesheet: &Stylesheet, doc: &Document) {
         self.inner.on_attach(stylesheet, doc);
+    }
+
+    fn attach_trace(&mut self, trace: TraceHandle) {
+        self.inner.attach_trace(trace);
     }
 
     fn on_input(
@@ -135,8 +140,8 @@ impl<S: Scheduler> Scheduler for EnergyBudgetUai<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::GreenWebScheduler;
     use crate::qos::Scenario;
+    use crate::runtime::GreenWebScheduler;
     use greenweb_engine::{App, Browser, Trace};
 
     /// A mis-annotated app: an absurd 1 ms target on a heavy animation
@@ -168,8 +173,7 @@ mod tests {
         let inner = GreenWebScheduler::new(Scenario::Imperceptible);
         match budget_mj {
             Some(budget) => {
-                let mut b =
-                    Browser::new(app, EnergyBudgetUai::new(inner, budget)).unwrap();
+                let mut b = Browser::new(app, EnergyBudgetUai::new(inner, budget)).unwrap();
                 b.run(&trace).unwrap()
             }
             None => {

@@ -73,10 +73,9 @@ impl AnimationSpec {
                 {
                     timing = TimingFunction::from_keyword(k);
                 }
-                CssValue::Keyword(k)
-                    if name.is_none() => {
-                        name = Some(k.clone());
-                    }
+                CssValue::Keyword(k) if name.is_none() => {
+                    name = Some(k.clone());
+                }
                 CssValue::Time(t) => times.push(*t),
                 CssValue::Number(n) => iterations = IterationCount::Finite(*n),
                 _ => {}
@@ -142,7 +141,12 @@ impl AnimationState {
     }
 
     /// Samples `property` from the keyframes at `now_ms`.
-    pub fn sample(&self, keyframes: &KeyframesRule, property: &str, now_ms: f64) -> Option<CssValue> {
+    pub fn sample(
+        &self,
+        keyframes: &KeyframesRule,
+        property: &str,
+        now_ms: f64,
+    ) -> Option<CssValue> {
         let t = self.progress(now_ms)?;
         keyframes.sample(property, t)
     }
@@ -151,9 +155,7 @@ impl AnimationState {
     pub fn is_finished(&self, now_ms: f64) -> bool {
         match self.spec.iterations {
             IterationCount::Infinite => false,
-            IterationCount::Finite(n) => {
-                now_ms >= self.start_ms + self.spec.duration.ms * n
-            }
+            IterationCount::Finite(n) => now_ms >= self.start_ms + self.spec.duration.ms * n,
         }
     }
 

@@ -230,10 +230,7 @@ impl StyleEngine {
             if doc.element(node).is_none() {
                 continue;
             }
-            let parent_style = doc
-                .parent(node)
-                .and_then(|p| styles.get(&p))
-                .cloned();
+            let parent_style = doc.parent(node).and_then(|p| styles.get(&p)).cloned();
             let style = self.compute_style(doc, node, parent_style.as_ref());
             styles.insert(node, style);
         }

@@ -267,9 +267,7 @@ impl std::error::Error for SelectorParseError {}
 
 /// Parses a comma-separated selector list from a token slice (used by the
 /// stylesheet parser for rule preludes).
-pub(crate) fn parse_selector_list(
-    tokens: &[Token],
-) -> Result<Vec<Selector>, SelectorParseError> {
+pub(crate) fn parse_selector_list(tokens: &[Token]) -> Result<Vec<Selector>, SelectorParseError> {
     let mut selectors = Vec::new();
     for group in tokens.split(|t| *t == Token::Comma) {
         selectors.push(parse_complex(group)?);
@@ -298,7 +296,12 @@ fn parse_complex(tokens: &[Token]) -> Result<Selector, SelectorParseError> {
                         message: "combinator without left-hand compound".into(),
                     });
                 }
-                flush(&mut compounds, &mut current, &mut combinators, &mut pending_combinator)?;
+                flush(
+                    &mut compounds,
+                    &mut current,
+                    &mut combinators,
+                    &mut pending_combinator,
+                )?;
                 pending_combinator = Some(Combinator::Child);
                 saw_space = false;
             }
@@ -350,8 +353,7 @@ fn parse_complex(tokens: &[Token]) -> Result<Selector, SelectorParseError> {
                                     Some(Token::String(v)) => v.clone(),
                                     _ => {
                                         return Err(SelectorParseError {
-                                            message: "expected attribute value after `=`"
-                                                .into(),
+                                            message: "expected attribute value after `=`".into(),
                                         })
                                     }
                                 };
@@ -359,8 +361,7 @@ fn parse_complex(tokens: &[Token]) -> Result<Selector, SelectorParseError> {
                                     Some(Token::CloseBracket) => {}
                                     _ => {
                                         return Err(SelectorParseError {
-                                            message: "expected `]` after attribute value"
-                                                .into(),
+                                            message: "expected `]` after attribute value".into(),
                                         })
                                     }
                                 }
@@ -368,8 +369,7 @@ fn parse_complex(tokens: &[Token]) -> Result<Selector, SelectorParseError> {
                             }
                             _ => {
                                 return Err(SelectorParseError {
-                                    message: "expected `]` or `=` in attribute selector"
-                                        .into(),
+                                    message: "expected `]` or `=` in attribute selector".into(),
                                 })
                             }
                         };
@@ -447,7 +447,9 @@ mod tests {
     #[test]
     fn specificity_counts() {
         assert_eq!(
-            Selector::parse("div#intro.fancy:QoS").unwrap().specificity(),
+            Selector::parse("div#intro.fancy:QoS")
+                .unwrap()
+                .specificity(),
             Specificity::new(1, 2, 1)
         );
         assert_eq!(
@@ -483,7 +485,9 @@ mod tests {
         assert!(Selector::parse("p").unwrap().matches(&doc, inner));
         assert!(Selector::parse("#inner").unwrap().matches(&doc, inner));
         assert!(Selector::parse(".lead").unwrap().matches(&doc, inner));
-        assert!(Selector::parse("p#inner.text").unwrap().matches(&doc, inner));
+        assert!(Selector::parse("p#inner.text")
+            .unwrap()
+            .matches(&doc, inner));
         assert!(!Selector::parse("div").unwrap().matches(&doc, inner));
         assert!(!Selector::parse(".missing").unwrap().matches(&doc, inner));
     }
@@ -510,7 +514,9 @@ mod tests {
     fn chained_combinators() {
         let doc = doc();
         let inner = doc.element_by_id("inner").unwrap();
-        assert!(Selector::parse(".wrap section > p.lead").unwrap().matches(&doc, inner));
+        assert!(Selector::parse(".wrap section > p.lead")
+            .unwrap()
+            .matches(&doc, inner));
     }
 
     #[test]
@@ -523,10 +529,8 @@ mod tests {
 
     #[test]
     fn attribute_selectors_match() {
-        let doc = parse_html(
-            "<input id='a' type='text' disabled><input id='b' type='radio'>",
-        )
-        .unwrap();
+        let doc =
+            parse_html("<input id='a' type='text' disabled><input id='b' type='radio'>").unwrap();
         let a = doc.element_by_id("a").unwrap();
         let b = doc.element_by_id("b").unwrap();
         let presence = Selector::parse("[disabled]").unwrap();

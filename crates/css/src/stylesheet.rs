@@ -544,7 +544,8 @@ mod tests {
 
     #[test]
     fn parses_keyframes() {
-        let css = "@keyframes slide { from { width: 0px; } 50% { width: 10px; } to { width: 100px; } }";
+        let css =
+            "@keyframes slide { from { width: 0px; } 50% { width: 10px; } to { width: 100px; } }";
         let sheet = parse_stylesheet(css).unwrap();
         let kf = sheet.keyframes_by_name("slide").unwrap();
         assert_eq!(kf.frames.len(), 3);
@@ -569,8 +570,7 @@ mod tests {
 
     #[test]
     fn keyframes_sampling_multi_segment() {
-        let css =
-            "@keyframes z { from { left: 0px; } 25% { left: 100px; } to { left: 200px; } }";
+        let css = "@keyframes z { from { left: 0px; } 25% { left: 100px; } to { left: 200px; } }";
         let sheet = parse_stylesheet(css).unwrap();
         let kf = sheet.keyframes_by_name("z").unwrap();
         assert_eq!(
@@ -607,8 +607,7 @@ mod tests {
     fn declaration_without_colon_skipped() {
         // The malformed declaration is dropped up to the next `;`; its
         // neighbours and the rule itself survive.
-        let (sheet, errors) =
-            parse_stylesheet_with_errors("p { width; height: 2px; margin 3px }");
+        let (sheet, errors) = parse_stylesheet_with_errors("p { width; height: 2px; margin 3px }");
         assert_eq!(sheet.rules().len(), 1);
         let decls = sheet.rules()[0].declarations();
         assert_eq!(decls.len(), 1);
@@ -678,8 +677,8 @@ mod tests {
     #[test]
     fn extend_merges_sheets() {
         let mut a = parse_stylesheet("p { margin: 0; }").unwrap();
-        let b = parse_stylesheet("h1 { margin: 0; } @keyframes k { from { width: 0px; } }")
-            .unwrap();
+        let b =
+            parse_stylesheet("h1 { margin: 0; } @keyframes k { from { width: 0px; } }").unwrap();
         a.extend(b);
         assert_eq!(a.rules().len(), 2);
         assert_eq!(a.keyframes().len(), 1);

@@ -95,7 +95,11 @@ pub struct TokenizeError {
 
 impl fmt::Display for TokenizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "css tokenize error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "css tokenize error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -264,7 +268,9 @@ pub fn tokenize_lossy(input: &str) -> (Vec<Token>, Vec<TokenizeError>) {
             _ if c.is_ascii_digit()
                 || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
                 || ((c == '-' || c == '+')
-                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit() || *d == '.')) =>
+                    && chars
+                        .get(i + 1)
+                        .is_some_and(|d| d.is_ascii_digit() || *d == '.')) =>
             {
                 let start = i;
                 if c == '-' || c == '+' {

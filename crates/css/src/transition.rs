@@ -364,7 +364,10 @@ mod tests {
         let half = TimingFunction::EaseIn.apply(0.5);
         assert!(half < 0.5, "ease-in should lag linear at t=0.5, got {half}");
         let half_out = TimingFunction::EaseOut.apply(0.5);
-        assert!(half_out > 0.5, "ease-out should lead linear, got {half_out}");
+        assert!(
+            half_out > 0.5,
+            "ease-out should lead linear, got {half_out}"
+        );
     }
 
     #[test]

@@ -126,8 +126,7 @@ fn keyframe_sampling_is_bounded() {
         let from = g.f64_in(0.0, 500.0);
         let to = g.f64_in(0.0, 500.0);
         let t = g.f64_in(0.0, 1.0);
-        let css =
-            format!("@keyframes k {{ from {{ width: {from}px; }} to {{ width: {to}px; }} }}");
+        let css = format!("@keyframes k {{ from {{ width: {from}px; }} to {{ width: {to}px; }} }}");
         let sheet = parse_stylesheet(&css).unwrap();
         let kf = sheet.keyframes_by_name("k").unwrap();
         let sampled = kf.sample("width", t).and_then(|v| v.as_number()).unwrap();

@@ -179,7 +179,9 @@ impl<T> ListenerSet<T> {
 
     /// Removes all listeners for `event_type` on `node`, returning them.
     pub fn remove_all(&mut self, node: NodeId, event_type: EventType) -> Vec<T> {
-        self.listeners.remove(&(node, event_type)).unwrap_or_default()
+        self.listeners
+            .remove(&(node, event_type))
+            .unwrap_or_default()
     }
 
     /// The listeners registered for `event_type` on `node` in registration
@@ -257,7 +259,10 @@ mod tests {
 
     #[test]
     fn parse_is_case_insensitive() {
-        assert_eq!("TouchStart".parse::<EventType>().unwrap(), EventType::TouchStart);
+        assert_eq!(
+            "TouchStart".parse::<EventType>().unwrap(),
+            EventType::TouchStart
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl HtmlError {
 
 impl fmt::Display for HtmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "html parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "html parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -40,8 +44,8 @@ impl std::error::Error for HtmlError {}
 
 /// Elements that never have children and need no closing tag.
 const VOID_ELEMENTS: &[&str] = &[
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta",
-    "param", "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// Elements whose content is raw text up to the matching end tag.
@@ -361,8 +365,7 @@ mod tests {
 
     #[test]
     fn parses_attributes_all_quote_styles() {
-        let doc =
-            parse_html(r#"<input type="text" name='q' value=search disabled>"#).unwrap();
+        let doc = parse_html(r#"<input type="text" name='q' value=search disabled>"#).unwrap();
         let input = doc.elements_by_tag("input")[0];
         let el = doc.element(input).unwrap();
         assert_eq!(el.attribute("type"), Some("text"));

@@ -24,6 +24,7 @@ use greenweb_css::value::{CssValue, Length};
 use greenweb_css::{ComputedStyle, StyleEngine};
 use greenweb_dom::{parse_html, Document, Event, EventType, ListenerSet, NodeId};
 use greenweb_script::{parse_program, Interpreter, Value};
+use greenweb_trace::{record_into, EventKind as TraceKind, SpanKind, TraceHandle};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
@@ -31,6 +32,16 @@ use std::rc::Rc;
 
 /// The VSync period: 60 Hz, like the paper's mobile display.
 pub const VSYNC_PERIOD: Duration = Duration::from_nanos(16_666_667);
+
+/// Maps an engine pipeline stage to its trace span kind.
+fn stage_span(stage: Stage) -> SpanKind {
+    match stage {
+        Stage::Style => SpanKind::Style,
+        Stage::Layout => SpanKind::Layout,
+        Stage::Paint => SpanKind::Paint,
+        Stage::Composite => SpanKind::Composite,
+    }
+}
 
 /// Error constructing or running a [`Browser`].
 #[derive(Debug)]
@@ -129,8 +140,14 @@ enum Task {
 
 #[derive(Debug)]
 enum RunningKind {
-    Callback { effects: CallbackEffects, origin: Msg },
-    Stage { stage: Stage, msgs: Rc<Vec<Msg>> },
+    Callback {
+        effects: CallbackEffects,
+        origin: Msg,
+    },
+    Stage {
+        stage: Stage,
+        msgs: Rc<Vec<Msg>>,
+    },
 }
 
 #[derive(Debug)]
@@ -138,6 +155,10 @@ struct Running {
     kind: RunningKind,
     remaining: WorkUnit,
     since: SimTime,
+    /// When the task first started executing. Unlike `since` (which
+    /// resets on every mid-task configuration switch), this survives
+    /// switches, so the traced span covers the task's full extent.
+    started: SimTime,
     gen: u64,
 }
 
@@ -198,6 +219,7 @@ pub struct Browser<S: Scheduler> {
     util_mark: Duration,
     logs: Vec<String>,
     injector: Option<FaultInjector>,
+    trace: Option<TraceHandle>,
 }
 
 impl<S: Scheduler> Browser<S> {
@@ -262,6 +284,7 @@ impl<S: Scheduler> Browser<S> {
             util_mark: Duration::ZERO,
             logs: Vec::new(),
             injector: None,
+            trace: None,
         };
         // Run setup scripts: they register listeners and may set initial
         // styles. Scheduling effects (dirty/rAF/timers) are ignored at
@@ -296,6 +319,19 @@ impl<S: Scheduler> Browser<S> {
     /// same app/trace/scheduler) are byte-for-byte reproducible.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Attaches a trace recorder. The browser emits pipeline-stage
+    /// spans, VSync ticks, configuration switches, energy samples, frame
+    /// commits, and injected faults into it; the handle is also passed
+    /// to the scheduler (via [`Scheduler::attach_trace`]) so policies
+    /// can add their decision and degradation events to the same
+    /// timeline. Without a recorder attached, all instrumentation sites
+    /// are branches on a `None` — no payloads are built, nothing
+    /// allocates.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.scheduler.attach_trace(trace.clone());
+        self.trace = Some(trace);
     }
 
     /// The live document.
@@ -403,6 +439,22 @@ impl<S: Scheduler> Browser<S> {
     }
 
     fn build_report(&mut self, end: SimTime) -> SimReport {
+        // Injected faults are appended to the trace in one deterministic
+        // batch at report time (the exporter's consumers sort by
+        // timestamp, so insertion order does not matter).
+        if let Some(trace) = self.trace.clone() {
+            if let Some(injector) = self.injector.as_ref() {
+                for fault in &injector.report().faults {
+                    trace.record(
+                        fault.at,
+                        TraceKind::Fault {
+                            category: fault.kind.category(),
+                            detail: fault.kind.to_string(),
+                        },
+                    );
+                }
+            }
+        }
         let mut inputs = self.input_meta.clone();
         for input in &mut inputs {
             input.frames = self.tracker.frames_for(input.uid);
@@ -478,6 +530,13 @@ impl<S: Scheduler> Browser<S> {
             armed_css_animation: false,
             frames: 0,
         });
+        record_into(&self.trace, self.now, || TraceKind::Span {
+            kind: SpanKind::Input,
+            start: self.now,
+            dur: Duration::ZERO,
+            uids: vec![uid.0],
+            label: Some(input.event.name()),
+        });
         let origin = Msg {
             uid,
             start_ts: self.now,
@@ -525,6 +584,13 @@ impl<S: Scheduler> Browser<S> {
             uid,
             start_ts: self.now,
         });
+        record_into(&self.trace, self.now, || TraceKind::Span {
+            kind: SpanKind::Input,
+            start: self.now,
+            dur: Duration::ZERO,
+            uids: vec![uid.0],
+            label: Some(input.event.name()),
+        });
     }
 
     fn event_arg(&self, event: EventType, target: NodeId) -> Value {
@@ -562,6 +628,24 @@ impl<S: Scheduler> Browser<S> {
                     return Ok(());
                 }
             }
+        }
+        // Only delivered ticks are traced: the display actually beat. The
+        // energy sample rides the same tick, giving Perfetto counter
+        // tracks at display rate.
+        if let Some(trace) = self.trace.clone() {
+            self.cpu.advance(self.now);
+            let sample = self.cpu.power_sample();
+            trace.record(self.now, TraceKind::Vsync);
+            trace.record(
+                self.now,
+                TraceKind::EnergySample {
+                    actual_mj: sample.energy.total_mj(),
+                    metered_mj: sample.metered.total_mj(),
+                    power_mw: sample.power_mw,
+                    config: sample.config,
+                    busy: sample.busy,
+                },
+            );
         }
         // If the main thread is still chewing on the previous frame, skip
         // this VSync entirely — real browsers do not dispatch rAF or
@@ -793,6 +877,30 @@ impl<S: Scheduler> Browser<S> {
         }
         self.cpu.advance(self.now);
         let running = self.running.take().expect("checked above");
+        if let Some(trace) = self.trace.clone() {
+            let (kind, uids, label) = match &running.kind {
+                RunningKind::Callback { origin, .. } => (
+                    SpanKind::Callback,
+                    vec![origin.uid.0],
+                    Some(self.origin_event(origin.uid).name()),
+                ),
+                RunningKind::Stage { stage, msgs } => (
+                    stage_span(*stage),
+                    msgs.iter().map(|m| m.uid.0).collect(),
+                    None,
+                ),
+            };
+            trace.record(
+                self.now,
+                TraceKind::Span {
+                    kind,
+                    start: running.started,
+                    dur: self.now.saturating_since(running.started),
+                    uids,
+                    label,
+                },
+            );
+        }
         match running.kind {
             RunningKind::Callback { effects, origin } => {
                 self.apply_effects(effects, origin);
@@ -800,6 +908,19 @@ impl<S: Scheduler> Browser<S> {
             RunningKind::Stage { stage, msgs } => {
                 if stage == Stage::Composite {
                     let records = self.tracker.complete_frame(&msgs, self.now);
+                    if let Some(trace) = self.trace.clone() {
+                        for record in &records {
+                            trace.record(
+                                self.now,
+                                TraceKind::FrameCommit {
+                                    uid: record.uid.0,
+                                    seq: record.seq,
+                                    latency: record.latency,
+                                    event: record.event.name(),
+                                },
+                            );
+                        }
+                    }
                     let desired = {
                         let ctx = SchedulerCtx {
                             doc: &self.doc,
@@ -827,10 +948,7 @@ impl<S: Scheduler> Browser<S> {
     }
 
     fn apply_effects(&mut self, effects: CallbackEffects, origin: Msg) {
-        let meta = self
-            .input_meta
-            .iter_mut()
-            .find(|m| m.uid == origin.uid);
+        let meta = self.input_meta.iter_mut().find(|m| m.uid == origin.uid);
         if let Some(meta) = meta {
             meta.used_raf |= effects.used_raf();
             meta.used_animate |= effects.used_animate();
@@ -871,11 +989,7 @@ impl<S: Scheduler> Browser<S> {
             armed_css |= self.maybe_arm_animation(&write, origin.uid);
         }
         if armed_css {
-            if let Some(meta) = self
-                .input_meta
-                .iter_mut()
-                .find(|m| m.uid == origin.uid)
-            {
+            if let Some(meta) = self.input_meta.iter_mut().find(|m| m.uid == origin.uid) {
                 meta.armed_css_animation = true;
             }
         }
@@ -958,7 +1072,13 @@ impl<S: Scheduler> Browser<S> {
             running.remaining = self.cpu.remaining_after(&running.remaining, elapsed);
             running.since = self.now;
         }
+        let from = self.cpu.config();
         let penalty = self.cpu.switch(self.now, to);
+        record_into(&self.trace, self.now, || TraceKind::ConfigSwitch {
+            from,
+            to,
+            penalty,
+        });
         if self.running.is_some() {
             let gen = self.next_gen();
             let running = self.running.as_mut().expect("checked");
@@ -1044,9 +1164,9 @@ impl<S: Scheduler> Browser<S> {
         let args: Vec<Value> = arg.into_iter().collect();
         self.interp.call_function(&callback, &args, &mut host)?;
         let effects = host.effects;
-        let mut work = self
-            .cost
-            .callback_work(self.interp.ops(), effects.work_cycles, effects.gpu_ms);
+        let mut work =
+            self.cost
+                .callback_work(self.interp.ops(), effects.work_cycles, effects.gpu_ms);
         if let Some(injector) = self.injector.as_mut() {
             let multiplier = injector.callback_multiplier(self.now);
             if multiplier != 1.0 {
@@ -1066,6 +1186,7 @@ impl<S: Scheduler> Browser<S> {
             kind,
             remaining: work,
             since: self.now,
+            started: self.now,
             gen,
         });
         self.push_event(self.now + duration, SimEventKind::TaskDone { gen });

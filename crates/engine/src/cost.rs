@@ -91,20 +91,17 @@ impl FrameCostModel {
             Stage::Style => WorkUnit::cycles(self.style_cycles_per_element * elements * mult),
             Stage::Layout => WorkUnit::cycles(self.layout_cycles_per_element * elements * mult),
             Stage::Paint => WorkUnit::cycles(self.paint_cycles * mult),
-            Stage::Composite => WorkUnit::new(
-                self.composite_cycles * mult,
-                self.composite_independent_ms,
-            ),
+            Stage::Composite => {
+                WorkUnit::new(self.composite_cycles * mult, self.composite_independent_ms)
+            }
         }
     }
 
     /// Total work of a whole frame.
     pub fn frame_work(&self, elements: usize, seq: u32) -> WorkUnit {
-        Stage::ALL
-            .iter()
-            .fold(WorkUnit::default(), |acc, &s| {
-                acc.plus(&self.stage_work(s, elements, seq))
-            })
+        Stage::ALL.iter().fold(WorkUnit::default(), |acc, &s| {
+            acc.plus(&self.stage_work(s, elements, seq))
+        })
     }
 
     /// Work of an event callback that executed `ops` interpreter

@@ -114,7 +114,12 @@ impl FaultPlan {
     }
 
     /// Enables VSync drop/jitter.
-    pub fn with_vsync_faults(mut self, drop_prob: f64, jitter_prob: f64, jitter_max_ms: f64) -> Self {
+    pub fn with_vsync_faults(
+        mut self,
+        drop_prob: f64,
+        jitter_prob: f64,
+        jitter_max_ms: f64,
+    ) -> Self {
         self.spec.vsync = Some(VsyncFaultSpec {
             drop_prob,
             jitter_prob,
@@ -141,7 +146,12 @@ impl FaultPlan {
     }
 
     /// Enables power-sensor dropout/noise.
-    pub fn with_sensor_faults(mut self, dropout_prob: f64, noise_prob: f64, noise_frac: f64) -> Self {
+    pub fn with_sensor_faults(
+        mut self,
+        dropout_prob: f64,
+        noise_prob: f64,
+        noise_frac: f64,
+    ) -> Self {
         self.spec.sensor = Some(SensorFaultSpec {
             dropout_prob,
             noise_prob,
@@ -218,6 +228,29 @@ impl FaultKind {
             | FaultKind::InputDropped { .. }
             | FaultKind::InputDuplicated { .. } => "input",
             FaultKind::SensorDropout | FaultKind::SensorNoise { .. } => "sensor",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::LoadSpike { multiplier } => {
+                write!(f, "callback cost x{multiplier}")
+            }
+            FaultKind::VsyncDrop => write!(f, "vsync tick dropped"),
+            FaultKind::VsyncJitter { delay } => {
+                write!(f, "vsync tick deferred {:.2} ms", delay.as_millis_f64())
+            }
+            FaultKind::InputDelayed { event, by } => {
+                write!(f, "{} delayed {:.2} ms", event.name(), by.as_millis_f64())
+            }
+            FaultKind::InputDropped { event } => write!(f, "{} dropped", event.name()),
+            FaultKind::InputDuplicated { event } => write!(f, "{} duplicated", event.name()),
+            FaultKind::SensorDropout => write!(f, "power sensor read nothing"),
+            FaultKind::SensorNoise { gain } => {
+                write!(f, "power sensor gain {gain:.3}")
+            }
         }
     }
 }
@@ -477,7 +510,10 @@ mod tests {
         let trace = sample_trace();
         assert_eq!(inj.perturb_inputs(&trace.events), trace.events);
         assert_eq!(inj.callback_multiplier(SimTime::from_millis(5)), 1.0);
-        assert_eq!(inj.on_vsync(SimTime::from_millis(16)), VsyncDisposition::Deliver);
+        assert_eq!(
+            inj.on_vsync(SimTime::from_millis(16)),
+            VsyncDisposition::Deliver
+        );
         assert_eq!(inj.sensor_gain(SimTime::from_millis(16)), 1.0);
         assert_eq!(inj.report().total(), 0);
     }
@@ -545,11 +581,16 @@ mod tests {
     #[test]
     fn dropped_inputs_shrink_duplicates_grow() {
         let trace = sample_trace();
-        let mut drop_all = FaultInjector::new(FaultPlan::new(5).with_input_faults(0.0, 0.0, 1.0, 0.0));
+        let mut drop_all =
+            FaultInjector::new(FaultPlan::new(5).with_input_faults(0.0, 0.0, 1.0, 0.0));
         assert!(drop_all.perturb_inputs(&trace.events).is_empty());
         assert_eq!(drop_all.report().count("input"), trace.events.len());
-        let mut dup_all = FaultInjector::new(FaultPlan::new(5).with_input_faults(0.0, 0.0, 0.0, 1.0));
-        assert_eq!(dup_all.perturb_inputs(&trace.events).len(), 2 * trace.events.len());
+        let mut dup_all =
+            FaultInjector::new(FaultPlan::new(5).with_input_faults(0.0, 0.0, 0.0, 1.0));
+        assert_eq!(
+            dup_all.perturb_inputs(&trace.events).len(),
+            2 * trace.events.len()
+        );
     }
 
     #[test]

@@ -140,7 +140,10 @@ mod tests {
         let mut t = FrameTracker::new();
         let uid = InputId(1);
         t.register_input(uid, EventType::Click);
-        t.mark_dirty(Msg { uid, start_ts: ms(10) });
+        t.mark_dirty(Msg {
+            uid,
+            start_ts: ms(10),
+        });
         assert!(t.is_dirty());
         let msgs = t.begin_frame().unwrap();
         assert_eq!(msgs.len(), 1);
@@ -159,8 +162,14 @@ mod tests {
         let mut t = FrameTracker::new();
         t.register_input(InputId(1), EventType::Click);
         t.register_input(InputId(2), EventType::TouchStart);
-        t.mark_dirty(Msg { uid: InputId(1), start_ts: ms(0) });
-        t.mark_dirty(Msg { uid: InputId(2), start_ts: ms(5) });
+        t.mark_dirty(Msg {
+            uid: InputId(1),
+            start_ts: ms(0),
+        });
+        t.mark_dirty(Msg {
+            uid: InputId(2),
+            start_ts: ms(5),
+        });
         let msgs = t.begin_frame().unwrap();
         assert_eq!(msgs.len(), 2);
         let records = t.complete_frame(&msgs, ms(20));
@@ -176,10 +185,16 @@ mod tests {
         let mut t = FrameTracker::new();
         t.register_input(InputId(1), EventType::Click);
         t.register_input(InputId(2), EventType::Click);
-        t.mark_dirty(Msg { uid: InputId(1), start_ts: ms(0) });
+        t.mark_dirty(Msg {
+            uid: InputId(1),
+            start_ts: ms(0),
+        });
         let frame1 = t.begin_frame().unwrap();
         // Input 2 dirties while frame 1 is in production.
-        t.mark_dirty(Msg { uid: InputId(2), start_ts: ms(8) });
+        t.mark_dirty(Msg {
+            uid: InputId(2),
+            start_ts: ms(8),
+        });
         let r1 = t.complete_frame(&frame1, ms(16));
         assert_eq!(r1[0].uid, InputId(1));
         let frame2 = t.begin_frame().unwrap();
@@ -192,7 +207,10 @@ mod tests {
     fn duplicate_marks_enqueue_once() {
         let mut t = FrameTracker::new();
         t.register_input(InputId(1), EventType::TouchMove);
-        let msg = Msg { uid: InputId(1), start_ts: ms(0) };
+        let msg = Msg {
+            uid: InputId(1),
+            start_ts: ms(0),
+        };
         t.mark_dirty(msg);
         t.mark_dirty(msg);
         assert_eq!(t.begin_frame().unwrap().len(), 1);
@@ -210,7 +228,10 @@ mod tests {
         let uid = InputId(7);
         t.register_input(uid, EventType::TouchMove);
         for i in 0..3u64 {
-            t.mark_dirty(Msg { uid, start_ts: ms(i * 16) });
+            t.mark_dirty(Msg {
+                uid,
+                start_ts: ms(i * 16),
+            });
             let msgs = t.begin_frame().unwrap();
             t.complete_frame(&msgs, ms(i * 16 + 10));
         }

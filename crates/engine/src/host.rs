@@ -423,8 +423,7 @@ mod tests {
     fn bad_event_name_errors() {
         let mut doc = parse_html("<p id='p'></p>").unwrap();
         let program =
-            parse_program("addEventListener(getElementById('p'), 'hover', function(){});")
-                .unwrap();
+            parse_program("addEventListener(getElementById('p'), 'hover', function(){});").unwrap();
         let mut interp = Interpreter::new();
         let mut host = ScriptHost::new(&mut doc, 0.0);
         assert!(interp.run(&program, &mut host).is_err());

@@ -13,6 +13,7 @@ use crate::frame::FrameRecord;
 use greenweb_acmp::{Cpu, CpuConfig, Duration, Governor, SimTime};
 use greenweb_css::Stylesheet;
 use greenweb_dom::{Document, EventType, NodeId};
+use greenweb_trace::TraceHandle;
 
 /// Read-only view of browser state handed to scheduler hooks.
 #[derive(Debug)]
@@ -34,6 +35,10 @@ pub trait Scheduler {
     /// Called once before the run with the app's stylesheet and document;
     /// the GreenWeb runtime extracts its `:QoS` annotations here.
     fn on_attach(&mut self, _stylesheet: &Stylesheet, _doc: &Document) {}
+
+    /// Hands the policy a shared trace recorder so it can emit
+    /// decision/ladder events. Policies that don't trace ignore it.
+    fn attach_trace(&mut self, _trace: TraceHandle) {}
 
     /// A user input arrived (CPU is waking up if idle).
     fn on_input(
@@ -95,6 +100,10 @@ impl Scheduler for Box<dyn Scheduler> {
 
     fn on_attach(&mut self, stylesheet: &Stylesheet, doc: &Document) {
         (**self).on_attach(stylesheet, doc);
+    }
+
+    fn attach_trace(&mut self, trace: TraceHandle) {
+        (**self).attach_trace(trace);
     }
 
     fn on_input(
@@ -211,7 +220,10 @@ mod tests {
         assert_eq!(s.timer_period(), None);
         let doc = parse_html("<p id='p'></p>").unwrap();
         let cpu = Cpu::new(Platform::odroid_xu_e(), PowerModel::odroid_xu_e());
-        let ctx = SchedulerCtx { doc: &doc, cpu: &cpu };
+        let ctx = SchedulerCtx {
+            doc: &doc,
+            cpu: &cpu,
+        };
         let p = doc.element_by_id("p").unwrap();
         let cfg = s.on_input(SimTime::ZERO, InputId(0), EventType::Click, p, &ctx);
         assert_eq!(cfg, Some(Platform::odroid_xu_e().peak()));

@@ -2,14 +2,12 @@
 //! batching, animation mechanisms, latency attribution, and the
 //! interaction between schedulers and the executor.
 
-use greenweb_acmp::{
-    CoreType, CpuConfig, PerfGovernor, Platform, PowersaveGovernor, SimTime,
-};
-use greenweb_engine::{
-    App, Browser, FrameCostModel, GovernorScheduler, InputId, Scheduler, SchedulerCtx,
-    TargetSpec, Trace,
-};
+use greenweb_acmp::{CoreType, CpuConfig, PerfGovernor, Platform, PowersaveGovernor, SimTime};
 use greenweb_dom::EventType;
+use greenweb_engine::{
+    App, Browser, FrameCostModel, GovernorScheduler, InputId, Scheduler, SchedulerCtx, TargetSpec,
+    Trace,
+};
 
 fn perf() -> GovernorScheduler<PerfGovernor> {
     GovernorScheduler::new(PerfGovernor)
@@ -111,7 +109,11 @@ fn raf_animation_produces_frame_sequence() {
     let mut browser = Browser::new(&app, perf()).unwrap();
     let report = browser.run(&trace).unwrap();
     let frames = report.frames_for(InputId(0));
-    assert_eq!(frames.len(), 10, "ten rAF frames all attributed to the root input");
+    assert_eq!(
+        frames.len(),
+        10,
+        "ten rAF frames all attributed to the root input"
+    );
     assert!(report.inputs[0].used_raf);
     // Sequence indices advance.
     let seqs: Vec<u32> = frames.iter().map(|f| f.seq).collect();
@@ -372,7 +374,11 @@ fn touchmove_run_attributes_each_move() {
     let mut browser = Browser::new(&app, perf()).unwrap();
     let report = browser.run(&trace).unwrap();
     assert_eq!(report.inputs.len(), 12);
-    assert!(report.frames.len() >= 10, "got {} frames", report.frames.len());
+    assert!(
+        report.frames.len() >= 10,
+        "got {} frames",
+        report.frames.len()
+    );
 }
 
 #[test]
@@ -401,11 +407,7 @@ fn surge_frames_cost_more() {
         .touchstart_id(0.0, "c")
         .end_ms(600.0)
         .build();
-    let mut browser = Browser::new(
-        &app,
-        GovernorScheduler::new(PowersaveGovernor),
-    )
-    .unwrap();
+    let mut browser = Browser::new(&app, GovernorScheduler::new(PowersaveGovernor)).unwrap();
     let report = browser.run(&trace).unwrap();
     let frames = report.frames_for(InputId(0));
     assert!(frames.len() >= 8);

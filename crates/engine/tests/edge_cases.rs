@@ -2,9 +2,7 @@
 
 use greenweb_acmp::PerfGovernor;
 use greenweb_dom::EventType;
-use greenweb_engine::{
-    App, Browser, BrowserError, GovernorScheduler, InputId, TargetSpec, Trace,
-};
+use greenweb_engine::{App, Browser, BrowserError, GovernorScheduler, InputId, TargetSpec, Trace};
 
 fn perf() -> GovernorScheduler<PerfGovernor> {
     GovernorScheduler::new(PerfGovernor)
@@ -136,7 +134,10 @@ fn transition_retarget_mid_flight_replaces_the_transition() {
     assert!(report.frames_for(InputId(0)).len() >= 5);
     assert!(report.frames_for(InputId(1)).len() >= 5);
     let total = report.frames.len();
-    assert!(total < 80, "retargeted transition must still terminate: {total}");
+    assert!(
+        total < 80,
+        "retargeted transition must still terminate: {total}"
+    );
 }
 
 #[test]
@@ -233,9 +234,7 @@ fn dom_removal_during_interaction_is_safe() {
 fn events_beyond_window_end_are_dropped() {
     let app = App::builder("late")
         .html("<button id='b'></button>")
-        .script(
-            "addEventListener(getElementById('b'), 'click', function(e) { markDirty(); });",
-        )
+        .script("addEventListener(getElementById('b'), 'click', function(e) { markDirty(); });")
         .build();
     let trace = Trace {
         events: vec![
@@ -254,7 +253,11 @@ fn events_beyond_window_end_are_dropped() {
     };
     let mut browser = Browser::new(&app, perf()).unwrap();
     let report = browser.run(&trace).unwrap();
-    assert_eq!(report.inputs.len(), 1, "the 900 ms event is past the window");
+    assert_eq!(
+        report.inputs.len(),
+        1,
+        "the 900 ms event is past the window"
+    );
     assert_eq!(report.total_time.as_millis_f64(), 500.0);
 }
 

@@ -226,7 +226,9 @@ impl Interpreter {
     fn tick(&mut self) -> Result<(), ScriptError> {
         self.ops += 1;
         if self.ops > self.op_limit {
-            return Err(ScriptError::new("op limit exceeded (possible infinite loop)"));
+            return Err(ScriptError::new(
+                "op limit exceeded (possible infinite loop)",
+            ));
         }
         Ok(())
     }
@@ -627,15 +629,13 @@ mod tests {
 
     #[test]
     fn while_loop_with_break_continue() {
-        let interp = run(
-            "var sum = 0; var i = 0;
+        let interp = run("var sum = 0; var i = 0;
              while (true) {
                i = i + 1;
                if (i > 10) { break; }
                if (i % 2 == 0) { continue; }
                sum = sum + i;
-             }",
-        );
+             }");
         assert_eq!(global_number(&interp, "sum"), 25.0);
     }
 
@@ -666,9 +666,7 @@ mod tests {
 
     #[test]
     fn object_method_call() {
-        let interp = run(
-            "var o = { val: 5, get: function() { return 42; } }; var x = o.get();",
-        );
+        let interp = run("var o = { val: 5, get: function() { return 42; } }; var x = o.get();");
         assert_eq!(global_number(&interp, "x"), 42.0);
     }
 
@@ -763,8 +761,7 @@ mod tests {
 
     #[test]
     fn script_function_shadows_host() {
-        let program =
-            parse_program("function now() { return 1; } var t = now();").unwrap();
+        let program = parse_program("function now() { return 1; } var t = now();").unwrap();
         let mut interp = Interpreter::new();
         let mut host = RecordingHost { calls: Vec::new() };
         interp.run(&program, &mut host).unwrap();

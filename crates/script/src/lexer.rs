@@ -120,9 +120,8 @@ impl std::error::Error for LexError {}
 
 /// Multi-character punctuators, longest first so maximal munch works.
 const PUNCTUATORS: &[&str] = &[
-    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--",
-    "(", ")", "{", "}", "[", "]", ";", ",", ".", ":", "?", "+", "-", "*", "/", "%", "<",
-    ">", "=", "!",
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--", "(", ")",
+    "{", "}", "[", "]", ";", ",", ".", ":", "?", "+", "-", "*", "/", "%", "<", ">", "=", "!",
 ];
 
 /// Tokenizes `source`.
@@ -225,8 +224,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             while i < chars.len() && chars[i].is_ascii_digit() {
                 i += 1;
             }
-            if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-            {
+            if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
                 i += 1;
                 while i < chars.len() && chars[i].is_ascii_digit() {
                     i += 1;
@@ -343,7 +341,10 @@ mod tests {
     #[test]
     fn lexes_numbers() {
         assert_eq!(kinds("3.5"), vec![TokenKind::Number(3.5), TokenKind::Eof]);
-        assert_eq!(kinds("1e3"), vec![TokenKind::Number(1000.0), TokenKind::Eof]);
+        assert_eq!(
+            kinds("1e3"),
+            vec![TokenKind::Number(1000.0), TokenKind::Eof]
+        );
         assert_eq!(
             kinds("2.5e-1"),
             vec![TokenKind::Number(0.25), TokenKind::Eof]

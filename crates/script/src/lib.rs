@@ -41,9 +41,9 @@ pub mod value;
 pub mod vm;
 
 pub use ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+pub use compiler::{compile, CompileError, CompiledProgram};
 pub use interp::{Host, Interpreter, NoHost, ScriptError};
 pub use lexer::{lex, LexError, Token, TokenKind};
-pub use compiler::{compile, CompileError, CompiledProgram};
 pub use parser::{parse_program, ParseError};
-pub use vm::Vm;
 pub use value::Value;
+pub use vm::Vm;

@@ -488,10 +488,7 @@ impl Parser {
                 }
                 Ok(Expr::Object(entries))
             }
-            other => Err(ParseError::new(
-                format!("unexpected token `{other}`"),
-                line,
-            )),
+            other => Err(ParseError::new(format!("unexpected token `{other}`"), line)),
         }
     }
 }
@@ -499,9 +496,7 @@ impl Parser {
 fn expr_to_target(expr: &Expr) -> Option<Target> {
     match expr {
         Expr::Var(name) => Some(Target::Var(name.clone())),
-        Expr::Member { object, property } => {
-            Some(Target::Member(object.clone(), property.clone()))
-        }
+        Expr::Member { object, property } => Some(Target::Member(object.clone(), property.clone())),
         Expr::Index { object, index } => Some(Target::Index(object.clone(), index.clone())),
         _ => None,
     }
@@ -525,13 +520,27 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let program = parse_program("var y = 1 + 2 * 3;").unwrap();
-        let Stmt::VarDecl { init: Some(init), .. } = &program.body[0] else {
+        let Stmt::VarDecl {
+            init: Some(init), ..
+        } = &program.body[0]
+        else {
             panic!("expected var decl");
         };
-        let Expr::Binary { op: BinaryOp::Add, rhs, .. } = init else {
+        let Expr::Binary {
+            op: BinaryOp::Add,
+            rhs,
+            ..
+        } = init
+        else {
             panic!("expected top-level add, got {init:?}");
         };
-        assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            **rhs,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -548,7 +557,10 @@ mod tests {
     fn parses_for_loop() {
         let src = "for (var i = 0; i < 10; i = i + 1) { f(i); }";
         let program = parse_program(src).unwrap();
-        let Stmt::For { init, cond, update, .. } = &program.body[0] else {
+        let Stmt::For {
+            init, cond, update, ..
+        } = &program.body[0]
+        else {
             panic!("expected for");
         };
         assert!(init.is_some());
@@ -567,7 +579,13 @@ mod tests {
         let Stmt::Expr(Expr::Assign { value, .. }) = &program.body[0] else {
             panic!("expected assignment");
         };
-        assert!(matches!(**value, Expr::Binary { op: BinaryOp::Add, .. }));
+        assert!(matches!(
+            **value,
+            Expr::Binary {
+                op: BinaryOp::Add,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -593,7 +611,11 @@ mod tests {
     #[test]
     fn parses_object_and_array_literals() {
         let program = parse_program("var o = { a: 1, 'b c': [1, 2, 3] };").unwrap();
-        let Stmt::VarDecl { init: Some(Expr::Object(entries)), .. } = &program.body[0] else {
+        let Stmt::VarDecl {
+            init: Some(Expr::Object(entries)),
+            ..
+        } = &program.body[0]
+        else {
             panic!("expected object literal");
         };
         assert_eq!(entries.len(), 2);
@@ -603,7 +625,10 @@ mod tests {
     #[test]
     fn parses_ternary() {
         let program = parse_program("var x = a ? 1 : 2;").unwrap();
-        let Stmt::VarDecl { init: Some(init), .. } = &program.body[0] else {
+        let Stmt::VarDecl {
+            init: Some(init), ..
+        } = &program.body[0]
+        else {
             panic!()
         };
         assert!(matches!(init, Expr::Conditional { .. }));
@@ -634,7 +659,11 @@ mod tests {
     #[test]
     fn logical_operators_lowest_precedence() {
         let program = parse_program("var x = a + 1 > 2 && b < 3;").unwrap();
-        let Stmt::VarDecl { init: Some(Expr::Binary { op, .. }), .. } = &program.body[0] else {
+        let Stmt::VarDecl {
+            init: Some(Expr::Binary { op, .. }),
+            ..
+        } = &program.body[0]
+        else {
             panic!()
         };
         assert_eq!(*op, BinaryOp::And);

@@ -76,9 +76,7 @@ impl Value {
             Value::Bool(b) => *b,
             Value::Number(n) => *n != 0.0 && !n.is_nan(),
             Value::Str(s) => !s.is_empty(),
-            Value::Array(_) | Value::Object(_) | Value::Function(_) | Value::VmFunction(_) => {
-                true
-            }
+            Value::Array(_) | Value::Object(_) | Value::Function(_) | Value::VmFunction(_) => true,
         }
     }
 

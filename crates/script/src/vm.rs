@@ -76,7 +76,11 @@ impl Vm {
     /// # Errors
     ///
     /// Returns [`ScriptError`] on runtime errors.
-    pub fn run(&mut self, program: &CompiledProgram, host: &mut dyn Host) -> Result<(), ScriptError> {
+    pub fn run(
+        &mut self,
+        program: &CompiledProgram,
+        host: &mut dyn Host,
+    ) -> Result<(), ScriptError> {
         // The main body runs directly in the global scope, like the
         // tree-walking interpreter.
         let globals = self.globals.clone();
@@ -137,7 +141,9 @@ impl Vm {
         let mut pc: usize = 0;
         macro_rules! pop {
             () => {
-                stack.pop().ok_or_else(|| ScriptError::new("stack underflow"))?
+                stack
+                    .pop()
+                    .ok_or_else(|| ScriptError::new("stack underflow"))?
             };
         }
         while pc < proto.code.len() {
@@ -154,9 +160,8 @@ impl Vm {
                 Op::GetVar(i) => {
                     let name = &proto.names[i as usize];
                     let scope = scopes.last().expect("frame scope always present");
-                    let value = Scope::lookup(scope, name).ok_or_else(|| {
-                        ScriptError::new(format!("undefined variable `{name}`"))
-                    })?;
+                    let value = Scope::lookup(scope, name)
+                        .ok_or_else(|| ScriptError::new(format!("undefined variable `{name}`")))?;
                     stack.push(value);
                 }
                 Op::SetVar(i) => {
@@ -390,13 +395,11 @@ mod tests {
 
     #[test]
     fn control_flow() {
-        let vm = run(
-            "var s = 0;
+        let vm = run("var s = 0;
              for (var i = 1; i <= 100; i++) { s += i; }
              var sign = s > 0 ? 'pos' : 'neg';
              var clipped = 0;
-             while (true) { clipped = clipped + 1; if (clipped >= 7) { break; } }",
-        );
+             while (true) { clipped = clipped + 1; if (clipped >= 7) { break; } }");
         assert_eq!(number(&vm, "s"), 5050.0);
         assert_eq!(vm.global("sign").unwrap().as_str(), Some("pos"));
         assert_eq!(number(&vm, "clipped"), 7.0);
@@ -404,10 +407,8 @@ mod tests {
 
     #[test]
     fn continue_skips() {
-        let vm = run(
-            "var sum = 0;
-             for (var i = 0; i < 10; i++) { if (i % 2 == 0) { continue; } sum += i; }",
-        );
+        let vm = run("var sum = 0;
+             for (var i = 0; i < 10; i++) { if (i % 2 == 0) { continue; } sum += i; }");
         assert_eq!(number(&vm, "sum"), 25.0);
     }
 
@@ -433,12 +434,10 @@ mod tests {
 
     #[test]
     fn arrays_objects_strings() {
-        let vm = run(
-            "var a = [1, 2]; a.push(3); a[0] = 10;
+        let vm = run("var a = [1, 2]; a.push(3); a[0] = 10;
              var o = { k: 4 }; o.j = o.k + a.length;
              var s = 'Hello'.toUpperCase();
-             var n = a[0] + o.j;",
-        );
+             var n = a[0] + o.j;");
         assert_eq!(number(&vm, "n"), 17.0);
         assert_eq!(vm.global("s").unwrap().as_str(), Some("HELLO"));
     }
@@ -465,12 +464,10 @@ mod tests {
 
     #[test]
     fn break_inside_nested_block_unwinds_scopes() {
-        let vm = run(
-            "var out = 0;
+        let vm = run("var out = 0;
              for (var i = 0; i < 5; i++) {
                  { var tmp = i * 10; if (i == 2) { out = tmp; break; } }
-             }",
-        );
+             }");
         assert_eq!(number(&vm, "out"), 20.0);
     }
 

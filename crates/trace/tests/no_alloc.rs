@@ -1,0 +1,66 @@
+//! Proves the detached tracing path is allocation-free: `record_into`
+//! with `None` must never run the payload closure, so the `Vec`s and
+//! `String`s an event owns are never built.
+
+use greenweb_acmp::{Duration, SimTime};
+use greenweb_trace::{record_into, EventKind, SpanKind, TraceHandle};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates to `System` unchanged; only a counter is added.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocating_event(i: u64) -> EventKind {
+    EventKind::Span {
+        kind: SpanKind::Callback,
+        start: SimTime::from_millis(i),
+        dur: Duration::from_millis(1),
+        uids: vec![i, i + 1, i + 2],
+        label: Some("click"),
+    }
+}
+
+#[test]
+fn detached_recording_does_not_allocate() {
+    let sink: Option<TraceHandle> = None;
+    // Warm up anything lazy in the harness before measuring.
+    record_into(&sink, SimTime::ZERO, || allocating_event(0));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000 {
+        record_into(&sink, SimTime::from_millis(i), || allocating_event(i));
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "detached record_into must not allocate (payload closure must not run)"
+    );
+}
+
+#[test]
+fn attached_recording_does_allocate() {
+    // Sanity check that the counter actually observes the payload
+    // allocations when a recorder is attached.
+    let sink = Some(TraceHandle::with_capacity(16));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    record_into(&sink, SimTime::ZERO, || allocating_event(1));
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(after > before, "attached path should build the payload");
+}

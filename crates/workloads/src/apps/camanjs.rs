@@ -16,10 +16,17 @@ use greenweb::qos::{QosTarget, QosType};
 use greenweb_engine::{App, FrameCostModel};
 
 fn html() -> String {
-    let filters = ["grayscale", "sepia", "vignette", "sharpen", "invert", "blur"]
-        .iter()
-        .map(|f| format!("<button id='filter-{f}' class='filter'>{f}</button>"))
-        .collect::<String>();
+    let filters = [
+        "grayscale",
+        "sepia",
+        "vignette",
+        "sharpen",
+        "invert",
+        "blur",
+    ]
+    .iter()
+    .map(|f| format!("<button id='filter-{f}' class='filter'>{f}</button>"))
+    .collect::<String>();
     format!(
         "<div id='editor'><canvas id='canvas'>photo</canvas>\
          <div id='toolbar'>{filters}</div>\
@@ -75,17 +82,15 @@ pub fn workload() -> Workload {
         .cost(cost);
     let app = base.clone().css(ANNOTATIONS).build();
     let unannotated_app = base.build();
-    let menu = [
-        Gesture::Tap(vec![
-            "filter-grayscale",
-            "filter-sepia",
-            "filter-vignette",
-            "filter-sharpen",
-            "filter-invert",
-            "filter-blur",
-            "undo",
-        ]),
-    ];
+    let menu = [Gesture::Tap(vec![
+        "filter-grayscale",
+        "filter-sepia",
+        "filter-vignette",
+        "filter-sharpen",
+        "filter-invert",
+        "filter-blur",
+        "undo",
+    ])];
     Workload {
         name: "CamanJS",
         app,
@@ -104,7 +109,7 @@ pub fn workload() -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use greenweb_acmp::{CoreType, Platform, PowersaveGovernor, PerfGovernor};
+    use greenweb_acmp::{CoreType, PerfGovernor, Platform, PowersaveGovernor};
     use greenweb_engine::{Browser, GovernorScheduler, InputId};
 
     #[test]

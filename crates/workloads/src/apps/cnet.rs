@@ -100,7 +100,10 @@ mod tests {
     #[test]
     fn menu_tap_runs_a_transition_sequence() {
         let w = workload();
-        let trace = Trace::builder().click_id(10.0, "menu").end_ms(1_200.0).build();
+        let trace = Trace::builder()
+            .click_id(10.0, "menu")
+            .end_ms(1_200.0)
+            .build();
         let mut b = Browser::new(&w.app, GovernorScheduler::new(PerfGovernor)).unwrap();
         let report = b.run(&trace).unwrap();
         let frames = report.frames_for(InputId(0));
@@ -116,7 +119,10 @@ mod tests {
     #[test]
     fn surge_frames_stick_out() {
         let w = workload();
-        let trace = Trace::builder().click_id(10.0, "menu").end_ms(1_200.0).build();
+        let trace = Trace::builder()
+            .click_id(10.0, "menu")
+            .end_ms(1_200.0)
+            .build();
         let mut b = Browser::new(&w.app, GovernorScheduler::new(PerfGovernor)).unwrap();
         let report = b.run(&trace).unwrap();
         let frames = report.frames_for(InputId(0));

@@ -95,9 +95,9 @@ pub fn workload() -> Workload {
 mod tests {
     use super::*;
     use greenweb_acmp::{CoreType, Platform, PowerModel};
-    use greenweb_engine::{Browser, Scheduler, SchedulerCtx, Trace, InputId};
     use greenweb_acmp::{CpuConfig, SimTime};
     use greenweb_dom::{EventType, NodeId};
+    use greenweb_engine::{Browser, InputId, Scheduler, SchedulerCtx, Trace};
 
     /// Pin the little cluster's top frequency for the whole run.
     #[derive(Debug)]

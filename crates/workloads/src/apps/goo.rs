@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn category_tap_animates_via_host_animate() {
         let w = workload();
-        let trace = Trace::builder().click_id(10.0, "cat-3").end_ms(900.0).build();
+        let trace = Trace::builder()
+            .click_id(10.0, "cat-3")
+            .end_ms(900.0)
+            .build();
         let mut b = Browser::new(&w.app, GovernorScheduler::new(PerfGovernor)).unwrap();
         let report = b.run(&trace).unwrap();
         assert!(report.inputs[0].used_animate);

@@ -12,12 +12,12 @@ pub mod camanjs;
 pub mod cnet;
 pub mod craigslist;
 pub mod goo;
+pub mod google;
 pub mod lzma_js;
 pub mod msn;
 pub mod paperjs;
 pub mod todo;
 pub mod w3school;
-pub mod google;
 
 use std::fmt::Write;
 
@@ -25,7 +25,10 @@ use std::fmt::Write;
 pub(crate) fn item_list(tag: &str, prefix: &str, count: usize, text: &str) -> String {
     let mut out = String::new();
     for i in 1..=count {
-        let _ = write!(out, "<{tag} id='{prefix}-{i}' class='{prefix}'>{text} {i}</{tag}>");
+        let _ = write!(
+            out,
+            "<{tag} id='{prefix}-{i}' class='{prefix}'>{text} {i}</{tag}>"
+        );
     }
     out
 }
@@ -34,7 +37,10 @@ pub(crate) fn item_list(tag: &str, prefix: &str, count: usize, text: &str) -> St
 pub(crate) fn nav_bar(prefix: &str, count: usize) -> String {
     let mut out = String::from("<nav class='topnav'>");
     for i in 1..=count {
-        let _ = write!(out, "<button id='{prefix}-{i}' class='navbtn'>{prefix} {i}</button>");
+        let _ = write!(
+            out,
+            "<button id='{prefix}-{i}' class='navbtn'>{prefix} {i}</button>"
+        );
     }
     out.push_str("</nav>");
     out

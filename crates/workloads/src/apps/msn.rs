@@ -120,11 +120,13 @@ mod tests {
             .latency
             .as_millis_f64();
         assert!(at_peak < 110.0, "peak tab switch {at_peak} ms");
-        assert!(at_peak > 60.0, "tab switch should be heavy, got {at_peak} ms");
+        assert!(
+            at_peak > 60.0,
+            "tab switch should be heavy, got {at_peak} ms"
+        );
         // At little@350: blows even the usable 300 ms target — this is
         // what makes GreenWeb's profiling run expensive on MSN.
-        let mut slow =
-            Browser::new(&w.app, GovernorScheduler::new(PowersaveGovernor)).unwrap();
+        let mut slow = Browser::new(&w.app, GovernorScheduler::new(PowersaveGovernor)).unwrap();
         let at_min = slow.run(&trace).unwrap().frames_for(InputId(0))[0]
             .latency
             .as_millis_f64();

@@ -13,6 +13,7 @@ use greenweb::qos::Scenario;
 use greenweb::{DegradationLog, GreenWebScheduler};
 use greenweb_acmp::SimTime;
 use greenweb_engine::{App, Browser, BrowserError, FaultPlan, SimReport, Trace};
+use greenweb_trace::{TraceBuffer, TraceHandle};
 
 /// A faulted run paired with its fault-free twin.
 #[derive(Debug, Clone)]
@@ -38,8 +39,12 @@ impl ChaosRun {
     /// yields 1.0 when the faulted rate is also zero and infinity
     /// otherwise, so "within 2×" assertions stay meaningful.
     pub fn violation_ratio(&self, target_ms: f64, from: SimTime, to: SimTime) -> f64 {
-        let faulted = violation_rate_in_window(&self.faulted, target_ms, from, to);
-        let baseline = violation_rate_in_window(&self.baseline, target_ms, from, to);
+        // For the *ratio*, a window with no frames counts as a zero rate:
+        // producing no frames at all is certainly not producing violating
+        // ones. (Callers needing to distinguish "no evidence" use
+        // `violation_rate_in_window` directly.)
+        let faulted = violation_rate_in_window(&self.faulted, target_ms, from, to).unwrap_or(0.0);
+        let baseline = violation_rate_in_window(&self.baseline, target_ms, from, to).unwrap_or(0.0);
         if baseline > 0.0 {
             faulted / baseline
         } else if faulted == 0.0 {
@@ -103,6 +108,44 @@ pub fn chaos_run_with(
     })
 }
 
+/// Like [`chaos_run_with`], but with a trace recorder attached to the
+/// *faulted* run, so the injected faults, the resulting latency spikes,
+/// and the ladder's escalate/recover transitions are all visible on one
+/// exportable timeline.
+///
+/// # Errors
+///
+/// Returns [`BrowserError`] if either run fails to load or execute.
+pub fn chaos_run_traced(
+    app: &App,
+    trace: &Trace,
+    plan: FaultPlan,
+    build: impl Fn() -> GreenWebScheduler,
+) -> Result<(ChaosRun, TraceBuffer), BrowserError> {
+    let mut clean = Browser::new(app, build())?;
+    let baseline = clean.run(trace)?;
+    let baseline_log = clean.scheduler().degradation_log().clone();
+
+    let mut stormy = Browser::with_faults(app, build(), plan)?;
+    let recorder = TraceHandle::new();
+    stormy.set_trace(recorder.clone());
+    let faulted = stormy.run(trace)?;
+    let faulted_log = stormy.scheduler().degradation_log().clone();
+
+    let metrics = ChaosMetrics::compute(&faulted, &faulted_log);
+    Ok((
+        ChaosRun {
+            plan,
+            baseline,
+            faulted,
+            baseline_log,
+            faulted_log,
+            metrics,
+        },
+        recorder.snapshot(),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,13 +154,7 @@ mod tests {
     #[test]
     fn chaos_run_pairs_reports_and_logs() {
         let w = by_name("Todo").unwrap();
-        let run = chaos_run(
-            &w.app,
-            &w.micro,
-            Scenario::Usable,
-            FaultPlan::storm(17),
-        )
-        .unwrap();
+        let run = chaos_run(&w.app, &w.micro, Scenario::Usable, FaultPlan::storm(17)).unwrap();
         assert!(run.baseline.chaos.is_none(), "baseline must be fault-free");
         let chaos = run.faulted.chaos.as_ref().expect("faulted run logs chaos");
         assert_eq!(chaos.seed, 17);
@@ -128,13 +165,7 @@ mod tests {
     #[test]
     fn baseline_never_degrades_on_paper_workloads() {
         let w = by_name("Craigslist").unwrap();
-        let run = chaos_run(
-            &w.app,
-            &w.micro,
-            Scenario::Usable,
-            FaultPlan::new(1),
-        )
-        .unwrap();
+        let run = chaos_run(&w.app, &w.micro, Scenario::Usable, FaultPlan::new(1)).unwrap();
         assert!(
             !run.baseline_log.ever_degraded(),
             "fault-free run escalated: {:?}",

@@ -5,13 +5,15 @@ use greenweb::lang::AnnotationTable;
 use greenweb::metrics::{InputExpectation, RunMetrics};
 use greenweb::qos::Scenario;
 use greenweb::{EbsScheduler, EnergyBudgetUai, GreenWebScheduler};
-use greenweb_acmp::{InteractiveGovernor, OndemandGovernor, PerfGovernor, Platform, PowersaveGovernor};
+use greenweb_acmp::{
+    InteractiveGovernor, OndemandGovernor, PerfGovernor, Platform, PowersaveGovernor,
+};
 use greenweb_css::parse_stylesheet;
 use greenweb_dom::parse_html;
 use greenweb_engine::{
-    App, Browser, BrowserError, GovernorScheduler, InputId, Scheduler, SimReport, TargetSpec,
-    Trace,
+    App, Browser, BrowserError, GovernorScheduler, InputId, Scheduler, SimReport, TargetSpec, Trace,
 };
+use greenweb_trace::{TraceBuffer, TraceHandle};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -97,6 +99,26 @@ impl fmt::Display for Policy {
 pub fn run(app: &App, trace: &Trace, policy: &Policy) -> Result<SimReport, BrowserError> {
     let mut browser = Browser::new(app, policy.build())?;
     browser.run(trace)
+}
+
+/// Like [`run`], but with a trace recorder attached: returns the report
+/// together with the full event trace of the run (pipeline spans,
+/// scheduler decisions, energy samples, …) ready for export.
+///
+/// # Errors
+///
+/// Returns [`BrowserError`] if the app fails to load or a callback
+/// errors.
+pub fn run_traced(
+    app: &App,
+    trace: &Trace,
+    policy: &Policy,
+) -> Result<(SimReport, TraceBuffer), BrowserError> {
+    let mut browser = Browser::new(app, policy.build())?;
+    let recorder = TraceHandle::new();
+    browser.set_trace(recorder.clone());
+    let report = browser.run(trace)?;
+    Ok((report, recorder.snapshot()))
 }
 
 /// Pre-computes, per input of `trace`, the QoS expectation the
@@ -199,10 +221,7 @@ mod tests {
         let w = by_name("Todo").unwrap();
         let map = expectations(&w.app, &w.full, Scenario::Usable);
         assert!(!map.is_empty());
-        assert!(
-            map.len() < w.full.len(),
-            "todo is only partially annotated"
-        );
+        assert!(map.len() < w.full.len(), "todo is only partially annotated");
         let frac = annotated_fraction(&w.app, &w.full);
         assert!(frac > 0.0 && frac < 1.0);
     }

@@ -193,11 +193,14 @@ mod tests {
         // "each interaction sequence triggers about 94 events and lasts
         // about 43 s" (Sec. 7.3).
         let workloads = all();
-        let mean_events: f64 = workloads.iter().map(|w| w.full_events as f64).sum::<f64>()
-            / workloads.len() as f64;
-        let mean_secs: f64 = workloads.iter().map(|w| w.full_secs as f64).sum::<f64>()
-            / workloads.len() as f64;
-        assert!((mean_events - 94.0).abs() < 2.0, "mean events {mean_events}");
+        let mean_events: f64 =
+            workloads.iter().map(|w| w.full_events as f64).sum::<f64>() / workloads.len() as f64;
+        let mean_secs: f64 =
+            workloads.iter().map(|w| w.full_secs as f64).sum::<f64>() / workloads.len() as f64;
+        assert!(
+            (mean_events - 94.0).abs() < 2.0,
+            "mean events {mean_events}"
+        );
         assert!((mean_secs - 43.0).abs() < 2.0, "mean secs {mean_secs}");
     }
 

@@ -13,7 +13,9 @@ use greenweb_engine::{App, Browser, InputId, Trace};
 
 fn editor(annotations: &str) -> App {
     App::builder("photo-editor")
-        .html("<div id='studio'><canvas id='c'>img</canvas><button id='filter'>sepia</button></div>")
+        .html(
+            "<div id='studio'><canvas id='c'>img</canvas><button id='filter'>sepia</button></div>",
+        )
         .css(annotations)
         .script(
             "addEventListener(getElementById('filter'), 'click', function(e) {
@@ -37,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let honest = editor("#filter:QoS { onclick-qos: single, long; }");
 
     println!("scenario comparison (honest `single, long` annotation):\n");
-    println!("{:<15} {:>10} {:>14} {:>12}", "scenario", "energy mJ", "worst tap ms", "target ms");
+    println!(
+        "{:<15} {:>10} {:>14} {:>12}",
+        "scenario", "energy mJ", "worst tap ms", "target ms"
+    );
     for scenario in Scenario::ALL {
         let mut browser = Browser::new(&honest, GreenWebScheduler::new(scenario))?;
         let report = browser.run(&taps())?;

@@ -2,6 +2,11 @@
 //! watch the runtime fall down its degradation ladder into safe mode,
 //! and watch the watchdog walk it back out once the storm passes.
 //!
+//! The faulted run records a full event trace; the example exports it
+//! as Chrome trace-event JSON so the ladder's escalate/recover cycle —
+//! the injected faults, the latency spikes they cause, and the
+//! scheduler's reactions — is visible on one Perfetto timeline.
+//!
 //! ```sh
 //! cargo run --release --example chaos_storm [seed]
 //! ```
@@ -12,8 +17,9 @@ use greenweb::{AnnotationTable, GreenWebScheduler};
 use greenweb_acmp::SimTime;
 use greenweb_css::parse_stylesheet_with_errors;
 use greenweb_engine::{App, Browser, FaultPlan};
+use greenweb_trace::chrome_trace_json;
 use greenweb_workloads::by_name;
-use greenweb_workloads::chaos::chaos_run_with;
+use greenweb_workloads::chaos::chaos_run_traced;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = match std::env::args().nth(1) {
@@ -39,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         w.full.end.as_millis_f64()
     );
 
-    let run = chaos_run_with(&w.app, &w.full, plan, || {
+    let (run, trace) = chaos_run_traced(&w.app, &w.full, plan, || {
         let mut sched = GreenWebScheduler::new(Scenario::Usable);
         sched.watchdog.escalate_after = 2; // hair-trigger, for the demo
         sched.watchdog.recover_after = 2;
@@ -51,12 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ndegradation ladder:");
     for t in run.faulted_log.transitions() {
-        println!(
-            "  {:8.0} ms  {} -> {}",
-            t.at.as_millis_f64(),
-            t.from,
-            t.to
-        );
+        println!("  {:8.0} ms  {} -> {}", t.at.as_millis_f64(), t.from, t.to);
     }
     match run.metrics.recovery_latency {
         Some(latency) => println!(
@@ -64,10 +65,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run.metrics.deepest_level,
             latency.as_millis_f64() / 1000.0
         ),
-        None => println!("NOT recovered (deepest level {})", run.metrics.deepest_level),
+        None => println!(
+            "NOT recovered (deepest level {})",
+            run.metrics.deepest_level
+        ),
     }
 
     let target_ms = w.micro_target.for_scenario(Scenario::Usable);
+    // Both windows cover thousands of frames, so an empty window (None)
+    // would itself be a bug; 0.0 keeps the printout honest either way.
     let rate = |report, from_ms: f64, to_ms: f64| {
         violation_rate_in_window(
             report,
@@ -75,6 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             SimTime::from_millis(from_ms as u64),
             SimTime::from_millis(to_ms as u64),
         )
+        .unwrap_or(0.0)
     };
     println!("\nviolation rate at the {target_ms:.0} ms usable target:");
     println!(
@@ -91,6 +98,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nenergy: faulted {:.1} mJ vs fault-free {:.1} mJ",
         run.faulted.total_mj(),
         run.baseline.total_mj()
+    );
+
+    let trace_path = std::env::temp_dir().join("chaos_storm_trace.json");
+    std::fs::write(
+        &trace_path,
+        chrome_trace_json(&trace, "chaos storm (faulted run)"),
+    )?;
+    println!(
+        "\nwrote the faulted run's trace ({} events, {} faults) to {}",
+        trace.events.len(),
+        trace.count_of("fault"),
+        trace_path.display()
+    );
+    println!(
+        "open it in https://ui.perfetto.dev — the ladder transitions sit on the scheduler track"
     );
 
     // Malformed annotations degrade the same way: the page still loads,
@@ -122,9 +144,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .build();
     let browser = Browser::new(&app, GreenWebScheduler::new(Scenario::Usable));
-    println!(
-        "page with truncated :QoS block loads: {}",
-        browser.is_ok()
-    );
+    println!("page with truncated :QoS block loads: {}", browser.is_ok());
     Ok(())
 }

@@ -57,7 +57,10 @@ fn main() {
     let green = run(GreenWebScheduler::new(Scenario::Imperceptible));
 
     println!("per-tap latency (ms) — user expectation: 100 ms for both buttons\n");
-    println!("{:>4} {:>9} {:>11} {:>11}", "tap", "button", "EBS", "GreenWeb");
+    println!(
+        "{:>4} {:>9} {:>11} {:>11}",
+        "tap", "button", "EBS", "GreenWeb"
+    );
     for i in 0..14u64 {
         let button = if i % 2 == 0 { "search" } else { "archive" };
         let latency = |r: &SimReport| {

@@ -55,7 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:>4} {:>10.1} {:>10.1}", i, p, g);
     }
     println!();
-    println!("energy: perf {:.1} mJ, greenweb {:.1} mJ  ({:.0}% saved)",
+    println!(
+        "energy: perf {:.1} mJ, greenweb {:.1} mJ  ({:.0}% saved)",
         perf.total_mj(),
         green.total_mj(),
         (1.0 - green.total_mj() / perf.total_mj()) * 100.0

@@ -17,7 +17,9 @@ fn news_app() -> App {
         .map(|i| format!("<article id='story-{i}' class='story'>Story {i}</article>"))
         .collect();
     App::builder("news-reader")
-        .html(format!("<div id='reader'><div id='feed'>{stories}</div></div>"))
+        .html(format!(
+            "<div id='reader'><div id='feed'>{stories}</div></div>"
+        ))
         .css(
             "#feed:QoS { ontouchmove-qos: continuous; }
              .story { margin: 6px; }",
@@ -42,8 +44,8 @@ fn flick() -> Trace {
 }
 
 fn run(app: &App, scheduler: impl Scheduler + 'static) -> SimReport {
-    let mut browser = Browser::new(app, Box::new(scheduler) as Box<dyn Scheduler>)
-        .expect("app loads");
+    let mut browser =
+        Browser::new(app, Box::new(scheduler) as Box<dyn Scheduler>).expect("app loads");
     browser.run(&flick()).expect("trace runs")
 }
 
@@ -63,7 +65,10 @@ fn main() {
             "GreenWeb-I",
             run(&app, GreenWebScheduler::new(Scenario::Imperceptible)),
         ),
-        ("GreenWeb-U", run(&app, GreenWebScheduler::new(Scenario::Usable))),
+        (
+            "GreenWeb-U",
+            run(&app, GreenWebScheduler::new(Scenario::Usable)),
+        ),
     ];
 
     println!("per-frame latency (ms) over the flick, one column per policy:\n");
@@ -81,7 +86,10 @@ fn main() {
         println!();
     }
 
-    println!("\n{:<12} {:>10} {:>8} {:>10} {:>10}", "policy", "energy mJ", "frames", "A15 time", "switches");
+    println!(
+        "\n{:<12} {:>10} {:>8} {:>10} {:>10}",
+        "policy", "energy mJ", "frames", "A15 time", "switches"
+    );
     let perf_mj = runs[0].1.total_mj();
     for (name, report) in &runs {
         println!(

@@ -105,8 +105,10 @@ fn violation_rate_reconverges_within_2x_of_fault_free() {
     let target_ms = w.micro_target.for_scenario(Scenario::Usable);
     let from = SimTime::from_millis(JUDGE_FROM);
     let to = SimTime::from_millis(10_000_000);
-    let faulted = violation_rate_in_window(&run.faulted, target_ms, from, to);
-    let baseline = violation_rate_in_window(&run.baseline, target_ms, from, to);
+    let faulted = violation_rate_in_window(&run.faulted, target_ms, from, to)
+        .expect("faulted run produces frames after the storm");
+    let baseline = violation_rate_in_window(&run.baseline, target_ms, from, to)
+        .expect("fault-free run produces frames after the storm");
     assert!(
         faulted <= baseline * 2.0 + 0.02,
         "post-recovery violation rate {faulted:.3} vs fault-free {baseline:.3}"

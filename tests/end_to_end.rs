@@ -30,7 +30,11 @@ fn headline_energy_ordering_on_a_continuous_workload() {
         &w.full,
         GovernorScheduler::new(InteractiveGovernor::android_default(&platform)),
     );
-    let gwi = run_with(&w.app, &w.full, GreenWebScheduler::new(Scenario::Imperceptible));
+    let gwi = run_with(
+        &w.app,
+        &w.full,
+        GreenWebScheduler::new(Scenario::Imperceptible),
+    );
     let gwu = run_with(&w.app, &w.full, GreenWebScheduler::new(Scenario::Usable));
     assert!(
         interactive.total_mj() <= perf.total_mj() * 1.02,
@@ -69,9 +73,7 @@ fn profiling_sequence_is_visible_in_single_event_latencies() {
     let w = by_name("CamanJS").unwrap();
     let report = run_with(&w.app, &w.micro, GreenWebScheduler::new(Scenario::Usable));
     let latencies: Vec<f64> = (0..4)
-        .map(|i| {
-            report.frames_for(InputId(i))[0].latency.as_millis_f64()
-        })
+        .map(|i| report.frames_for(InputId(i))[0].latency.as_millis_f64())
         .collect();
     for pair in latencies.windows(2) {
         assert!(
@@ -158,7 +160,11 @@ fn scenario_split_shows_in_big_cluster_residency() {
     // Fig. 11's headline: GreenWeb-I leans on the big cluster where
     // GreenWeb-U stays little, for continuous workloads.
     let w = by_name("Paper.js").unwrap();
-    let gwi = run_with(&w.app, &w.micro, GreenWebScheduler::new(Scenario::Imperceptible));
+    let gwi = run_with(
+        &w.app,
+        &w.micro,
+        GreenWebScheduler::new(Scenario::Imperceptible),
+    );
     let gwu = run_with(&w.app, &w.micro, GreenWebScheduler::new(Scenario::Usable));
     assert!(
         gwi.big_residency_fraction() > gwu.big_residency_fraction() + 0.1,

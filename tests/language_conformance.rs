@@ -105,8 +105,7 @@ fn fig5_raf_coalescing_under_greenweb() {
         .touchmove_run(30.0, "canvas", 30, 16.6)
         .end_ms(1_200.0)
         .build();
-    let mut browser =
-        Browser::new(&app, GreenWebScheduler::new(Scenario::Usable)).unwrap();
+    let mut browser = Browser::new(&app, GreenWebScheduler::new(Scenario::Usable)).unwrap();
     let report = browser.run(&trace).unwrap();
     assert!(report.frames.len() >= 15, "{} frames", report.frames.len());
     assert!(report.inputs.iter().any(|i| i.used_raf));
@@ -117,11 +116,36 @@ fn table2_semantics_every_row() {
     // Row 1: continuous with defaults. Row 2: single short/long with
     // defaults. Row 3: explicit targets, both types.
     let cases = [
-        ("#a:QoS { onscroll-qos: continuous; }", QosType::Continuous, 16.6, 33.3),
-        ("#a:QoS { onclick-qos: single, short; }", QosType::Single, 100.0, 300.0),
-        ("#a:QoS { onload-qos: single, long; }", QosType::Single, 1_000.0, 10_000.0),
-        ("#a:QoS { ontouchmove-qos: continuous, 20, 100; }", QosType::Continuous, 20.0, 100.0),
-        ("#a:QoS { onclick-qos: single, 50, 500; }", QosType::Single, 50.0, 500.0),
+        (
+            "#a:QoS { onscroll-qos: continuous; }",
+            QosType::Continuous,
+            16.6,
+            33.3,
+        ),
+        (
+            "#a:QoS { onclick-qos: single, short; }",
+            QosType::Single,
+            100.0,
+            300.0,
+        ),
+        (
+            "#a:QoS { onload-qos: single, long; }",
+            QosType::Single,
+            1_000.0,
+            10_000.0,
+        ),
+        (
+            "#a:QoS { ontouchmove-qos: continuous, 20, 100; }",
+            QosType::Continuous,
+            20.0,
+            100.0,
+        ),
+        (
+            "#a:QoS { onclick-qos: single, 50, 500; }",
+            QosType::Single,
+            50.0,
+            500.0,
+        ),
     ];
     for (css, qos_type, ti, tu) in cases {
         let sheet = parse_stylesheet(css).unwrap();
@@ -181,10 +205,12 @@ fn annotations_are_modular_wrt_implementation() {
              });",
         )
         .build();
-    let trace = Trace::builder().click_id(10.0, "widget").end_ms(800.0).build();
+    let trace = Trace::builder()
+        .click_id(10.0, "widget")
+        .end_ms(800.0)
+        .build();
     for app in [via_transition, via_raf] {
-        let mut browser =
-            Browser::new(&app, GreenWebScheduler::new(Scenario::Usable)).unwrap();
+        let mut browser = Browser::new(&app, GreenWebScheduler::new(Scenario::Usable)).unwrap();
         let report = browser.run(&trace).unwrap();
         assert!(
             report.frames_for(InputId(0)).len() >= 12,

@@ -290,7 +290,10 @@ fn frame_tracker_dedups_duplicate_marks() {
             for (i, dups) in &plan.marks {
                 let (uid, _, start) = inputs[*i];
                 for _ in 0..*dups {
-                    tracker.mark_dirty(Msg { uid, start_ts: start });
+                    tracker.mark_dirty(Msg {
+                        uid,
+                        start_ts: start,
+                    });
                 }
             }
             match tracker.begin_frame() {
@@ -324,7 +327,10 @@ fn frame_tracker_metadata_survives_reordering() {
                 for (i, dups) in &plan.marks {
                     let (uid, _, start) = inputs[*i];
                     for _ in 0..*dups {
-                        tracker.mark_dirty(Msg { uid, start_ts: start });
+                        tracker.mark_dirty(Msg {
+                            uid,
+                            start_ts: start,
+                        });
                     }
                 }
                 let now = SimTime::from_millis(plan.complete_at_ms);
@@ -361,7 +367,10 @@ fn frame_tracker_dropped_inputs_and_contiguous_seqs() {
                     let (uid, _, start) = inputs[*i];
                     marked.insert(uid);
                     for _ in 0..*dups {
-                        tracker.mark_dirty(Msg { uid, start_ts: start });
+                        tracker.mark_dirty(Msg {
+                            uid,
+                            start_ts: start,
+                        });
                     }
                 }
                 if let Some(msgs) = tracker.begin_frame() {
@@ -369,11 +378,7 @@ fn frame_tracker_dropped_inputs_and_contiguous_seqs() {
                 }
             }
             for (uid, _, _) in &inputs {
-                let count = tracker
-                    .records()
-                    .iter()
-                    .filter(|r| r.uid == *uid)
-                    .count() as u32;
+                let count = tracker.records().iter().filter(|r| r.uid == *uid).count() as u32;
                 if !marked.contains(uid) {
                     assert_eq!(count, 0, "dropped input acquired records");
                 }
@@ -385,7 +390,11 @@ fn frame_tracker_dropped_inputs_and_contiguous_seqs() {
                     .map(|r| r.seq)
                     .collect();
                 seqs.sort_unstable();
-                assert_eq!(seqs, (0..count).collect::<Vec<u32>>(), "seq gap for {uid:?}");
+                assert_eq!(
+                    seqs,
+                    (0..count).collect::<Vec<u32>>(),
+                    "seq gap for {uid:?}"
+                );
             }
         },
     );

@@ -1,0 +1,121 @@
+//! End-to-end contracts of the tracing subsystem:
+//!
+//! 1. identical seeds (and identical `FaultPlan`s) export byte-identical
+//!    Chrome trace-event JSON,
+//! 2. a fault-free run emits no fault events,
+//! 3. every frame the report records has matching pipeline-stage spans
+//!    in the trace, and
+//! 4. a traced GreenWeb run covers the full event vocabulary: all six
+//!    pipeline stages, scheduler decisions, and energy samples.
+
+use greenweb::qos::Scenario;
+use greenweb::GreenWebScheduler;
+use greenweb_engine::FaultPlan;
+use greenweb_trace::{chrome_trace_json, EventKind, SpanKind, TraceBuffer};
+use greenweb_workloads::by_name;
+use greenweb_workloads::chaos::chaos_run_traced;
+use greenweb_workloads::harness::{run_traced, Policy};
+
+fn traced_run(name: &str) -> (greenweb_engine::SimReport, TraceBuffer) {
+    let w = by_name(name).expect("workload exists");
+    run_traced(&w.app, &w.micro, &Policy::GreenWeb(Scenario::Usable)).expect("run")
+}
+
+#[test]
+fn same_seed_same_plan_exports_identical_bytes() {
+    let w = by_name("Todo").expect("workload exists");
+    let export = || {
+        let (_, buffer) = chaos_run_traced(&w.app, &w.micro, FaultPlan::storm(23), || {
+            GreenWebScheduler::new(Scenario::Usable)
+        })
+        .expect("chaos run");
+        chrome_trace_json(&buffer, "determinism-check")
+    };
+    let first = export();
+    let second = export();
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "same seed + same plan must export identical bytes"
+    );
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // The determinism test above would pass vacuously if the export
+    // ignored the faults; different storms must produce different bytes.
+    let w = by_name("Todo").expect("workload exists");
+    let export = |seed: u64| {
+        let (_, buffer) = chaos_run_traced(&w.app, &w.micro, FaultPlan::storm(seed), || {
+            GreenWebScheduler::new(Scenario::Usable)
+        })
+        .expect("chaos run");
+        chrome_trace_json(&buffer, "determinism-check")
+    };
+    assert_ne!(export(23), export(24));
+}
+
+#[test]
+fn fault_free_run_emits_no_fault_events() {
+    let (_, buffer) = traced_run("Todo");
+    assert_eq!(buffer.count_of("fault"), 0, "clean run must not log faults");
+    assert!(buffer.count_of("vsync") > 0);
+}
+
+#[test]
+fn faulted_run_logs_its_faults() {
+    let w = by_name("Todo").expect("workload exists");
+    let (run, buffer) = chaos_run_traced(&w.app, &w.micro, FaultPlan::storm(23), || {
+        GreenWebScheduler::new(Scenario::Usable)
+    })
+    .expect("chaos run");
+    let injected = run.faulted.chaos.as_ref().expect("chaos report").total();
+    assert!(injected > 0, "storm must inject faults");
+    assert_eq!(buffer.count_of("fault"), injected);
+}
+
+#[test]
+fn every_frame_has_matching_stage_spans() {
+    let (report, buffer) = traced_run("Todo");
+    assert!(!report.frames.is_empty());
+    for record in &report.frames {
+        for stage in [
+            SpanKind::Style,
+            SpanKind::Layout,
+            SpanKind::Paint,
+            SpanKind::Composite,
+        ] {
+            let covered = buffer.spans().any(|r| match &r.kind {
+                EventKind::Span { kind, uids, .. } => {
+                    *kind == stage && uids.contains(&record.uid.0)
+                }
+                _ => false,
+            });
+            assert!(
+                covered,
+                "frame for input {:?} has no {} span",
+                record.uid,
+                stage.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn greenweb_run_covers_the_event_vocabulary() {
+    let (_, buffer) = traced_run("Todo");
+    for stage in SpanKind::ALL {
+        assert!(
+            buffer.count_of(stage.name()) > 0,
+            "no {} spans recorded",
+            stage.name()
+        );
+    }
+    assert!(
+        buffer.count_of("decision") > 0,
+        "scheduler logged no decisions"
+    );
+    assert!(buffer.count_of("energy-sample") > 0, "no energy samples");
+    assert!(buffer.count_of("frame-commit") > 0, "no frame commits");
+    assert_eq!(buffer.dropped, 0, "micro trace must fit the ring");
+}

@@ -11,7 +11,11 @@ fn every_workload_micro_runs_under_all_paper_policies() {
     for w in all() {
         let perf = evaluate(&w, &w.micro, &Policy::Perf, Scenario::Usable)
             .unwrap_or_else(|e| panic!("{} perf: {e}", w.name));
-        assert!(perf.metrics.frames > 0, "{}: perf produced no frames", w.name);
+        assert!(
+            perf.metrics.frames > 0,
+            "{}: perf produced no frames",
+            w.name
+        );
         assert!(
             perf.metrics.judged_inputs > 0,
             "{}: no annotated inputs judged",
@@ -95,11 +99,9 @@ fn moving_workloads_animate_and_tapping_singles_respond() {
                 w.name,
                 perf.metrics.frames
             ),
-            Interaction::Tapping | Interaction::Loading => assert!(
-                perf.metrics.frames >= 1,
-                "{}: no response frame",
-                w.name
-            ),
+            Interaction::Tapping | Interaction::Loading => {
+                assert!(perf.metrics.frames >= 1, "{}: no response frame", w.name)
+            }
         }
     }
 }
