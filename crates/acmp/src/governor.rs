@@ -182,8 +182,7 @@ impl Governor for InteractiveGovernor {
                 // Already at/above hispeed: only go higher after the delay.
                 let held = self
                     .hispeed_since
-                    .map(|t| now.saturating_since(t) >= self.above_hispeed_delay)
-                    .unwrap_or(true);
+                    .is_none_or(|t| now.saturating_since(t) >= self.above_hispeed_delay);
                 if !held {
                     target = self.clamp_to_big(platform, cur_mhz);
                 }

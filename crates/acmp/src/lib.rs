@@ -31,7 +31,7 @@
 //! assert_eq!(platform.configs().count(), 11 + 6);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cpu;
 pub mod governor;

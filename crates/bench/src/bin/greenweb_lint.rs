@@ -1,0 +1,123 @@
+//! `greenweb-lint`: the GreenLint CLI.
+//!
+//! Statically analyzes bundled workload apps (or all of them) and prints
+//! lint-coded diagnostics as text or deterministic JSON. Golden modes
+//! back the CI gate:
+//!
+//! ```text
+//! greenweb_lint                         lint every bundled workload (text)
+//! greenweb_lint --workload Todo         lint one workload
+//! greenweb_lint --json                  JSON, one document per app line
+//! greenweb_lint --write tests/goldens/lint    (re)write golden JSON files
+//! greenweb_lint --check tests/goldens/lint    diff against goldens
+//! ```
+//!
+//! Exit status is non-zero when any error-severity diagnostic fires, or
+//! in `--check` mode when output differs from the committed goldens.
+
+use greenweb_analyze::{analyze, AnalysisReport};
+use greenweb_workloads::{all, by_name, Workload};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// The golden file name for a workload: lowercase, non-alphanumerics
+/// mapped to `_` (`Paper.js` → `paper_js.json`).
+fn golden_name(workload: &str) -> String {
+    let slug: String = workload
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{slug}.json")
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut write_dir: Option<String> = None;
+    let mut check_dir: Option<String> = None;
+    let mut workload: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--all" => workload = None,
+            "--write" => write_dir = Some(argv.next().expect("--write requires a directory")),
+            "--check" => check_dir = Some(argv.next().expect("--check requires a directory")),
+            "--workload" => {
+                workload = Some(argv.next().expect("--workload requires a workload name"));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let workloads: Vec<Workload> = match &workload {
+        Some(name) => match by_name(name) {
+            Some(w) => vec![w],
+            None => {
+                eprintln!("unknown workload `{name}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => all(),
+    };
+
+    let mut failed = false;
+    for w in &workloads {
+        let report = analyze(&w.app);
+        if report.has_errors() {
+            failed = true;
+        }
+        if let Some(dir) = &write_dir {
+            let path = Path::new(dir).join(golden_name(w.name));
+            if let Err(e) = std::fs::write(&path, report.render_json() + "\n") {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        } else if let Some(dir) = &check_dir {
+            failed |= !check_golden(dir, w.name, &report);
+        } else if json {
+            println!("{}", report.render_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Compares `report` against the committed golden; reports drift.
+fn check_golden(dir: &str, name: &str, report: &AnalysisReport) -> bool {
+    let path = Path::new(dir).join(golden_name(name));
+    let expected = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{name}: missing golden {} ({e})", path.display());
+            return false;
+        }
+    };
+    let actual = report.render_json() + "\n";
+    if expected == actual {
+        println!("{name}: ok");
+        true
+    } else {
+        eprintln!(
+            "{name}: lint output drifted from {} — run `cargo run -p greenweb-bench --bin \
+             greenweb_lint -- --write {dir}` and review the diff",
+            path.display()
+        );
+        eprintln!("--- expected\n{expected}--- actual\n{actual}");
+        false
+    }
+}

@@ -18,7 +18,7 @@
 //! print everything; `cargo bench` wraps the same generators in Criterion
 //! benchmarks.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod figures;

@@ -83,8 +83,7 @@ pub fn percentile_table(profile: &Profile) -> String {
     }
     let frame = registry
         .histogram("frame.latency")
-        .map(|h| h.summary())
-        .unwrap_or(LatencySummary::EMPTY);
+        .map_or(LatencySummary::EMPTY, greenweb_trace::Histogram::summary);
     percentile_row(&mut out, "frame", frame);
     let _ = writeln!(out);
     let _ = writeln!(

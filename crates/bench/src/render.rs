@@ -150,12 +150,12 @@ pub fn residency_contrast(suite: &[AppRuns]) -> String {
     let i = mean(
         fig11(suite, Scenario::Imperceptible)
             .iter()
-            .map(|r| r.big_fraction()),
+            .map(super::figures::ResidencyRow::big_fraction),
     );
     let u = mean(
         fig11(suite, Scenario::Usable)
             .iter()
-            .map(|r| r.big_fraction()),
+            .map(super::figures::ResidencyRow::big_fraction),
     );
     let _ = writeln!(
         out,

@@ -22,17 +22,79 @@ use crate::lang::{Annotation, AnnotationTable};
 use crate::qos::{QosSpec, ResponseExpectation};
 use greenweb_acmp::PerfGovernor;
 use greenweb_css::Selector;
-use greenweb_dom::EventType;
+use greenweb_dom::{EventType, NodeId};
 use greenweb_engine::{App, Browser, BrowserError, GovernorScheduler, TargetSpec, Trace};
 use std::fmt;
+
+/// Why a listener target could not be annotated automatically — typed so
+/// downstream tooling (the `greenweb-analyze` lints) can explain each
+/// skip precisely instead of string-matching a prose reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The listener is registered on a node that is not an element, so
+    /// no CSS selector can address it.
+    NonElementNode,
+    /// The element has neither an id nor a class; AUTOGREEN cannot
+    /// generate a stable selector for it.
+    NoStableSelector {
+        /// The element's tag name.
+        tag: String,
+    },
+    /// The profiling run produced no input record to inspect (the event
+    /// never dispatched).
+    NoInputRecord,
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::NonElementNode => f.write_str("listener on a non-element node"),
+            SkipReason::NoStableSelector { tag } => write!(
+                f,
+                "element `{tag}` has neither id nor class; cannot generate a stable selector"
+            ),
+            SkipReason::NoInputRecord => f.write_str("profiling produced no input record"),
+        }
+    }
+}
 
 /// Why a listener target could not be annotated automatically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SkippedTarget {
+    /// The DOM node carrying the listener, when known.
+    pub node: Option<NodeId>,
     /// The event that was skipped.
     pub event: EventType,
-    /// Human-readable reason.
-    pub reason: String,
+    /// The typed reason.
+    pub reason: SkipReason,
+}
+
+/// One listener target the static pre-pass cleared for profiling: the
+/// selector is already generated, only the QoS *type* still needs the
+/// dynamic run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotationCandidate {
+    /// The DOM node carrying the listener.
+    pub node: NodeId,
+    /// The listened-for event.
+    pub event: EventType,
+    /// The generated `:QoS` selector text.
+    pub selector: String,
+    /// The element id a profiling trace can target (absent when the
+    /// selector was derived from a class; such candidates fall back to
+    /// the conservative `single, short` without profiling).
+    pub target_id: Option<String>,
+}
+
+/// The outcome of AUTOGREEN's static pre-pass (phase 1): which listener
+/// targets can be annotated at all, and why the rest cannot — decided
+/// without running a single simulated frame.
+#[derive(Debug, Clone, Default)]
+pub struct StaticPlan {
+    /// Targets cleared for the profiling phase.
+    pub candidates: Vec<AnnotationCandidate>,
+    /// Targets no annotation can ever be generated for.
+    pub skipped: Vec<SkippedTarget>,
 }
 
 /// The outcome of an AUTOGREEN pass.
@@ -113,15 +175,16 @@ impl AutoGreen {
         Ok((annotated, report))
     }
 
-    /// Phases 1–2 only: discovery plus per-event profiling.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`AutoGreen::annotate`].
-    pub fn detect(&self, app: &App) -> Result<AutoGreenReport, BrowserError> {
-        // Phase 1: instrumentation/discovery.
-        let browser = Browser::new(app, GovernorScheduler::new(PerfGovernor))?;
-        let mut report = AutoGreenReport::default();
+    /// Phase 1 as a pure static pre-pass: walks the discovered listener
+    /// targets and decides — from the DOM alone, before any profiling
+    /// run — which can be annotated (and through which selector) and
+    /// which never can (with a typed [`SkipReason`]). `greenweb-analyze`
+    /// consumes this plan to explain AUTOGREEN's coverage statically.
+    pub fn static_precheck<S: greenweb_engine::Scheduler>(
+        &self,
+        browser: &Browser<S>,
+    ) -> StaticPlan {
+        let mut plan = StaticPlan::default();
         for (node, event) in browser.listener_targets() {
             // Only user interactions are QoS-bearing (Sec. 3.1); skip
             // browser-generated events like transitionend.
@@ -130,9 +193,10 @@ impl AutoGreen {
             }
             let doc = browser.document();
             let Some(element) = doc.element(node) else {
-                report.skipped.push(SkippedTarget {
+                plan.skipped.push(SkippedTarget {
+                    node: Some(node),
                     event,
-                    reason: "listener on a non-element node".into(),
+                    reason: SkipReason::NonElementNode,
                 });
                 continue;
             };
@@ -141,28 +205,51 @@ impl AutoGreen {
             // the same handler registration pattern in practice — and
             // over-matching is safe, it only annotates more elements of
             // the same class).
-            let selector_text = match (element.id(), element.classes().next()) {
+            let selector = match (element.id(), element.classes().next()) {
                 (Some(id), _) => format!("#{id}:QoS"),
                 (None, Some(class)) => format!("{}.{class}:QoS", element.tag()),
                 (None, None) => {
-                    report.skipped.push(SkippedTarget {
+                    plan.skipped.push(SkippedTarget {
+                        node: Some(node),
                         event,
-                        reason: format!(
-                            "element `{}` has neither id nor class; cannot generate a                              stable selector",
-                            element.tag()
-                        ),
+                        reason: SkipReason::NoStableSelector {
+                            tag: element.tag().to_string(),
+                        },
                     });
                     continue;
                 }
             };
+            plan.candidates.push(AnnotationCandidate {
+                node,
+                event,
+                selector,
+                target_id: element.id().map(str::to_string),
+            });
+        }
+        plan
+    }
+
+    /// Phases 1–2: the static pre-pass plus per-event profiling.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AutoGreen::annotate`].
+    pub fn detect(&self, app: &App) -> Result<AutoGreenReport, BrowserError> {
+        // Phase 1: instrumentation/discovery, statically prechecked.
+        let browser = Browser::new(app, GovernorScheduler::new(PerfGovernor))?;
+        let plan = self.static_precheck(&browser);
+        let mut report = AutoGreenReport {
+            skipped: plan.skipped,
+            ..AutoGreenReport::default()
+        };
+        for candidate in plan.candidates {
+            let event = candidate.event;
             // Profiling needs a concrete element to poke; without an id
-            // the trace targets the node via a synthetic id we cannot
-            // add, so fall back to any same-class element with an id, or
-            // skip profiling and assume the conservative single/short.
-            let target_id = element.id().map(str::to_string);
-            let Some(target_id) = target_id else {
+            // the trace cannot target the node, so skip profiling and
+            // assume the conservative single/short.
+            let Some(target_id) = candidate.target_id else {
                 report.annotations.push(Annotation {
-                    selector: Selector::parse(&selector_text)
+                    selector: Selector::parse(&candidate.selector)
                         .expect("generated selector is well-formed"),
                     event,
                     spec: QosSpec::single(ResponseExpectation::Short),
@@ -178,8 +265,9 @@ impl AutoGreen {
             let run = profiler.run(&trace)?;
             let Some(input) = run.inputs.first() else {
                 report.skipped.push(SkippedTarget {
+                    node: Some(candidate.node),
                     event,
-                    reason: "profiling produced no input record".into(),
+                    reason: SkipReason::NoInputRecord,
                 });
                 continue;
             };
@@ -191,7 +279,7 @@ impl AutoGreen {
                 QosSpec::single(ResponseExpectation::Short)
             };
             let selector =
-                Selector::parse(&selector_text).expect("generated selector is well-formed");
+                Selector::parse(&candidate.selector).expect("generated selector is well-formed");
             report.annotations.push(Annotation {
                 selector,
                 event,

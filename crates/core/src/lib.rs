@@ -43,7 +43,7 @@
 //! assert_eq!(spec.target.for_scenario(Scenario::Imperceptible), 16.6);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod autogreen;
 pub mod degrade;
@@ -55,7 +55,9 @@ pub mod qos;
 pub mod runtime;
 pub mod uai;
 
-pub use autogreen::{AutoGreen, AutoGreenReport};
+pub use autogreen::{
+    AnnotationCandidate, AutoGreen, AutoGreenReport, SkipReason, SkippedTarget, StaticPlan,
+};
 pub use degrade::{DegradationLevel, DegradationLog, Transition, Watchdog};
 pub use ebs::EbsScheduler;
 pub use lang::{Annotation, AnnotationTable, LangError};

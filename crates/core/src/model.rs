@@ -261,7 +261,7 @@ impl ConfigPredictor {
                 best = Some((energy, config));
             }
         }
-        Some(best.map(|(_, c)| c).unwrap_or_else(|| self.platform.peak()))
+        Some(best.map_or_else(|| self.platform.peak(), |(_, c)| c))
     }
 }
 

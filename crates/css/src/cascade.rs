@@ -164,7 +164,7 @@ impl StyleEngine {
                 .selectors()
                 .iter()
                 .filter(|sel| sel.matches(doc, node))
-                .map(|sel| sel.specificity())
+                .map(super::selector::Selector::specificity)
                 .max();
             if let Some(spec) = best {
                 for decl in rule.declarations() {

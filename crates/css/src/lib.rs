@@ -22,7 +22,7 @@
 //! assert_eq!(qos_rule.selectors()[0].specificity(), Specificity::new(1, 1, 1));
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod animation;
 pub mod cascade;

@@ -266,7 +266,7 @@ pub fn tokenize_lossy(input: &str) -> (Vec<Token>, Vec<TokenizeError>) {
                 tokens.push(Token::CloseBracket);
             }
             _ if c.is_ascii_digit()
-                || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+                || (c == '.' && chars.get(i + 1).is_some_and(char::is_ascii_digit))
                 || ((c == '-' || c == '+')
                     && chars
                         .get(i + 1)
@@ -280,8 +280,7 @@ pub fn tokenize_lossy(input: &str) -> (Vec<Token>, Vec<TokenizeError>) {
                 while i < chars.len() && chars[i].is_ascii_digit() {
                     i += 1;
                 }
-                if chars.get(i) == Some(&'.')
-                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(char::is_ascii_digit)
                 {
                     i += 1;
                     while i < chars.len() && chars[i].is_ascii_digit() {

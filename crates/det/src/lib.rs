@@ -16,6 +16,8 @@
 //! no network access to a crates.io mirror, so `rand`/`proptest` cannot be
 //! used. The algorithms here are public-domain reference constructions.
 
+#![forbid(unsafe_code)]
+
 pub mod prop;
 pub mod rng;
 

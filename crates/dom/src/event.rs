@@ -189,8 +189,7 @@ impl<T> ListenerSet<T> {
     pub fn get(&self, node: NodeId, event_type: EventType) -> &[T] {
         self.listeners
             .get(&(node, event_type))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Whether any listener exists for `event_type` on `node`.

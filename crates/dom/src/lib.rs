@@ -27,7 +27,7 @@
 //! assert_eq!(EventType::Click.name(), "click");
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod document;
 pub mod event;

@@ -352,6 +352,13 @@ impl<S: Scheduler> Browser<S> {
         targets
     }
 
+    /// The callbacks registered for `event` directly on `node`, in
+    /// registration order — what the static analyzer's cost-bound pass
+    /// compiles and walks.
+    pub fn listener_callbacks(&self, node: NodeId, event: EventType) -> &[Value] {
+        self.listeners.get(node, event)
+    }
+
     /// The current animated value of `property` on `node`, if an
     /// animation overlay is active.
     pub fn animated_value(&self, node: NodeId, property: &str) -> Option<&CssValue> {
@@ -1117,8 +1124,7 @@ impl<S: Scheduler> Browser<S> {
         self.input_meta
             .iter()
             .find(|i| i.uid == uid)
-            .map(|i| i.event)
-            .unwrap_or(EventType::Click)
+            .map_or(EventType::Click, |i| i.event)
     }
 
     fn begin_frame(&mut self) {

@@ -178,13 +178,15 @@ impl Host for ScriptHost<'_> {
                     .doc
                     .element(node)
                     .and_then(|el| el.attribute(&attr))
-                    .map(Value::str)
-                    .unwrap_or(Value::Null))
+                    .map_or(Value::Null, Value::str))
             })(),
             "setAttribute" => (|| {
                 let node = self.node_arg(args, 0, name)?;
                 let attr = Self::str_arg(args, 1, name)?;
-                let value = args.get(2).map(|v| v.to_string()).unwrap_or_default();
+                let value = args
+                    .get(2)
+                    .map(std::string::ToString::to_string)
+                    .unwrap_or_default();
                 if let Some(el) = self.doc.element_mut(node) {
                     el.set_attribute(attr, value);
                 }
@@ -218,8 +220,7 @@ impl Host for ScriptHost<'_> {
                 let property = Self::str_arg(args, 1, name)?.to_ascii_lowercase();
                 Ok(self
                     .inline_style_value(node, &property)
-                    .map(|v| Value::str(v.to_string()))
-                    .unwrap_or(Value::Null))
+                    .map_or(Value::Null, |v| Value::str(v.to_string())))
             })(),
             "addEventListener" => (|| {
                 let node = self.node_arg(args, 0, name)?;
@@ -265,7 +266,7 @@ impl Host for ScriptHost<'_> {
             "log" => {
                 let msg = args
                     .iter()
-                    .map(|v| v.to_string())
+                    .map(std::string::ToString::to_string)
                     .collect::<Vec<_>>()
                     .join(" ");
                 self.effects.logs.push(msg);
@@ -305,7 +306,10 @@ impl Host for ScriptHost<'_> {
             })(),
             "setText" => (|| {
                 let node = self.node_arg(args, 0, name)?;
-                let text = args.get(1).map(|v| v.to_string()).unwrap_or_default();
+                let text = args
+                    .get(1)
+                    .map(std::string::ToString::to_string)
+                    .unwrap_or_default();
                 let children: Vec<NodeId> = self.doc.children(node).collect();
                 for child in children {
                     self.doc.detach(child);

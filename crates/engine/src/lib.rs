@@ -37,7 +37,7 @@
 //! assert_eq!(report.frames.len(), 1);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod app;
 pub mod browser;

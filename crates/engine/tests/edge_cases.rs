@@ -334,7 +334,7 @@ fn animation_overlay_holds_final_value_after_transition() {
     let x = browser.document().element_by_id("x").unwrap();
     let value = browser
         .animated_value(x, "width")
-        .and_then(|v| v.as_number())
+        .and_then(greenweb_css::value::CssValue::as_number)
         .expect("overlay holds the final animated value");
     assert!((value - 240.0).abs() < 1.0, "final width {value}");
 }

@@ -66,8 +66,7 @@ pub(crate) fn array_method(
                 .borrow()
                 .iter()
                 .position(|v| v.strict_eq(&needle))
-                .map(|i| i as f64)
-                .unwrap_or(-1.0);
+                .map_or(-1.0, |i| i as f64);
             Ok(Value::Number(idx))
         }
         "join" => {
@@ -79,7 +78,7 @@ pub(crate) fn array_method(
             let joined = items
                 .borrow()
                 .iter()
-                .map(|v| v.to_string())
+                .map(std::string::ToString::to_string)
                 .collect::<Vec<_>>()
                 .join(&sep);
             Ok(Value::str(joined))
@@ -95,14 +94,11 @@ pub(crate) fn string_method(s: &Rc<str>, name: &str, args: &[Value]) -> Result<V
             let idx = args.first().and_then(Value::as_number).unwrap_or(0.0) as usize;
             Ok(s.chars()
                 .nth(idx)
-                .map(|c| Value::Number(c as u32 as f64))
-                .unwrap_or(Value::Null))
+                .map_or(Value::Null, |c| Value::Number(c as u32 as f64)))
         }
         "indexOf" => {
             let needle = args.first().and_then(Value::as_str).unwrap_or("");
-            Ok(Value::Number(
-                s.find(needle).map(|i| i as f64).unwrap_or(-1.0),
-            ))
+            Ok(Value::Number(s.find(needle).map_or(-1.0, |i| i as f64)))
         }
         "substring" => {
             let len = s.chars().count();
@@ -154,8 +150,7 @@ pub(crate) fn get_index(obj: &Value, index: &Value) -> Result<Value, ScriptError
         (Value::Str(s), Value::Number(n)) => Ok(s
             .chars()
             .nth(*n as usize)
-            .map(|c| Value::str(c.to_string()))
-            .unwrap_or(Value::Null)),
+            .map_or(Value::Null, |c| Value::str(c.to_string()))),
         _ => Err(ScriptError::new(format!(
             "cannot index {} with {}",
             obj.type_name(),
@@ -250,7 +245,12 @@ pub(crate) fn binary_op(op: BinaryOp, l: &Value, r: &Value) -> Result<Value, Scr
             Ok(Value::Bool(compare(op, ordering)))
         }
         BinaryOp::And | BinaryOp::Or => {
-            unreachable!("short-circuit operators are handled by the caller")
+            // The compiler lowers `&&`/`||` to jump sequences, so the only
+            // way to get here is hand-crafted (hostile) bytecode — a typed
+            // error, not a panic, keeps the VM total on such input.
+            Err(ScriptError::new(format!(
+                "operator `{op}` is short-circuit and has no direct bytecode form"
+            )))
         }
     }
 }

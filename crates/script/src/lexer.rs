@@ -218,13 +218,12 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             continue;
         }
         // Numbers.
-        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
-        {
+        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(char::is_ascii_digit)) {
             let start = i;
             while i < chars.len() && chars[i].is_ascii_digit() {
                 i += 1;
             }
-            if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+            if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(char::is_ascii_digit) {
                 i += 1;
                 while i < chars.len() && chars[i].is_ascii_digit() {
                     i += 1;
@@ -236,7 +235,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 if matches!(chars.get(j), Some('+' | '-')) {
                     j += 1;
                 }
-                if chars.get(j).is_some_and(|d| d.is_ascii_digit()) {
+                if chars.get(j).is_some_and(char::is_ascii_digit) {
                     i = j;
                     while i < chars.len() && chars[i].is_ascii_digit() {
                         i += 1;

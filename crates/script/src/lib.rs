@@ -29,7 +29,7 @@
 //! assert_eq!(interp.global("answer"), Some(Value::Number(55.0)));
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ast;
 pub(crate) mod builtins;

@@ -102,7 +102,12 @@ impl Vm {
         match callee {
             Value::VmFunction(closure) => {
                 let frame = Scope::child(closure.env.clone());
-                let proto = &closure.protos[closure.proto];
+                let proto = closure.protos.get(closure.proto).ok_or_else(|| {
+                    ScriptError::new(format!(
+                        "malformed bytecode: closure proto index {} out of range",
+                        closure.proto
+                    ))
+                })?;
                 for (i, param) in proto.params.iter().enumerate() {
                     Scope::declare(&frame, param, args.get(i).cloned().unwrap_or(Value::Null));
                 }
@@ -135,7 +140,11 @@ impl Vm {
         frame_scope: ScopeRef,
         host: &mut dyn Host,
     ) -> Result<Value, ScriptError> {
-        let proto = &protos[proto_idx];
+        let proto = protos.get(proto_idx).ok_or_else(|| {
+            ScriptError::new(format!(
+                "malformed bytecode: proto index {proto_idx} out of range"
+            ))
+        })?;
         let mut scopes: Vec<ScopeRef> = vec![frame_scope];
         let mut stack: Vec<Value> = Vec::with_capacity(16);
         let mut pc: usize = 0;
@@ -146,26 +155,59 @@ impl Vm {
                     .ok_or_else(|| ScriptError::new("stack underflow"))?
             };
         }
+        // Operand accessors for potentially hostile bytecode: a proto
+        // whose operands index outside its tables is a runtime error, not
+        // a panic, so static tooling can execute untrusted programs.
+        macro_rules! name_at {
+            ($i:expr) => {
+                proto.names.get($i as usize).ok_or_else(|| {
+                    ScriptError::new(format!(
+                        "malformed bytecode: name index {} out of range",
+                        $i
+                    ))
+                })?
+            };
+        }
+        macro_rules! split_args {
+            ($n:expr) => {{
+                let n = $n as usize;
+                if stack.len() < n {
+                    return Err(ScriptError::new(format!(
+                        "malformed bytecode: {n} stacked arguments expected, {} present",
+                        stack.len()
+                    )));
+                }
+                let at = stack.len() - n;
+                stack.split_off(at)
+            }};
+        }
         while pc < proto.code.len() {
             self.tick()?;
             let op = proto.code[pc];
             pc += 1;
             match op {
-                Op::Const(i) => stack.push(match &proto.consts[i as usize] {
-                    Const::Null => Value::Null,
-                    Const::Bool(b) => Value::Bool(*b),
-                    Const::Number(n) => Value::Number(*n),
-                    Const::Str(s) => Value::str(s),
-                }),
+                Op::Const(i) => {
+                    let konst = proto.consts.get(i as usize).ok_or_else(|| {
+                        ScriptError::new(format!(
+                            "malformed bytecode: constant index {i} out of range"
+                        ))
+                    })?;
+                    stack.push(match konst {
+                        Const::Null => Value::Null,
+                        Const::Bool(b) => Value::Bool(*b),
+                        Const::Number(n) => Value::Number(*n),
+                        Const::Str(s) => Value::str(s),
+                    });
+                }
                 Op::GetVar(i) => {
-                    let name = &proto.names[i as usize];
+                    let name = name_at!(i);
                     let scope = scopes.last().expect("frame scope always present");
                     let value = Scope::lookup(scope, name)
                         .ok_or_else(|| ScriptError::new(format!("undefined variable `{name}`")))?;
                     stack.push(value);
                 }
                 Op::SetVar(i) => {
-                    let name = &proto.names[i as usize];
+                    let name = name_at!(i);
                     let value = pop!();
                     let scope = scopes.last().expect("frame scope always present");
                     if !Scope::assign(scope, name, value) {
@@ -175,7 +217,7 @@ impl Vm {
                     }
                 }
                 Op::DeclVar(i) => {
-                    let name = &proto.names[i as usize];
+                    let name = name_at!(i);
                     let value = pop!();
                     let scope = scopes.last().expect("frame scope always present");
                     Scope::declare(scope, name, value);
@@ -245,18 +287,16 @@ impl Vm {
                     }
                 }
                 Op::MakeArray(n) => {
-                    let at = stack.len() - n as usize;
-                    let items = stack.split_off(at);
+                    let items = split_args!(n);
                     stack.push(Value::array(items));
                 }
                 Op::MakeObject { base, count } => {
-                    let at = stack.len() - count as usize;
-                    let values = stack.split_off(at);
+                    let values = split_args!(count);
                     let object = Value::object();
                     if let Value::Object(map) = &object {
                         let mut map = map.borrow_mut();
                         for (i, value) in values.into_iter().enumerate() {
-                            let key = proto.names[base as usize + i].clone();
+                            let key = name_at!(base as usize + i).clone();
                             map.insert(key, value);
                         }
                     }
@@ -271,9 +311,8 @@ impl Vm {
                     })));
                 }
                 Op::CallName { name, argc } => {
-                    let at = stack.len() - argc as usize;
-                    let args: Vec<Value> = stack.split_off(at);
-                    let name = &proto.names[name as usize];
+                    let args: Vec<Value> = split_args!(argc);
+                    let name = name_at!(name);
                     let scope = scopes.last().expect("frame scope always present");
                     match Scope::lookup(scope, name) {
                         Some(callee) => {
@@ -291,17 +330,15 @@ impl Vm {
                     }
                 }
                 Op::CallValue { argc } => {
-                    let at = stack.len() - argc as usize;
-                    let args: Vec<Value> = stack.split_off(at);
+                    let args: Vec<Value> = split_args!(argc);
                     let callee = pop!();
                     let result = self.call_function(&callee, &args, host)?;
                     stack.push(result);
                 }
                 Op::CallMethod { name, argc } => {
-                    let at = stack.len() - argc as usize;
-                    let args: Vec<Value> = stack.split_off(at);
+                    let args: Vec<Value> = split_args!(argc);
                     let object = pop!();
-                    let name = &proto.names[name as usize];
+                    let name = name_at!(name);
                     let result = match &object {
                         Value::Array(items) => builtins::array_method(items, name, &args)?,
                         Value::Str(s) => builtins::string_method(s, name, &args)?,
@@ -326,25 +363,24 @@ impl Vm {
                     stack.push(result);
                 }
                 Op::CallMath { name, argc } => {
-                    let at = stack.len() - argc as usize;
-                    let args: Vec<Value> = stack.split_off(at);
+                    let args: Vec<Value> = split_args!(argc);
                     let scope = scopes.last().expect("frame scope always present");
                     if Scope::lookup(scope, "Math").is_some() {
                         return Err(ScriptError::new(
                             "shadowing `Math` is not supported by the bytecode backend",
                         ));
                     }
-                    let name = &proto.names[name as usize];
+                    let name = name_at!(name);
                     stack.push(builtins::math_call(&mut self.rng_state, name, &args)?);
                 }
                 Op::GetMember(i) => {
                     let object = pop!();
-                    stack.push(builtins::get_member(&object, &proto.names[i as usize])?);
+                    stack.push(builtins::get_member(&object, name_at!(i))?);
                 }
                 Op::SetMember(i) => {
                     let object = pop!();
                     let value = pop!();
-                    builtins::set_member(&object, &proto.names[i as usize], value)?;
+                    builtins::set_member(&object, name_at!(i), value)?;
                 }
                 Op::GetIndex => {
                     let index = pop!();
@@ -512,6 +548,73 @@ mod tests {
             .call_function(&f, &[Value::Number(21.0)], &mut NoHost)
             .unwrap();
         assert_eq!(result, Value::Number(42.0));
+    }
+
+    #[test]
+    fn malformed_bytecode_errors_instead_of_panicking() {
+        // Hand-built hostile protos: every operand indexes outside its
+        // table or pops more than the stack holds. The VM must fail with
+        // a typed error so static tooling can execute untrusted bytecode.
+        let cases: Vec<Vec<Op>> = vec![
+            vec![Op::Const(7)],
+            vec![Op::GetVar(3)],
+            vec![Op::SetVar(3)],
+            vec![Op::DeclVar(3)],
+            vec![Op::Pop],
+            vec![Op::Dup],
+            vec![Op::PopScope],
+            vec![Op::MakeArray(4)],
+            vec![Op::MakeObject { base: 9, count: 2 }],
+            vec![Op::MakeClosure(5), Op::CallValue { argc: 0 }],
+            vec![Op::CallName { name: 8, argc: 3 }],
+            vec![Op::CallValue { argc: 2 }],
+            vec![Op::CallMethod { name: 8, argc: 1 }],
+            vec![Op::CallMath { name: 8, argc: 1 }],
+            vec![Op::GetMember(6)],
+            vec![Op::SetMember(6)],
+            vec![Op::Return],
+        ];
+        for code in cases {
+            let debug = format!("{code:?}");
+            let proto = Proto {
+                code,
+                ..Proto::default()
+            };
+            let program = CompiledProgram {
+                protos: Rc::new(vec![proto]),
+                main: 0,
+            };
+            let mut vm = Vm::new();
+            assert!(
+                vm.run(&program, &mut NoHost).is_err(),
+                "hostile program {debug} should error"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_main_proto_errors() {
+        let program = CompiledProgram {
+            protos: Rc::new(Vec::new()),
+            main: 0,
+        };
+        let mut vm = Vm::new();
+        let err = vm.run(&program, &mut NoHost).unwrap_err();
+        assert!(err.to_string().contains("proto index"));
+    }
+
+    #[test]
+    fn jump_past_end_terminates_cleanly() {
+        let proto = Proto {
+            code: vec![Op::Jump(1000)],
+            ..Proto::default()
+        };
+        let program = CompiledProgram {
+            protos: Rc::new(vec![proto]),
+            main: 0,
+        };
+        let mut vm = Vm::new();
+        assert!(vm.run(&program, &mut NoHost).is_ok());
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Totality of the script front end and the bytecode VM on hostile
+//! input, driven by the deterministic property harness.
+//!
+//! The static analyzer (`greenweb-analyze`) feeds arbitrary application
+//! scripts through lexer → parser → compiler and then walks (or runs)
+//! the resulting bytecode, so none of those stages may panic — every
+//! malformed input must surface as a typed error.
+
+use greenweb_det::prop;
+use greenweb_script::compiler::{Const, Op, Proto};
+use greenweb_script::{compile, parse_program, BinaryOp, CompiledProgram, NoHost, UnaryOp, Vm};
+use std::rc::Rc;
+
+/// Arbitrary character soup never panics the lexer/parser/compiler.
+#[test]
+fn arbitrary_source_never_panics_front_end() {
+    prop::check("script-arbitrary-source-total", 192, |g| {
+        let source = g.arbitrary_string(160);
+        if let Ok(program) = parse_program(&source) {
+            let _ = compile(&program);
+        }
+    });
+}
+
+/// Random streams of *valid tokens* (which reach much deeper into the
+/// parser than character soup) never panic the chain either, and any
+/// program that parses also compiles and runs without panicking.
+#[test]
+fn random_token_streams_never_panic() {
+    const VOCAB: &[&str] = &[
+        "var", "let", "function", "if", "else", "while", "for", "return", "break", "continue",
+        "true", "false", "null", "x", "y", "work", "Math", "f", "(", ")", "{", "}", "[", "]", ";",
+        ",", ".", "=", "==", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "&&", "||", "!",
+        "?", ":", "+=", "-=", "++", "--", "0", "1", "42", "3.5", "'s'", "\"t\"",
+    ];
+    prop::check("script-token-stream-total", 192, |g| {
+        let tokens = g.vec_of(60, |g| *g.choose(VOCAB));
+        let source = tokens.join(" ");
+        if let Ok(program) = parse_program(&source) {
+            if let Ok(compiled) = compile(&program) {
+                // A tight op budget keeps accidental loops cheap; any
+                // outcome but a panic is acceptable.
+                let mut vm = Vm::new().with_op_limit(10_000);
+                let _ = vm.run(&compiled, &mut NoHost);
+            }
+        }
+    });
+}
+
+/// Entirely random bytecode — operands pointing anywhere — executes to
+/// a result or a typed error, never a panic (the analyzer's guarantee
+/// for hostile compiled programs).
+#[test]
+fn random_bytecode_never_panics_vm() {
+    prop::check("vm-hostile-bytecode-total", 192, |g| {
+        let consts = vec![Const::Null, Const::Number(7.0), Const::Str("s".into())];
+        let names = vec!["a".to_string(), "work".to_string()];
+        let code = g.vec_of(40, |g| {
+            let idx = g.usize_in(0, 9) as u32;
+            let argc = g.usize_in(0, 4) as u8;
+            let binop = *g.choose(&[
+                BinaryOp::Add,
+                BinaryOp::Div,
+                BinaryOp::Lt,
+                BinaryOp::And,
+                BinaryOp::Or,
+            ]);
+            let unop = *g.choose(&[UnaryOp::Neg, UnaryOp::Not]);
+            *g.choose(&[
+                Op::Const(idx),
+                Op::GetVar(idx),
+                Op::SetVar(idx),
+                Op::DeclVar(idx),
+                Op::Pop,
+                Op::Dup,
+                Op::PushScope,
+                Op::PopScope,
+                // Including the short-circuit operators: the compiler
+                // never emits Binary(And/Or), but hostile bytecode can,
+                // and the VM must answer with a typed error.
+                Op::Binary(binop),
+                Op::Unary(unop),
+                Op::Jump(idx),
+                Op::JumpIfFalse(idx),
+                Op::JumpIfFalsePeek(idx),
+                Op::JumpIfTruePeek(idx),
+                Op::MakeArray(argc as u16),
+                Op::MakeObject {
+                    base: idx,
+                    count: argc as u16,
+                },
+                Op::MakeClosure(idx),
+                Op::CallName { name: idx, argc },
+                Op::CallValue { argc },
+                Op::CallMethod { name: idx, argc },
+                Op::CallMath { name: idx, argc },
+                Op::GetMember(idx),
+                Op::SetMember(idx),
+                Op::GetIndex,
+                Op::SetIndex,
+                Op::Return,
+            ])
+        });
+        let proto = Proto {
+            name: String::new(),
+            params: Vec::new(),
+            code,
+            consts: consts.clone(),
+            names: names.clone(),
+        };
+        let program = CompiledProgram {
+            protos: Rc::new(vec![proto]),
+            main: 0,
+        };
+        let mut vm = Vm::new().with_op_limit(5_000);
+        let _ = vm.run(&program, &mut NoHost);
+    });
+}

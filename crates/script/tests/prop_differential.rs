@@ -25,8 +25,8 @@ fn run_both(source: &str, globals: &[&str]) -> (Vec<Option<Value>>, Vec<Option<V
 /// in `PartialEq`, so render them instead).
 fn assert_same(source: &str, a: &[Option<Value>], b: &[Option<Value>]) {
     for (x, y) in a.iter().zip(b) {
-        let xs = x.as_ref().map(|v| v.to_string());
-        let ys = y.as_ref().map(|v| v.to_string());
+        let xs = x.as_ref().map(std::string::ToString::to_string);
+        let ys = y.as_ref().map(std::string::ToString::to_string);
         assert_eq!(xs, ys, "backends diverge on:\n{source}");
     }
 }

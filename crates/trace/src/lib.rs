@@ -47,7 +47,7 @@
 //! assert!(json.contains("\"name\":\"style\""));
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod event;
 pub mod export;

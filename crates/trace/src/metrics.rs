@@ -240,8 +240,7 @@ impl MetricsRegistry {
     /// Percentile summary for the span durations of `kind`.
     pub fn stage_summary(&self, kind: SpanKind) -> LatencySummary {
         self.histogram(&format!("stage.{}", kind.name()))
-            .map(Histogram::summary)
-            .unwrap_or(LatencySummary::EMPTY)
+            .map_or(LatencySummary::EMPTY, Histogram::summary)
     }
 }
 

@@ -2,6 +2,10 @@
 //! with `None` must never run the payload closure, so the `Vec`s and
 //! `String`s an event owns are never built.
 
+// The only unsafe in the workspace: a `GlobalAlloc` impl (inherently an
+// unsafe trait) that delegates to `System` and counts calls.
+#![allow(unsafe_code)]
+
 use greenweb_acmp::{Duration, SimTime};
 use greenweb_trace::{record_into, EventKind, SpanKind, TraceHandle};
 use std::alloc::{GlobalAlloc, Layout, System};

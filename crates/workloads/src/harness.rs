@@ -101,6 +101,56 @@ pub fn run(app: &App, trace: &Trace, policy: &Policy) -> Result<SimReport, Brows
     browser.run(trace)
 }
 
+/// Why the GreenLint pre-run gate refused to run an app.
+#[derive(Debug)]
+pub enum GateError {
+    /// The static analyzer found error-severity diagnostics; the report
+    /// carries every finding.
+    Lint(Box<greenweb_analyze::AnalysisReport>),
+    /// The app failed to load once the gate passed.
+    Browser(BrowserError),
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::Lint(report) => write!(
+                f,
+                "greenweb-lint found {} error(s) in `{}`:\n{}",
+                report.count(greenweb_analyze::Severity::Error),
+                report.app_name,
+                report.render_text()
+            ),
+            GateError::Browser(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// Runs the GreenLint static analyzer over `app` (the opt-in pre-run
+/// gate's check, also usable on its own).
+pub fn lint(app: &App) -> greenweb_analyze::AnalysisReport {
+    greenweb_analyze::analyze(app)
+}
+
+/// Like [`run`], but gated on GreenLint: the app is statically analyzed
+/// first and refused — without simulating a single frame — if any
+/// error-severity diagnostic fires (dropped annotations, guaranteed
+/// deadline misses, load failures).
+///
+/// # Errors
+///
+/// Returns [`GateError::Lint`] with the full report when the analyzer
+/// finds errors, or [`GateError::Browser`] if the app then fails to run.
+pub fn run_gated(app: &App, trace: &Trace, policy: &Policy) -> Result<SimReport, GateError> {
+    let report = lint(app);
+    if report.has_errors() {
+        return Err(GateError::Lint(Box::new(report)));
+    }
+    run(app, trace, policy).map_err(GateError::Browser)
+}
+
 /// Like [`run`], but with a trace recorder attached: returns the report
 /// together with the full event trace of the run (pipeline spans,
 /// scheduler decisions, energy samples, …) ready for export.
@@ -244,6 +294,36 @@ mod tests {
         assert_eq!(i.len(), u.len());
         let (uid, imp) = i.iter().next().unwrap();
         assert!(imp.target_ms < u[uid].target_ms);
+    }
+
+    #[test]
+    fn gate_passes_bundled_workloads() {
+        // No bundled app may carry an error-severity lint: the gate must
+        // be transparent for the paper suite.
+        let w = by_name("Todo").unwrap();
+        let report = lint(&w.app);
+        assert!(!report.has_errors(), "{}", report.render_text());
+        let sim = run_gated(&w.app, &w.micro, &Policy::Perf).unwrap();
+        assert!(!sim.frames.is_empty());
+    }
+
+    #[test]
+    fn gate_refuses_unsatisfiable_app() {
+        let app = App::builder("gate-refused")
+            .html("<button id='b'>x</button>")
+            .css("#b:QoS { onclick-qos: single, short; }")
+            .script(
+                "addEventListener(getElementById('b'), 'click', function(e) {
+                     work(9000000000); markDirty();
+                 });",
+            )
+            .build();
+        let w = by_name("Todo").unwrap();
+        let err = run_gated(&app, &w.micro, &Policy::Perf).unwrap_err();
+        match err {
+            GateError::Lint(report) => assert!(report.has_errors()),
+            GateError::Browser(e) => panic!("expected a lint refusal, got {e}"),
+        }
     }
 
     #[test]

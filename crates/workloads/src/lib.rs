@@ -22,7 +22,7 @@
 //! [`harness`] runs a workload under any policy and computes the paper's
 //! metrics.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod apps;
 pub mod chaos;

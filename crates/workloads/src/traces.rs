@@ -92,7 +92,7 @@ pub fn session(
     // intra-gesture spacing intact is unnecessary for QoS semantics —
     // what matters is inter-event order and rough pacing — but we avoid
     // compressing below real gesture rates by only *stretching* pauses.
-    let span = events.last().map(|(at, ..)| *at).unwrap_or(1.0).max(1.0);
+    let span = events.last().map_or(1.0, |(at, ..)| *at).max(1.0);
     let wanted = duration_secs as f64 * 1_000.0 - 400.0;
     let mut builder: TraceBuilder = Trace::builder();
     if wanted > span {

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = browser.run(&taps())?;
         let worst = (0..6)
             .filter_map(|i| report.frames_for(InputId(i)).first().map(|f| f.latency))
-            .map(|d| d.as_millis_f64())
+            .map(greenweb_acmp::time::Duration::as_millis_f64)
             .fold(0.0_f64, f64::max);
         let target = match scenario {
             Scenario::Imperceptible => 1_000.0,

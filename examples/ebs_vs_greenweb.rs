@@ -66,8 +66,7 @@ fn main() {
         let latency = |r: &SimReport| {
             r.frames_for(InputId(i))
                 .first()
-                .map(|f| f.latency.as_millis_f64())
-                .unwrap_or(f64::NAN)
+                .map_or(f64::NAN, |f| f.latency.as_millis_f64())
         };
         println!(
             "{:>4} {:>9} {:>11.1} {:>11.1}",

@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let uid = InputId(i);
         let p = perf.frames_for(uid)[0].latency.as_millis_f64();
         let g = green.frames_for(uid)[0].latency.as_millis_f64();
-        println!("  {:>4} {:>10.1} {:>10.1}", i, p, g);
+        println!("  {i:>4} {p:>10.1} {g:>10.1}");
     }
     println!();
     println!(

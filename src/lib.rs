@@ -5,7 +5,7 @@
 //! dependency. Library users should depend on the individual crates
 //! (`greenweb`, `greenweb-engine`, …) directly.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use greenweb as core;
 pub use greenweb_acmp as acmp;

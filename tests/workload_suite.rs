@@ -100,7 +100,7 @@ fn moving_workloads_animate_and_tapping_singles_respond() {
                 perf.metrics.frames
             ),
             Interaction::Tapping | Interaction::Loading => {
-                assert!(perf.metrics.frames >= 1, "{}: no response frame", w.name)
+                assert!(perf.metrics.frames >= 1, "{}: no response frame", w.name);
             }
         }
     }
