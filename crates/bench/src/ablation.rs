@@ -1,15 +1,51 @@
 //! Ablation experiments over the GreenWeb design choices (beyond the
 //! paper's figures, as called out in DESIGN.md §6).
+//!
+//! Every experiment lowers its runs to [`RunSpec`] batches — including
+//! the custom-platform variants, which describe their hardware through
+//! [`CoreSchedulerSpec::GreenWebOn`] instead of hand-building a browser
+//! — so an `_with` variant with an explicit [`Jobs`] count exists for
+//! each, and the default entry points honor `GREENWEB_JOBS`.
 
 use crate::figures::mean;
 use greenweb::metrics::RunMetrics;
 use greenweb::qos::Scenario;
+use greenweb::CoreSchedulerSpec;
 use greenweb_acmp::platform::ClusterSpec;
 use greenweb_acmp::{Platform, PowerModel};
-use greenweb_engine::Browser;
-use greenweb_workloads::harness::{expectations, Policy};
+use greenweb_engine::{RunSpec, SimReport};
+use greenweb_fleet::{run_specs, Jobs};
+use greenweb_workloads::harness::{expectations, run_many, Policy};
 use greenweb_workloads::Workload;
 use std::fmt::Write;
+
+/// Lowers a GreenWeb run on an explicit platform/power pair: the same
+/// hardware description feeds both the runtime's predictor and the
+/// simulated CPU.
+fn custom_hardware_spec(
+    workload: &Workload,
+    scenario: Scenario,
+    platform: Platform,
+    power: PowerModel,
+) -> RunSpec {
+    RunSpec::new(
+        workload.app.clone(),
+        workload.full.clone(),
+        Box::new(CoreSchedulerSpec::GreenWebOn {
+            scenario,
+            platform: platform.clone(),
+            power: power.clone(),
+        }),
+    )
+    .with_hardware(platform, power)
+}
+
+/// Unwraps a suite-style run that is expected to succeed.
+fn expect_report(
+    outcome: Result<greenweb_engine::RunOutcome, greenweb_engine::BrowserError>,
+) -> SimReport {
+    outcome.expect("run").report
+}
 
 /// One ablation cell.
 #[derive(Debug, Clone)]
@@ -26,17 +62,28 @@ pub struct AblationCell {
 /// loop, judged under the usable scenario (where mispredictions bite —
 /// the W3School/Cnet surges).
 pub fn feedback_ablation(workloads: &[Workload]) -> Vec<AblationCell> {
+    feedback_ablation_with(workloads, Jobs::from_env())
+}
+
+/// [`feedback_ablation`] on an explicit worker count.
+pub fn feedback_ablation_with(workloads: &[Workload], jobs: Jobs) -> Vec<AblationCell> {
+    let variants = [
+        ("feedback", Policy::GreenWeb(Scenario::Usable)),
+        ("no-feedback", Policy::GreenWebNoFeedback(Scenario::Usable)),
+    ];
+    let runs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| variants.iter().map(move |(_, p)| (&w.app, &w.full, p)))
+        .collect();
+    let mut reports = run_many(&runs, jobs).into_iter();
     let mut cells = Vec::new();
     for w in workloads {
-        for (variant, policy) in [
-            ("feedback", Policy::GreenWeb(Scenario::Usable)),
-            ("no-feedback", Policy::GreenWebNoFeedback(Scenario::Usable)),
-        ] {
-            let report = greenweb_workloads::harness::run(&w.app, &w.full, &policy).expect("run");
+        for (variant, _) in &variants {
+            let report = reports.next().expect("one report per cell").expect("run");
             let exp = expectations(&w.app, &w.full, Scenario::Usable);
             cells.push(AblationCell {
                 app: w.name,
-                variant: variant.to_string(),
+                variant: (*variant).to_string(),
                 metrics: RunMetrics::compute(&report, &exp),
             });
         }
@@ -90,6 +137,37 @@ pub fn render_feedback_ablation(cells: &[AblationCell]) -> String {
 /// DVFS-granularity ablation (Sec. 7.3 suggests fast, fine-grained DVFS
 /// helps): the big cluster with 100 MHz vs. 500 MHz steps.
 pub fn granularity_ablation(workload: &Workload) -> String {
+    granularity_ablation_with(workload, Jobs::from_env())
+}
+
+/// [`granularity_ablation`] on an explicit worker count.
+pub fn granularity_ablation_with(workload: &Workload, jobs: Jobs) -> String {
+    let steps = [("100 MHz", 100u32), ("250 MHz", 250), ("500 MHz", 500)];
+    let specs = steps
+        .iter()
+        .map(|(_, step)| {
+            let platform = Platform::custom(
+                ClusterSpec {
+                    min_mhz: 800,
+                    max_mhz: 1800,
+                    step_mhz: *step,
+                    ipc: 2.0,
+                },
+                ClusterSpec {
+                    min_mhz: 350,
+                    max_mhz: 600,
+                    step_mhz: 50,
+                    ipc: 1.0,
+                },
+            );
+            custom_hardware_spec(
+                workload,
+                Scenario::Usable,
+                platform,
+                PowerModel::odroid_xu_e(),
+            )
+        })
+        .collect();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -97,34 +175,8 @@ pub fn granularity_ablation(workload: &Workload) -> String {
         workload.name
     );
     let _ = writeln!(out, "{:<14} {:>10} {:>10}", "step", "energy mJ", "viol %");
-    for (label, step) in [("100 MHz", 100u32), ("250 MHz", 250), ("500 MHz", 500)] {
-        let platform = Platform::custom(
-            ClusterSpec {
-                min_mhz: 800,
-                max_mhz: 1800,
-                step_mhz: step,
-                ipc: 2.0,
-            },
-            ClusterSpec {
-                min_mhz: 350,
-                max_mhz: 600,
-                step_mhz: 50,
-                ipc: 1.0,
-            },
-        );
-        let scheduler = greenweb::GreenWebScheduler::with_hardware(
-            Scenario::Usable,
-            platform.clone(),
-            PowerModel::odroid_xu_e(),
-        );
-        let mut browser = Browser::with_hardware(
-            &workload.app,
-            scheduler,
-            platform,
-            PowerModel::odroid_xu_e(),
-        )
-        .expect("load");
-        let report = browser.run(&workload.full).expect("run");
+    for ((label, _), outcome) in steps.iter().zip(run_specs(specs, jobs)) {
+        let report = expect_report(outcome);
         let exp = expectations(&workload.app, &workload.full, Scenario::Usable);
         let metrics = RunMetrics::compute(&report, &exp);
         let _ = writeln!(
@@ -140,6 +192,44 @@ pub fn granularity_ablation(workload: &Workload) -> String {
 /// (the "single big core capable of DVFS" alternative of Sec. 10) and
 /// compare with the full ACMP space.
 pub fn acmp_ablation(workloads: &[Workload]) -> String {
+    acmp_ablation_with(workloads, Jobs::from_env())
+}
+
+/// [`acmp_ablation`] on an explicit worker count: `2 × workloads` jobs
+/// (full ACMP and big-only) in one batch.
+pub fn acmp_ablation_with(workloads: &[Workload], jobs: Jobs) -> String {
+    let acmp_policy = Policy::GreenWeb(Scenario::Usable);
+    let specs = workloads
+        .iter()
+        .flat_map(|w| {
+            let acmp = greenweb_workloads::harness::lower(&w.app, &w.full, &acmp_policy);
+            // Big-only: a platform whose "little" cluster is just the big
+            // cluster's low end, so migrations never leave A15.
+            let big_only = Platform::custom(
+                ClusterSpec {
+                    min_mhz: 800,
+                    max_mhz: 1800,
+                    step_mhz: 100,
+                    ipc: 2.0,
+                },
+                ClusterSpec {
+                    min_mhz: 800,
+                    max_mhz: 800,
+                    step_mhz: 100,
+                    ipc: 2.0,
+                },
+            );
+            // Power model whose "little" entry mirrors the big cluster.
+            let base = PowerModel::odroid_xu_e();
+            let big_power = *base.cluster(greenweb_acmp::CoreType::Big);
+            let power = PowerModel::custom(big_power, big_power);
+            [
+                acmp,
+                custom_hardware_spec(w, Scenario::Usable, big_only, power),
+            ]
+        })
+        .collect();
+    let mut outcomes = run_specs(specs, jobs).into_iter();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -148,36 +238,8 @@ pub fn acmp_ablation(workloads: &[Workload]) -> String {
     let _ = writeln!(out, "{:<11} {:>12} {:>14}", "app", "ACMP mJ", "big-only mJ");
     let mut ratios = Vec::new();
     for w in workloads {
-        let acmp =
-            greenweb_workloads::harness::run(&w.app, &w.full, &Policy::GreenWeb(Scenario::Usable))
-                .expect("run");
-        // Big-only: a platform whose "little" cluster is just the big
-        // cluster's low end, so migrations never leave A15.
-        let big_only = Platform::custom(
-            ClusterSpec {
-                min_mhz: 800,
-                max_mhz: 1800,
-                step_mhz: 100,
-                ipc: 2.0,
-            },
-            ClusterSpec {
-                min_mhz: 800,
-                max_mhz: 800,
-                step_mhz: 100,
-                ipc: 2.0,
-            },
-        );
-        // Power model whose "little" entry mirrors the big cluster.
-        let base = PowerModel::odroid_xu_e();
-        let big_power = *base.cluster(greenweb_acmp::CoreType::Big);
-        let power = PowerModel::custom(big_power, big_power);
-        let scheduler = greenweb::GreenWebScheduler::with_hardware(
-            Scenario::Usable,
-            big_only.clone(),
-            power.clone(),
-        );
-        let mut browser = Browser::with_hardware(&w.app, scheduler, big_only, power).expect("load");
-        let report = browser.run(&w.full).expect("run");
+        let acmp = expect_report(outcomes.next().expect("acmp cell ran"));
+        let report = expect_report(outcomes.next().expect("big-only cell ran"));
         ratios.push(report.total_mj() / acmp.total_mj());
         let _ = writeln!(
             out,
@@ -199,6 +261,22 @@ pub fn acmp_ablation(workloads: &[Workload]) -> String {
 /// violations against the *true* (annotated) expectations, imperceptible
 /// scenario.
 pub fn ebs_comparison(workloads: &[Workload]) -> String {
+    ebs_comparison_with(workloads, Jobs::from_env())
+}
+
+/// [`ebs_comparison`] on an explicit worker count: `3 × workloads` jobs
+/// (EBS, GreenWeb-I, Perf) in one batch.
+pub fn ebs_comparison_with(workloads: &[Workload], jobs: Jobs) -> String {
+    let policies = [
+        Policy::Ebs,
+        Policy::GreenWeb(Scenario::Imperceptible),
+        Policy::Perf,
+    ];
+    let runs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| policies.iter().map(move |p| (&w.app, &w.full, p)))
+        .collect();
+    let mut reports = run_many(&runs, jobs).into_iter();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -210,14 +288,14 @@ pub fn ebs_comparison(workloads: &[Workload]) -> String {
         "app", "EBS mJ", "GW-I mJ", "EBS viol%", "GW viol%", "Perf viol%"
     );
     for w in workloads {
-        let judge = |policy: &Policy| {
-            let report = greenweb_workloads::harness::run(&w.app, &w.full, policy).expect("run");
+        let mut judge = || {
+            let report = reports.next().expect("one report per cell").expect("run");
             let exp = expectations(&w.app, &w.full, Scenario::Imperceptible);
             RunMetrics::compute(&report, &exp)
         };
-        let ebs = judge(&Policy::Ebs);
-        let gw = judge(&Policy::GreenWeb(Scenario::Imperceptible));
-        let perf = judge(&Policy::Perf);
+        let ebs = judge();
+        let gw = judge();
+        let perf = judge();
         let _ = writeln!(
             out,
             "{:<11} {:>10.0} {:>10.0} {:>10.1} {:>10.1} {:>10.1}",
@@ -244,6 +322,12 @@ pub fn ebs_comparison(workloads: &[Workload]) -> String {
 /// GreenWeb's feedback must absorb the contention — more energy, but
 /// bounded QoS damage.
 pub fn background_load_experiment() -> String {
+    background_load_experiment_with(Jobs::from_env())
+}
+
+/// [`background_load_experiment`] on an explicit worker count (two jobs:
+/// the animation alone and with the background task).
+pub fn background_load_experiment_with(jobs: Jobs) -> String {
     use greenweb::metrics::{InputExpectation, RunMetrics};
     use greenweb::qos::QosType;
     use greenweb_engine::{App, Trace};
@@ -287,6 +371,10 @@ pub fn background_load_experiment() -> String {
         .touchstart_id(300.0, "c")
         .end_ms(3_800.0)
         .build();
+    let policy = Policy::GreenWeb(Scenario::Usable);
+    let apps = [build(false), build(true)];
+    let runs: Vec<_> = apps.iter().map(|app| (app, &trace, &policy)).collect();
+    let mut reports = run_many(&runs, jobs).into_iter();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -298,10 +386,10 @@ pub fn background_load_experiment() -> String {
         "variant", "energy mJ", "viol %", "frames"
     );
     for background in [false, true] {
-        let app = build(background);
-        let report =
-            greenweb_workloads::harness::run(&app, &trace, &Policy::GreenWeb(Scenario::Usable))
-                .expect("run");
+        let report = reports
+            .next()
+            .expect("one report per variant")
+            .expect("run");
         // Judge the touchstart (input 1) against the continuous target.
         let mut exp = HashMap::new();
         exp.insert(

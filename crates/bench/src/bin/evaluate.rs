@@ -11,6 +11,7 @@
 //! evaluate ablation                   design-choice ablations
 //! evaluate percentiles                per-stage latency percentiles + flame
 //! evaluate all                        everything above
+//! evaluate bench                      serial-vs-parallel wall-clock
 //! ```
 //!
 //! Flags (combinable with any command):
@@ -20,12 +21,20 @@
 //!                       run (open in https://ui.perfetto.dev); with no
 //!                       command, implies `trace` (the traced run only)
 //! --workload NAME       workload for percentiles/trace (default Paper.js)
+//! --jobs N              worker threads for simulation batches (default:
+//!                       GREENWEB_JOBS, else hardware parallelism; 1 is
+//!                       the legacy serial path — output is identical
+//!                       either way)
 //! ```
+//!
+//! The extra `bench` command times the microbenchmark suite serially and
+//! at `--jobs` and writes the comparison to `BENCH_evaluate.json`.
 
 use greenweb::autogreen::AutoGreen;
 use greenweb::qos::Scenario;
-use greenweb_bench::figures::{run_suite, AppRuns, SuiteKind};
+use greenweb_bench::figures::{run_apps, run_suite_with, AppRuns, SuiteKind};
 use greenweb_bench::{ablation, profile, render, tables};
+use greenweb_fleet::Jobs;
 use greenweb_workloads::harness::{expectations, run, Policy};
 use std::collections::HashMap;
 
@@ -33,12 +42,20 @@ fn main() {
     let mut command: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut workload = String::from("Paper.js");
+    let mut jobs = Jobs::from_env();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--trace" => trace_path = Some(argv.next().expect("--trace requires a file path")),
             "--workload" => {
                 workload = argv.next().expect("--workload requires a workload name");
+            }
+            "--jobs" => {
+                jobs = argv
+                    .next()
+                    .expect("--jobs requires a worker count")
+                    .parse()
+                    .expect("--jobs requires a positive integer");
             }
             other => command = Some(other.to_string()),
         }
@@ -54,6 +71,11 @@ fn main() {
     let mut cache: HashMap<SuiteKind, Vec<AppRuns>> = HashMap::new();
     let wants = |name: &str| command == name || command == "all";
 
+    if command == "bench" {
+        bench_report(jobs);
+        return;
+    }
+
     if wants("table1") {
         println!("{}", tables::table1());
     }
@@ -64,7 +86,7 @@ fn main() {
         println!("{}", tables::table3());
     }
     if wants("fig9a") {
-        let suite = suite(&mut cache, SuiteKind::Micro);
+        let suite = suite(&mut cache, SuiteKind::Micro, jobs);
         println!(
             "{}",
             render::energy_figure(
@@ -75,7 +97,7 @@ fn main() {
         );
     }
     if wants("fig9b") {
-        let suite = suite(&mut cache, SuiteKind::Micro);
+        let suite = suite(&mut cache, SuiteKind::Micro, jobs);
         println!(
             "{}",
             render::violation_figure(
@@ -94,7 +116,7 @@ fn main() {
         );
     }
     if wants("fig10a") {
-        let suite = suite(&mut cache, SuiteKind::Full);
+        let suite = suite(&mut cache, SuiteKind::Full, jobs);
         println!(
             "{}",
             render::energy_figure(
@@ -105,7 +127,7 @@ fn main() {
         );
     }
     if wants("fig10b") {
-        let suite = suite(&mut cache, SuiteKind::Full);
+        let suite = suite(&mut cache, SuiteKind::Full, jobs);
         println!(
             "{}",
             render::violation_figure(
@@ -116,7 +138,7 @@ fn main() {
         );
     }
     if wants("fig10c") {
-        let suite = suite(&mut cache, SuiteKind::Full);
+        let suite = suite(&mut cache, SuiteKind::Full, jobs);
         println!(
             "{}",
             render::violation_figure(
@@ -127,7 +149,7 @@ fn main() {
         );
     }
     if wants("fig11") {
-        let suite = suite(&mut cache, SuiteKind::Full);
+        let suite = suite(&mut cache, SuiteKind::Full, jobs);
         println!(
             "{}",
             render::residency_figure(
@@ -147,7 +169,7 @@ fn main() {
         println!("{}", render::residency_contrast(suite));
     }
     if wants("fig12") {
-        let suite = suite(&mut cache, SuiteKind::Full);
+        let suite = suite(&mut cache, SuiteKind::Full, jobs);
         println!("{}", render::switching_figure(suite));
     }
     if wants("autogreen") {
@@ -163,12 +185,13 @@ fn main() {
             .filter(|w| matches!(w.name, "W3School" | "Cnet" | "Amazon"))
             .cloned()
             .collect();
-        let cells = ablation::feedback_ablation(&surgy);
+        let cells = ablation::feedback_ablation_with(&surgy, jobs);
         println!("{}", ablation::render_feedback_ablation(&cells));
         println!(
             "{}",
-            ablation::granularity_ablation(
-                &greenweb_workloads::by_name("Goo.ne.jp").expect("workload exists")
+            ablation::granularity_ablation_with(
+                &greenweb_workloads::by_name("Goo.ne.jp").expect("workload exists"),
+                jobs
             )
         );
         let continuous: Vec<_> = workloads
@@ -176,7 +199,7 @@ fn main() {
             .filter(|w| matches!(w.name, "Goo.ne.jp" | "Craigslist" | "W3School"))
             .cloned()
             .collect();
-        println!("{}", ablation::acmp_ablation(&continuous));
+        println!("{}", ablation::acmp_ablation_with(&continuous, jobs));
     }
     if wants("ebs") {
         let chosen: Vec<_> = greenweb_workloads::all()
@@ -184,10 +207,10 @@ fn main() {
             .filter(|w| matches!(w.name, "MSN" | "Todo" | "CamanJS" | "Goo.ne.jp"))
             .cloned()
             .collect();
-        println!("{}", ablation::ebs_comparison(&chosen));
+        println!("{}", ablation::ebs_comparison_with(&chosen, jobs));
     }
     if wants("multiapp") {
-        println!("{}", ablation::background_load_experiment());
+        println!("{}", ablation::background_load_experiment_with(jobs));
     }
     if wants("percentiles") || command == "trace" {
         let w = greenweb_workloads::by_name(&workload)
@@ -208,11 +231,53 @@ fn main() {
     }
 }
 
-fn suite(cache: &mut HashMap<SuiteKind, Vec<AppRuns>>, kind: SuiteKind) -> &Vec<AppRuns> {
+fn suite(
+    cache: &mut HashMap<SuiteKind, Vec<AppRuns>>,
+    kind: SuiteKind,
+    jobs: Jobs,
+) -> &Vec<AppRuns> {
     cache.entry(kind).or_insert_with(|| {
-        eprintln!("running {kind:?} suite (12 apps x 4 policies)...");
-        run_suite(kind)
+        eprintln!("running {kind:?} suite (12 apps x 4 policies, {jobs} worker(s))...");
+        run_suite_with(kind, jobs)
     })
+}
+
+/// Times the microbenchmark suite serially and at `jobs`, checks the two
+/// results agree bit for bit, and writes `BENCH_evaluate.json`.
+fn bench_report(jobs: Jobs) {
+    use std::time::Instant;
+    let workloads = greenweb_workloads::all();
+    eprintln!("timing micro suite serially...");
+    let started = Instant::now();
+    let serial = run_apps(&workloads, SuiteKind::Micro, Jobs::serial());
+    let serial_s = started.elapsed().as_secs_f64();
+    eprintln!("timing micro suite at {jobs} worker(s)...");
+    let started = Instant::now();
+    let parallel = run_apps(&workloads, SuiteKind::Micro, jobs);
+    let parallel_s = started.elapsed().as_secs_f64();
+    let identical = serial.len() == parallel.len()
+        && serial.iter().zip(&parallel).all(|(a, b)| {
+            a.perf.report.total_mj() == b.perf.report.total_mj()
+                && a.interactive.report.total_mj() == b.interactive.report.total_mj()
+                && a.greenweb_i.metrics_i.render_json() == b.greenweb_i.metrics_i.render_json()
+                && a.greenweb_u.metrics_u.render_json() == b.greenweb_u.metrics_u.render_json()
+        });
+    assert!(identical, "serial and parallel suites diverged");
+    let json = format!(
+        "{{\"suite\":\"micro\",\"cells\":{},\"hardware_parallelism\":{},\"jobs\":{},\
+         \"serial_s\":{serial_s:.3},\"parallel_s\":{parallel_s:.3},\"speedup\":{:.2},\
+         \"identical\":{identical}}}\n",
+        workloads.len() * 4,
+        Jobs::auto(),
+        jobs,
+        serial_s / parallel_s.max(1e-9),
+    );
+    std::fs::write("BENCH_evaluate.json", &json).expect("write BENCH_evaluate.json");
+    println!(
+        "serial {serial_s:.3}s, {jobs} worker(s) {parallel_s:.3}s, speedup {:.2}x \
+         (results bit-identical); wrote BENCH_evaluate.json",
+        serial_s / parallel_s.max(1e-9)
+    );
 }
 
 fn autogreen_report() {

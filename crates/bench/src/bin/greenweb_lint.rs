@@ -10,12 +10,19 @@
 //! greenweb_lint --json                  JSON, one document per app line
 //! greenweb_lint --write tests/goldens/lint    (re)write golden JSON files
 //! greenweb_lint --check tests/goldens/lint    diff against goldens
+//! greenweb_lint --jobs N                analyze on N worker threads
 //! ```
+//!
+//! Analyses run on the deterministic executor (default worker count from
+//! `GREENWEB_JOBS`, else hardware parallelism); reports are emitted in
+//! workload order regardless, so output and goldens are byte-identical
+//! at any `--jobs` value.
 //!
 //! Exit status is non-zero when any error-severity diagnostic fires, or
 //! in `--check` mode when output differs from the committed goldens.
 
 use greenweb_analyze::{analyze, AnalysisReport};
+use greenweb_fleet::{run_jobs, Jobs};
 use greenweb_workloads::{all, by_name, Workload};
 use std::path::Path;
 use std::process::ExitCode;
@@ -41,6 +48,7 @@ fn main() -> ExitCode {
     let mut write_dir: Option<String> = None;
     let mut check_dir: Option<String> = None;
     let mut workload: Option<String> = None;
+    let mut jobs = Jobs::from_env();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -50,6 +58,19 @@ fn main() -> ExitCode {
             "--check" => check_dir = Some(argv.next().expect("--check requires a directory")),
             "--workload" => {
                 workload = Some(argv.next().expect("--workload requires a workload name"));
+            }
+            "--jobs" => {
+                jobs = match argv
+                    .next()
+                    .expect("--jobs requires a worker count")
+                    .parse::<Jobs>()
+                {
+                    Ok(jobs) => jobs,
+                    Err(e) => {
+                        eprintln!("--jobs requires a positive integer: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
             }
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -69,9 +90,19 @@ fn main() -> ExitCode {
         None => all(),
     };
 
+    // Analyze every app on the executor; reports come back in workload
+    // order, so the emission loop below is identical at any --jobs.
+    let analyses = workloads
+        .iter()
+        .map(|w| {
+            let app = &w.app;
+            move || analyze(app)
+        })
+        .collect();
+    let reports = run_jobs(analyses, jobs);
+
     let mut failed = false;
-    for w in &workloads {
-        let report = analyze(&w.app);
+    for (w, report) in workloads.iter().zip(reports) {
         if report.has_errors() {
             failed = true;
         }

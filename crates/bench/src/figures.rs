@@ -9,8 +9,9 @@
 use greenweb::metrics::RunMetrics;
 use greenweb::qos::Scenario;
 use greenweb_acmp::{CoreType, CpuConfig};
-use greenweb_engine::{SimReport, Trace};
-use greenweb_workloads::harness::{expectations, run, Policy};
+use greenweb_engine::{App, BrowserError, SimReport, Trace};
+use greenweb_fleet::Jobs;
+use greenweb_workloads::harness::{expectations, run_many, Policy};
 use greenweb_workloads::Workload;
 
 /// Which trace set a suite runs.
@@ -96,9 +97,15 @@ impl AppRuns {
     }
 }
 
-fn run_policy(workload: &Workload, trace: &Trace, policy: &Policy) -> PolicyRun {
-    let report = run(&workload.app, trace, policy)
-        .unwrap_or_else(|e| panic!("{} under {policy}: {e}", workload.name));
+/// Judges one executed cell under both scenarios (panics on a failed
+/// run, matching the suite's all-or-nothing contract).
+fn judge(
+    workload: &Workload,
+    trace: &Trace,
+    policy: &Policy,
+    report: Result<SimReport, BrowserError>,
+) -> PolicyRun {
+    let report = report.unwrap_or_else(|e| panic!("{} under {policy}: {e}", workload.name));
     let exp_i = expectations(&workload.app, trace, Scenario::Imperceptible);
     let exp_u = expectations(&workload.app, trace, Scenario::Usable);
     PolicyRun {
@@ -108,24 +115,54 @@ fn run_policy(workload: &Workload, trace: &Trace, policy: &Policy) -> PolicyRun 
     }
 }
 
-/// Runs one workload under the four compared policies.
-pub fn run_app(workload: &Workload, kind: SuiteKind) -> AppRuns {
-    let trace = kind.trace(workload);
-    AppRuns {
-        name: workload.name,
-        perf: run_policy(workload, trace, &Policy::Perf),
-        interactive: run_policy(workload, trace, &Policy::Interactive),
-        greenweb_i: run_policy(workload, trace, &Policy::GreenWeb(Scenario::Imperceptible)),
-        greenweb_u: run_policy(workload, trace, &Policy::GreenWeb(Scenario::Usable)),
-    }
+/// Runs `workloads` under the four compared policies on `jobs` workers:
+/// the whole `workloads × policies` matrix is lowered into one batch, so
+/// every cell is a free-running job. Judging happens on the calling
+/// thread in cell order — the returned rows are byte-identical whatever
+/// the worker count.
+pub fn run_apps(workloads: &[Workload], kind: SuiteKind, jobs: Jobs) -> Vec<AppRuns> {
+    let policies = Policy::paper_set();
+    let cells: Vec<(&App, &Trace, &Policy)> = workloads
+        .iter()
+        .flat_map(|w| {
+            let trace = kind.trace(w);
+            policies.iter().map(move |p| (&w.app, trace, p))
+        })
+        .collect();
+    let mut reports = run_many(&cells, jobs).into_iter();
+    workloads
+        .iter()
+        .map(|w| {
+            let trace = kind.trace(w);
+            let mut next =
+                |p: &Policy| judge(w, trace, p, reports.next().expect("one report per cell"));
+            AppRuns {
+                name: w.name,
+                perf: next(&policies[0]),
+                interactive: next(&policies[1]),
+                greenweb_i: next(&policies[2]),
+                greenweb_u: next(&policies[3]),
+            }
+        })
+        .collect()
 }
 
-/// Runs the whole Table 3 suite.
+/// Runs one workload under the four compared policies.
+pub fn run_app(workload: &Workload, kind: SuiteKind) -> AppRuns {
+    run_apps(std::slice::from_ref(workload), kind, Jobs::from_env())
+        .pop()
+        .expect("one workload in, one row out")
+}
+
+/// Runs the whole Table 3 suite (worker count from `GREENWEB_JOBS`, else
+/// hardware parallelism; the result does not depend on it).
 pub fn run_suite(kind: SuiteKind) -> Vec<AppRuns> {
-    greenweb_workloads::all()
-        .iter()
-        .map(|w| run_app(w, kind))
-        .collect()
+    run_suite_with(kind, Jobs::from_env())
+}
+
+/// Runs the whole Table 3 suite on an explicit worker count.
+pub fn run_suite_with(kind: SuiteKind, jobs: Jobs) -> Vec<AppRuns> {
+    run_apps(&greenweb_workloads::all(), kind, jobs)
 }
 
 /// Geometric-free arithmetic mean helper.

@@ -27,5 +27,6 @@ pub mod render;
 pub mod tables;
 
 pub use figures::{
-    fig11, fig12, run_suite, AppRuns, PolicyRun, ResidencyRow, SuiteKind, SwitchRow,
+    fig11, fig12, run_app, run_apps, run_suite, run_suite_with, AppRuns, PolicyRun, ResidencyRow,
+    SuiteKind, SwitchRow,
 };

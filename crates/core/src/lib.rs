@@ -53,6 +53,7 @@ pub mod metrics;
 pub mod model;
 pub mod qos;
 pub mod runtime;
+pub mod spec;
 pub mod uai;
 
 pub use autogreen::{
@@ -62,9 +63,11 @@ pub use degrade::{DegradationLevel, DegradationLog, Transition, Watchdog};
 pub use ebs::EbsScheduler;
 pub use lang::{Annotation, AnnotationTable, LangError};
 pub use metrics::{
-    mean_violation, violation_for_input, violation_rate_in_window, ChaosMetrics, RunMetrics,
+    mean_violation, violation_for_input, violation_rate_in_window,
+    violation_rate_in_window_or_zero, ChaosMetrics, RunMetrics,
 };
 pub use model::{ConfigPredictor, FrameModel};
 pub use qos::{QosSpec, QosTarget, QosType, Scenario};
 pub use runtime::GreenWebScheduler;
+pub use spec::CoreSchedulerSpec;
 pub use uai::EnergyBudgetUai;

@@ -76,6 +76,18 @@ pub fn mean_violation(violations: &[f64]) -> f64 {
 }
 
 /// Aggregated metrics of one run.
+///
+/// # Empty-window semantics
+///
+/// These metrics aggregate over the *whole* run. The windowed companion
+/// [`violation_rate_in_window`] deliberately returns `Option<f64>`:
+/// `None` means the window held no frames — "no evidence" — which is a
+/// different claim from `Some(0.0)`, "frames ran and none violated".
+/// Callers that genuinely want to treat an empty window as a clean
+/// window (e.g. chaos before/after ratios, where no frames during the
+/// storm means nothing regressed) should say so explicitly through
+/// [`violation_rate_in_window_or_zero`] rather than scattering
+/// `unwrap_or(0.0)` at call sites.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Total energy in millijoules.
@@ -148,6 +160,34 @@ impl RunMetrics {
     pub fn extra_violation_over(&self, baseline: &RunMetrics) -> f64 {
         (self.violation_pct - baseline.violation_pct).max(0.0)
     }
+
+    /// Renders the deterministic JSON form: stable field order, floats
+    /// via Rust's shortest-round-trip `Display` so equal metrics render
+    /// byte-identically. The parity suite diffs this string between
+    /// serial and parallel batch runs.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"energy_mj\":{},\"violation_pct\":{},\"judged_inputs\":{},\
+             \"unjudged_expected\":{},\"frames\":{},\
+             \"latency\":{{\"count\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{}}},\
+             \"big_residency\":{},\"switches_per_frame\":{},\
+             \"dvfs_switches\":{},\"migrations\":{}}}",
+            self.energy_mj,
+            self.violation_pct,
+            self.judged_inputs,
+            self.unjudged_expected,
+            self.frames,
+            self.latency.count,
+            self.latency.p50_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+            self.latency.max_ms,
+            self.big_residency,
+            self.switches_per_frame,
+            self.switches.0,
+            self.switches.1,
+        )
+    }
 }
 
 /// Fraction of frames completing in `[from, to)` whose latency exceeds
@@ -178,6 +218,23 @@ pub fn violation_rate_in_window(
     } else {
         Some(violated as f64 / total as f64)
     }
+}
+
+/// [`violation_rate_in_window`] with the empty-window case collapsed to
+/// `0.0` — the single sanctioned place that conflation happens.
+///
+/// Use this when a frameless window should read as "nothing violated"
+/// rather than "no evidence": chaos before/after ratios compare a storm
+/// window against a recovery window, and a storm so severe that no frame
+/// completed must score as at-least-as-bad via the *other* window, not
+/// divide by zero here.
+pub fn violation_rate_in_window_or_zero(
+    report: &SimReport,
+    target_ms: f64,
+    from: SimTime,
+    to: SimTime,
+) -> f64 {
+    violation_rate_in_window(report, target_ms, from, to).unwrap_or(0.0)
 }
 
 /// Robustness metrics of one chaos run: what was injected, how far the

@@ -310,6 +310,10 @@ impl Scheduler for GreenWebScheduler {
         format!("greenweb-{}", self.scenario)
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn on_attach(&mut self, stylesheet: &Stylesheet, _doc: &Document) {
         // Lossy extraction: a malformed annotation degrades to its
         // event's category default instead of silently discarding every

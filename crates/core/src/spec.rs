@@ -1,0 +1,125 @@
+//! Factory-based construction of the crate's schedulers.
+//!
+//! [`CoreSchedulerSpec`] is a plain-data description of a GreenWeb-side
+//! policy — which scheduler to build and with what parameters — that
+//! implements [`SchedulerFactory`]. A built [`GreenWebScheduler`] is
+//! *not* `Send` (it holds an `Rc`-backed trace handle after attach), so
+//! batch runners ship this spec across threads and build the scheduler
+//! on the worker inside `RunSpec::execute`.
+
+use crate::qos::Scenario;
+use crate::runtime::GreenWebScheduler;
+use crate::uai::EnergyBudgetUai;
+use crate::EbsScheduler;
+use greenweb_acmp::{Platform, PowerModel};
+use greenweb_engine::{Scheduler, SchedulerFactory};
+
+/// A serializable recipe for one of this crate's schedulers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreSchedulerSpec {
+    /// The GreenWeb runtime for a scenario; `feedback: false` is the
+    /// no-feedback ablation variant.
+    GreenWeb {
+        /// The QoS scenario to optimize for.
+        scenario: Scenario,
+        /// Whether the feedback loop adjusts mispredictions.
+        feedback: bool,
+    },
+    /// GreenWeb on explicit statically-profiled hardware (the
+    /// granularity / ACMP ablations build custom platforms).
+    GreenWebOn {
+        /// The QoS scenario to optimize for.
+        scenario: Scenario,
+        /// The platform the runtime's predictor models.
+        platform: Platform,
+        /// The power model priced against `platform`.
+        power: PowerModel,
+    },
+    /// GreenWeb behind the Sec. 8 user-agent-intervention energy budget
+    /// (millijoules).
+    GreenWebUai {
+        /// The QoS scenario to optimize for.
+        scenario: Scenario,
+        /// The energy budget in millijoules before the UAI trips.
+        budget_mj: f64,
+    },
+    /// The annotation-free event-based-scheduling baseline (Sec. 9).
+    Ebs,
+}
+
+impl SchedulerFactory for CoreSchedulerSpec {
+    fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            CoreSchedulerSpec::GreenWeb { scenario, feedback } => {
+                let mut scheduler = GreenWebScheduler::new(*scenario);
+                scheduler.feedback_enabled = *feedback;
+                Box::new(scheduler)
+            }
+            CoreSchedulerSpec::GreenWebOn {
+                scenario,
+                platform,
+                power,
+            } => Box::new(GreenWebScheduler::with_hardware(
+                *scenario,
+                platform.clone(),
+                power.clone(),
+            )),
+            CoreSchedulerSpec::GreenWebUai {
+                scenario,
+                budget_mj,
+            } => Box::new(EnergyBudgetUai::new(
+                GreenWebScheduler::new(*scenario),
+                *budget_mj,
+            )),
+            CoreSchedulerSpec::Ebs => Box::new(EbsScheduler::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_build_the_named_schedulers() {
+        let spec = CoreSchedulerSpec::GreenWeb {
+            scenario: Scenario::Usable,
+            feedback: true,
+        };
+        assert_eq!(spec.build().name(), "greenweb-usable");
+        let uai = CoreSchedulerSpec::GreenWebUai {
+            scenario: Scenario::Imperceptible,
+            budget_mj: 500.0,
+        };
+        assert_eq!(uai.build().name(), "uai(greenweb-imperceptible)");
+        assert_eq!(CoreSchedulerSpec::Ebs.build().name(), "ebs");
+    }
+
+    #[test]
+    fn repeated_builds_start_from_identical_state() {
+        let spec = CoreSchedulerSpec::GreenWeb {
+            scenario: Scenario::Imperceptible,
+            feedback: false,
+        };
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.name(), b.name());
+        let downcast = a
+            .as_any()
+            .and_then(|any| any.downcast_ref::<GreenWebScheduler>());
+        assert!(
+            !downcast.expect("greenweb downcasts").feedback_enabled,
+            "no-feedback variant must build with feedback off"
+        );
+    }
+
+    #[test]
+    fn greenweb_scheduler_exposes_itself_via_as_any() {
+        let scheduler = GreenWebScheduler::new(Scenario::Usable);
+        let erased: Box<dyn Scheduler> = Box::new(scheduler);
+        assert!(erased
+            .as_any()
+            .and_then(|any| any.downcast_ref::<GreenWebScheduler>())
+            .is_some());
+    }
+}

@@ -47,6 +47,7 @@ pub mod fault;
 pub mod frame;
 pub mod host;
 pub mod report;
+pub mod runspec;
 pub mod scheduler;
 
 pub use app::{App, AppBuilder};
@@ -59,4 +60,5 @@ pub use fault::{
 };
 pub use frame::{FrameRecord, FrameTracker, Msg};
 pub use report::{InputRecord, SimReport};
+pub use runspec::{RunOutcome, RunSpec, SchedulerFactory, SchedulerProbe, TraceMode};
 pub use scheduler::{GovernorScheduler, Scheduler, SchedulerCtx};

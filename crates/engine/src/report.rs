@@ -83,18 +83,23 @@ impl SimReport {
     }
 
     /// Fraction of the window resident on the big cluster.
+    ///
+    /// Sums integer nanoseconds before the one conversion to `f64`:
+    /// float addition is not associative, and `residency` is a `HashMap`
+    /// whose iteration order varies between instances, so summing
+    /// converted floats would make equal reports disagree by ULPs.
     pub fn big_residency_fraction(&self) -> f64 {
-        let total: f64 = self.residency.values().map(|d| d.as_secs_f64()).sum();
-        if total == 0.0 {
+        let total: u64 = self.residency.values().map(|d| d.as_nanos()).sum();
+        if total == 0 {
             return 0.0;
         }
-        let big: f64 = self
+        let big: u64 = self
             .residency
             .iter()
             .filter(|(c, _)| c.core == greenweb_acmp::CoreType::Big)
-            .map(|(_, d)| d.as_secs_f64())
+            .map(|(_, d)| d.as_nanos())
             .sum();
-        big / total
+        big as f64 / total as f64
     }
 }
 

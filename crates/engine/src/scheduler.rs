@@ -91,6 +91,14 @@ pub trait Scheduler {
     ) -> Option<CpuConfig> {
         None
     }
+
+    /// Downcasting hook: policies that carry harness-relevant state
+    /// (e.g. a degradation log) return `Some(self)` so a
+    /// [`crate::runspec::SchedulerProbe`] can recover the concrete type
+    /// from behind the `dyn Scheduler` a run spec builds.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 impl Scheduler for Box<dyn Scheduler> {
@@ -150,6 +158,10 @@ impl Scheduler for Box<dyn Scheduler> {
         ctx: &SchedulerCtx<'_>,
     ) -> Option<CpuConfig> {
         (**self).on_timer(now, utilization, ctx)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
     }
 }
 

@@ -51,10 +51,12 @@
 
 pub mod event;
 pub mod export;
+pub mod merge;
 pub mod metrics;
 pub mod recorder;
 
 pub use event::{EventKind, SpanKind, TraceRecord};
 pub use export::{chrome_trace_json, flame_summary};
+pub use merge::merge_buffers;
 pub use metrics::{Histogram, LatencySummary, MetricsRegistry};
 pub use recorder::{record_into, TraceBuffer, TraceHandle, TraceRecorder};

@@ -7,13 +7,25 @@
 //! construction), so any difference between them is attributable to the
 //! injected faults alone, and a fixed seed makes the whole comparison
 //! reproducible byte for byte.
+//!
+//! Like the rest of the harness, everything lowers to
+//! [`greenweb_engine::RunSpec`]s: a chaos comparison is one fault-free
+//! job plus one job per fault plan, and [`chaos_batch_with`] shares the
+//! single baseline run across every plan in the batch. The scheduler's
+//! [`DegradationLog`] — state that lives inside a non-`Send` scheduler
+//! and can never leave its worker thread directly — is extracted on the
+//! worker through a [`SchedulerProbe`] and shipped back as plain data.
 
-use greenweb::metrics::{violation_rate_in_window, ChaosMetrics};
+use greenweb::metrics::{violation_rate_in_window_or_zero, ChaosMetrics};
 use greenweb::qos::Scenario;
 use greenweb::{DegradationLog, GreenWebScheduler};
 use greenweb_acmp::SimTime;
-use greenweb_engine::{App, Browser, BrowserError, FaultPlan, SimReport, Trace};
-use greenweb_trace::{TraceBuffer, TraceHandle};
+use greenweb_engine::{
+    App, BrowserError, FaultPlan, RunSpec, Scheduler, SchedulerProbe, SimReport, Trace,
+};
+use greenweb_fleet::{run_specs, Jobs};
+use greenweb_trace::TraceBuffer;
+use std::sync::Arc;
 
 /// A faulted run paired with its fault-free twin.
 #[derive(Debug, Clone)]
@@ -43,8 +55,8 @@ impl ChaosRun {
         // producing no frames at all is certainly not producing violating
         // ones. (Callers needing to distinguish "no evidence" use
         // `violation_rate_in_window` directly.)
-        let faulted = violation_rate_in_window(&self.faulted, target_ms, from, to).unwrap_or(0.0);
-        let baseline = violation_rate_in_window(&self.baseline, target_ms, from, to).unwrap_or(0.0);
+        let faulted = violation_rate_in_window_or_zero(&self.faulted, target_ms, from, to);
+        let baseline = violation_rate_in_window_or_zero(&self.baseline, target_ms, from, to);
         if baseline > 0.0 {
             faulted / baseline
         } else if faulted == 0.0 {
@@ -61,6 +73,52 @@ impl ChaosRun {
     }
 }
 
+/// The scheduler builder a chaos comparison shares between its runs;
+/// `Send + Sync` because the build happens on a worker thread.
+type Build = dyn Fn() -> GreenWebScheduler + Send + Sync;
+
+/// A probe that pulls the [`DegradationLog`] out of the scheduler on the
+/// worker, before the (non-`Send`) scheduler is dropped there.
+fn degradation_probe() -> SchedulerProbe {
+    Box::new(|scheduler: &dyn Scheduler| {
+        scheduler
+            .as_any()
+            .and_then(|any| any.downcast_ref::<GreenWebScheduler>())
+            .map(|greenweb| {
+                Box::new(greenweb.degradation_log().clone()) as Box<dyn std::any::Any + Send>
+            })
+    })
+}
+
+/// Lowers one chaos leg (fault-free when `plan` is `None`) to a spec
+/// carrying the degradation-log probe.
+fn chaos_spec(app: &App, trace: &Trace, plan: Option<FaultPlan>, build: &Arc<Build>) -> RunSpec {
+    let factory = Arc::clone(build);
+    let mut spec = RunSpec::new(
+        app.clone(),
+        trace.clone(),
+        Box::new(move || Box::new(factory()) as Box<dyn Scheduler>),
+    )
+    .with_probe(degradation_probe());
+    if let Some(plan) = plan {
+        spec = spec.with_faults(plan);
+    }
+    spec
+}
+
+/// Unpacks one executed chaos leg into its report and degradation log.
+fn unpack(
+    outcome: Result<greenweb_engine::RunOutcome, BrowserError>,
+) -> Result<(SimReport, DegradationLog, Option<TraceBuffer>), BrowserError> {
+    let outcome = outcome?;
+    let log = outcome
+        .artifact
+        .and_then(|artifact| artifact.downcast::<DegradationLog>().ok())
+        .map(|boxed| *boxed)
+        .expect("chaos schedulers are GreenWebSchedulers with a degradation log");
+    Ok((outcome.report, log, outcome.trace))
+}
+
 /// Runs `trace` on `app` twice — fault-free, then under `plan` — with a
 /// stock [`GreenWebScheduler`] for `scenario`.
 ///
@@ -73,7 +131,7 @@ pub fn chaos_run(
     scenario: Scenario,
     plan: FaultPlan,
 ) -> Result<ChaosRun, BrowserError> {
-    chaos_run_with(app, trace, plan, || GreenWebScheduler::new(scenario))
+    chaos_run_with(app, trace, plan, move || GreenWebScheduler::new(scenario))
 }
 
 /// Like [`chaos_run`], but the caller constructs the scheduler (e.g. to
@@ -87,25 +145,75 @@ pub fn chaos_run_with(
     app: &App,
     trace: &Trace,
     plan: FaultPlan,
-    build: impl Fn() -> GreenWebScheduler,
+    build: impl Fn() -> GreenWebScheduler + Send + Sync + 'static,
 ) -> Result<ChaosRun, BrowserError> {
-    let mut clean = Browser::new(app, build())?;
-    let baseline = clean.run(trace)?;
-    let baseline_log = clean.scheduler().degradation_log().clone();
+    let mut runs = chaos_batch_with(app, trace, &[plan], build, Jobs::serial())?;
+    Ok(runs.pop().expect("one plan in, one chaos run out"))
+}
 
-    let mut stormy = Browser::with_faults(app, build(), plan)?;
-    let faulted = stormy.run(trace)?;
-    let faulted_log = stormy.scheduler().degradation_log().clone();
+/// Runs one fault-free baseline plus one faulted run per plan in
+/// `plans`, with a stock [`GreenWebScheduler`] for `scenario`, on `jobs`
+/// workers. The single baseline is shared by every returned [`ChaosRun`]
+/// (the fault-free run is deterministic, so re-running it per plan would
+/// reproduce it bit for bit anyway).
+///
+/// # Errors
+///
+/// Returns [`BrowserError`] if any run fails to load or execute.
+pub fn chaos_batch(
+    app: &App,
+    trace: &Trace,
+    scenario: Scenario,
+    plans: &[FaultPlan],
+    jobs: Jobs,
+) -> Result<Vec<ChaosRun>, BrowserError> {
+    chaos_batch_with(
+        app,
+        trace,
+        plans,
+        move || GreenWebScheduler::new(scenario),
+        jobs,
+    )
+}
 
-    let metrics = ChaosMetrics::compute(&faulted, &faulted_log);
-    Ok(ChaosRun {
-        plan,
-        baseline,
-        faulted,
-        baseline_log,
-        faulted_log,
-        metrics,
-    })
+/// [`chaos_batch`] with caller-constructed schedulers: `1 + plans.len()`
+/// jobs in one batch — the shared baseline at index 0, one faulted run
+/// per plan after it — paired up in plan order.
+///
+/// # Errors
+///
+/// Returns [`BrowserError`] if any run fails to load or execute.
+pub fn chaos_batch_with(
+    app: &App,
+    trace: &Trace,
+    plans: &[FaultPlan],
+    build: impl Fn() -> GreenWebScheduler + Send + Sync + 'static,
+    jobs: Jobs,
+) -> Result<Vec<ChaosRun>, BrowserError> {
+    let build: Arc<Build> = Arc::new(build);
+    let mut specs = Vec::with_capacity(1 + plans.len());
+    specs.push(chaos_spec(app, trace, None, &build));
+    for plan in plans {
+        specs.push(chaos_spec(app, trace, Some(*plan), &build));
+    }
+    let mut outcomes = run_specs(specs, jobs).into_iter();
+    let (baseline, baseline_log, _) = unpack(outcomes.next().expect("baseline job ran"))?;
+    plans
+        .iter()
+        .zip(outcomes)
+        .map(|(plan, outcome)| {
+            let (faulted, faulted_log, _) = unpack(outcome)?;
+            let metrics = ChaosMetrics::compute(&faulted, &faulted_log);
+            Ok(ChaosRun {
+                plan: *plan,
+                baseline: baseline.clone(),
+                faulted,
+                baseline_log: baseline_log.clone(),
+                faulted_log,
+                metrics,
+            })
+        })
+        .collect()
 }
 
 /// Like [`chaos_run_with`], but with a trace recorder attached to the
@@ -120,18 +228,16 @@ pub fn chaos_run_traced(
     app: &App,
     trace: &Trace,
     plan: FaultPlan,
-    build: impl Fn() -> GreenWebScheduler,
+    build: impl Fn() -> GreenWebScheduler + Send + Sync + 'static,
 ) -> Result<(ChaosRun, TraceBuffer), BrowserError> {
-    let mut clean = Browser::new(app, build())?;
-    let baseline = clean.run(trace)?;
-    let baseline_log = clean.scheduler().degradation_log().clone();
-
-    let mut stormy = Browser::with_faults(app, build(), plan)?;
-    let recorder = TraceHandle::new();
-    stormy.set_trace(recorder.clone());
-    let faulted = stormy.run(trace)?;
-    let faulted_log = stormy.scheduler().degradation_log().clone();
-
+    let build: Arc<Build> = Arc::new(build);
+    let specs = vec![
+        chaos_spec(app, trace, None, &build),
+        chaos_spec(app, trace, Some(plan), &build).with_recording(),
+    ];
+    let mut outcomes = run_specs(specs, Jobs::serial()).into_iter();
+    let (baseline, baseline_log, _) = unpack(outcomes.next().expect("baseline job ran"))?;
+    let (faulted, faulted_log, buffer) = unpack(outcomes.next().expect("faulted job ran"))?;
     let metrics = ChaosMetrics::compute(&faulted, &faulted_log);
     Ok((
         ChaosRun {
@@ -142,7 +248,7 @@ pub fn chaos_run_traced(
             faulted_log,
             metrics,
         },
-        recorder.snapshot(),
+        buffer.expect("recording was requested"),
     ))
 }
 
@@ -188,5 +294,24 @@ mod tests {
         for (fa, fb) in run.baseline.frames.iter().zip(&run.faulted.frames) {
             assert_eq!(fa.latency, fb.latency);
         }
+    }
+
+    #[test]
+    fn batch_shares_one_baseline_across_plans() {
+        let w = by_name("Todo").unwrap();
+        let plans = [FaultPlan::storm(17), FaultPlan::storm(18)];
+        let runs = chaos_batch(&w.app, &w.micro, Scenario::Usable, &plans, Jobs::new(4)).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            runs[0].baseline.total_mj(),
+            runs[1].baseline.total_mj(),
+            "both runs see the same shared baseline"
+        );
+        assert_eq!(runs[0].faulted.chaos.as_ref().unwrap().seed, 17);
+        assert_eq!(runs[1].faulted.chaos.as_ref().unwrap().seed, 18);
+        // And the batch matches one-at-a-time execution exactly.
+        let solo = chaos_run(&w.app, &w.micro, Scenario::Usable, plans[1]).unwrap();
+        assert_eq!(solo.faulted.total_mj(), runs[1].faulted.total_mj());
+        assert_eq!(solo.faulted.switches, runs[1].faulted.switches);
     }
 }

@@ -1,19 +1,31 @@
 //! Running workloads under policies and computing the paper's metrics.
+//!
+//! Every entry point here lowers to the same primitive: a [`Policy`] is
+//! a [`SchedulerFactory`] (a `Send` recipe, not a live scheduler), so
+//! `(app, trace, policy)` lowers to a self-contained
+//! [`greenweb_engine::RunSpec`] via [`lower`], and the serial helpers
+//! ([`run`], [`run_traced`], [`evaluate`]) are thin wrappers over the
+//! batch API ([`run_many`], [`evaluate_batch`]) at
+//! [`greenweb_fleet::Jobs::serial`]. A parallel batch is byte-identical
+//! to the serial one because each job is deterministic and results are
+//! slotted back by index.
 
 use crate::Workload;
 use greenweb::lang::AnnotationTable;
 use greenweb::metrics::{InputExpectation, RunMetrics};
 use greenweb::qos::Scenario;
-use greenweb::{EbsScheduler, EnergyBudgetUai, GreenWebScheduler};
+use greenweb::CoreSchedulerSpec;
 use greenweb_acmp::{
     InteractiveGovernor, OndemandGovernor, PerfGovernor, Platform, PowersaveGovernor,
 };
 use greenweb_css::parse_stylesheet;
 use greenweb_dom::parse_html;
 use greenweb_engine::{
-    App, Browser, BrowserError, GovernorScheduler, InputId, Scheduler, SimReport, TargetSpec, Trace,
+    App, BrowserError, GovernorScheduler, InputId, RunSpec, Scheduler, SchedulerFactory, SimReport,
+    TargetSpec, Trace,
 };
-use greenweb_trace::{TraceBuffer, TraceHandle};
+use greenweb_fleet::{run_specs, Jobs};
+use greenweb_trace::TraceBuffer;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -50,7 +62,14 @@ impl Policy {
             Policy::GreenWeb(Scenario::Usable),
         ]
     }
+}
 
+/// A [`Policy`] is a construction recipe, not a live scheduler: it is
+/// plain `Send + Sync` data, and the scheduler it names is built on
+/// whichever worker thread executes the lowered [`RunSpec`]. GreenWeb
+/// variants delegate to [`CoreSchedulerSpec`]; the cpufreq baselines
+/// build their governors directly.
+impl SchedulerFactory for Policy {
     fn build(&self) -> Box<dyn Scheduler> {
         match self {
             Policy::Perf => Box::new(GovernorScheduler::new(PerfGovernor)),
@@ -59,19 +78,31 @@ impl Policy {
             )),
             Policy::Ondemand => Box::new(GovernorScheduler::new(OndemandGovernor::default())),
             Policy::Powersave => Box::new(GovernorScheduler::new(PowersaveGovernor)),
-            Policy::Ebs => Box::new(EbsScheduler::new()),
-            Policy::GreenWeb(scenario) => Box::new(GreenWebScheduler::new(*scenario)),
-            Policy::GreenWebNoFeedback(scenario) => {
-                let mut scheduler = GreenWebScheduler::new(*scenario);
-                scheduler.feedback_enabled = false;
-                Box::new(scheduler)
+            Policy::Ebs => CoreSchedulerSpec::Ebs.build(),
+            Policy::GreenWeb(scenario) => CoreSchedulerSpec::GreenWeb {
+                scenario: *scenario,
+                feedback: true,
             }
-            Policy::GreenWebUai(scenario, budget_mj) => Box::new(EnergyBudgetUai::new(
-                GreenWebScheduler::new(*scenario),
-                *budget_mj,
-            )),
+            .build(),
+            Policy::GreenWebNoFeedback(scenario) => CoreSchedulerSpec::GreenWeb {
+                scenario: *scenario,
+                feedback: false,
+            }
+            .build(),
+            Policy::GreenWebUai(scenario, budget_mj) => CoreSchedulerSpec::GreenWebUai {
+                scenario: *scenario,
+                budget_mj: *budget_mj,
+            }
+            .build(),
         }
     }
+}
+
+/// Lowers one `(app, trace, policy)` cell to a self-contained, `Send`
+/// [`RunSpec`] — the unit of work every runner in this module feeds to
+/// the executor.
+pub fn lower(app: &App, trace: &Trace, policy: &Policy) -> RunSpec {
+    RunSpec::new(app.clone(), trace.clone(), Box::new(policy.clone()))
 }
 
 impl fmt::Display for Policy {
@@ -97,8 +128,25 @@ impl fmt::Display for Policy {
 /// Returns [`BrowserError`] if the app fails to load or a callback
 /// errors.
 pub fn run(app: &App, trace: &Trace, policy: &Policy) -> Result<SimReport, BrowserError> {
-    let mut browser = Browser::new(app, policy.build())?;
-    browser.run(trace)
+    lower(app, trace, policy).execute().map(|o| o.report)
+}
+
+/// Runs a batch of `(app, trace, policy)` cells on `jobs` workers and
+/// returns the reports **in cell order**. Each cell lowers to a
+/// [`RunSpec`] and is independent of every other, so the results are
+/// byte-identical to running the cells one by one with [`run`].
+pub fn run_many(
+    cells: &[(&App, &Trace, &Policy)],
+    jobs: Jobs,
+) -> Vec<Result<SimReport, BrowserError>> {
+    let specs = cells
+        .iter()
+        .map(|(app, trace, policy)| lower(app, trace, policy))
+        .collect();
+    run_specs(specs, jobs)
+        .into_iter()
+        .map(|outcome| outcome.map(|o| o.report))
+        .collect()
 }
 
 /// Why the GreenLint pre-run gate refused to run an app.
@@ -164,11 +212,9 @@ pub fn run_traced(
     trace: &Trace,
     policy: &Policy,
 ) -> Result<(SimReport, TraceBuffer), BrowserError> {
-    let mut browser = Browser::new(app, policy.build())?;
-    let recorder = TraceHandle::new();
-    browser.set_trace(recorder.clone());
-    let report = browser.run(trace)?;
-    Ok((report, recorder.snapshot()))
+    let outcome = lower(app, trace, policy).with_recording().execute()?;
+    let buffer = outcome.trace.expect("recording was requested");
+    Ok((outcome.report, buffer))
 }
 
 /// Pre-computes, per input of `trace`, the QoS expectation the
@@ -240,14 +286,41 @@ pub fn evaluate(
     policy: &Policy,
     scenario: Scenario,
 ) -> Result<Measurement, BrowserError> {
-    let report = run(&workload.app, trace, policy)?;
-    let expected = expectations(&workload.app, trace, scenario);
-    Ok(Measurement {
-        workload: workload.name,
-        policy: policy.clone(),
-        scenario,
-        metrics: RunMetrics::compute(&report, &expected),
-    })
+    let mut batch = evaluate_batch(&[(workload, trace, policy, scenario)], Jobs::serial())?;
+    Ok(batch.pop().expect("one cell in, one measurement out"))
+}
+
+/// Evaluates a batch of `(workload, trace, policy, scenario)` cells on
+/// `jobs` workers, returning the measurements **in cell order**. The
+/// simulations run on the executor; judging (annotation lookup and
+/// metric aggregation) happens on the calling thread, so the
+/// measurements are byte-identical to evaluating each cell with
+/// [`evaluate`].
+///
+/// # Errors
+///
+/// Returns the first [`BrowserError`] in cell order, if any cell fails.
+pub fn evaluate_batch(
+    cells: &[(&Workload, &Trace, &Policy, Scenario)],
+    jobs: Jobs,
+) -> Result<Vec<Measurement>, BrowserError> {
+    let runs: Vec<(&App, &Trace, &Policy)> = cells
+        .iter()
+        .map(|(workload, trace, policy, _)| (&workload.app, *trace, *policy))
+        .collect();
+    run_many(&runs, jobs)
+        .into_iter()
+        .zip(cells)
+        .map(|(report, (workload, trace, policy, scenario))| {
+            let expected = expectations(&workload.app, trace, *scenario);
+            Ok(Measurement {
+                workload: workload.name,
+                policy: (*policy).clone(),
+                scenario: *scenario,
+                metrics: RunMetrics::compute(&report?, &expected),
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

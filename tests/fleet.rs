@@ -1,0 +1,148 @@
+//! Determinism-parity suite for the fleet executor.
+//!
+//! Every test runs the same batch twice — on the legacy serial path
+//! (`Jobs::serial()`) and on four workers (`Jobs::new(4)`) — and
+//! requires the results to be **byte-identical**: rendered
+//! `RunMetrics` JSON across all 12 workloads, merged Chrome
+//! trace-event exports, chaos runs across 3 storm seeds, and GreenLint
+//! reports against the committed goldens.
+
+use greenweb::qos::Scenario;
+use greenweb_engine::{FaultPlan, RunSpec};
+use greenweb_fleet::{run_jobs, run_specs, Jobs};
+use greenweb_trace::{chrome_trace_json, merge_buffers, TraceBuffer};
+use greenweb_workloads::chaos::{chaos_batch, chaos_run};
+use greenweb_workloads::harness::{evaluate_batch, lower, Policy};
+use greenweb_workloads::{all, by_name};
+use std::path::Path;
+
+const PARALLEL: usize = 4;
+
+/// `RunSpec` must be `Send`: the executor moves it into worker threads,
+/// and the `Rc`-laden browser state may only ever exist on-worker.
+#[test]
+fn run_spec_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<RunSpec>();
+}
+
+/// Rendered `RunMetrics` JSON for the full 12-workload x paper-policy
+/// matrix on the microbenchmark traces.
+fn micro_matrix_json(jobs: Jobs) -> Vec<String> {
+    let workloads = all();
+    let policies = Policy::paper_set();
+    let mut cells = Vec::new();
+    for w in &workloads {
+        for p in &policies {
+            cells.push((w, &w.micro, p, Scenario::Usable));
+        }
+    }
+    evaluate_batch(&cells, jobs)
+        .expect("every cell simulates")
+        .iter()
+        .map(|m| format!("{}: {}", m.workload, m.metrics.render_json()))
+        .collect()
+}
+
+#[test]
+fn run_metrics_json_is_byte_identical_across_worker_counts() {
+    let serial = micro_matrix_json(Jobs::serial());
+    let parallel = micro_matrix_json(Jobs::new(PARALLEL));
+    assert_eq!(serial.len(), 48, "12 workloads x 4 policies");
+    assert_eq!(serial, parallel);
+}
+
+/// Merged Chrome trace-event export of three recorded runs.
+fn merged_trace_export(jobs: Jobs) -> String {
+    let specs: Vec<RunSpec> = all()
+        .iter()
+        .take(3)
+        .map(|w| lower(&w.app, &w.micro, &Policy::GreenWeb(Scenario::Usable)).with_recording())
+        .collect();
+    let buffers: Vec<TraceBuffer> = run_specs(specs, jobs)
+        .into_iter()
+        .map(|outcome| {
+            outcome
+                .expect("recorded run succeeds")
+                .trace
+                .expect("spec asked for a recording")
+        })
+        .collect();
+    chrome_trace_json(&merge_buffers(&buffers), "fleet-parity")
+}
+
+#[test]
+fn merged_trace_export_is_byte_identical_across_worker_counts() {
+    let serial = merged_trace_export(Jobs::serial());
+    let parallel = merged_trace_export(Jobs::new(PARALLEL));
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn chaos_batch_matches_serial_runs_across_seeds() {
+    let w = by_name("Todo").expect("bundled workload");
+    let scenario = Scenario::Usable;
+    let plans: Vec<FaultPlan> = [17, 42, 99].map(FaultPlan::storm).to_vec();
+    let batch = chaos_batch(&w.app, &w.micro, scenario, &plans, Jobs::new(PARALLEL))
+        .expect("chaos batch runs");
+    assert_eq!(batch.len(), plans.len());
+    for (plan, run) in plans.iter().zip(&batch) {
+        let solo = chaos_run(&w.app, &w.micro, scenario, *plan).expect("serial chaos run");
+        assert_eq!(run.plan, solo.plan);
+        assert_eq!(run.baseline.total_mj(), solo.baseline.total_mj());
+        assert_eq!(run.faulted.total_mj(), solo.faulted.total_mj());
+        assert_eq!(run.faulted.chaos, solo.faulted.chaos);
+        assert_eq!(run.baseline_log, solo.baseline_log);
+        assert_eq!(run.faulted_log, solo.faulted_log);
+        assert_eq!(run.metrics, solo.metrics);
+    }
+}
+
+/// The golden file name for a workload, as `greenweb_lint` derives it:
+/// lowercase, non-alphanumerics mapped to `_`.
+fn golden_name(workload: &str) -> String {
+    let slug: String = workload
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{slug}.json")
+}
+
+#[test]
+fn lint_reports_match_goldens_at_any_worker_count() {
+    let workloads = all();
+    let analyze_at = |jobs: Jobs| {
+        run_jobs(
+            workloads
+                .iter()
+                .map(|w| {
+                    let app = &w.app;
+                    move || greenweb_analyze::analyze(app)
+                })
+                .collect(),
+            jobs,
+        )
+    };
+    let serial = analyze_at(Jobs::serial());
+    let parallel = analyze_at(Jobs::new(PARALLEL));
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/lint");
+    for ((w, s), p) in workloads.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(s.render_json(), p.render_json(), "{} lint drifted", w.name);
+        let path = golden_dir.join(golden_name(w.name));
+        let expected =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            expected,
+            s.render_json() + "\n",
+            "{} drifted from committed golden",
+            w.name
+        );
+    }
+}
