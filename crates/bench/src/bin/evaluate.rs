@@ -12,6 +12,8 @@
 //! evaluate percentiles                per-stage latency percentiles + flame
 //! evaluate all                        everything above
 //! evaluate bench                      serial-vs-parallel wall-clock
+//! evaluate bench --suite style        style resolver microbenchmark
+//! evaluate metrics                    one workload's RunMetrics as JSON
 //! ```
 //!
 //! Flags (combinable with any command):
@@ -20,15 +22,24 @@
 //! --trace out.json      write a Chrome trace-event JSON of the traced
 //!                       run (open in https://ui.perfetto.dev); with no
 //!                       command, implies `trace` (the traced run only)
-//! --workload NAME       workload for percentiles/trace (default Paper.js)
+//! --workload NAME       workload for percentiles/trace/metrics (default
+//!                       Paper.js)
+//! --suite NAME          bench suite: `micro` (default) or `style`
 //! --jobs N              worker threads for simulation batches (default:
 //!                       GREENWEB_JOBS, else hardware parallelism; 1 is
 //!                       the legacy serial path — output is identical
 //!                       either way)
 //! ```
 //!
-//! The extra `bench` command times the microbenchmark suite serially and
-//! at `--jobs` and writes the comparison to `BENCH_evaluate.json`.
+//! `bench` (micro) times the microbenchmark suite serially and at
+//! `--jobs`, adds per-phase pipeline totals from a traced run, and writes
+//! the comparison to `BENCH_evaluate.json`. `bench --suite style` runs
+//! the naive-vs-bucketed selector-matching suite and writes
+//! `BENCH_style.json`. `metrics` prints one workload's deterministic
+//! [`RunMetrics`] JSON — the CI cache-parity gate diffs it between
+//! `GREENWEB_STYLE_CACHE=off` and the default.
+//!
+//! [`RunMetrics`]: greenweb::metrics::RunMetrics
 
 use greenweb::autogreen::AutoGreen;
 use greenweb::qos::Scenario;
@@ -42,6 +53,7 @@ fn main() {
     let mut command: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut workload = String::from("Paper.js");
+    let mut suite_name = String::from("micro");
     let mut jobs = Jobs::from_env();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -49,6 +61,9 @@ fn main() {
             "--trace" => trace_path = Some(argv.next().expect("--trace requires a file path")),
             "--workload" => {
                 workload = argv.next().expect("--workload requires a workload name");
+            }
+            "--suite" => {
+                suite_name = argv.next().expect("--suite requires a suite name");
             }
             "--jobs" => {
                 jobs = argv
@@ -72,7 +87,15 @@ fn main() {
     let wants = |name: &str| command == name || command == "all";
 
     if command == "bench" {
-        bench_report(jobs);
+        match suite_name.as_str() {
+            "micro" => bench_report(jobs),
+            "style" => style_bench_report(),
+            other => panic!("unknown bench suite {other:?} (expected micro or style)"),
+        }
+        return;
+    }
+    if command == "metrics" {
+        metrics_report(&workload);
         return;
     }
 
@@ -263,14 +286,37 @@ fn bench_report(jobs: Jobs) {
                 && a.greenweb_u.metrics_u.render_json() == b.greenweb_u.metrics_u.render_json()
         });
     assert!(identical, "serial and parallel suites diverged");
+    // Per-phase pipeline totals from one traced run: simulated-time span
+    // durations, so these are deterministic (unlike the wall-clock
+    // numbers above). "script" is the callback stage.
+    let w = greenweb_workloads::by_name("Paper.js").expect("workload exists");
+    let profiled = profile::profile(
+        &w,
+        &Policy::GreenWeb(Scenario::Imperceptible),
+        Scenario::Imperceptible,
+    )
+    .expect("traced run");
+    let registry = greenweb_trace::MetricsRegistry::from_trace(&profiled.buffer);
+    let stage_total_ms = |kind: greenweb_trace::SpanKind| {
+        registry
+            .histogram(&format!("stage.{}", kind.name()))
+            .map_or(0.0, |h| h.mean() * h.count() as f64)
+    };
     let json = format!(
         "{{\"suite\":\"micro\",\"cells\":{},\"hardware_parallelism\":{},\"jobs\":{},\
          \"serial_s\":{serial_s:.3},\"parallel_s\":{parallel_s:.3},\"speedup\":{:.2},\
-         \"identical\":{identical}}}\n",
+         \"identical\":{identical},\
+         \"phases_ms\":{{\"workload\":\"{}\",\"style\":{:.3},\"layout\":{:.3},\
+         \"paint\":{:.3},\"script\":{:.3}}}}}\n",
         workloads.len() * 4,
         Jobs::auto(),
         jobs,
         serial_s / parallel_s.max(1e-9),
+        w.name,
+        stage_total_ms(greenweb_trace::SpanKind::Style),
+        stage_total_ms(greenweb_trace::SpanKind::Layout),
+        stage_total_ms(greenweb_trace::SpanKind::Paint),
+        stage_total_ms(greenweb_trace::SpanKind::Callback),
     );
     std::fs::write("BENCH_evaluate.json", &json).expect("write BENCH_evaluate.json");
     println!(
@@ -278,6 +324,37 @@ fn bench_report(jobs: Jobs) {
          (results bit-identical); wrote BENCH_evaluate.json",
         serial_s / parallel_s.max(1e-9)
     );
+}
+
+/// Runs the style microbenchmark suite, asserts the counter-based
+/// acceptance gate (≥ 3× fewer exact matches than naive), and writes
+/// `BENCH_style.json`.
+fn style_bench_report() {
+    use greenweb_bench::stylebench;
+    let report = stylebench::run_suite();
+    print!("{}", report.render_text());
+    assert!(report.identical, "bucketed resolver diverged from naive");
+    assert!(
+        report.match_ratio() >= 3.0,
+        "expected >= 3x fewer exact matches, got {:.2}x",
+        report.match_ratio()
+    );
+    std::fs::write("BENCH_style.json", report.render_json()).expect("write BENCH_style.json");
+    println!("wrote BENCH_style.json");
+}
+
+/// Runs one workload's full trace under GreenWeb-I and prints its
+/// deterministic metrics JSON. The CI cache-parity gate runs this twice
+/// (`GREENWEB_STYLE_CACHE=off` vs default) and requires byte-identical
+/// output after stripping the `"style"` counter object.
+fn metrics_report(workload: &str) {
+    let w = greenweb_workloads::by_name(workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    let scenario = Scenario::Imperceptible;
+    let report = run(&w.app, &w.full, &Policy::GreenWeb(scenario)).expect("run");
+    let expected = expectations(&w.app, &w.full, scenario);
+    let metrics = greenweb::metrics::RunMetrics::compute(&report, &expected);
+    println!("{}", metrics.render_json());
 }
 
 fn autogreen_report() {

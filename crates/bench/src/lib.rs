@@ -11,6 +11,9 @@
 //!   baseline governors, big-only vs. ACMP);
 //! * [`profile`] — traced runs: per-stage latency percentiles, a text
 //!   flamegraph, and Perfetto-loadable Chrome trace-event export;
+//! * [`stylebench`] — the style microbenchmark suite: naive full-scan vs
+//!   bucketed + Bloom-filtered selector matching with per-phase
+//!   breakdowns (`evaluate bench --suite style`);
 //! * [`render`] — fixed-width text rendering used by the `evaluate`
 //!   binary.
 //!
@@ -24,6 +27,7 @@ pub mod ablation;
 pub mod figures;
 pub mod profile;
 pub mod render;
+pub mod stylebench;
 pub mod tables;
 
 pub use figures::{

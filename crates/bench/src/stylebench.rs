@@ -1,0 +1,366 @@
+//! The style microbenchmark suite (`evaluate bench --suite style`).
+//!
+//! For each of the 12 workloads (plus one seeded synthetic stress
+//! document) the suite resolves every element's style twice — once
+//! through the naive full-scan resolver, once through the bucketed +
+//! Bloom-filtered path — and reports:
+//!
+//! * **deterministic counters**: exact [`Selector::matches`] walks each
+//!   path ran, and how many candidates the ancestor Bloom filter
+//!   rejected before the exact walk. These drive the acceptance gate
+//!   (the bucketed path must run ≥ 3× fewer exact matches than naive
+//!   across the suite) and never vary between runs or machines;
+//! * **per-phase wall-clock timings** (match / cascade / inherit),
+//!   informational only — CI asserts nothing about them.
+//!
+//! The three phases are measured as separate passes over the tree:
+//! `match` runs [`StyleEngine::match_rules`] per element, `cascade`
+//! applies the matched sets without inheritance, and `inherit` re-applies
+//! them threading parent styles in document order (so `inherit` is
+//! cascade *plus* inheritance, not the increment). Every row also
+//! differentially checks `compute_all == compute_all_naive` before any
+//! timing is trusted.
+//!
+//! [`Selector::matches`]: greenweb_css::selector::Selector::matches
+
+use greenweb_css::stylesheet::parse_stylesheet;
+use greenweb_css::{ComputedStyle, StyleEngine};
+use greenweb_det::DetRng;
+use greenweb_dom::{parse_html, Document, NodeId};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One benchmarked document: counters from both paths plus phase timings.
+#[derive(Debug, Clone)]
+pub struct StyleBenchRow {
+    /// Workload name (or `"synthetic"` for the generated stress row).
+    pub name: String,
+    /// Element nodes resolved.
+    pub nodes: usize,
+    /// Rules in the stylesheet.
+    pub rules: usize,
+    /// Exact match walks the naive full scan ran.
+    pub naive_matches: u64,
+    /// Naive resolve time for the whole tree, in milliseconds.
+    pub naive_ms: f64,
+    /// Exact match walks the bucketed path ran.
+    pub matches: u64,
+    /// Candidates the ancestor Bloom filter rejected.
+    pub bloom_rejects: u64,
+    /// Match-phase time (bucketed), in milliseconds.
+    pub match_ms: f64,
+    /// Cascade-phase time (no inheritance), in milliseconds.
+    pub cascade_ms: f64,
+    /// Inheritance pass time (cascade + parent threading), in
+    /// milliseconds.
+    pub inherit_ms: f64,
+}
+
+/// The whole suite: per-document rows plus the aggregate ratio.
+#[derive(Debug, Clone)]
+pub struct StyleBenchReport {
+    /// One row per benchmarked document.
+    pub rows: Vec<StyleBenchRow>,
+    /// Whether every row's bucketed resolution equalled the naive one.
+    pub identical: bool,
+}
+
+impl StyleBenchReport {
+    /// Total exact matches the naive path ran.
+    pub fn total_naive_matches(&self) -> u64 {
+        self.rows.iter().map(|r| r.naive_matches).sum()
+    }
+
+    /// Total exact matches the bucketed path ran.
+    pub fn total_matches(&self) -> u64 {
+        self.rows.iter().map(|r| r.matches).sum()
+    }
+
+    /// naive / bucketed exact-match ratio — the suite's headline number.
+    pub fn match_ratio(&self) -> f64 {
+        self.total_naive_matches() as f64 / (self.total_matches().max(1)) as f64
+    }
+
+    /// Renders the deterministic-counter JSON (timings included for
+    /// information; all assertions are on the counters).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"suite\":\"style\",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"workload\":\"{}\",\"nodes\":{},\"rules\":{},\
+                 \"naive_matches\":{},\"matches\":{},\"bloom_rejects\":{},\
+                 \"naive_ms\":{:.3},\"match_ms\":{:.3},\"cascade_ms\":{:.3},\"inherit_ms\":{:.3}}}",
+                row.name,
+                row.nodes,
+                row.rules,
+                row.naive_matches,
+                row.matches,
+                row.bloom_rejects,
+                row.naive_ms,
+                row.match_ms,
+                row.cascade_ms,
+                row.inherit_ms,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "],\"total\":{{\"naive_matches\":{},\"matches\":{},\
+             \"bloom_rejects\":{},\"match_ratio\":{:.2}}},\"identical\":{}}}",
+            self.total_naive_matches(),
+            self.total_matches(),
+            self.rows.iter().map(|r| r.bloom_rejects).sum::<u64>(),
+            self.match_ratio(),
+            self.identical,
+        );
+        out
+    }
+
+    /// Fixed-width text table for the terminal.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "style microbenchmark: naive full scan vs bucketed + Bloom \
+             (counters deterministic; timings informational)"
+        );
+        let _ = writeln!(
+            out,
+            "{:<11} {:>5} {:>5} {:>9} {:>8} {:>7} {:>9} {:>9} {:>10} {:>10}",
+            "workload",
+            "nodes",
+            "rules",
+            "naive-m",
+            "fast-m",
+            "bloom",
+            "naive ms",
+            "match ms",
+            "cascade ms",
+            "inherit ms"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<11} {:>5} {:>5} {:>9} {:>8} {:>7} {:>9.3} {:>9.3} {:>10.3} {:>10.3}",
+                row.name,
+                row.nodes,
+                row.rules,
+                row.naive_matches,
+                row.matches,
+                row.bloom_rejects,
+                row.naive_ms,
+                row.match_ms,
+                row.cascade_ms,
+                row.inherit_ms,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: naive {} vs bucketed {} exact matches ({:.1}x fewer), \
+             results {}",
+            self.total_naive_matches(),
+            self.total_matches(),
+            self.match_ratio(),
+            if self.identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+        );
+        out
+    }
+}
+
+fn elements_in_order(doc: &Document) -> Vec<NodeId> {
+    doc.descendants(doc.root())
+        .filter(|&n| doc.element(n).is_some())
+        .collect()
+}
+
+/// Benchmarks one parsed document against one stylesheet engine.
+fn bench_document(name: &str, doc: &Document, engine: &StyleEngine) -> (StyleBenchRow, bool) {
+    let nodes = elements_in_order(doc);
+
+    // Differential check first: the timings mean nothing if the paths
+    // disagree.
+    let identical = engine.compute_all(doc) == engine.compute_all_naive(doc);
+
+    // Naive pass: counters + one wall-clock number.
+    engine.reset_stats();
+    let started = Instant::now();
+    let _ = engine.compute_all_naive(doc);
+    let naive_ms = started.elapsed().as_secs_f64() * 1e3;
+    let naive_matches = engine.stats().naive_matches;
+
+    // Bucketed passes, phase by phase. Counters accumulate only in the
+    // match phase (cascade/inherit reuse the matched sets).
+    engine.reset_stats();
+    let started = Instant::now();
+    let matched: Vec<_> = nodes.iter().map(|&n| engine.match_rules(doc, n)).collect();
+    let match_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let started = Instant::now();
+    for (&node, matched) in nodes.iter().zip(&matched) {
+        let _ = engine.cascade_matched(doc, node, matched, None);
+    }
+    let cascade_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let started = Instant::now();
+    let mut styles: std::collections::HashMap<NodeId, ComputedStyle> =
+        std::collections::HashMap::new();
+    for (&node, matched) in nodes.iter().zip(&matched) {
+        let parent_style = doc.parent(node).and_then(|p| styles.get(&p)).cloned();
+        let style = engine.cascade_matched(doc, node, matched, parent_style.as_ref());
+        styles.insert(node, style);
+    }
+    let inherit_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let stats = engine.stats();
+    (
+        StyleBenchRow {
+            name: name.to_string(),
+            nodes: nodes.len(),
+            rules: engine.stylesheet().rules().len(),
+            naive_matches,
+            naive_ms,
+            matches: stats.matches,
+            bloom_rejects: stats.bloom_rejects,
+            match_ms,
+            cascade_ms,
+            inherit_ms,
+        },
+        identical,
+    )
+}
+
+/// A seeded synthetic document + stylesheet stressing deep nesting and
+/// wide class/tag fan-out — shapes the 12 app workloads are too tame to
+/// exercise. Fully determined by `seed`.
+fn synthetic(seed: u64) -> (Document, StyleEngine) {
+    let mut rng = DetRng::new(seed);
+    const TAGS: [&str; 6] = ["div", "p", "span", "ul", "li", "section"];
+    const CLASSES: [&str; 8] = [
+        "card", "nav", "item", "hot", "cold", "wide", "active", "muted",
+    ];
+
+    // ~300 elements: chains of nested containers with leaf runs.
+    let mut html = String::new();
+    let mut open: Vec<&str> = Vec::new();
+    for i in 0..300 {
+        let tag = rng.choose(&TAGS);
+        let _ = write!(html, "<{tag}");
+        if rng.gen_bool(0.25) {
+            let _ = write!(html, " id='n{i}'");
+        }
+        if rng.gen_bool(0.6) {
+            let a = rng.choose(&CLASSES);
+            if rng.gen_bool(0.4) {
+                let b = rng.choose(&CLASSES);
+                let _ = write!(html, " class='{a} {b}'");
+            } else {
+                let _ = write!(html, " class='{a}'");
+            }
+        }
+        html.push('>');
+        // Nest deeper with p=0.5 (max depth 12), else close immediately.
+        if open.len() < 12 && rng.gen_bool(0.5) {
+            open.push(tag);
+        } else {
+            let _ = write!(html, "x</{tag}>");
+            if !open.is_empty() && rng.gen_bool(0.4) {
+                let closed = open.pop().expect("non-empty");
+                let _ = write!(html, "</{closed}>");
+            }
+        }
+    }
+    while let Some(tag) = open.pop() {
+        let _ = write!(html, "</{tag}>");
+    }
+
+    // ~80 rules mixing every bucket kind and combinator chains.
+    let mut css = String::new();
+    for i in 0..80 {
+        let selector = match i % 5 {
+            0 => format!("#n{}", rng.u64_below(300)),
+            1 => format!(".{}", rng.choose(&CLASSES)),
+            2 => rng.choose(&TAGS).to_string(),
+            3 => format!(
+                ".{} {}",
+                rng.choose(&CLASSES),
+                rng.choose(&TAGS) // descendant chain exercises the Bloom filter
+            ),
+            _ => format!("{} > .{}", rng.choose(&TAGS), rng.choose(&CLASSES)),
+        };
+        let _ = write!(css, "{selector} {{ width: {}px; margin: {i}px; }} ", i * 3);
+    }
+    let doc = parse_html(&html).expect("synthetic html parses");
+    let engine = StyleEngine::new(parse_stylesheet(&css).expect("synthetic css parses"));
+    (doc, engine)
+}
+
+/// Runs the suite: all 12 workloads plus the seeded synthetic stress
+/// document.
+pub fn run_suite() -> StyleBenchReport {
+    let mut rows = Vec::new();
+    let mut identical = true;
+    for w in greenweb_workloads::all() {
+        let doc = parse_html(&w.app.html).expect("workload html parses");
+        let engine =
+            StyleEngine::new(parse_stylesheet(&w.app.css_source()).expect("workload css parses"));
+        let (row, ok) = bench_document(w.name, &doc, &engine);
+        identical &= ok;
+        rows.push(row);
+    }
+    let (doc, engine) = synthetic(0x5EED_57E1);
+    let (row, ok) = bench_document("synthetic", &doc, &engine);
+    identical &= ok;
+    rows.push(row);
+    StyleBenchReport { rows, identical }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_counters_meet_the_acceptance_gate() {
+        let report = run_suite();
+        assert_eq!(report.rows.len(), 13, "12 workloads + synthetic");
+        assert!(report.identical, "bucketed path diverged from naive");
+        assert!(
+            report.match_ratio() >= 3.0,
+            "bucketing must cut exact matches >= 3x, got {:.2}x \
+             ({} naive vs {} bucketed)",
+            report.match_ratio(),
+            report.total_naive_matches(),
+            report.total_matches(),
+        );
+        // The synthetic row must actually exercise the Bloom filter.
+        let synth = report.rows.last().expect("synthetic row");
+        assert!(synth.bloom_rejects > 0, "no Bloom rejections: {synth:?}");
+    }
+
+    #[test]
+    fn suite_counters_are_deterministic() {
+        let a = run_suite();
+        let b = run_suite();
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.naive_matches, rb.naive_matches, "{}", ra.name);
+            assert_eq!(ra.matches, rb.matches, "{}", ra.name);
+            assert_eq!(ra.bloom_rejects, rb.bloom_rejects, "{}", ra.name);
+        }
+    }
+
+    #[test]
+    fn json_contains_totals_and_every_row() {
+        let report = run_suite();
+        let json = report.render_json();
+        assert!(json.contains("\"suite\":\"style\""));
+        assert!(json.contains("\"match_ratio\""));
+        assert!(json.contains("\"synthetic\""));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -9,6 +9,7 @@
 use crate::degrade::{DegradationLevel, DegradationLog};
 use crate::qos::QosType;
 use greenweb_acmp::{Duration, SimTime};
+use greenweb_css::StyleStats;
 use greenweb_engine::{InputId, SimReport};
 use greenweb_trace::{Histogram, LatencySummary};
 use std::collections::HashMap;
@@ -111,6 +112,10 @@ pub struct RunMetrics {
     pub switches_per_frame: f64,
     /// `(DVFS switches, migrations)`.
     pub switches: (u64, u64),
+    /// Style-system counters, including the computed-style cache
+    /// hit/miss split. Deterministic (counters, never timings), so they
+    /// participate in the serial/parallel parity diff.
+    pub style: StyleStats,
 }
 
 impl RunMetrics {
@@ -144,6 +149,7 @@ impl RunMetrics {
             big_residency: report.big_residency_fraction(),
             switches_per_frame: report.switches_per_frame(),
             switches: report.switches,
+            style: report.style,
         }
     }
 
@@ -165,13 +171,20 @@ impl RunMetrics {
     /// via Rust's shortest-round-trip `Display` so equal metrics render
     /// byte-identically. The parity suite diffs this string between
     /// serial and parallel batch runs.
+    ///
+    /// The trailing `"style"` object is deliberately flat and last: the
+    /// cache-parity CI gate strips it with one `sed` expression and then
+    /// requires the cache-on and cache-off renderings to be
+    /// byte-identical.
     pub fn render_json(&self) -> String {
         format!(
             "{{\"energy_mj\":{},\"violation_pct\":{},\"judged_inputs\":{},\
              \"unjudged_expected\":{},\"frames\":{},\
              \"latency\":{{\"count\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{}}},\
              \"big_residency\":{},\"switches_per_frame\":{},\
-             \"dvfs_switches\":{},\"migrations\":{}}}",
+             \"dvfs_switches\":{},\"migrations\":{},\
+             \"style\":{{\"resolves\":{},\"matches\":{},\"bloom_rejects\":{},\
+             \"cache_hits\":{},\"cache_misses\":{}}}}}",
             self.energy_mj,
             self.violation_pct,
             self.judged_inputs,
@@ -186,6 +199,11 @@ impl RunMetrics {
             self.switches_per_frame,
             self.switches.0,
             self.switches.1,
+            self.style.resolves,
+            self.style.matches,
+            self.style.bloom_rejects,
+            self.style.cache_hits,
+            self.style.cache_misses,
         )
     }
 }
@@ -320,6 +338,7 @@ mod tests {
             busy_time: Duration::from_millis(10),
             total_time: Duration::from_millis(100),
             chaos: None,
+            style: StyleStats::default(),
         }
     }
 

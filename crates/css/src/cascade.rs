@@ -1,10 +1,30 @@
 //! The cascade: computing an element's style from stylesheet rules,
 //! specificity, source order, `!important`, inline style, and inheritance.
+//!
+//! Two resolvers share one application path:
+//!
+//! * the **bucketed** resolver (the default) consults the
+//!   `bucket` rule index and the [`crate::bloom`] ancestor
+//!   filter, so each element runs the exact [`Selector::matches`] walk
+//!   only against the handful of candidates it could possibly hit;
+//! * the **naive** resolver ([`StyleEngine::compute_style_naive`])
+//!   scans every selector of every rule — retained as the semantic
+//!   reference the differential property tests compare against.
+//!
+//! Both produce the same matched-rule set, feed it through the same
+//! sort-and-apply code, and are counted by deterministic
+//! [`StyleStats`], so "how much work bucketing skipped" is a CI-checkable
+//! number rather than a wall-clock claim.
 
-use crate::selector::Specificity;
+use crate::bloom::ancestor_filter;
+use crate::bucket::RuleIndex;
+use crate::intern::PropertyId;
+use crate::selector::{Selector, Specificity};
 use crate::stylesheet::{parse_declarations_str, Declaration, Stylesheet};
 use crate::value::CssValue;
 use greenweb_dom::{Document, NodeId};
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -19,10 +39,16 @@ const INHERITED_PROPERTIES: &[&str] = &[
     "visibility",
 ];
 
-/// The resolved style of one element: property name → value.
+/// The resolved style of one element, stored as a compact vec of
+/// `(interned property, value)` pairs kept sorted by property *name*.
+///
+/// Name-order (not id-order) is what makes iteration deterministic:
+/// interning order can differ between threads, but names compare the
+/// same everywhere. [`ComputedStyle::iter`] and [`fmt::Display`] walk
+/// the vec as-is — no per-call sort.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ComputedStyle {
-    properties: HashMap<String, CssValue>,
+    properties: Vec<(PropertyId, CssValue)>,
 }
 
 impl ComputedStyle {
@@ -31,14 +57,27 @@ impl ComputedStyle {
         ComputedStyle::default()
     }
 
+    fn position(&self, property: &str) -> Result<usize, usize> {
+        self.properties
+            .binary_search_by(|(id, _)| id.as_str().cmp(property))
+    }
+
     /// The value of `property`, if set.
     pub fn get(&self, property: &str) -> Option<&CssValue> {
-        self.properties.get(property)
+        self.position(property).ok().map(|i| &self.properties[i].1)
     }
 
     /// Sets `property` to `value`, returning the previous value.
-    pub fn set(&mut self, property: impl Into<String>, value: CssValue) -> Option<CssValue> {
-        self.properties.insert(property.into(), value)
+    pub fn set(&mut self, property: impl AsRef<str>, value: CssValue) -> Option<CssValue> {
+        let property = property.as_ref();
+        match self.position(property) {
+            Ok(i) => Some(std::mem::replace(&mut self.properties[i].1, value)),
+            Err(i) => {
+                self.properties
+                    .insert(i, (PropertyId::intern(property), value));
+                None
+            }
+        }
     }
 
     /// Number of set properties.
@@ -51,40 +90,110 @@ impl ComputedStyle {
         self.properties.is_empty()
     }
 
-    /// Iterates over `(property, value)` pairs in unspecified order.
+    /// Iterates over `(property, value)` pairs in ascending property-name
+    /// order — deterministic, so downstream renderings need no sort.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &CssValue)> {
-        self.properties.iter().map(|(k, v)| (k.as_str(), v))
+        self.properties.iter().map(|(id, v)| (id.as_str(), v))
     }
 
     /// The set of properties whose values differ between `self` and
     /// `other`, including properties present in only one of them.
+    /// Returned in ascending name order (a single merge walk over the
+    /// two sorted representations).
     pub fn changed_properties(&self, other: &ComputedStyle) -> Vec<String> {
         let mut changed = Vec::new();
-        for (prop, value) in &self.properties {
-            if other.get(prop) != Some(value) {
-                changed.push(prop.clone());
+        let (mut i, mut j) = (0, 0);
+        while i < self.properties.len() && j < other.properties.len() {
+            let (a_id, a_val) = &self.properties[i];
+            let (b_id, b_val) = &other.properties[j];
+            match a_id.as_str().cmp(b_id.as_str()) {
+                Ordering::Less => {
+                    changed.push(a_id.as_str().to_string());
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    changed.push(b_id.as_str().to_string());
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    if a_val != b_val {
+                        changed.push(a_id.as_str().to_string());
+                    }
+                    i += 1;
+                    j += 1;
+                }
             }
         }
-        for prop in other.properties.keys() {
-            if !self.properties.contains_key(prop) {
-                changed.push(prop.clone());
-            }
+        for (id, _) in &self.properties[i..] {
+            changed.push(id.as_str().to_string());
         }
-        changed.sort();
-        changed.dedup();
+        for (id, _) in &other.properties[j..] {
+            changed.push(id.as_str().to_string());
+        }
         changed
     }
 }
 
 impl fmt::Display for ComputedStyle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut entries: Vec<_> = self.properties.iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(b.0));
         write!(f, "{{ ")?;
-        for (prop, value) in entries {
+        for (prop, value) in self.iter() {
             write!(f, "{prop}: {value}; ")?;
         }
         write!(f, "}}")
+    }
+}
+
+/// Deterministic counters from the style system: how much exact matching
+/// the bucketed path ran, how much the naive reference would have, what
+/// the Bloom filter rejected, and (filled in by the engine layer) how
+/// the computed-style cache performed. Pure counters — no wall-clock —
+/// so parity gates can diff them byte-for-byte.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StyleStats {
+    /// Bucketed style resolutions performed.
+    pub resolves: u64,
+    /// Exact `Selector::matches` walks the bucketed path ran.
+    pub matches: u64,
+    /// Candidates rejected by the ancestor Bloom filter alone (no exact
+    /// walk needed).
+    pub bloom_rejects: u64,
+    /// Naive (full-scan) resolutions performed.
+    pub naive_resolves: u64,
+    /// Exact `Selector::matches` walks the naive path ran.
+    pub naive_matches: u64,
+    /// Computed-style cache hits (engine layer; zero inside this crate).
+    pub cache_hits: u64,
+    /// Computed-style cache misses (engine layer; zero inside this crate).
+    pub cache_misses: u64,
+}
+
+impl StyleStats {
+    /// Field-wise sum of two counter sets.
+    pub fn merge(&self, other: &StyleStats) -> StyleStats {
+        StyleStats {
+            resolves: self.resolves + other.resolves,
+            matches: self.matches + other.matches,
+            bloom_rejects: self.bloom_rejects + other.bloom_rejects,
+            naive_resolves: self.naive_resolves + other.naive_resolves,
+            naive_matches: self.naive_matches + other.naive_matches,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+        }
+    }
+
+    /// Field-wise difference `self - earlier` (saturating), for
+    /// before/after deltas around a measured region.
+    pub fn delta_since(&self, earlier: &StyleStats) -> StyleStats {
+        StyleStats {
+            resolves: self.resolves.saturating_sub(earlier.resolves),
+            matches: self.matches.saturating_sub(earlier.matches),
+            bloom_rejects: self.bloom_rejects.saturating_sub(earlier.bloom_rejects),
+            naive_resolves: self.naive_resolves.saturating_sub(earlier.naive_resolves),
+            naive_matches: self.naive_matches.saturating_sub(earlier.naive_matches),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+        }
     }
 }
 
@@ -97,21 +206,41 @@ enum Priority {
     StylesheetImportant,
 }
 
+/// A matched rule set: `(rule index, best specificity)` pairs in
+/// ascending rule order. "Best" is the max specificity over the rule's
+/// matching selectors, exactly as the naive scan computes it.
+type Matched = Vec<(usize, Specificity)>;
+
 /// A style resolver bound to one stylesheet.
 ///
 /// The engine re-resolves styles during the *style* pipeline stage of each
 /// frame; script-driven overrides (`element.style.x = …`) are written into
 /// the element's `style` attribute, which this resolver treats with inline
 /// priority exactly like a browser.
+///
+/// The resolver lazily builds a `bucket` rule index the first
+/// time it matches, and rebuilds it when the stylesheet generation
+/// changes ([`StyleEngine::stylesheet_mut`] bumps it). Interior
+/// mutability (the index cell and the stats counters) keeps resolution
+/// usable through `&self`; the engine owns one resolver per simulated
+/// browser, so the type is deliberately not `Sync`.
 #[derive(Debug, Clone)]
 pub struct StyleEngine {
     stylesheet: Stylesheet,
+    generation: u64,
+    index: RefCell<Option<(u64, RuleIndex)>>,
+    stats: Cell<StyleStats>,
 }
 
 impl StyleEngine {
     /// Creates a resolver over `stylesheet`.
     pub fn new(stylesheet: Stylesheet) -> Self {
-        StyleEngine { stylesheet }
+        StyleEngine {
+            stylesheet,
+            generation: 0,
+            index: RefCell::new(None),
+            stats: Cell::new(StyleStats::default()),
+        }
     }
 
     /// The underlying stylesheet.
@@ -120,20 +249,199 @@ impl StyleEngine {
     }
 
     /// Mutable access to the stylesheet (used when AUTOGREEN injects
-    /// generated annotations back into the application, Sec. 5).
+    /// generated annotations back into the application, Sec. 5). Bumps
+    /// the stylesheet generation: the rule index is rebuilt on next use
+    /// and generation-keyed computed-style caches self-invalidate.
     pub fn stylesheet_mut(&mut self) -> &mut Stylesheet {
+        self.generation += 1;
         &mut self.stylesheet
     }
 
+    /// The stylesheet generation: bumped on every mutable access, the
+    /// key external caches use to notice rule changes.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The cumulative style counters of this resolver (cache fields stay
+    /// zero here — the engine layer merges its own cache counters in).
+    pub fn stats(&self) -> StyleStats {
+        self.stats.get()
+    }
+
+    /// Resets the counters to zero (benchmark hygiene between phases).
+    pub fn reset_stats(&self) {
+        self.stats.set(StyleStats::default());
+    }
+
+    fn with_index<R>(&self, f: impl FnOnce(&RuleIndex) -> R) -> R {
+        let mut slot = self.index.borrow_mut();
+        let stale = match &*slot {
+            Some((generation, _)) => *generation != self.generation,
+            None => true,
+        };
+        if stale {
+            *slot = Some((self.generation, RuleIndex::build(&self.stylesheet)));
+        }
+        f(&slot.as_ref().expect("index just built").1)
+    }
+
+    /// The rules matching `node` as `(rule index, best specificity)`
+    /// pairs in ascending rule order — the bucketed *match* phase in
+    /// isolation, exposed so benchmarks can time it apart from the
+    /// cascade phase.
+    pub fn match_rules(&self, doc: &Document, node: NodeId) -> Vec<(usize, Specificity)> {
+        let mut stats = self.stats.get();
+        stats.resolves += 1;
+        let Some(element) = doc.element(node) else {
+            self.stats.set(stats);
+            return Vec::new();
+        };
+        let filter = ancestor_filter(doc, node);
+        let mut matched: Matched = self.with_index(|index| {
+            let mut candidates = Vec::new();
+            index.candidates(element, &mut candidates);
+            let mut matched: Matched = Vec::new();
+            for candidate in candidates {
+                if !candidate.ancestor_atoms.is_empty()
+                    && !filter.may_contain_all(&candidate.ancestor_atoms)
+                {
+                    stats.bloom_rejects += 1;
+                    continue;
+                }
+                stats.matches += 1;
+                let selector =
+                    &self.stylesheet.rules()[candidate.rule].selectors()[candidate.selector];
+                if selector.matches(doc, node) {
+                    matched.push((candidate.rule, candidate.specificity));
+                }
+            }
+            matched
+        });
+        self.stats.set(stats);
+        // Multiple selectors of one rule may match; keep the best
+        // specificity per rule, in rule order, like the naive scan.
+        matched.sort_unstable();
+        matched.dedup_by(|later, kept| {
+            if later.0 == kept.0 {
+                kept.1 = kept.1.max(later.1);
+                true
+            } else {
+                false
+            }
+        });
+        matched
+    }
+
+    fn match_rules_naive(&self, doc: &Document, node: NodeId) -> Matched {
+        let mut stats = self.stats.get();
+        stats.naive_resolves += 1;
+        let mut matched: Matched = Vec::new();
+        for (order, rule) in self.stylesheet.rules().iter().enumerate() {
+            stats.naive_matches += rule.selectors().len() as u64;
+            let best = rule
+                .selectors()
+                .iter()
+                .filter(|sel| sel.matches(doc, node))
+                .map(Selector::specificity)
+                .max();
+            if let Some(spec) = best {
+                matched.push((order, spec));
+            }
+        }
+        self.stats.set(stats);
+        matched
+    }
+
+    /// Applies an already-matched rule set to `node` — the *cascade*
+    /// phase in isolation (sort by priority/specificity/order, then
+    /// inheritance, stylesheet, inline, `!important` layers). Exposed
+    /// for benchmarks; [`StyleEngine::compute_style`] is the fused path.
+    pub fn cascade_matched(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        matched: &[(usize, Specificity)],
+        parent_style: Option<&ComputedStyle>,
+    ) -> ComputedStyle {
+        self.apply(doc, node, matched, parent_style, true)
+    }
+
+    fn apply(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        matched: &[(usize, Specificity)],
+        parent_style: Option<&ComputedStyle>,
+        include_inline: bool,
+    ) -> ComputedStyle {
+        // Expand matched rules to (priority, specificity, order) declarations.
+        let mut decls: Vec<(Priority, Specificity, usize, &Declaration)> = Vec::new();
+        for &(order, spec) in matched {
+            for decl in self.stylesheet.rules()[order].declarations() {
+                let priority = if decl.important {
+                    Priority::StylesheetImportant
+                } else {
+                    Priority::Stylesheet
+                };
+                decls.push((priority, spec, order, decl));
+            }
+        }
+        // Inline style.
+        let inline_decls = if include_inline {
+            doc.element(node)
+                .and_then(|el| el.attribute("style"))
+                .map(|style| parse_declarations_str(style).unwrap_or_default())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        // Sort stylesheet declarations ascending; later wins on apply.
+        decls.sort_by_key(|a| (a.0, a.1, a.2));
+        let mut style = ComputedStyle::new();
+        // Inheritance first (lowest priority).
+        if let Some(parent) = parent_style {
+            for &prop in INHERITED_PROPERTIES {
+                if let Some(value) = parent.get(prop) {
+                    style.set(prop, value.clone());
+                }
+            }
+        }
+        let mut important_pending: Vec<&Declaration> = Vec::new();
+        for (priority, _, _, decl) in decls {
+            match priority {
+                Priority::Stylesheet => {
+                    style.set(&decl.property, decl.value.clone());
+                }
+                Priority::StylesheetImportant => important_pending.push(decl),
+            }
+        }
+        for decl in &inline_decls {
+            if !decl.important {
+                style.set(&decl.property, decl.value.clone());
+            }
+        }
+        for decl in important_pending {
+            style.set(&decl.property, decl.value.clone());
+        }
+        for decl in &inline_decls {
+            if decl.important {
+                style.set(&decl.property, decl.value.clone());
+            }
+        }
+        style
+    }
+
     /// Resolves the computed style of `node`, including inheritance from
-    /// `parent_style` (pass `None` at the root).
+    /// `parent_style` (pass `None` at the root). Bucketed fast path.
     pub fn compute_style(
         &self,
         doc: &Document,
         node: NodeId,
         parent_style: Option<&ComputedStyle>,
     ) -> ComputedStyle {
-        self.compute_style_impl(doc, node, parent_style, true)
+        let matched = self.match_rules(doc, node);
+        self.apply(doc, node, &matched, parent_style, true)
     }
 
     /// Like [`StyleEngine::compute_style`], but ignoring the element's
@@ -147,83 +455,72 @@ impl StyleEngine {
         node: NodeId,
         parent_style: Option<&ComputedStyle>,
     ) -> ComputedStyle {
-        self.compute_style_impl(doc, node, parent_style, false)
+        let matched = self.match_rules(doc, node);
+        self.apply(doc, node, &matched, parent_style, false)
     }
 
-    fn compute_style_impl(
+    /// Resolves both views of `node` — `(with inline, without inline)` —
+    /// from a *single* matching pass. The two views cannot be derived
+    /// from each other (inline-normal must not override
+    /// stylesheet-`!important`), but they share the matched rule set, so
+    /// transition arming pays for matching once instead of twice.
+    pub fn compute_style_both(
         &self,
         doc: &Document,
         node: NodeId,
         parent_style: Option<&ComputedStyle>,
-        include_inline: bool,
-    ) -> ComputedStyle {
-        // Collect matching declarations as (priority, specificity, order).
-        let mut matched: Vec<(Priority, Specificity, usize, &Declaration)> = Vec::new();
-        for (order, rule) in self.stylesheet.rules().iter().enumerate() {
-            let best = rule
-                .selectors()
-                .iter()
-                .filter(|sel| sel.matches(doc, node))
-                .map(super::selector::Selector::specificity)
-                .max();
-            if let Some(spec) = best {
-                for decl in rule.declarations() {
-                    let priority = if decl.important {
-                        Priority::StylesheetImportant
-                    } else {
-                        Priority::Stylesheet
-                    };
-                    matched.push((priority, spec, order, decl));
-                }
-            }
-        }
-        // Inline style.
-        let inline_decls = if include_inline {
-            doc.element(node)
-                .and_then(|el| el.attribute("style"))
-                .map(|style| parse_declarations_str(style).unwrap_or_default())
-                .unwrap_or_default()
-        } else {
-            Vec::new()
-        };
-        // Sort stylesheet declarations ascending; later wins on apply.
-        matched.sort_by_key(|a| (a.0, a.1, a.2));
-        let mut style = ComputedStyle::new();
-        // Inheritance first (lowest priority).
-        if let Some(parent) = parent_style {
-            for &prop in INHERITED_PROPERTIES {
-                if let Some(value) = parent.get(prop) {
-                    style.set(prop, value.clone());
-                }
-            }
-        }
-        let mut important_pending: Vec<(Specificity, usize, &Declaration)> = Vec::new();
-        for (priority, spec, order, decl) in matched {
-            match priority {
-                Priority::Stylesheet => {
-                    style.set(decl.property.clone(), decl.value.clone());
-                }
-                Priority::StylesheetImportant => important_pending.push((spec, order, decl)),
-            }
-        }
-        for decl in &inline_decls {
-            if !decl.important {
-                style.set(decl.property.clone(), decl.value.clone());
-            }
-        }
-        for (_, _, decl) in important_pending {
-            style.set(decl.property.clone(), decl.value.clone());
-        }
-        for decl in &inline_decls {
-            if decl.important {
-                style.set(decl.property.clone(), decl.value.clone());
-            }
-        }
-        style
+    ) -> (ComputedStyle, ComputedStyle) {
+        let matched = self.match_rules(doc, node);
+        (
+            self.apply(doc, node, &matched, parent_style, true),
+            self.apply(doc, node, &matched, parent_style, false),
+        )
     }
 
-    /// Resolves computed styles for the whole tree in document order.
+    /// The naive full-scan resolver: every selector of every rule runs
+    /// the exact match walk. Semantically the reference implementation —
+    /// the differential property suite asserts the bucketed path agrees
+    /// with it property-for-property.
+    pub fn compute_style_naive(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        parent_style: Option<&ComputedStyle>,
+    ) -> ComputedStyle {
+        let matched = self.match_rules_naive(doc, node);
+        self.apply(doc, node, &matched, parent_style, true)
+    }
+
+    /// Naive counterpart of [`StyleEngine::compute_style_without_inline`].
+    pub fn compute_style_without_inline_naive(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        parent_style: Option<&ComputedStyle>,
+    ) -> ComputedStyle {
+        let matched = self.match_rules_naive(doc, node);
+        self.apply(doc, node, &matched, parent_style, false)
+    }
+
+    /// Resolves computed styles for the whole tree in document order
+    /// (bucketed).
     pub fn compute_all(&self, doc: &Document) -> HashMap<NodeId, ComputedStyle> {
+        self.compute_all_with(doc, |node, parent| self.compute_style(doc, node, parent))
+    }
+
+    /// Naive counterpart of [`StyleEngine::compute_all`], for
+    /// differential tests and the style microbenchmark.
+    pub fn compute_all_naive(&self, doc: &Document) -> HashMap<NodeId, ComputedStyle> {
+        self.compute_all_with(doc, |node, parent| {
+            self.compute_style_naive(doc, node, parent)
+        })
+    }
+
+    fn compute_all_with(
+        &self,
+        doc: &Document,
+        mut resolve: impl FnMut(NodeId, Option<&ComputedStyle>) -> ComputedStyle,
+    ) -> HashMap<NodeId, ComputedStyle> {
         let mut styles: HashMap<NodeId, ComputedStyle> = HashMap::new();
         let order: Vec<NodeId> = doc.descendants(doc.root()).collect();
         for node in order {
@@ -231,7 +528,7 @@ impl StyleEngine {
                 continue;
             }
             let parent_style = doc.parent(node).and_then(|p| styles.get(&p)).cloned();
-            let style = self.compute_style(doc, node, parent_style.as_ref());
+            let style = resolve(node, parent_style.as_ref());
             styles.insert(node, style);
         }
         styles
@@ -347,5 +644,140 @@ mod tests {
         let eng = engine("* { margin: 0; }");
         let styles = eng.compute_all(&doc);
         assert_eq!(styles.len(), doc.elements().count());
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_property_name() {
+        let mut style = ComputedStyle::new();
+        style.set("width", CssValue::Keyword("w".into()));
+        style.set("color", CssValue::Keyword("c".into()));
+        style.set("z-index", CssValue::Keyword("z".into()));
+        style.set("height", CssValue::Keyword("h".into()));
+        let names: Vec<&str> = style.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["color", "height", "width", "z-index"]);
+        assert_eq!(
+            style.to_string(),
+            "{ color: c; height: h; width: w; z-index: z; }"
+        );
+    }
+
+    #[test]
+    fn set_returns_previous_value() {
+        let mut style = ComputedStyle::new();
+        assert_eq!(style.set("width", CssValue::Keyword("a".into())), None);
+        assert_eq!(
+            style.set("width", CssValue::Keyword("b".into())),
+            Some(CssValue::Keyword("a".into()))
+        );
+        assert_eq!(style.len(), 1);
+    }
+
+    /// The bucketed resolver must agree with the naive reference on a
+    /// fixture exercising every selector shape the index handles.
+    #[test]
+    fn bucketed_matches_naive_on_mixed_fixture() {
+        let doc = parse_html(
+            "<div id='outer' class='wrap'>\
+               <section><p id='inner' class='text lead' style='margin: 1px'>x</p></section>\
+               <input type='text' disabled>\
+             </div><p id='outside'>y</p>",
+        )
+        .unwrap();
+        let eng = engine(
+            "#inner { width: 1px; } .lead { color: red; } p { height: 2px; } \
+             * { line-height: 3px; } div p { font-size: 4px; } \
+             section > p.text { width: 5px !important; } [disabled] { color: blue; } \
+             .wrap section > p { text-align: center; } #outside, .lead { visibility: hidden; }",
+        );
+        for node in doc.elements().collect::<Vec<_>>() {
+            assert_eq!(
+                eng.compute_style(&doc, node, None),
+                eng.compute_style_naive(&doc, node, None),
+                "bucketed != naive for node {node:?}"
+            );
+            assert_eq!(
+                eng.compute_style_without_inline(&doc, node, None),
+                eng.compute_style_without_inline_naive(&doc, node, None)
+            );
+        }
+        assert_eq!(eng.compute_all(&doc), eng.compute_all_naive(&doc));
+    }
+
+    #[test]
+    fn both_views_agree_with_single_view_calls() {
+        let doc = parse_html("<p id='x' style='width: 9px'>t</p>").unwrap();
+        let p = doc.element_by_id("x").unwrap();
+        let eng = engine("#x { width: 1px !important; color: red; }");
+        let (with_inline, without_inline) = eng.compute_style_both(&doc, p, None);
+        assert_eq!(with_inline, eng.compute_style(&doc, p, None));
+        assert_eq!(
+            without_inline,
+            eng.compute_style_without_inline(&doc, p, None)
+        );
+    }
+
+    #[test]
+    fn stats_count_bucketing_and_bloom_wins() {
+        let doc =
+            parse_html("<div class='wrap'><p id='a'>x</p></div><span id='b'>y</span>").unwrap();
+        // Three rules: one only reachable via the `.miss` class bucket,
+        // one guarded by an ancestor the span doesn't have, one universal.
+        let eng = engine(".miss { width: 1px; } .wrap p { width: 2px; } * { width: 3px; }");
+        let span = doc.element_by_id("b").unwrap();
+        eng.compute_style(&doc, span, None);
+        let stats = eng.stats();
+        assert_eq!(stats.resolves, 1);
+        // `.miss` never became a candidate; `.wrap p` is tag-bucketed
+        // under `p` so the span skips it too; only `*` ran exactly.
+        assert_eq!(stats.matches, 1);
+        // The `p` inside the div hits the `.wrap p` candidate; its
+        // ancestor filter contains `.wrap`, so no bloom reject either.
+        let p = doc.element_by_id("a").unwrap();
+        eng.compute_style(&doc, p, None);
+        let stats = eng.stats();
+        assert_eq!(stats.resolves, 2);
+        assert_eq!(stats.matches, 3);
+        assert_eq!(stats.bloom_rejects, 0);
+        // Naive, by contrast, runs every selector each time.
+        eng.compute_style_naive(&doc, span, None);
+        let stats = eng.stats();
+        assert_eq!(stats.naive_resolves, 1);
+        assert_eq!(stats.naive_matches, 3);
+    }
+
+    #[test]
+    fn bloom_filter_rejects_impossible_ancestors() {
+        let doc = parse_html("<div><p id='a'>x</p></div>").unwrap();
+        // Ancestor `.sidebar` exists nowhere: the candidate is bucketed
+        // under `p` (so the p pulls it), but the ancestor filter kills it
+        // before the exact walk.
+        let eng = engine(".sidebar p { width: 1px; } p { width: 2px; }");
+        let p = doc.element_by_id("a").unwrap();
+        let style = eng.compute_style(&doc, p, None);
+        assert_eq!(style.get("width"), Some(&CssValue::Length(Length::px(2.0))));
+        let stats = eng.stats();
+        assert_eq!(stats.bloom_rejects, 1);
+        assert_eq!(stats.matches, 1);
+    }
+
+    #[test]
+    fn stylesheet_mut_bumps_generation_and_reindexes() {
+        let doc = parse_html("<p id='x'>t</p>").unwrap();
+        let p = doc.element_by_id("x").unwrap();
+        let mut eng = engine("p { width: 1px; }");
+        assert_eq!(eng.generation(), 0);
+        assert_eq!(
+            eng.compute_style(&doc, p, None).get("width"),
+            Some(&CssValue::Length(Length::px(1.0)))
+        );
+        // Inject a higher-specificity rule through the AUTOGREEN path.
+        let extra = parse_stylesheet("#x { width: 7px; }").unwrap();
+        eng.stylesheet_mut().extend(extra);
+        assert_eq!(eng.generation(), 1);
+        assert_eq!(
+            eng.compute_style(&doc, p, None).get("width"),
+            Some(&CssValue::Length(Length::px(7.0))),
+            "stale rule index survived a stylesheet mutation"
+        );
     }
 }

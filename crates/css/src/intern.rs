@@ -1,0 +1,107 @@
+//! Property-name interning: a process-wide atom table mapping CSS
+//! property names to small integer ids.
+//!
+//! Computed styles store `(PropertyId, value)` pairs instead of owned
+//! `String` keys, so cloning a style copies ids, equality compares ids,
+//! and the interner pays each name's allocation exactly once. The table
+//! only ever grows — property vocabularies are tiny and bounded by the
+//! stylesheets a process loads — so interned names can be handed out as
+//! `&'static str` without lifetime plumbing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+#[derive(Default)]
+struct Interner {
+    ids: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+/// An interned CSS property name.
+///
+/// Equality and hashing compare the integer id. Ordering compares the
+/// *resolved names*: interning order depends on which thread interned a
+/// name first, so id-order would differ between runs, while name-order
+/// is the same everywhere — the property that keeps style iteration
+/// byte-identical across serial and parallel executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PropertyId(u32);
+
+impl PropertyId {
+    /// Interns `name` (idempotent) and returns its id.
+    pub fn intern(name: &str) -> Self {
+        if let Some(&id) = interner().read().expect("interner lock").ids.get(name) {
+            return PropertyId(id);
+        }
+        let mut table = interner().write().expect("interner lock");
+        if let Some(&id) = table.ids.get(name) {
+            return PropertyId(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        let id = u32::try_from(table.names.len()).expect("property table overflow");
+        table.names.push(leaked);
+        table.ids.insert(leaked, id);
+        PropertyId(id)
+    }
+
+    /// The interned name.
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("interner lock").names[self.0 as usize]
+    }
+}
+
+impl Ord for PropertyId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl PartialOrd for PropertyId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for PropertyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = PropertyId::intern("width");
+        let b = PropertyId::intern("width");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "width");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        assert_ne!(PropertyId::intern("width"), PropertyId::intern("height"));
+    }
+
+    #[test]
+    fn ordering_follows_names_not_ids() {
+        // Intern in reverse-alphabetical order; Ord must still sort
+        // alphabetically, whatever ids were assigned.
+        let z = PropertyId::intern("zz-test-prop");
+        let a = PropertyId::intern("aa-test-prop");
+        assert!(a < z);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+}

@@ -25,14 +25,19 @@
 #![forbid(unsafe_code)]
 
 pub mod animation;
+pub mod bloom;
+mod bucket;
 pub mod cascade;
+pub mod intern;
 pub mod selector;
 pub mod stylesheet;
 pub mod tokenizer;
 pub mod transition;
 pub mod value;
 
-pub use cascade::{ComputedStyle, StyleEngine};
+pub use bloom::{ancestor_filter, AncestorFilter};
+pub use cascade::{ComputedStyle, StyleEngine, StyleStats};
+pub use intern::PropertyId;
 pub use selector::{Combinator, CompoundSelector, Selector, SimpleSelector, Specificity};
 pub use stylesheet::{
     parse_declarations_str, parse_stylesheet, parse_stylesheet_with_errors, CssError, Declaration,

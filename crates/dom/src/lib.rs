@@ -37,4 +37,4 @@ pub mod node;
 pub use document::{Document, NodeId};
 pub use event::{Event, EventPhase, EventType, ListenerSet};
 pub use html::{parse_html, HtmlError};
-pub use node::{Attribute, ElementData, NodeKind};
+pub use node::{class_atom, id_atom, tag_atom, Attribute, ElementData, NodeKind};

@@ -2,6 +2,38 @@
 
 use std::fmt;
 
+/// 64-bit FNV-1a over `name` with a one-byte kind prefix, so the same
+/// string used as a tag, an id, and a class yields three distinct atoms.
+fn style_atom(kind: u8, name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in std::iter::once(kind).chain(name.bytes()) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+/// The style atom of a (lowercase) tag name.
+///
+/// Style atoms are stable 64-bit hashes shared between the DOM and the
+/// CSS engine: ancestor Bloom filters insert the atoms of every element
+/// on a node's ancestor chain, and selector indexes precompute the atoms
+/// a combinator chain requires, so a filter miss rejects a candidate
+/// selector without walking the tree.
+pub fn tag_atom(name: &str) -> u64 {
+    style_atom(b't', name)
+}
+
+/// The style atom of an `id` attribute value. See [`tag_atom`].
+pub fn id_atom(name: &str) -> u64 {
+    style_atom(b'#', name)
+}
+
+/// The style atom of a single class name. See [`tag_atom`].
+pub fn class_atom(name: &str) -> u64 {
+    style_atom(b'.', name)
+}
+
 /// A single `name="value"` attribute on an element.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Attribute {
@@ -94,6 +126,15 @@ impl ElementData {
     /// Whether the class list contains `class`.
     pub fn has_class(&self, class: &str) -> bool {
         self.classes().any(|c| c == class)
+    }
+
+    /// The style atoms this element contributes to descendants' ancestor
+    /// Bloom filters: its tag atom, its id atom (if any), and one atom
+    /// per class. See [`tag_atom`].
+    pub fn style_atoms(&self) -> impl Iterator<Item = u64> + '_ {
+        std::iter::once(tag_atom(self.tag()))
+            .chain(self.id().map(id_atom))
+            .chain(self.classes().map(class_atom))
     }
 }
 
@@ -199,6 +240,35 @@ mod tests {
         let mut el = ElementData::new("a");
         el.set_attribute("href", "#");
         assert_eq!(el.to_string(), "<a href=\"#\">");
+    }
+
+    #[test]
+    fn style_atoms_distinguish_kinds() {
+        // The same string as a tag, id, and class must hash differently,
+        // or `#x` in a filter would satisfy a `.x` ancestor requirement.
+        let atoms = [tag_atom("x"), id_atom("x"), class_atom("x")];
+        assert_ne!(atoms[0], atoms[1]);
+        assert_ne!(atoms[0], atoms[2]);
+        assert_ne!(atoms[1], atoms[2]);
+        // And the hash is a pure function of its input.
+        assert_eq!(tag_atom("div"), tag_atom("div"));
+    }
+
+    #[test]
+    fn element_style_atoms_cover_tag_id_classes() {
+        let mut el = ElementData::new("div");
+        el.set_attribute("id", "intro");
+        el.set_attribute("class", "a b");
+        let atoms: Vec<u64> = el.style_atoms().collect();
+        assert_eq!(
+            atoms,
+            vec![
+                tag_atom("div"),
+                id_atom("intro"),
+                class_atom("a"),
+                class_atom("b")
+            ]
+        );
     }
 
     #[test]

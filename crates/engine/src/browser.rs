@@ -16,15 +16,17 @@ use crate::frame::{FrameTracker, Msg};
 use crate::host::{CallbackEffects, ScriptHost};
 use crate::report::{InputRecord, SimReport};
 use crate::scheduler::{Scheduler, SchedulerCtx};
+use crate::style_cache::StyleCache;
 use greenweb_acmp::{Cpu, CpuConfig, Duration, Platform, PowerModel, SimTime, WorkUnit};
 use greenweb_css::animation::{AnimationSpec, AnimationState};
 use greenweb_css::stylesheet::parse_stylesheet;
 use greenweb_css::transition::{TransitionSpec, TransitionState};
 use greenweb_css::value::{CssValue, Length};
-use greenweb_css::{ComputedStyle, StyleEngine};
+use greenweb_css::{ComputedStyle, StyleEngine, StyleStats};
 use greenweb_dom::{parse_html, Document, Event, EventType, ListenerSet, NodeId};
 use greenweb_script::{parse_program, Interpreter, Value};
 use greenweb_trace::{record_into, EventKind as TraceKind, SpanKind, TraceHandle};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
@@ -192,6 +194,9 @@ pub struct Browser<S: Scheduler> {
     app_name: String,
     doc: Document,
     style: StyleEngine,
+    /// Computed-style cache; `RefCell` so read-only accessors
+    /// ([`Browser::computed_style`]) stay `&self` while memoizing.
+    style_cache: RefCell<StyleCache>,
     interp: Interpreter,
     listeners: ListenerSet<Value>,
     cost: FrameCostModel,
@@ -259,6 +264,7 @@ impl<S: Scheduler> Browser<S> {
             app_name: app.name.clone(),
             doc,
             style,
+            style_cache: RefCell::new(StyleCache::from_env()),
             interp: Interpreter::new(),
             listeners: ListenerSet::new(),
             cost: app.cost.clone(),
@@ -342,6 +348,25 @@ impl<S: Scheduler> Browser<S> {
     /// The style engine (stylesheet + resolver).
     pub fn style_engine(&self) -> &StyleEngine {
         &self.style
+    }
+
+    /// Enables or disables the computed-style cache for this browser.
+    /// Tests use this instead of `GREENWEB_STYLE_CACHE`, which races
+    /// under parallel test execution. Caching is semantics-preserving;
+    /// only the `style.cache_*` counters differ between modes.
+    pub fn set_style_cache_enabled(&mut self, enabled: bool) {
+        self.style_cache.get_mut().set_enabled(enabled);
+    }
+
+    /// Combined style-system counters: the engine's resolver stats plus
+    /// this browser's cache hits/misses.
+    pub fn style_stats(&self) -> StyleStats {
+        let (cache_hits, cache_misses) = self.style_cache.borrow().counters();
+        self.style.stats().merge(&StyleStats {
+            cache_hits,
+            cache_misses,
+            ..StyleStats::default()
+        })
     }
 
     /// Every `(node, event)` pair with a registered listener — what
@@ -462,6 +487,19 @@ impl<S: Scheduler> Browser<S> {
                 }
             }
         }
+        let style = self.style_stats();
+        if let Some(trace) = self.trace.as_ref() {
+            trace.record(
+                end,
+                TraceKind::StyleStats {
+                    resolves: style.resolves,
+                    matches: style.matches,
+                    bloom_rejects: style.bloom_rejects,
+                    cache_hits: style.cache_hits,
+                    cache_misses: style.cache_misses,
+                },
+            );
+        }
         let mut inputs = self.input_meta.clone();
         for input in &mut inputs {
             input.frames = self.tracker.frames_for(input.uid);
@@ -477,6 +515,7 @@ impl<S: Scheduler> Browser<S> {
             busy_time: self.cpu.busy_time(),
             total_time: end.since(SimTime::ZERO),
             chaos: self.injector.as_ref().map(FaultInjector::report),
+            style,
         }
     }
 
@@ -991,6 +1030,19 @@ impl<S: Scheduler> Browser<S> {
                 origin: origin.uid,
             });
         }
+        // Invalidate the style cache *before* arming animations, so
+        // every resolve below sees post-write state: structural or
+        // attribute mutations can re-route matching for arbitrary nodes
+        // (drop everything), while inline style writes only affect the
+        // written subtree.
+        if effects.dom_mutated {
+            self.style_cache.get_mut().clear();
+        }
+        for write in &effects.style_writes {
+            self.style_cache
+                .get_mut()
+                .invalidate_subtree(&self.doc, write.node);
+        }
         let mut armed_css = false;
         for write in effects.style_writes {
             armed_css |= self.maybe_arm_animation(&write, origin.uid);
@@ -1028,7 +1080,14 @@ impl<S: Scheduler> Browser<S> {
             }
             return false;
         }
-        let computed = self.computed_style(write.node);
+        // One resolve yields both views: the full computed style (to read
+        // `transition`) and the cascade without the just-written inline
+        // override (the transition's start value). The seed resolved the
+        // node twice here — full at the top, inline-less again below.
+        let (computed, without_inline) =
+            self.style_cache
+                .get_mut()
+                .resolve(&self.style, &self.doc, write.node);
         let Some(transition_value) = computed.get("transition") else {
             return false;
         };
@@ -1040,12 +1099,10 @@ impl<S: Scheduler> Browser<S> {
         // when the property's initial value came from the stylesheet
         // (Fig. 4's `div#ex { width: 100px; }`) — the cascaded value
         // without the just-written inline override.
-        let old = write.old.clone().or_else(|| {
-            self.style
-                .compute_style_without_inline(&self.doc, write.node, None)
-                .get(&write.property)
-                .cloned()
-        });
+        let old = write
+            .old
+            .clone()
+            .or_else(|| without_inline.get(&write.property).cloned());
         let Some(old) = old else {
             // No previous value at all: a property gaining its first
             // value does not transition (per CSS).
@@ -1065,8 +1122,12 @@ impl<S: Scheduler> Browser<S> {
         true
     }
 
-    fn computed_style(&self, node: NodeId) -> ComputedStyle {
-        self.style.compute_style(&self.doc, node, None)
+    /// The computed style of `node`, resolved through the cache.
+    pub fn computed_style(&self, node: NodeId) -> ComputedStyle {
+        self.style_cache
+            .borrow_mut()
+            .resolve(&self.style, &self.doc, node)
+            .0
     }
 
     fn apply_config(&mut self, desired: Option<CpuConfig>) {

@@ -45,6 +45,13 @@ pub struct StyleWrite {
 pub struct CallbackEffects {
     /// The callback requested a repaint (explicitly or via DOM mutation).
     pub dirty: bool,
+    /// The callback mutated DOM *structure or attributes* (tree edits,
+    /// `setAttribute`) — mutations that can change selector matching for
+    /// arbitrary nodes, so the engine's computed-style cache must drop
+    /// everything. Inline style writes are tracked separately in
+    /// [`CallbackEffects::style_writes`] and invalidate only the written
+    /// subtree.
+    pub dom_mutated: bool,
     /// `requestAnimationFrame` registrations, in call order.
     pub raf: Vec<Value>,
     /// `setTimeout` registrations: `(callback, delay in ms)`.
@@ -191,6 +198,7 @@ impl Host for ScriptHost<'_> {
                     el.set_attribute(attr, value);
                 }
                 self.effects.dirty = true;
+                self.effects.dom_mutated = true;
                 Ok(Value::Null)
             })(),
             "setStyle" => (|| {
@@ -296,12 +304,14 @@ impl Host for ScriptHost<'_> {
                 let child = self.node_arg(args, 1, name)?;
                 self.doc.append_child(parent, child);
                 self.effects.dirty = true;
+                self.effects.dom_mutated = true;
                 Ok(Value::Null)
             })(),
             "removeChild" => (|| {
                 let node = self.node_arg(args, 0, name)?;
                 self.doc.detach(node);
                 self.effects.dirty = true;
+                self.effects.dom_mutated = true;
                 Ok(Value::Null)
             })(),
             "setText" => (|| {
@@ -317,6 +327,7 @@ impl Host for ScriptHost<'_> {
                 let text_node = self.doc.create_text(text);
                 self.doc.append_child(node, text_node);
                 self.effects.dirty = true;
+                self.effects.dom_mutated = true;
                 Ok(Value::Null)
             })(),
             "elementCount" => Ok(Value::Number(self.doc.elements().count() as f64)),

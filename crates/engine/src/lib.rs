@@ -49,6 +49,7 @@ pub mod host;
 pub mod report;
 pub mod runspec;
 pub mod scheduler;
+pub mod style_cache;
 
 pub use app::{App, AppBuilder};
 pub use browser::{Browser, BrowserError};
@@ -62,3 +63,4 @@ pub use frame::{FrameRecord, FrameTracker, Msg};
 pub use report::{InputRecord, SimReport};
 pub use runspec::{RunOutcome, RunSpec, SchedulerFactory, SchedulerProbe, TraceMode};
 pub use scheduler::{GovernorScheduler, Scheduler, SchedulerCtx};
+pub use style_cache::StyleCache;

@@ -5,6 +5,7 @@ use crate::events::InputId;
 use crate::fault::ChaosReport;
 use crate::frame::FrameRecord;
 use greenweb_acmp::{CpuConfig, Duration, EnergyBreakdown, SimTime};
+use greenweb_css::StyleStats;
 use greenweb_dom::EventType;
 use std::collections::HashMap;
 
@@ -55,6 +56,9 @@ pub struct SimReport {
     pub total_time: Duration,
     /// Record of injected faults, when the run had a fault plan attached.
     pub chaos: Option<ChaosReport>,
+    /// Style-system counters (resolves, exact matches, Bloom rejects,
+    /// cache hits/misses) — deterministic, never wall-clock.
+    pub style: StyleStats,
 }
 
 impl SimReport {
@@ -157,6 +161,7 @@ mod tests {
             busy_time: Duration::from_millis(100),
             total_time: Duration::from_millis(1000),
             chaos: None,
+            style: StyleStats::default(),
         }
     }
 

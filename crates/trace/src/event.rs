@@ -118,6 +118,23 @@ pub enum EventKind {
         /// Whether the CPU was executing work.
         busy: bool,
     },
+    /// End-of-run style-system counters: how much exact selector
+    /// matching the bucketed resolver ran, what the ancestor Bloom
+    /// filter rejected, and how the computed-style cache performed.
+    /// Deterministic counters (never wall-clock), recorded once when the
+    /// report is built.
+    StyleStats {
+        /// Bucketed style resolutions performed.
+        resolves: u64,
+        /// Exact selector match walks the bucketed path ran.
+        matches: u64,
+        /// Candidates rejected by the ancestor Bloom filter alone.
+        bloom_rejects: u64,
+        /// Computed-style cache hits.
+        cache_hits: u64,
+        /// Computed-style cache misses.
+        cache_misses: u64,
+    },
     /// A frame committed, answering one input (one per
     /// `FrameRecord`).
     FrameCommit {
@@ -144,6 +161,7 @@ impl EventKind {
             EventKind::Ladder { .. } => "ladder",
             EventKind::Fault { .. } => "fault",
             EventKind::EnergySample { .. } => "energy-sample",
+            EventKind::StyleStats { .. } => "style-stats",
             EventKind::FrameCommit { .. } => "frame-commit",
         }
     }

@@ -181,6 +181,21 @@ fn write_event(out: &mut String, record: &TraceRecord) {
             open_event(out, "freq_mhz", "power", 'C', 0, ts_us(record.at));
             let _ = write!(out, ",\"args\":{{\"mhz\":{}}}}}", config.freq_mhz);
         }
+        EventKind::StyleStats {
+            resolves,
+            matches,
+            bloom_rejects,
+            cache_hits,
+            cache_misses,
+        } => {
+            open_event(out, "style-stats", "style", 'I', 1, ts_us(record.at));
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"resolves\":{resolves},\"matches\":{matches},\
+                 \"bloom_rejects\":{bloom_rejects},\"cache_hits\":{cache_hits},\
+                 \"cache_misses\":{cache_misses}}}}}"
+            );
+        }
         EventKind::FrameCommit {
             uid,
             seq,

@@ -231,6 +231,19 @@ impl MetricsRegistry {
                 EventKind::Fault { category, .. } => {
                     registry.inc(&format!("fault.{category}"));
                 }
+                EventKind::StyleStats {
+                    resolves,
+                    matches,
+                    bloom_rejects,
+                    cache_hits,
+                    cache_misses,
+                } => {
+                    registry.inc_by("style.resolves", *resolves);
+                    registry.inc_by("style.matches", *matches);
+                    registry.inc_by("style.bloom_rejects", *bloom_rejects);
+                    registry.inc_by("style.cache_hits", *cache_hits);
+                    registry.inc_by("style.cache_misses", *cache_misses);
+                }
                 _ => {}
             }
         }

@@ -4,10 +4,11 @@
 use greenweb::lang::{Annotation, AnnotationTable};
 use greenweb::qos::{QosSpec, QosTarget, QosType, Scenario};
 use greenweb_acmp::{CoreType, Cpu, CpuConfig, Duration, Platform, PowerModel, SimTime, WorkUnit};
-use greenweb_css::{parse_stylesheet, Selector};
+use greenweb_css::{parse_stylesheet, Selector, StyleEngine};
 use greenweb_det::prop::{check, Gen, DEFAULT_CASES};
-use greenweb_dom::EventType;
+use greenweb_dom::{parse_html, EventType};
 use greenweb_engine::{FrameTracker, InputId, Msg};
+use std::fmt::Write as _;
 
 const EVENTS: [EventType; 6] = [
     EventType::Click,
@@ -344,6 +345,185 @@ fn frame_tracker_metadata_survives_reordering() {
                 }
             }
         },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Incremental style system: the bucketed + Bloom-filtered resolver must
+// agree with the naive full scan on arbitrary documents × stylesheets,
+// and the engine's computed-style cache must be invisible to results.
+// ---------------------------------------------------------------------------
+
+const STYLE_TAGS: [&str; 5] = ["div", "p", "span", "ul", "li"];
+const STYLE_CLASSES: [&str; 6] = ["a", "b", "hot", "cold", "nav", "card"];
+const STYLE_PROPS: [&str; 4] = ["width", "height", "margin", "color"];
+
+fn gen_style_element(g: &mut Gen, depth: u32, next_id: &mut u32, out: &mut String) {
+    let tag = *g.choose(&STYLE_TAGS);
+    let _ = write!(out, "<{tag}");
+    if g.bool_with(0.3) {
+        let _ = write!(out, " id='e{}'", *next_id);
+        *next_id += 1;
+    }
+    if g.bool_with(0.5) {
+        let a = *g.choose(&STYLE_CLASSES);
+        if g.bool_with(0.3) {
+            let _ = write!(out, " class='{a} {}'", *g.choose(&STYLE_CLASSES));
+        } else {
+            let _ = write!(out, " class='{a}'");
+        }
+    }
+    if g.bool_with(0.25) {
+        let _ = write!(
+            out,
+            " style='{}: {}px{}'",
+            *g.choose(&STYLE_PROPS),
+            g.usize_in(0, 500),
+            if g.bool_with(0.2) { " !important" } else { "" }
+        );
+    }
+    out.push('>');
+    if depth > 0 {
+        for _ in 0..g.usize_in(0, 4) {
+            gen_style_element(g, depth - 1, next_id, out);
+        }
+    } else {
+        out.push('x');
+    }
+    let _ = write!(out, "</{tag}>");
+}
+
+fn gen_style_document(g: &mut Gen) -> String {
+    let mut html = String::new();
+    let mut next_id = 0;
+    for _ in 0..g.usize_in(1, 4) {
+        gen_style_element(g, 3, &mut next_id, &mut html);
+    }
+    html
+}
+
+fn gen_style_selector(g: &mut Gen) -> String {
+    let simple = |g: &mut Gen| match g.usize_in(0, 6) {
+        0 => format!("#e{}", g.usize_in(0, 10)),
+        1 => format!(".{}", *g.choose(&STYLE_CLASSES)),
+        2 => (*g.choose(&STYLE_TAGS)).to_string(),
+        3 => format!("{}.{}", *g.choose(&STYLE_TAGS), *g.choose(&STYLE_CLASSES)),
+        4 => "[style]".to_string(),
+        _ => "*".to_string(),
+    };
+    match g.usize_in(0, 4) {
+        0 => simple(g),
+        1 => format!("{} {}", simple(g), simple(g)),
+        2 => format!("{} > {}", simple(g), simple(g)),
+        _ => format!("{}, {}", simple(g), simple(g)),
+    }
+}
+
+fn gen_stylesheet_source(g: &mut Gen) -> String {
+    let mut css = String::new();
+    for _ in 0..g.usize_in(0, 13) {
+        let _ = write!(css, "{} {{ ", gen_style_selector(g));
+        for _ in 0..g.usize_in(1, 4) {
+            let _ = write!(
+                css,
+                "{}: {}px{}; ",
+                *g.choose(&STYLE_PROPS),
+                g.usize_in(0, 500),
+                if g.bool_with(0.2) { " !important" } else { "" }
+            );
+        }
+        css.push_str("} ");
+    }
+    css
+}
+
+/// The tentpole's correctness contract: on random documents × random
+/// stylesheets, the bucketed + Bloom-filtered resolver agrees with the
+/// naive full scan property-for-property — for the whole tree, and for
+/// both per-node views (with and without inline style).
+#[test]
+fn bucketed_style_resolver_matches_naive() {
+    check(
+        "bucketed_style_resolver_matches_naive",
+        DEFAULT_CASES,
+        |g| {
+            let html = gen_style_document(g);
+            let css = gen_stylesheet_source(g);
+            let doc = parse_html(&html).unwrap_or_else(|e| panic!("html {html:?}: {e}"));
+            let engine = StyleEngine::new(
+                parse_stylesheet(&css).unwrap_or_else(|e| panic!("css {css:?}: {e}")),
+            );
+
+            let bucketed = engine.compute_all(&doc);
+            let naive = engine.compute_all_naive(&doc);
+            assert_eq!(
+                bucketed, naive,
+                "tree resolve diverged\ncss: {css}\nhtml: {html}"
+            );
+
+            for node in doc.descendants(doc.root()) {
+                if doc.element(node).is_none() {
+                    continue;
+                }
+                let (with_inline, without_inline) = engine.compute_style_both(&doc, node, None);
+                assert_eq!(
+                    with_inline,
+                    engine.compute_style_naive(&doc, node, None),
+                    "with-inline view diverged\ncss: {css}\nhtml: {html}"
+                );
+                assert_eq!(
+                    without_inline,
+                    engine.compute_style_without_inline_naive(&doc, node, None),
+                    "without-inline view diverged\ncss: {css}\nhtml: {html}"
+                );
+            }
+        },
+    );
+}
+
+/// The computed-style cache is invisible to behavior: a full engine run
+/// with the cache disabled produces the same frames, inputs, and energy
+/// as with it enabled — only the `style.cache_*` counters may differ.
+#[test]
+fn style_cache_does_not_change_run_results() {
+    use greenweb_engine::{App, Browser, GovernorScheduler, Trace};
+
+    let app = App::builder("cache-parity")
+        .html("<div id='box'><p class='inner'>x</p></div>")
+        .css("#box { width: 10px; transition: width 100ms linear; } .inner { margin: 2px; }")
+        // Two writes per click: the invalidation pass runs before
+        // animation arming, so the second arm's resolve of the same node
+        // is the cache's hit path.
+        .script(
+            "addEventListener(getElementById('box'), 'click', function(e) { \
+               setStyle(getElementById('box'), 'width', 200); \
+               setStyle(getElementById('box'), 'height', 50); markDirty(); });",
+        )
+        .build();
+    let trace = Trace::builder()
+        .click_id(50.0, "box")
+        .click_id(300.0, "box")
+        .end_ms(800.0)
+        .build();
+
+    let run_with_cache = |enabled: bool| {
+        let mut browser =
+            Browser::new(&app, GovernorScheduler::new(greenweb_acmp::PerfGovernor)).unwrap();
+        browser.set_style_cache_enabled(enabled);
+        browser.run(&trace).unwrap()
+    };
+    let on = run_with_cache(true);
+    let off = run_with_cache(false);
+
+    assert_eq!(on.frames, off.frames, "cache changed frame records");
+    assert_eq!(on.inputs, off.inputs, "cache changed input metadata");
+    assert_eq!(on.total_mj(), off.total_mj(), "cache changed energy");
+    // The cache actually engaged: hits on, none off.
+    assert!(on.style.cache_hits > 0, "cache never hit: {:?}", on.style);
+    assert_eq!(
+        off.style.cache_hits, 0,
+        "disabled cache hit: {:?}",
+        off.style
     );
 }
 
