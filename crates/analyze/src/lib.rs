@@ -191,7 +191,7 @@ pub fn analyze_on(app: &App, platform: &Platform) -> AnalysisReport {
             let (code, area) = match &e {
                 BrowserError::Html(_) => (LintCode::HtmlParse, Area::Html),
                 BrowserError::Css(_) => (LintCode::CssRecovered, Area::Css),
-                BrowserError::Parse(_) | BrowserError::Script(_) => {
+                BrowserError::Parse(_) | BrowserError::Script(_) | BrowserError::Budget(_) => {
                     (LintCode::ScriptLoad, Area::App)
                 }
             };

@@ -14,6 +14,7 @@
 //! evaluate bench                      serial-vs-parallel wall-clock
 //! evaluate bench --suite style        style resolver microbenchmark
 //! evaluate metrics                    one workload's RunMetrics as JSON
+//! evaluate sweep --out F              supervised, checkpointed matrix sweep
 //! ```
 //!
 //! Flags (combinable with any command):
@@ -30,6 +31,22 @@
 //!                       the legacy serial path — output is identical
 //!                       either way)
 //! ```
+//!
+//! `sweep` flags (see `EXPERIMENTS.md` for recipes):
+//!
+//! ```text
+//! --out FILE            append-only JSONL results file (required)
+//! --resume              validate FILE's prefix and append the remaining
+//!                       jobs instead of starting over
+//! --repro-dir DIR       dump a minimized JSON repro per quarantined job
+//! --poison LIST         insert broken cells, e.g. panic:3,spin:7,malformed:11
+//! --retries N           attempts per job before quarantine (default 3)
+//! ```
+//!
+//! `sweep` exits 0 only when every job succeeded, 2 with a failure
+//! summary table when any job was quarantined, and 3 when the sweep was
+//! aborted mid-run (`GREENWEB_ABORT_AFTER=K` aborts after K new result
+//! lines — the hook CI's resume-parity gate kills with).
 //!
 //! `bench` (micro) times the microbenchmark suite serially and at
 //! `--jobs`, adds per-phase pipeline totals from a traced run, and writes
@@ -55,6 +72,11 @@ fn main() {
     let mut workload = String::from("Paper.js");
     let mut suite_name = String::from("micro");
     let mut jobs = Jobs::from_env();
+    let mut out_path: Option<String> = None;
+    let mut resume = false;
+    let mut repro_dir: Option<String> = None;
+    let mut poison = String::new();
+    let mut retries: u32 = 3;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -71,6 +93,19 @@ fn main() {
                     .expect("--jobs requires a worker count")
                     .parse()
                     .expect("--jobs requires a positive integer");
+            }
+            "--out" => out_path = Some(argv.next().expect("--out requires a file path")),
+            "--resume" => resume = true,
+            "--repro-dir" => {
+                repro_dir = Some(argv.next().expect("--repro-dir requires a directory"));
+            }
+            "--poison" => poison = argv.next().expect("--poison requires a kind:index list"),
+            "--retries" => {
+                retries = argv
+                    .next()
+                    .expect("--retries requires a count")
+                    .parse()
+                    .expect("--retries requires a positive integer");
             }
             other => command = Some(other.to_string()),
         }
@@ -97,6 +132,12 @@ fn main() {
     if command == "metrics" {
         metrics_report(&workload);
         return;
+    }
+    if command == "sweep" {
+        let out = out_path.expect("sweep requires --out FILE");
+        std::process::exit(sweep_command(
+            &out, resume, repro_dir, &poison, retries, jobs,
+        ));
     }
 
     if wants("table1") {
@@ -252,6 +293,72 @@ fn main() {
             println!("open it in https://ui.perfetto.dev or chrome://tracing");
         }
     }
+}
+
+/// Runs (or resumes) the supervised canonical sweep and returns the
+/// process exit code: 0 all ok, 2 quarantined failures (summary table
+/// on stderr), 3 aborted mid-run.
+fn sweep_command(
+    out: &str,
+    resume: bool,
+    repro_dir: Option<String>,
+    poison: &str,
+    retries: u32,
+    jobs: Jobs,
+) -> i32 {
+    use greenweb_workloads::sweep::{parse_poison_list, run_sweep, SweepConfig, SweepPlan};
+    let poisons = parse_poison_list(poison).expect("--poison");
+    let plan = SweepPlan::canonical().with_poison(&poisons);
+    let abort_after = std::env::var("GREENWEB_ABORT_AFTER")
+        .ok()
+        .map(|k| k.parse().expect("GREENWEB_ABORT_AFTER must be a count"));
+    let config = SweepConfig {
+        out: out.into(),
+        resume,
+        repro_dir: repro_dir.map(Into::into),
+        retry: greenweb_fleet::RetryPolicy {
+            max_attempts: retries.max(1),
+            ..greenweb_fleet::RetryPolicy::default()
+        },
+        jobs,
+        abort_after,
+    };
+    eprintln!(
+        "sweeping {} jobs ({} worker(s)) into {out}{}...",
+        plan.cells.len(),
+        jobs,
+        if resume { ", resuming" } else { "" }
+    );
+    let result = match run_sweep(&plan, &config) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return 1;
+        }
+    };
+    let report = &result.report;
+    if result.resumed_jobs > 0 {
+        eprintln!("resumed past {} checkpointed job(s)", result.resumed_jobs);
+    }
+    eprintln!(
+        "merged frame-latency histogram: {} frames, p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+        result.merged.count(),
+        result.merged.quantile(0.50),
+        result.merged.quantile(0.99),
+        result.merged.max(),
+    );
+    if report.aborted {
+        eprintln!(
+            "sweep aborted after {} of {} jobs; rerun with --resume to finish",
+            report.ok + report.quarantined,
+            report.total
+        );
+    } else if !report.all_ok() {
+        eprint!("{}", report.summary_table());
+    } else {
+        eprintln!("all {} jobs ok", report.total);
+    }
+    result.exit_code()
 }
 
 fn suite(

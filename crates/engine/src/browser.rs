@@ -15,6 +15,7 @@ use crate::fault::{FaultInjector, FaultPlan, VsyncDisposition};
 use crate::frame::{FrameTracker, Msg};
 use crate::host::{CallbackEffects, ScriptHost};
 use crate::report::{InputRecord, SimReport};
+use crate::runspec::RunBudget;
 use crate::scheduler::{Scheduler, SchedulerCtx};
 use crate::style_cache::StyleCache;
 use greenweb_acmp::{Cpu, CpuConfig, Duration, Platform, PowerModel, SimTime, WorkUnit};
@@ -56,6 +57,11 @@ pub enum BrowserError {
     Parse(greenweb_script::ParseError),
     /// A script failed at runtime.
     Script(greenweb_script::ScriptError),
+    /// A watchdog ceiling ([`crate::RunBudget`]) tripped: the run was a
+    /// runaway (infinite loop, timer bomb), not a program bug. Counted
+    /// in deterministic simulation quantities, so the same spec trips
+    /// at the same point on every machine.
+    Budget(String),
 }
 
 impl fmt::Display for BrowserError {
@@ -65,6 +71,7 @@ impl fmt::Display for BrowserError {
             BrowserError::Css(e) => write!(f, "{e}"),
             BrowserError::Parse(e) => write!(f, "{e}"),
             BrowserError::Script(e) => write!(f, "{e}"),
+            BrowserError::Budget(detail) => write!(f, "watchdog budget exceeded: {detail}"),
         }
     }
 }
@@ -91,7 +98,13 @@ impl From<greenweb_script::ParseError> for BrowserError {
 
 impl From<greenweb_script::ScriptError> for BrowserError {
     fn from(e: greenweb_script::ScriptError) -> Self {
-        BrowserError::Script(e)
+        // Fuel exhaustion is the script-side arm of the watchdog: it is
+        // a budget outcome, not a script bug, wherever it surfaces.
+        if e.is_op_limit() {
+            BrowserError::Budget(e.to_string())
+        } else {
+            BrowserError::Script(e)
+        }
     }
 }
 
@@ -225,6 +238,11 @@ pub struct Browser<S: Scheduler> {
     logs: Vec<String>,
     injector: Option<FaultInjector>,
     trace: Option<TraceHandle>,
+    /// Watchdog ceilings, when this browser runs supervised.
+    budget: Option<RunBudget>,
+    /// Discrete events popped by [`Browser::run`] so far (across runs),
+    /// checked against `budget.max_sim_events`.
+    events_popped: u64,
 }
 
 impl<S: Scheduler> Browser<S> {
@@ -291,6 +309,8 @@ impl<S: Scheduler> Browser<S> {
             logs: Vec::new(),
             injector: None,
             trace: None,
+            budget: None,
+            events_popped: 0,
         };
         // Run setup scripts: they register listeners and may set initial
         // styles. Scheduling effects (dirty/rAF/timers) are ignored at
@@ -325,6 +345,15 @@ impl<S: Scheduler> Browser<S> {
     /// same app/trace/scheduler) are byte-for-byte reproducible.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Attaches a watchdog budget. The interpreter's per-callback fuel
+    /// ceiling takes effect immediately; the sim-event ceiling is
+    /// enforced by the next [`Browser::run`]. See [`RunBudget`] for why
+    /// both ceilings are deterministic.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.interp.set_op_limit(budget.max_callback_ops);
+        self.budget = Some(budget);
     }
 
     /// Attaches a trace recorder. The browser emits pipeline-stage
@@ -446,6 +475,16 @@ impl<S: Scheduler> Browser<S> {
         while let Some(Reverse(event)) = self.queue.pop() {
             if event.at > end {
                 break;
+            }
+            self.events_popped += 1;
+            if let Some(budget) = self.budget {
+                if self.events_popped > budget.max_sim_events {
+                    return Err(BrowserError::Budget(format!(
+                        "sim-event ceiling exceeded: popped more than {} events \
+                         by t={:?} (trace ends at {:?})",
+                        budget.max_sim_events, event.at, end
+                    )));
+                }
             }
             debug_assert!(event.at >= self.now, "event queue went backwards");
             self.now = event.at;

@@ -61,6 +61,6 @@ pub use fault::{
 };
 pub use frame::{FrameRecord, FrameTracker, Msg};
 pub use report::{InputRecord, SimReport};
-pub use runspec::{RunOutcome, RunSpec, SchedulerFactory, SchedulerProbe, TraceMode};
+pub use runspec::{RunBudget, RunOutcome, RunSpec, SchedulerFactory, SchedulerProbe, TraceMode};
 pub use scheduler::{GovernorScheduler, Scheduler, SchedulerCtx};
 pub use style_cache::StyleCache;

@@ -60,6 +60,39 @@ pub enum TraceMode {
     Ring(usize),
 }
 
+/// The per-run watchdog budget: deterministic execution ceilings that
+/// convert a runaway workload into a typed
+/// [`BrowserError::Budget`](crate::BrowserError::Budget) outcome instead
+/// of a hang.
+///
+/// Both ceilings are counted in *simulation* quantities (interpreter
+/// fuel ops and discrete-event pops), never wall-clock, so the same
+/// spec trips the same ceiling at the same point on every machine —
+/// supervised sweeps stay byte-reproducible even for their failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Fuel ceiling per script callback (interpreter evaluation steps;
+    /// the engine resets the counter at each callback entry). An
+    /// infinite `while (true)` loop burns this in bounded time.
+    pub max_callback_ops: u64,
+    /// Ceiling on discrete events popped by one run's event loop. A
+    /// zero-delay timer bomb (each callback re-arming `setTimeout(f, 0)`)
+    /// advances simulated time glacially and would otherwise take an
+    /// astronomical number of steps to reach the trace end; this bounds
+    /// it.
+    pub max_sim_events: u64,
+}
+
+impl RunBudget {
+    /// The sweep default: roomy enough that no canonical workload comes
+    /// within an order of magnitude of either ceiling, tight enough that
+    /// a hostile job dies in well under a second of host time.
+    pub const SWEEP_DEFAULT: RunBudget = RunBudget {
+        max_callback_ops: 5_000_000,
+        max_sim_events: 1_000_000,
+    };
+}
+
 /// Extracts a policy-specific artifact from the scheduler after a run
 /// (via [`Scheduler::as_any`] downcasting), e.g. a degradation log.
 /// The artifact must be `Send` so it can leave the worker thread even
@@ -88,6 +121,8 @@ pub struct RunSpec {
     pub recording: TraceMode,
     /// Post-run scheduler-state extractor, if the caller needs one.
     pub probe: Option<SchedulerProbe>,
+    /// Watchdog ceilings, if this run is supervised.
+    pub budget: Option<RunBudget>,
 }
 
 // The whole point of the spec: it must be able to cross into a worker
@@ -113,6 +148,7 @@ impl RunSpec {
             scheduler,
             recording: TraceMode::Off,
             probe: None,
+            budget: None,
         }
     }
 
@@ -152,6 +188,50 @@ impl RunSpec {
         self
     }
 
+    /// Attaches a watchdog budget: the run fails with
+    /// [`BrowserError::Budget`] instead of running away when either
+    /// ceiling is hit.
+    #[must_use]
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// A deterministic FNV-1a fingerprint of the spec's *data* parts —
+    /// app sources, cost model, input trace, fault plan, recording mode,
+    /// and budget. The scheduler factory and probe are opaque closures
+    /// and deliberately excluded; quarantine repros carry the policy by
+    /// name alongside this digest instead.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            // Field separator so ("ab","c") and ("a","bc") differ.
+            h ^= 0xFF;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        eat(self.app.name.as_bytes());
+        eat(self.app.html.as_bytes());
+        for css in &self.app.css {
+            eat(css.as_bytes());
+        }
+        for script in &self.app.scripts {
+            eat(script.as_bytes());
+        }
+        eat(format!("{:?}", self.app.cost).as_bytes());
+        for event in &self.trace.events {
+            eat(format!("{:?}@{:?}->{}", event.event, event.at, event.target).as_bytes());
+        }
+        eat(format!("end:{:?}", self.trace.end).as_bytes());
+        eat(format!("faults:{:?}", self.faults).as_bytes());
+        eat(format!("recording:{:?}", self.recording).as_bytes());
+        eat(format!("budget:{:?}", self.budget).as_bytes());
+        h
+    }
+
     /// Executes the run described by this spec: builds the scheduler
     /// and browser *on the calling thread*, replays the trace, and
     /// packages the outputs. Identical specs produce identical
@@ -170,6 +250,9 @@ impl RunSpec {
         )?;
         if let Some(plan) = self.faults {
             browser.set_fault_plan(plan);
+        }
+        if let Some(budget) = self.budget {
+            browser.set_budget(budget);
         }
         let recorder = match self.recording {
             TraceMode::Off => None,
@@ -199,6 +282,7 @@ impl fmt::Debug for RunSpec {
             .field("trace_events", &self.trace.len())
             .field("faults", &self.faults)
             .field("recording", &self.recording)
+            .field("budget", &self.budget)
             .finish_non_exhaustive()
     }
 }
@@ -257,6 +341,82 @@ mod tests {
         let outcome = spec.execute().unwrap();
         let buffer = outcome.trace.expect("recording was requested");
         assert!(buffer.count_of("vsync") > 0, "timeline must hold ticks");
+    }
+
+    #[test]
+    fn budget_converts_runaway_callback_into_typed_outcome() {
+        let app = App::builder("spinner")
+            .html("<button id='go'>go</button>")
+            .script(
+                "addEventListener(getElementById('go'), 'click', function(e) {
+                     while (true) { var x = 1; }
+                 });",
+            )
+            .build();
+        let trace = Trace::builder().click_id(100.0, "go").end_ms(600.0).build();
+        let spec = RunSpec::new(app, trace, perf_factory()).with_budget(RunBudget {
+            max_callback_ops: 10_000,
+            max_sim_events: 1_000_000,
+        });
+        match spec.execute() {
+            Err(crate::BrowserError::Budget(detail)) => {
+                assert!(detail.contains("op limit"), "detail: {detail}");
+            }
+            other => panic!("expected a budget trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_caps_sim_event_count() {
+        // A zero-delay timer bomb: each firing re-arms itself, so the
+        // run would pop events for eons of simulated microseconds.
+        let app = App::builder("timer-bomb")
+            .html("<button id='go'>go</button>")
+            .script(
+                "function rearm() { setTimeout(rearm, 0); markDirty(); }
+                 addEventListener(getElementById('go'), 'click', function(e) { rearm(); });",
+            )
+            .build();
+        let trace = Trace::builder()
+            .click_id(100.0, "go")
+            .end_ms(60_000.0)
+            .build();
+        let spec = RunSpec::new(app, trace, perf_factory()).with_budget(RunBudget {
+            max_callback_ops: 5_000_000,
+            max_sim_events: 2_000,
+        });
+        match spec.execute() {
+            Err(crate::BrowserError::Budget(detail)) => {
+                assert!(detail.contains("event"), "detail: {detail}");
+            }
+            other => panic!("expected a budget trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_run_is_identical_with_a_roomy_budget() {
+        let app = demo_app();
+        let trace = Trace::builder().click_id(100.0, "go").end_ms(600.0).build();
+        let plain = RunSpec::new(app.clone(), trace.clone(), perf_factory())
+            .execute()
+            .unwrap();
+        let budgeted = RunSpec::new(app, trace, perf_factory())
+            .with_budget(RunBudget::SWEEP_DEFAULT)
+            .execute()
+            .unwrap();
+        assert_eq!(plain.report.total_mj(), budgeted.report.total_mj());
+        assert_eq!(plain.report.frames.len(), budgeted.report.frames.len());
+    }
+
+    #[test]
+    fn digest_tracks_data_not_identity() {
+        let app = demo_app();
+        let trace = Trace::builder().click_id(100.0, "go").end_ms(600.0).build();
+        let a = RunSpec::new(app.clone(), trace.clone(), perf_factory());
+        let b = RunSpec::new(app.clone(), trace.clone(), perf_factory());
+        assert_eq!(a.digest(), b.digest(), "same data, same digest");
+        let c = RunSpec::new(app, trace, perf_factory()).with_budget(RunBudget::SWEEP_DEFAULT);
+        assert_ne!(a.digest(), c.digest(), "budget participates in digest");
     }
 
     #[test]

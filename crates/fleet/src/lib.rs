@@ -19,8 +19,32 @@
 //! ordering, metrics, goldens, or exported traces. With
 //! [`Jobs::serial`] (or a single-job batch) no thread is spawned at
 //! all — that is the legacy inline path, bit-identical by construction.
+//!
+//! ## Two executors, two failure models
+//!
+//! * [`run_jobs`] / [`run_specs`] — the *trusted* path. Every job is
+//!   expected to succeed; a panic in any job aborts the whole batch
+//!   (the unwind crosses `thread::scope` on join). Use it for goldens
+//!   and matrices over known-good workloads.
+//! * [`supervise::run_supervised`] — the *hardened* path for corpus
+//!   sweeps over untrusted inputs. Failures are contained per job and
+//!   classified into a small taxonomy ([`supervise::FailureKind`]):
+//!   **panic** (caught via `catch_unwind`, payload preserved),
+//!   **budget-exceeded** (a [`greenweb_engine::RunBudget`] watchdog
+//!   ceiling tripped), **load** (HTML/CSS/script parse failure), and
+//!   **script** (runtime callback error). Each failing job climbs a
+//!   deterministic retry ladder and is quarantined — not fatal — when
+//!   its attempts run out, while outcomes stream to the caller in job
+//!   order for append-only checkpointing.
 
 #![forbid(unsafe_code)]
+
+pub mod supervise;
+
+pub use supervise::{
+    run_supervised, run_supervised_collect, FailureKind, FleetReport, JobFailure, JobStatus,
+    RetryPolicy, SupervisedJob, SupervisedOutcome,
+};
 
 use greenweb_engine::{BrowserError, RunOutcome, RunSpec};
 use std::num::NonZeroUsize;
@@ -99,8 +123,13 @@ impl std::fmt::Display for Jobs {
 /// With one worker (or at most one job) everything runs inline on the
 /// calling thread. Otherwise `min(workers, jobs)` scoped threads drain
 /// the queue through an atomic index cursor; each result lands at its
-/// job's slot. A panicking job propagates the panic to the caller once
-/// the scope joins, like the serial path would.
+/// job's slot.
+///
+/// This is the *trusted* executor: a panicking job takes down the whole
+/// batch (the panic resumes on the caller when the scope joins — after,
+/// note, the remaining workers have drained the queue). Batches that
+/// must survive poisoned jobs belong on [`supervise::run_supervised`],
+/// which catches the unwind per attempt and quarantines instead.
 pub fn run_jobs<J, R>(jobs: Vec<J>, workers: Jobs) -> Vec<R>
 where
     J: FnOnce() -> R + Send,

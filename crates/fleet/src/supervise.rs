@@ -1,0 +1,649 @@
+//! Supervised fleet execution: panic isolation, retry, quarantine.
+//!
+//! [`run_jobs`](crate::run_jobs) is the right executor when every job is
+//! trusted — a panic anywhere aborts the whole batch. A 10k-app corpus
+//! sweep cannot afford that: one malformed page, one pathological
+//! workload, one buggy policy must cost *one cell*, not the night's
+//! sweep. [`run_supervised`] wraps each job in [`std::panic::catch_unwind`]
+//! and a retry ladder, classifies every failure into a
+//! [`FailureKind`], and streams outcomes to a sink **in job-index
+//! order** so callers can checkpoint them as an append-only log.
+//!
+//! The failure taxonomy (see `DESIGN.md` §6g):
+//!
+//! | kind | source | retried? |
+//! |------|--------|----------|
+//! | [`FailureKind::Panic`] | job code panicked (caught, payload kept) | yes |
+//! | [`FailureKind::BudgetExceeded`] | watchdog ceiling ([`RunBudget`](greenweb_engine::RunBudget)) | yes |
+//! | [`FailureKind::Load`] | HTML/CSS/script failed to parse or load | yes |
+//! | [`FailureKind::Script`] | a callback raised a genuine script error | yes |
+//!
+//! Everything is retried up to [`RetryPolicy::max_attempts`] with
+//! bounded, deterministically jittered backoff ([`DetRng::fork`] keyed
+//! by job index and attempt — the delay schedule is a pure function of
+//! the policy seed). A job that exhausts its attempts is *quarantined*:
+//! the sweep continues, and the caller receives a [`JobFailure`] with
+//! enough data (spec digest, kind, detail, attempt count) to emit a
+//! minimized repro.
+
+use crate::Jobs;
+use greenweb_det::DetRng;
+use greenweb_engine::{BrowserError, RunOutcome, RunSpec};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, Once};
+use std::time::Duration;
+
+/// Why a supervised job failed. See the module docs for the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailureKind {
+    /// The job panicked; the payload was caught and stringified.
+    Panic,
+    /// A watchdog ceiling tripped ([`BrowserError::Budget`]).
+    BudgetExceeded,
+    /// The app failed to load (HTML, CSS, or script parse error).
+    Load,
+    /// A callback raised a genuine script error at runtime.
+    Script,
+}
+
+impl FailureKind {
+    /// Stable lower-case name used in checkpoint and repro JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::BudgetExceeded => "budget-exceeded",
+            FailureKind::Load => "load",
+            FailureKind::Script => "script",
+        }
+    }
+
+    /// Parses the stable name emitted by [`FailureKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "panic" => Some(FailureKind::Panic),
+            "budget-exceeded" => Some(FailureKind::BudgetExceeded),
+            "load" => Some(FailureKind::Load),
+            "script" => Some(FailureKind::Script),
+            _ => None,
+        }
+    }
+}
+
+/// Maps an engine error onto the supervision taxonomy.
+pub fn classify(error: &BrowserError) -> FailureKind {
+    match error {
+        BrowserError::Budget(_) => FailureKind::BudgetExceeded,
+        BrowserError::Script(_) => FailureKind::Script,
+        _ => FailureKind::Load,
+    }
+}
+
+/// The record a quarantined job leaves behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index of the job in the submitted batch.
+    pub index: usize,
+    /// Caller-supplied job label (e.g. `"animation/GreenWeb"`).
+    pub label: String,
+    /// Classified failure kind of the *last* attempt.
+    pub kind: FailureKind,
+    /// Human-readable detail (error display or panic payload).
+    pub detail: String,
+    /// How many attempts were made before quarantining.
+    pub attempts: u32,
+    /// [`RunSpec::digest`] of the failing spec, for repro matching.
+    pub digest: u64,
+}
+
+/// One job for the supervised executor: a spec plus a display label.
+#[derive(Debug)]
+pub struct SupervisedJob {
+    /// Display label, carried into checkpoints and failure reports.
+    pub label: String,
+    /// The run to execute.
+    pub spec: RunSpec,
+}
+
+/// Retry ladder configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (first run included). Minimum 1.
+    pub max_attempts: u32,
+    /// Base backoff before the second attempt, doubled per retry.
+    pub backoff_base_ms: u64,
+    /// Hard cap on any single backoff delay.
+    pub backoff_cap_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 250,
+            seed: 0x9E37_79B9,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (1 = first retry) of job
+    /// `index`: exponential growth from the base, capped, then jittered
+    /// into `[50%, 100%]` by a [`DetRng`] substream forked per
+    /// (job, attempt). A pure function of the policy — two sweeps with
+    /// the same seed sleep identically.
+    pub fn backoff(&self, index: usize, attempt: u32) -> Duration {
+        let doubled = self.backoff_base_ms.saturating_mul(
+            1u64.checked_shl(attempt.saturating_sub(1))
+                .unwrap_or(u64::MAX),
+        );
+        let capped = doubled.min(self.backoff_cap_ms);
+        let mut jitter = DetRng::new(self.seed).fork(&format!("backoff.{index}.{attempt}"));
+        Duration::from_secs_f64(capped as f64 * jitter.f64_in(0.5, 1.0) / 1000.0)
+    }
+}
+
+/// Terminal status of one supervised job.
+#[derive(Debug)]
+pub enum JobStatus {
+    /// The job produced an outcome (possibly after retries).
+    Ok(Box<RunOutcome>),
+    /// The job exhausted its attempts and was quarantined.
+    Quarantined(JobFailure),
+}
+
+/// One delivered result: jobs arrive at the sink in index order.
+#[derive(Debug)]
+pub struct SupervisedOutcome {
+    /// Index of the job in the submitted batch.
+    pub index: usize,
+    /// Caller-supplied label.
+    pub label: String,
+    /// Attempts consumed (1 = succeeded first try).
+    pub attempts: u32,
+    /// Success or quarantine.
+    pub status: JobStatus,
+}
+
+/// Aggregate accounting for one supervised batch.
+#[derive(Debug, Default)]
+pub struct FleetReport {
+    /// Jobs submitted.
+    pub total: usize,
+    /// Jobs that produced an outcome.
+    pub ok: usize,
+    /// Jobs that needed more than one attempt (recovered or not).
+    pub retried: usize,
+    /// Jobs quarantined after exhausting attempts.
+    pub quarantined: usize,
+    /// True when the sink stopped the batch early.
+    pub aborted: bool,
+    /// The quarantine list, in job-index order.
+    pub failures: Vec<JobFailure>,
+}
+
+impl FleetReport {
+    /// True when every submitted job completed successfully.
+    pub fn all_ok(&self) -> bool {
+        !self.aborted && self.quarantined == 0 && self.ok == self.total
+    }
+
+    /// Count of quarantined jobs with the given failure kind.
+    pub fn count_of(&self, kind: FailureKind) -> usize {
+        self.failures.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// A plain-text failure summary table for operator output.
+    pub fn summary_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet: {} jobs, {} ok, {} quarantined, {} retried{}",
+            self.total,
+            self.ok,
+            self.quarantined,
+            self.retried,
+            if self.aborted { " (aborted)" } else { "" },
+        );
+        if !self.failures.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:>5}  {:<28} {:<16} {:>8}  detail",
+                "job", "label", "kind", "attempts"
+            );
+            for failure in &self.failures {
+                let _ = writeln!(
+                    out,
+                    "{:>5}  {:<28} {:<16} {:>8}  {}",
+                    failure.index,
+                    failure.label,
+                    failure.kind.name(),
+                    failure.attempts,
+                    failure.detail.lines().next().unwrap_or(""),
+                );
+            }
+        }
+        out
+    }
+
+    fn absorb(&mut self, outcome: &SupervisedOutcome) {
+        if outcome.attempts > 1 {
+            self.retried += 1;
+        }
+        match &outcome.status {
+            JobStatus::Ok(_) => self.ok += 1,
+            JobStatus::Quarantined(failure) => {
+                self.quarantined += 1;
+                self.failures.push(failure.clone());
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// True while this thread is inside a supervised attempt, so the
+    /// process panic hook stays silent (the payload is caught and
+    /// reported through [`JobFailure`] instead of stderr).
+    static IN_SUPERVISED_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once per process) a panic hook that suppresses output for
+/// panics caught by the supervisor and defers to the previous hook for
+/// everything else.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_SUPERVISED_JOB.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Renders a caught panic payload the way the default hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// One attempt: catch panics, classify errors.
+fn attempt(spec: &RunSpec) -> Result<RunOutcome, (FailureKind, String)> {
+    IN_SUPERVISED_JOB.with(|flag| flag.set(true));
+    // `AssertUnwindSafe` is sound: `execute` takes `&self` and builds
+    // every piece of mutable state (browser, interpreter, scheduler)
+    // fresh inside the call, so nothing observable survives an unwind.
+    let caught = catch_unwind(AssertUnwindSafe(|| spec.execute()));
+    IN_SUPERVISED_JOB.with(|flag| flag.set(false));
+    match caught {
+        Ok(Ok(outcome)) => Ok(outcome),
+        Ok(Err(error)) => Err((classify(&error), error.to_string())),
+        Err(payload) => Err((FailureKind::Panic, panic_message(payload.as_ref()))),
+    }
+}
+
+/// Runs one job through the retry ladder to a terminal status.
+fn run_one(index: usize, job: &SupervisedJob, retry: &RetryPolicy) -> SupervisedOutcome {
+    let max_attempts = retry.max_attempts.max(1);
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match attempt(&job.spec) {
+            Ok(outcome) => {
+                return SupervisedOutcome {
+                    index,
+                    label: job.label.clone(),
+                    attempts,
+                    status: JobStatus::Ok(Box::new(outcome)),
+                };
+            }
+            Err((kind, detail)) => {
+                if attempts >= max_attempts {
+                    return SupervisedOutcome {
+                        index,
+                        label: job.label.clone(),
+                        attempts,
+                        status: JobStatus::Quarantined(JobFailure {
+                            index,
+                            label: job.label.clone(),
+                            kind,
+                            detail,
+                            attempts,
+                            digest: job.spec.digest(),
+                        }),
+                    };
+                }
+                std::thread::sleep(retry.backoff(index, attempts));
+            }
+        }
+    }
+}
+
+/// Executes `jobs` under supervision, delivering every terminal
+/// [`SupervisedOutcome`] to `sink` **in job-index order** (regardless
+/// of worker count or completion order), and returns the aggregate
+/// [`FleetReport`].
+///
+/// Failures never cross the supervision boundary: panics are caught
+/// per-attempt, engine errors are classified, and both feed the retry
+/// ladder before quarantining. The sink may return
+/// [`ControlFlow::Break`] to abort the batch — workers stop claiming
+/// jobs, already-running jobs finish but are not delivered, and the
+/// report is marked [`FleetReport::aborted`]. Because delivery is a
+/// gapless index prefix, an aborted batch's checkpoint file is always a
+/// valid resume point.
+pub fn run_supervised<F>(
+    jobs: Vec<SupervisedJob>,
+    workers: Jobs,
+    retry: &RetryPolicy,
+    mut sink: F,
+) -> FleetReport
+where
+    F: FnMut(SupervisedOutcome) -> ControlFlow<()>,
+{
+    install_quiet_hook();
+    let mut report = FleetReport {
+        total: jobs.len(),
+        ..FleetReport::default()
+    };
+    if workers.is_serial() || jobs.len() <= 1 {
+        for (index, job) in jobs.iter().enumerate() {
+            let outcome = run_one(index, job, retry);
+            report.absorb(&outcome);
+            if sink(outcome).is_break() {
+                report.aborted = true;
+                break;
+            }
+        }
+        return report;
+    }
+
+    let total = jobs.len();
+    let threads = workers.count().min(total);
+    let queue: Mutex<Vec<Option<SupervisedJob>>> = Mutex::new(jobs.into_iter().map(Some).collect());
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<SupervisedOutcome>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let queue = &queue;
+            let cursor = &cursor;
+            let stop = &stop;
+            scope.spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    return;
+                }
+                let job = queue.lock().expect("queue lock poisoned")[index]
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let outcome = run_one(index, &job, retry);
+                if tx.send(outcome).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+        // Reorder buffer: workers finish out of order, the sink must
+        // see a gapless index sequence. Runs on the calling thread, so
+        // the sink needs no `Send` bound.
+        let mut pending: BTreeMap<usize, SupervisedOutcome> = BTreeMap::new();
+        let mut next = 0usize;
+        for outcome in rx {
+            if report.aborted {
+                continue; // drain so workers can exit their send
+            }
+            pending.insert(outcome.index, outcome);
+            while let Some(ready) = pending.remove(&next) {
+                report.absorb(&ready);
+                next += 1;
+                if sink(ready).is_break() {
+                    report.aborted = true;
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    });
+    report
+}
+
+/// Convenience wrapper: supervise a batch and collect every outcome.
+pub fn run_supervised_collect(
+    jobs: Vec<SupervisedJob>,
+    workers: Jobs,
+    retry: &RetryPolicy,
+) -> (Vec<SupervisedOutcome>, FleetReport) {
+    let mut outcomes = Vec::new();
+    let report = run_supervised(jobs, workers, retry, |outcome| {
+        outcomes.push(outcome);
+        ControlFlow::Continue(())
+    });
+    (outcomes, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenweb_engine::{App, GovernorScheduler, RunBudget, Scheduler, SchedulerFactory, Trace};
+
+    fn perf_factory() -> Box<dyn SchedulerFactory> {
+        Box::new(|| {
+            Box::new(GovernorScheduler::new(greenweb_acmp::PerfGovernor)) as Box<dyn Scheduler>
+        })
+    }
+
+    /// A factory whose `build` panics — models a buggy policy.
+    struct PanicFactory;
+    impl SchedulerFactory for PanicFactory {
+        fn build(&self) -> Box<dyn Scheduler> {
+            panic!("poisoned: scheduler factory panic");
+        }
+    }
+
+    fn healthy_spec() -> RunSpec {
+        let app = App::builder("healthy")
+            .html("<button id='go'>go</button>")
+            .script(
+                "addEventListener(getElementById('go'), 'click', function(e) {
+                     work(2000000); markDirty();
+                 });",
+            )
+            .build();
+        let trace = Trace::builder().click_id(100.0, "go").end_ms(600.0).build();
+        RunSpec::new(app, trace, perf_factory())
+    }
+
+    fn panicking_spec() -> RunSpec {
+        let app = App::builder("poison-panic").html("<p>x</p>").build();
+        let trace = Trace::builder().end_ms(100.0).build();
+        RunSpec::new(app, trace, Box::new(PanicFactory))
+    }
+
+    fn spinning_spec() -> RunSpec {
+        let app = App::builder("poison-spin")
+            .html("<button id='go'>go</button>")
+            .script(
+                "addEventListener(getElementById('go'), 'click', function(e) {
+                     while (1 < 2) { markDirty(); }
+                 });",
+            )
+            .build();
+        let trace = Trace::builder().click_id(50.0, "go").end_ms(300.0).build();
+        RunSpec::new(app, trace, perf_factory()).with_budget(RunBudget {
+            max_callback_ops: 20_000,
+            max_sim_events: 100_000,
+        })
+    }
+
+    fn malformed_spec() -> RunSpec {
+        let app = App::builder("poison-malformed")
+            .html("<p>x</p>")
+            .script("function ( { this is not a script")
+            .build();
+        let trace = Trace::builder().end_ms(100.0).build();
+        RunSpec::new(app, trace, perf_factory())
+    }
+
+    #[test]
+    fn panicking_job_is_quarantined_not_fatal() {
+        let jobs = vec![
+            SupervisedJob {
+                label: "ok".into(),
+                spec: healthy_spec(),
+            },
+            SupervisedJob {
+                label: "bad".into(),
+                spec: panicking_spec(),
+            },
+        ];
+        let retry = RetryPolicy {
+            backoff_base_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let (outcomes, report) = run_supervised_collect(jobs, Jobs::serial(), &retry);
+        assert_eq!(outcomes.len(), 2);
+        assert!(matches!(outcomes[0].status, JobStatus::Ok(_)));
+        let JobStatus::Quarantined(failure) = &outcomes[1].status else {
+            panic!("poisoned job must be quarantined");
+        };
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(failure.detail.contains("poisoned"));
+        assert_eq!(failure.attempts, 3);
+        assert_eq!(report.ok, 1);
+        assert_eq!(report.quarantined, 1);
+        assert!(!report.all_ok());
+    }
+
+    #[test]
+    fn failure_kinds_classify_spin_and_malformed() {
+        let jobs = vec![
+            SupervisedJob {
+                label: "spin".into(),
+                spec: spinning_spec(),
+            },
+            SupervisedJob {
+                label: "malformed".into(),
+                spec: malformed_spec(),
+            },
+        ];
+        let retry = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        let (outcomes, report) = run_supervised_collect(jobs, Jobs::new(2), &retry);
+        let kinds: Vec<_> = outcomes
+            .iter()
+            .map(|o| match &o.status {
+                JobStatus::Quarantined(f) => f.kind,
+                JobStatus::Ok(_) => panic!("poison must not succeed"),
+            })
+            .collect();
+        assert_eq!(kinds, vec![FailureKind::BudgetExceeded, FailureKind::Load]);
+        assert_eq!(report.quarantined, 2);
+        assert_eq!(report.count_of(FailureKind::BudgetExceeded), 1);
+        assert_eq!(report.count_of(FailureKind::Load), 1);
+    }
+
+    #[test]
+    fn outcomes_arrive_in_index_order_under_parallelism() {
+        let jobs: Vec<_> = (0..12)
+            .map(|i| SupervisedJob {
+                label: format!("job{i}"),
+                spec: healthy_spec(),
+            })
+            .collect();
+        let (outcomes, report) =
+            run_supervised_collect(jobs, Jobs::new(4), &RetryPolicy::default());
+        let indices: Vec<_> = outcomes.iter().map(|o| o.index).collect();
+        assert_eq!(indices, (0..12).collect::<Vec<_>>());
+        assert!(report.all_ok());
+        assert_eq!(report.retried, 0);
+    }
+
+    #[test]
+    fn sink_break_aborts_with_gapless_prefix() {
+        let jobs: Vec<_> = (0..10)
+            .map(|i| SupervisedJob {
+                label: format!("job{i}"),
+                spec: healthy_spec(),
+            })
+            .collect();
+        let mut seen = Vec::new();
+        let report = run_supervised(jobs, Jobs::new(4), &RetryPolicy::default(), |outcome| {
+            seen.push(outcome.index);
+            if seen.len() == 3 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert!(report.aborted);
+        assert!(!report.all_ok());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_jittered() {
+        let retry = RetryPolicy::default();
+        let a = retry.backoff(7, 1);
+        let b = retry.backoff(7, 1);
+        assert_eq!(a, b, "same (job, attempt) must sleep identically");
+        assert_ne!(retry.backoff(7, 1), retry.backoff(8, 1));
+        for attempt in 1..20 {
+            let d = retry.backoff(0, attempt);
+            assert!(d <= Duration::from_millis(retry.backoff_cap_ms));
+        }
+        // Jitter keeps the delay in [base/2, base] for the first retry.
+        assert!(a >= Duration::from_secs_f64(retry.backoff_base_ms as f64 / 2000.0));
+    }
+
+    #[test]
+    fn failure_kind_names_round_trip() {
+        for kind in [
+            FailureKind::Panic,
+            FailureKind::BudgetExceeded,
+            FailureKind::Load,
+            FailureKind::Script,
+        ] {
+            assert_eq!(FailureKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FailureKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn summary_table_lists_quarantined_jobs() {
+        let jobs = vec![SupervisedJob {
+            label: "bad".into(),
+            spec: panicking_spec(),
+        }];
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            backoff_base_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let (_, report) = run_supervised_collect(jobs, Jobs::serial(), &retry);
+        let table = report.summary_table();
+        assert!(table.contains("1 quarantined"));
+        assert!(table.contains("panic"));
+        assert!(table.contains("bad"));
+    }
+}

@@ -65,6 +65,7 @@ impl Scope {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScriptError {
     message: String,
+    op_limit: bool,
 }
 
 impl ScriptError {
@@ -72,7 +73,25 @@ impl ScriptError {
     pub fn new(message: impl Into<String>) -> Self {
         ScriptError {
             message: message.into(),
+            op_limit: false,
         }
+    }
+
+    /// Creates the fuel-exhaustion error: the execution budget (op
+    /// limit) ran out. Kept as a distinct class so embedders can treat
+    /// a runaway script as a *watchdog* outcome rather than a program
+    /// bug — the fleet supervisor quarantines the two differently.
+    pub fn op_limit(message: impl Into<String>) -> Self {
+        ScriptError {
+            message: message.into(),
+            op_limit: true,
+        }
+    }
+
+    /// True when this error is fuel exhaustion ([`ScriptError::op_limit`])
+    /// rather than a genuine runtime error.
+    pub fn is_op_limit(&self) -> bool {
+        self.op_limit
     }
 }
 
@@ -140,6 +159,19 @@ impl Interpreter {
     pub fn with_op_limit(mut self, limit: u64) -> Self {
         self.op_limit = limit;
         self
+    }
+
+    /// Sets the op limit on a live interpreter. Combined with
+    /// [`Interpreter::reset_ops`] (which the engine calls per callback)
+    /// this acts as a per-callback fuel ceiling: the watchdog budget a
+    /// supervised run enforces against runaway generated workloads.
+    pub fn set_op_limit(&mut self, limit: u64) {
+        self.op_limit = limit;
+    }
+
+    /// The current op limit.
+    pub fn op_limit(&self) -> u64 {
+        self.op_limit
     }
 
     /// Number of evaluation steps executed so far.
@@ -226,9 +258,10 @@ impl Interpreter {
     fn tick(&mut self) -> Result<(), ScriptError> {
         self.ops += 1;
         if self.ops > self.op_limit {
-            return Err(ScriptError::new(
-                "op limit exceeded (possible infinite loop)",
-            ));
+            return Err(ScriptError::op_limit(format!(
+                "op limit exceeded after {} ops (possible infinite loop)",
+                self.op_limit
+            )));
         }
         Ok(())
     }
@@ -722,6 +755,25 @@ mod tests {
         let mut interp = Interpreter::new().with_op_limit(10_000);
         let err = interp.run(&program, &mut NoHost).unwrap_err();
         assert!(err.to_string().contains("op limit"));
+        assert!(err.is_op_limit(), "fuel exhaustion must be typed");
+    }
+
+    #[test]
+    fn op_limit_is_retunable_on_a_live_interpreter() {
+        let program = parse_program("while (true) { }").unwrap();
+        let mut interp = Interpreter::new();
+        interp.set_op_limit(500);
+        assert_eq!(interp.op_limit(), 500);
+        let err = interp.run(&program, &mut NoHost).unwrap_err();
+        assert!(err.is_op_limit());
+        assert!(interp.ops() <= 501, "must stop right at the ceiling");
+    }
+
+    #[test]
+    fn ordinary_errors_are_not_fuel_exhaustion() {
+        let program = parse_program("nope = 1;").unwrap();
+        let err = Interpreter::new().run(&program, &mut NoHost).unwrap_err();
+        assert!(!err.is_op_limit());
     }
 
     #[test]

@@ -45,6 +45,12 @@ impl Vm {
         self
     }
 
+    /// Sets the fuel ceiling on a live VM (see
+    /// [`crate::Interpreter::set_op_limit`] — same watchdog contract).
+    pub fn set_op_limit(&mut self, limit: u64) {
+        self.op_limit = limit;
+    }
+
     /// Instructions executed so far.
     pub fn ops(&self) -> u64 {
         self.ops
@@ -126,9 +132,10 @@ impl Vm {
     fn tick(&mut self) -> Result<(), ScriptError> {
         self.ops += 1;
         if self.ops > self.op_limit {
-            return Err(ScriptError::new(
-                "op limit exceeded (possible infinite loop)",
-            ));
+            return Err(ScriptError::op_limit(format!(
+                "op limit exceeded after {} ops (possible infinite loop)",
+                self.op_limit
+            )));
         }
         Ok(())
     }
@@ -512,6 +519,19 @@ mod tests {
         let mut vm = Vm::new().with_op_limit(5_000);
         let err = vm.run_source("while (true) { }", &mut NoHost).unwrap_err();
         assert!(err.to_string().contains("op limit"));
+        assert!(err.is_op_limit(), "VM fuel exhaustion must be typed");
+    }
+
+    #[test]
+    fn vm_fuel_is_retunable_and_matches_interpreter_classification() {
+        let mut vm = Vm::new();
+        vm.set_op_limit(800);
+        let err = vm.run_source("while (true) { }", &mut NoHost).unwrap_err();
+        assert!(err.is_op_limit());
+        assert!(vm.ops() <= 801, "must stop right at the ceiling");
+        let mut vm = Vm::new();
+        let err = vm.run_source("var x = nope;", &mut NoHost).unwrap_err();
+        assert!(!err.is_op_limit(), "runtime errors are not fuel exhaustion");
     }
 
     #[test]

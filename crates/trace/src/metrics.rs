@@ -108,6 +108,76 @@ impl Histogram {
         self.max
     }
 
+    /// Folds `other` into `self`, bucket by bucket.
+    ///
+    /// Because both histograms share the same fixed log-bucket layout,
+    /// merging partial histograms is *exact* for everything derived from
+    /// buckets and extremes: `count`, `max`, `min`, and every
+    /// [`Histogram::quantile`] equal what recording the union of values
+    /// into one histogram would produce. Only `mean` can drift by f64
+    /// summation order (a few ULPs), never by bucketing. This is what
+    /// lets a 10k-run sweep keep one bounded-size aggregate instead of
+    /// retaining per-run reports.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        // min/max sentinels (±∞ when empty) make empty merges identity.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total of all recorded values (0 when empty).
+    pub fn sum(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// The occupied buckets as `(index, count)` pairs, in index order —
+    /// the sparse form checkpoint files persist a histogram as.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(index, &n)| (index, n))
+    }
+
+    /// Rebuilds a histogram from its persisted sparse form
+    /// ([`Histogram::nonzero_buckets`] plus [`Histogram::sum`],
+    /// [`Histogram::min`], [`Histogram::max`]). Out-of-range bucket
+    /// indices clamp into the top bucket; an empty reconstruction is
+    /// [`Histogram::new`]. Round-trips exactly: restoring and then
+    /// [`Histogram::merge`]-ing behaves as if the original had been
+    /// merged.
+    pub fn from_sparse(sparse: &[(usize, u64)], sum: f64, min: f64, max: f64) -> Histogram {
+        let mut hist = Histogram::new();
+        for &(index, n) in sparse {
+            hist.buckets[index.min(BUCKETS - 1)] += n;
+            hist.count += n;
+        }
+        if hist.count > 0 {
+            hist.sum = sum;
+            hist.min = min;
+            hist.max = max;
+        }
+        hist
+    }
+
     /// The p50/p95/p99 summary of this histogram.
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
@@ -250,6 +320,21 @@ impl MetricsRegistry {
         registry
     }
 
+    /// Folds another registry into this one: histograms merge bucket-wise
+    /// ([`Histogram::merge`]), counters add. Names absent on either side
+    /// behave as empty/zero.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, histogram) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(histogram);
+        }
+        for (name, &count) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += count;
+        }
+    }
+
     /// Percentile summary for the span durations of `kind`.
     pub fn stage_summary(&self, kind: SpanKind) -> LatencySummary {
         self.histogram(&format!("stage.{}", kind.name()))
@@ -301,6 +386,61 @@ mod tests {
         h.record(1e12);
         assert_eq!(h.count(), 4);
         assert!(h.quantile(0.5) >= 0.0);
+    }
+
+    #[test]
+    fn merge_of_parts_equals_record_of_whole() {
+        let values: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.731).sin().abs() * 80.0)
+            .collect();
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut merged = Histogram::new();
+        for chunk in values.chunks(37) {
+            let mut part = Histogram::new();
+            for &v in chunk {
+                part.record(v);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.max(), whole.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "q={q}");
+        }
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = Histogram::new();
+        h.record(3.0);
+        h.record(9.0);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty.summary(), before.summary());
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_buckets() {
+        let mut a = MetricsRegistry::new();
+        a.inc_by("jobs", 2);
+        a.record_ms("lat", 5.0);
+        let mut b = MetricsRegistry::new();
+        b.inc_by("jobs", 3);
+        b.inc("only-b");
+        b.record_ms("lat", 7.0);
+        b.record_ms("other", 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("jobs"), 5);
+        assert_eq!(a.counter("only-b"), 1);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.histogram("other").unwrap().count(), 1);
     }
 
     #[test]

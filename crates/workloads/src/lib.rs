@@ -27,6 +27,7 @@
 pub mod apps;
 pub mod chaos;
 pub mod harness;
+pub mod sweep;
 pub mod traces;
 
 use greenweb::qos::{QosTarget, QosType};

@@ -146,3 +146,222 @@ fn lint_reports_match_goldens_at_any_worker_count() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Supervised-sweep suite: panic isolation, quarantine, checkpoint +
+// resume. These are the chaos tests of the fault-tolerance layer; the
+// parity tests above cover the trusted executor.
+// ---------------------------------------------------------------------
+
+use greenweb_fleet::{run_supervised_collect, FailureKind, JobStatus, RetryPolicy, SupervisedJob};
+use greenweb_workloads::sweep::{
+    parse_poison_list, run_sweep, Repro, SweepConfig, SweepError, SweepPlan,
+};
+
+/// A scratch path under the target temp dir, unique per test.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("greenweb-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
+
+/// Strips the `"job":N` prefix so lines can be compared by label across
+/// plans where poison insertion shifted the indices.
+fn line_sans_index(line: &str) -> &str {
+    line.split_once(",\"label\"").expect("line has a label").1
+}
+
+fn label_of(line: &str) -> &str {
+    line.split("\"label\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("line has a label")
+}
+
+/// The acceptance scenario: the canonical 48-job matrix with three
+/// poisoned specs salted in completes, quarantines exactly the poisoned
+/// jobs (classified correctly, with parseable repro files), and leaves
+/// every healthy job's checkpoint line byte-identical to a clean
+/// serial run's.
+#[test]
+fn poisoned_sweep_quarantines_only_the_poison_and_keeps_healthy_bytes() {
+    let clean_out = scratch("clean.jsonl");
+    let clean = run_sweep(&SweepPlan::canonical(), &SweepConfig::new(&clean_out))
+        .expect("clean sweep runs");
+    assert!(clean.report.all_ok(), "{}", clean.report.summary_table());
+    assert_eq!(clean.report.ok, 48);
+
+    let poisons = parse_poison_list("panic:3,spin:17,malformed:31").expect("poison list");
+    let plan = SweepPlan::canonical().with_poison(&poisons);
+    let out = scratch("poisoned.jsonl");
+    let repro_dir = scratch("repros");
+    let mut config = SweepConfig::new(&out);
+    config.jobs = Jobs::new(PARALLEL);
+    config.repro_dir = Some(repro_dir.clone());
+    config.retry = RetryPolicy {
+        backoff_base_ms: 0,
+        ..RetryPolicy::default()
+    };
+    let result = run_sweep(&plan, &config).expect("poisoned sweep completes");
+
+    // Exactly the three poisoned jobs are quarantined, correctly
+    // classified, after the full retry ladder.
+    let report = &result.report;
+    assert_eq!(report.total, 51);
+    assert_eq!(report.ok, 48);
+    assert_eq!(report.quarantined, 3);
+    assert!(!report.all_ok());
+    let expected: Vec<(usize, FailureKind)> = poisons
+        .iter()
+        .map(|p| (p.at, p.kind.expected_failure()))
+        .collect();
+    let got: Vec<(usize, FailureKind)> =
+        report.failures.iter().map(|f| (f.index, f.kind)).collect();
+    assert_eq!(got, expected);
+    assert!(report.failures.iter().all(|f| f.attempts == 3));
+
+    // Healthy lines are byte-identical to the clean serial sweep's,
+    // modulo the index shift poison insertion causes.
+    let clean_lines: std::collections::HashMap<&str, &str> = std::fs::read_to_string(&clean_out)
+        .expect("read clean results")
+        .lines()
+        .skip(1)
+        .map(|line| (label_of(line), line_sans_index(line)))
+        .map(|(label, rest)| {
+            (
+                label.to_string().leak() as &str,
+                rest.to_string().leak() as &str,
+            )
+        })
+        .collect();
+    let poisoned_file = std::fs::read_to_string(&out).expect("read poisoned results");
+    let mut healthy = 0;
+    for line in poisoned_file.lines().skip(1) {
+        let label = label_of(line);
+        if label.starts_with("poison-") {
+            assert!(line.contains("\"status\":\"quarantined\""), "{line}");
+            continue;
+        }
+        healthy += 1;
+        assert_eq!(
+            Some(&line_sans_index(line)),
+            clean_lines.get(label),
+            "{label}: healthy line drifted under chaos"
+        );
+    }
+    assert_eq!(healthy, 48);
+
+    // Each quarantined job left a parseable repro that lowers back to
+    // a spec with the recorded digest and reproduces the same failure.
+    for failure in &report.failures {
+        let path = repro_dir.join(format!(
+            "job{:03}-{}.json",
+            failure.index,
+            failure.kind.name()
+        ));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let repro = Repro::parse(&text).expect("repro parses");
+        assert_eq!(repro.job, failure.index);
+        assert_eq!(repro.digest, failure.digest);
+        let spec = repro.to_spec().expect("repro lowers to a spec");
+        assert_eq!(spec.digest(), failure.digest, "repro digest round-trip");
+        let (outcomes, _) = run_supervised_collect(
+            vec![SupervisedJob {
+                label: repro.label.clone(),
+                spec,
+            }],
+            Jobs::serial(),
+            &RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+        );
+        match &outcomes[0].status {
+            JobStatus::Quarantined(refailure) => {
+                assert_eq!(refailure.kind, failure.kind, "repro reproduces the failure");
+            }
+            JobStatus::Ok(_) => panic!("repro of {} unexpectedly succeeded", repro.label),
+        }
+    }
+}
+
+/// A 13-job plan (three workloads x four policies + one poison) used by
+/// the resume tests — small enough to sweep several times.
+fn small_plan() -> SweepPlan {
+    let mut plan = SweepPlan::canonical();
+    plan.cells.truncate(12);
+    plan.with_poison(&parse_poison_list("spin:5").expect("poison list"))
+}
+
+/// Kill-and-resume: an aborted parallel sweep resumed to completion is
+/// byte-for-byte the file an uninterrupted serial sweep writes.
+#[test]
+fn interrupted_sweep_resumes_byte_identically() {
+    let uninterrupted = scratch("uninterrupted.jsonl");
+    let full =
+        run_sweep(&small_plan(), &SweepConfig::new(&uninterrupted)).expect("uninterrupted sweep");
+    assert_eq!(full.report.total, 13);
+    assert_eq!(full.report.quarantined, 1);
+
+    let out = scratch("interrupted.jsonl");
+    let mut config = SweepConfig::new(&out);
+    config.jobs = Jobs::new(PARALLEL);
+    config.abort_after = Some(7);
+    let aborted = run_sweep(&small_plan(), &config).expect("aborted sweep");
+    assert!(aborted.report.aborted);
+    assert_eq!(aborted.exit_code(), 3);
+    let partial = std::fs::read_to_string(&out).expect("read partial file");
+    assert_eq!(partial.lines().count(), 1 + 7, "header + 7 job lines");
+
+    // Simulate a torn write from a hard kill: the resume path must
+    // discard the incomplete trailing line.
+    let torn = format!("{partial}{{\"job\":7,\"label\":\"torn");
+    std::fs::write(&out, &torn).expect("tear the file");
+
+    let mut resume_config = SweepConfig::new(&out);
+    resume_config.jobs = Jobs::new(PARALLEL);
+    resume_config.resume = true;
+    let resumed = run_sweep(&small_plan(), &resume_config).expect("resumed sweep");
+    assert_eq!(resumed.resumed_jobs, 7);
+    assert!(!resumed.report.aborted);
+    assert_eq!(resumed.report.total, 13);
+    assert_eq!(
+        resumed.report.quarantined, 1,
+        "prefix quarantine survives resume"
+    );
+    assert_eq!(resumed.exit_code(), 2);
+
+    let a = std::fs::read_to_string(&uninterrupted).expect("read uninterrupted");
+    let b = std::fs::read_to_string(&out).expect("read resumed");
+    assert_eq!(a, b, "resumed file must be byte-identical");
+
+    // The merged histogram also survives the resume: it equals the
+    // uninterrupted sweep's aggregate.
+    assert_eq!(resumed.merged, full.merged);
+
+    // Resuming an already-complete file is a no-op that reports the
+    // same totals and leaves the bytes alone.
+    let again = run_sweep(&small_plan(), &resume_config).expect("no-op resume");
+    assert_eq!(again.resumed_jobs, 13);
+    assert_eq!(again.report.ok, 12);
+    assert_eq!(again.report.quarantined, 1);
+    assert_eq!(std::fs::read_to_string(&out).expect("reread"), b);
+}
+
+/// A checkpoint only resumes under the plan (and budget) that wrote it.
+#[test]
+fn resume_rejects_a_mismatched_plan() {
+    let out = scratch("mismatch.jsonl");
+    let mut config = SweepConfig::new(&out);
+    config.abort_after = Some(2);
+    run_sweep(&small_plan(), &config).expect("aborted sweep");
+    let mut other = small_plan();
+    other.cells.truncate(12); // drop the poison cell -> new fingerprint
+    let mut resume_config = SweepConfig::new(&out);
+    resume_config.resume = true;
+    match run_sweep(&other, &resume_config) {
+        Err(SweepError::Corrupt(why)) => assert!(why.contains("header mismatch"), "{why}"),
+        other => panic!("expected a corrupt-checkpoint rejection, got {other:?}"),
+    }
+}

@@ -579,3 +579,62 @@ fn frame_tracker_dropped_inputs_and_contiguous_seqs() {
         },
     );
 }
+
+/// Merging histograms of arbitrary partitions of a value population is
+/// indistinguishable from recording the whole population into one
+/// histogram: exact for `count`, `min`, `max`, and every quantile
+/// (shared bucket layout), and within f64 summation noise for `mean`.
+/// This is the invariant that lets resumable sweeps keep one merged
+/// aggregate instead of per-run reports.
+#[test]
+fn histogram_merge_of_parts_equals_record_of_whole() {
+    use greenweb_trace::metrics::Histogram;
+    check(
+        "histogram_merge_of_parts_equals_record_of_whole",
+        DEFAULT_CASES,
+        |g| {
+            let values = g.vec_of(400, |g| g.f64_in(0.0, 5_000.0));
+            let mut whole = Histogram::new();
+            for &v in &values {
+                whole.record(v);
+            }
+            // Partition the population into randomly sized chunks, each
+            // recorded into its own histogram, then fold them together
+            // in order.
+            let mut merged = Histogram::new();
+            let mut rest = values.as_slice();
+            while !rest.is_empty() {
+                let take = g.usize_in(1, rest.len() + 1);
+                let (chunk, tail) = rest.split_at(take);
+                let mut part = Histogram::new();
+                for &v in chunk {
+                    part.record(v);
+                }
+                merged.merge(&part);
+                rest = tail;
+            }
+            assert_eq!(merged.count(), whole.count());
+            assert_eq!(merged.min(), whole.min());
+            assert_eq!(merged.max(), whole.max());
+            for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                assert_eq!(
+                    merged.quantile(q),
+                    whole.quantile(q),
+                    "quantile {q} drifted under merge"
+                );
+            }
+            assert!(
+                (merged.mean() - whole.mean()).abs() <= 1e-9 * whole.mean().abs().max(1.0),
+                "mean drifted beyond f64 noise: {} vs {}",
+                merged.mean(),
+                whole.mean()
+            );
+            // And the sparse persistence round-trip composes with merge:
+            // restoring a histogram from its checkpoint form then merging
+            // behaves as merging the original.
+            let sparse: Vec<(usize, u64)> = whole.nonzero_buckets().collect();
+            let restored = Histogram::from_sparse(&sparse, whole.sum(), whole.min(), whole.max());
+            assert_eq!(restored, whole);
+        },
+    );
+}
