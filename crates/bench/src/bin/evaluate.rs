@@ -15,6 +15,8 @@
 //! evaluate bench --suite style        style resolver microbenchmark
 //! evaluate metrics                    one workload's RunMetrics as JSON
 //! evaluate sweep --out F              supervised, checkpointed matrix sweep
+//! evaluate attribute                  per-event energy attribution profile
+//! evaluate diff OLD NEW               tolerance-aware JSON regression gate
 //! ```
 //!
 //! Flags (combinable with any command):
@@ -31,6 +33,28 @@
 //!                       the legacy serial path — output is identical
 //!                       either way)
 //! ```
+//!
+//! `attribute` flags:
+//!
+//! ```text
+//! --workload NAME       workload to profile (default Paper.js)
+//! --json                emit the deterministic attribution JSON instead
+//!                       of the top-N text tables
+//! --flame               emit a Perfetto-loadable trace with one slice
+//!                       per attributed span (mJ and ops in args)
+//! ```
+//!
+//! `diff` flags:
+//!
+//! ```text
+//! --tolerance T         max relative numeric drift, default 0.05 (5%)
+//! --ignore a,b,c        key names skipped at any depth (use for
+//!                       wall-clock fields like serial_s/speedup)
+//! ```
+//!
+//! `diff` exits 0 when the documents agree within tolerance and 1 with
+//! one line per differing field otherwise — CI's regression gate over
+//! the committed `BENCH_evaluate.json`.
 //!
 //! `sweep` flags (see `EXPERIMENTS.md` for recipes):
 //!
@@ -49,8 +73,9 @@
 //! lines — the hook CI's resume-parity gate kills with).
 //!
 //! `bench` (micro) times the microbenchmark suite serially and at
-//! `--jobs`, adds per-phase pipeline totals from a traced run, and writes
-//! the comparison to `BENCH_evaluate.json`. `bench --suite style` runs
+//! `--jobs`, adds per-phase pipeline totals from one traced run per
+//! workload (plus a labeled aggregate), and writes the comparison to
+//! `BENCH_evaluate.json`. `bench --suite style` runs
 //! the naive-vs-bucketed selector-matching suite and writes
 //! `BENCH_style.json`. `metrics` prints one workload's deterministic
 //! [`RunMetrics`] JSON — the CI cache-parity gate diffs it between
@@ -77,6 +102,11 @@ fn main() {
     let mut repro_dir: Option<String> = None;
     let mut poison = String::new();
     let mut retries: u32 = 3;
+    let mut positionals: Vec<String> = Vec::new();
+    let mut json_output = false;
+    let mut flame_output = false;
+    let mut tolerance: f64 = 0.05;
+    let mut ignore = String::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -107,7 +137,25 @@ fn main() {
                     .parse()
                     .expect("--retries requires a positive integer");
             }
-            other => command = Some(other.to_string()),
+            "--json" => json_output = true,
+            "--flame" => flame_output = true,
+            "--tolerance" => {
+                tolerance = argv
+                    .next()
+                    .expect("--tolerance requires a value")
+                    .parse()
+                    .expect("--tolerance requires a number");
+            }
+            "--ignore" => ignore = argv.next().expect("--ignore requires a key list"),
+            other => {
+                // First bare word is the command; the rest are its
+                // positional operands (`diff OLD NEW`).
+                if command.is_none() {
+                    command = Some(other.to_string());
+                } else {
+                    positionals.push(other.to_string());
+                }
+            }
         }
     }
     // A bare `--trace out.json` means "just the traced run, exported".
@@ -138,6 +186,13 @@ fn main() {
         std::process::exit(sweep_command(
             &out, resume, repro_dir, &poison, retries, jobs,
         ));
+    }
+    if command == "attribute" {
+        attribute_command(&workload, json_output, flame_output);
+        return;
+    }
+    if command == "diff" {
+        std::process::exit(diff_command(&positionals, tolerance, &ignore));
     }
 
     if wants("table1") {
@@ -341,11 +396,35 @@ fn sweep_command(
         eprintln!("resumed past {} checkpointed job(s)", result.resumed_jobs);
     }
     eprintln!(
-        "merged frame-latency histogram: {} frames, p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+        "merged frame-latency histogram: {} frames, mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
         result.merged.count(),
+        result.merged.mean(),
         result.merged.quantile(0.50),
         result.merged.quantile(0.99),
         result.merged.max(),
+    );
+    // Corpus-level "where does the energy go": the merge of every ok
+    // job's sparse attribution summary, identical serial or parallel.
+    let attr = &result.attribution;
+    let phases: Vec<String> = greenweb_trace::SpanKind::ALL
+        .iter()
+        .zip(&attr.phase_mj)
+        .map(|(kind, mj)| format!("{} {mj:.1}", kind.name()))
+        .collect();
+    eprintln!(
+        "corpus attribution: {:.1} mJ total ({} in-span, idle {:.1}, unattributed {:.1}); {} deadline miss(es)",
+        attr.total_mj,
+        phases.join(", "),
+        attr.idle_mj,
+        attr.unattributed_mj,
+        attr.misses,
+    );
+    eprintln!(
+        "per-event energy: {} events, mean {:.3} mJ, p99 {:.3} mJ, max {:.3} mJ",
+        attr.event_mj.count(),
+        attr.event_mj.mean(),
+        attr.event_mj.quantile(0.99),
+        attr.event_mj.max(),
     );
     if report.aborted {
         eprintln!(
@@ -359,6 +438,71 @@ fn sweep_command(
         eprintln!("all {} jobs ok", report.total);
     }
     result.exit_code()
+}
+
+/// Profiles one workload under GreenWeb-I and prints its energy/QoS
+/// attribution: top-N text tables by default, the deterministic profile
+/// JSON with `--json`, or a Perfetto-loadable slice trace (one slice
+/// per attributed span, mJ and ops in args) with `--flame`.
+fn attribute_command(workload: &str, json_output: bool, flame_output: bool) {
+    let w = greenweb_workloads::by_name(workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    let scenario = Scenario::Imperceptible;
+    let profiled = profile::profile(&w, &Policy::GreenWeb(scenario), scenario).expect("traced run");
+    let attribution = greenweb_trace::AttributionProfile::from_trace(&profiled.buffer);
+    if json_output {
+        print!("{}", attribution.render_json());
+    } else if flame_output {
+        print!("{}", attribution.flame_json(workload));
+    } else {
+        print!("{}", attribution.render_tables(10));
+    }
+}
+
+/// Compares two JSON files field by field and returns the process exit
+/// code: 0 when they agree within tolerance, 1 otherwise (one stdout
+/// line per differing field).
+fn diff_command(paths: &[String], tolerance: f64, ignore: &str) -> i32 {
+    use greenweb_bench::diff::{diff_json, DiffOptions};
+    let [old_path, new_path] = paths else {
+        eprintln!("diff requires exactly two paths: evaluate diff OLD.json NEW.json");
+        return 1;
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+    };
+    let options = DiffOptions {
+        tolerance,
+        ignore: ignore
+            .split(',')
+            .filter(|key| !key.is_empty())
+            .map(str::to_string)
+            .collect(),
+    };
+    match diff_json(&read(old_path), &read(new_path), &options) {
+        Ok(differences) if differences.is_empty() => {
+            println!(
+                "{old_path} and {new_path} agree within {:.1}% tolerance",
+                tolerance * 100.0
+            );
+            0
+        }
+        Ok(differences) => {
+            for difference in &differences {
+                println!("{difference}");
+            }
+            eprintln!(
+                "{} field(s) drifted beyond {:.1}% tolerance",
+                differences.len(),
+                tolerance * 100.0
+            );
+            1
+        }
+        Err(e) => {
+            eprintln!("diff failed: {e}");
+            1
+        }
+    }
 }
 
 fn suite(
@@ -393,37 +537,50 @@ fn bench_report(jobs: Jobs) {
                 && a.greenweb_u.metrics_u.render_json() == b.greenweb_u.metrics_u.render_json()
         });
     assert!(identical, "serial and parallel suites diverged");
-    // Per-phase pipeline totals from one traced run: simulated-time span
-    // durations, so these are deterministic (unlike the wall-clock
-    // numbers above). "script" is the callback stage.
-    let w = greenweb_workloads::by_name("Paper.js").expect("workload exists");
-    let profiled = profile::profile(
-        &w,
-        &Policy::GreenWeb(Scenario::Imperceptible),
-        Scenario::Imperceptible,
-    )
-    .expect("traced run");
-    let registry = greenweb_trace::MetricsRegistry::from_trace(&profiled.buffer);
-    let stage_total_ms = |kind: greenweb_trace::SpanKind| {
-        registry
-            .histogram(&format!("stage.{}", kind.name()))
-            .map_or(0.0, |h| h.mean() * h.count() as f64)
-    };
+    // Per-phase pipeline totals from one traced run per workload:
+    // simulated-time span durations, so these are deterministic (unlike
+    // the wall-clock numbers above). "script" is the callback stage.
+    // Every workload gets its own breakdown plus a labeled aggregate —
+    // a suite-wide number used to hide per-app regressions behind
+    // Paper.js, the only app the old report covered.
+    let mut per_workload = Vec::with_capacity(workloads.len());
+    let mut aggregate = [0.0f64; 4];
+    for w in &workloads {
+        let profiled = profile::profile(
+            w,
+            &Policy::GreenWeb(Scenario::Imperceptible),
+            Scenario::Imperceptible,
+        )
+        .expect("traced run");
+        let registry = greenweb_trace::MetricsRegistry::from_trace(&profiled.buffer);
+        let stage_total_ms = |kind: greenweb_trace::SpanKind| {
+            registry
+                .histogram(&format!("stage.{}", kind.name()))
+                .map_or(0.0, |h| h.mean() * h.count() as f64)
+        };
+        let phases = [
+            stage_total_ms(greenweb_trace::SpanKind::Style),
+            stage_total_ms(greenweb_trace::SpanKind::Layout),
+            stage_total_ms(greenweb_trace::SpanKind::Paint),
+            stage_total_ms(greenweb_trace::SpanKind::Callback),
+        ];
+        for (total, phase) in aggregate.iter_mut().zip(&phases) {
+            *total += phase;
+        }
+        per_workload.push(phase_entry(w.name, &phases));
+    }
     let json = format!(
         "{{\"suite\":\"micro\",\"cells\":{},\"hardware_parallelism\":{},\"jobs\":{},\
          \"serial_s\":{serial_s:.3},\"parallel_s\":{parallel_s:.3},\"speedup\":{:.2},\
          \"identical\":{identical},\
-         \"phases_ms\":{{\"workload\":\"{}\",\"style\":{:.3},\"layout\":{:.3},\
-         \"paint\":{:.3},\"script\":{:.3}}}}}\n",
+         \"phases_ms\":[{}],\
+         \"phases_ms_aggregate\":{}}}\n",
         workloads.len() * 4,
         Jobs::auto(),
         jobs,
         serial_s / parallel_s.max(1e-9),
-        w.name,
-        stage_total_ms(greenweb_trace::SpanKind::Style),
-        stage_total_ms(greenweb_trace::SpanKind::Layout),
-        stage_total_ms(greenweb_trace::SpanKind::Paint),
-        stage_total_ms(greenweb_trace::SpanKind::Callback),
+        per_workload.join(","),
+        phase_entry("aggregate", &aggregate),
     );
     std::fs::write("BENCH_evaluate.json", &json).expect("write BENCH_evaluate.json");
     println!(
@@ -431,6 +588,16 @@ fn bench_report(jobs: Jobs) {
          (results bit-identical); wrote BENCH_evaluate.json",
         serial_s / parallel_s.max(1e-9)
     );
+}
+
+/// One `phases_ms` object for `BENCH_evaluate.json`: a workload label
+/// plus its style/layout/paint/script totals in simulated milliseconds.
+fn phase_entry(label: &str, phases: &[f64; 4]) -> String {
+    format!(
+        "{{\"workload\":\"{label}\",\"style\":{:.3},\"layout\":{:.3},\
+         \"paint\":{:.3},\"script\":{:.3}}}",
+        phases[0], phases[1], phases[2], phases[3],
+    )
 }
 
 /// Runs the style microbenchmark suite, asserts the counter-based

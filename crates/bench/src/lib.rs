@@ -11,6 +11,8 @@
 //!   baseline governors, big-only vs. ACMP);
 //! * [`profile`] — traced runs: per-stage latency percentiles, a text
 //!   flamegraph, and Perfetto-loadable Chrome trace-event export;
+//! * [`diff`] — tolerance-aware JSON comparison behind `evaluate diff`,
+//!   the CI regression gate over `BENCH_evaluate.json`;
 //! * [`stylebench`] — the style microbenchmark suite: naive full-scan vs
 //!   bucketed + Bloom-filtered selector matching with per-phase
 //!   breakdowns (`evaluate bench --suite style`);
@@ -24,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod diff;
 pub mod figures;
 pub mod profile;
 pub mod render;

@@ -15,6 +15,22 @@ use crate::stylesheet::Stylesheet;
 use greenweb_dom::{class_atom, id_atom, tag_atom, ElementData};
 use std::collections::HashMap;
 
+/// Which bucket a candidate was filed under — recorded so the match
+/// phase can attribute every exact selector walk to the bucket that
+/// produced the candidate (the attribution profiler's per-bucket cost
+/// ranking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BucketOrigin {
+    /// The id bucket.
+    Id,
+    /// A class bucket.
+    Class,
+    /// The tag bucket.
+    Tag,
+    /// The universal spill-over.
+    Universal,
+}
+
 /// One `(rule, selector)` pair filed under its bucket key.
 #[derive(Debug, Clone)]
 pub(crate) struct Candidate {
@@ -22,6 +38,8 @@ pub(crate) struct Candidate {
     pub rule: usize,
     /// Index of the selector within the rule's selector list.
     pub selector: usize,
+    /// The bucket this candidate was filed under.
+    pub origin: BucketOrigin,
     /// The selector's precomputed specificity.
     pub specificity: Specificity,
     /// Tag/id/class atoms drawn from every ancestor compound. Each atom
@@ -90,13 +108,20 @@ impl RuleIndex {
         let mut index = RuleIndex::default();
         for (rule_idx, rule) in sheet.rules().iter().enumerate() {
             for (sel_idx, selector) in rule.selectors().iter().enumerate() {
+                let key = bucket_key(selector);
                 let candidate = Candidate {
                     rule: rule_idx,
                     selector: sel_idx,
+                    origin: match key {
+                        BucketKey::Id(_) => BucketOrigin::Id,
+                        BucketKey::Class(_) => BucketOrigin::Class,
+                        BucketKey::Tag(_) => BucketOrigin::Tag,
+                        BucketKey::Universal => BucketOrigin::Universal,
+                    },
                     specificity: selector.specificity(),
                     ancestor_atoms: ancestor_atoms(selector),
                 };
-                match bucket_key(selector) {
+                match key {
                     BucketKey::Id(id) => {
                         index
                             .by_id

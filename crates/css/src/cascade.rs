@@ -17,7 +17,7 @@
 //! number rather than a wall-clock claim.
 
 use crate::bloom::ancestor_filter;
-use crate::bucket::RuleIndex;
+use crate::bucket::{BucketOrigin, RuleIndex};
 use crate::intern::PropertyId;
 use crate::selector::{Selector, Specificity};
 use crate::stylesheet::{parse_declarations_str, Declaration, Stylesheet};
@@ -155,6 +155,16 @@ pub struct StyleStats {
     pub resolves: u64,
     /// Exact `Selector::matches` walks the bucketed path ran.
     pub matches: u64,
+    /// Exact walks on candidates drawn from the id bucket. The four
+    /// per-bucket counters partition `matches`, giving the attribution
+    /// profiler a per-selector-bucket cost ranking.
+    pub matches_id: u64,
+    /// Exact walks on candidates drawn from a class bucket.
+    pub matches_class: u64,
+    /// Exact walks on candidates drawn from the tag bucket.
+    pub matches_tag: u64,
+    /// Exact walks on candidates drawn from the universal spill-over.
+    pub matches_universal: u64,
     /// Candidates rejected by the ancestor Bloom filter alone (no exact
     /// walk needed).
     pub bloom_rejects: u64,
@@ -174,6 +184,10 @@ impl StyleStats {
         StyleStats {
             resolves: self.resolves + other.resolves,
             matches: self.matches + other.matches,
+            matches_id: self.matches_id + other.matches_id,
+            matches_class: self.matches_class + other.matches_class,
+            matches_tag: self.matches_tag + other.matches_tag,
+            matches_universal: self.matches_universal + other.matches_universal,
             bloom_rejects: self.bloom_rejects + other.bloom_rejects,
             naive_resolves: self.naive_resolves + other.naive_resolves,
             naive_matches: self.naive_matches + other.naive_matches,
@@ -188,6 +202,12 @@ impl StyleStats {
         StyleStats {
             resolves: self.resolves.saturating_sub(earlier.resolves),
             matches: self.matches.saturating_sub(earlier.matches),
+            matches_id: self.matches_id.saturating_sub(earlier.matches_id),
+            matches_class: self.matches_class.saturating_sub(earlier.matches_class),
+            matches_tag: self.matches_tag.saturating_sub(earlier.matches_tag),
+            matches_universal: self
+                .matches_universal
+                .saturating_sub(earlier.matches_universal),
             bloom_rejects: self.bloom_rejects.saturating_sub(earlier.bloom_rejects),
             naive_resolves: self.naive_resolves.saturating_sub(earlier.naive_resolves),
             naive_matches: self.naive_matches.saturating_sub(earlier.naive_matches),
@@ -310,6 +330,12 @@ impl StyleEngine {
                     continue;
                 }
                 stats.matches += 1;
+                match candidate.origin {
+                    BucketOrigin::Id => stats.matches_id += 1,
+                    BucketOrigin::Class => stats.matches_class += 1,
+                    BucketOrigin::Tag => stats.matches_tag += 1,
+                    BucketOrigin::Universal => stats.matches_universal += 1,
+                }
                 let selector =
                     &self.stylesheet.rules()[candidate.rule].selectors()[candidate.selector];
                 if selector.matches(doc, node) {
@@ -758,6 +784,32 @@ mod tests {
         let stats = eng.stats();
         assert_eq!(stats.bloom_rejects, 1);
         assert_eq!(stats.matches, 1);
+    }
+
+    #[test]
+    fn bucket_counters_partition_matches() {
+        let doc =
+            parse_html("<div id='top' class='wrap'><p class='lead'>x</p><span>y</span></div>")
+                .unwrap();
+        let eng = engine(
+            "#top { width: 1px; } .wrap { width: 2px; } .lead { width: 3px; } \
+             p { width: 4px; } * { width: 5px; } [disabled] { width: 6px; }",
+        );
+        for node in doc.elements().collect::<Vec<_>>() {
+            eng.compute_style(&doc, node, None);
+        }
+        let stats = eng.stats();
+        // Every exact walk came from exactly one bucket.
+        assert_eq!(
+            stats.matches,
+            stats.matches_id + stats.matches_class + stats.matches_tag + stats.matches_universal
+        );
+        // div pulls #top + .wrap; p pulls .lead + p; all three pull the
+        // two universal-bucketed selectors (`*` and `[disabled]`).
+        assert_eq!(stats.matches_id, 1);
+        assert_eq!(stats.matches_class, 2);
+        assert_eq!(stats.matches_tag, 1);
+        assert_eq!(stats.matches_universal, 6);
     }
 
     #[test]

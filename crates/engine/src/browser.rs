@@ -158,6 +158,10 @@ enum RunningKind {
     Callback {
         effects: CallbackEffects,
         origin: Msg,
+        /// VM opcodes the callback executed — captured at dispatch so
+        /// the traced span can carry the script-work breadcrumb the
+        /// attribution profiler ranks callbacks by.
+        ops: u64,
     },
     Stage {
         stage: Stage,
@@ -533,6 +537,10 @@ impl<S: Scheduler> Browser<S> {
                 TraceKind::StyleStats {
                     resolves: style.resolves,
                     matches: style.matches,
+                    matches_id: style.matches_id,
+                    matches_class: style.matches_class,
+                    matches_tag: style.matches_tag,
+                    matches_universal: style.matches_universal,
                     bloom_rejects: style.bloom_rejects,
                     cache_hits: style.cache_hits,
                     cache_misses: style.cache_misses,
@@ -621,6 +629,7 @@ impl<S: Scheduler> Browser<S> {
             dur: Duration::ZERO,
             uids: vec![uid.0],
             label: Some(input.event.name()),
+            ops: 0,
         });
         let origin = Msg {
             uid,
@@ -675,6 +684,7 @@ impl<S: Scheduler> Browser<S> {
             dur: Duration::ZERO,
             uids: vec![uid.0],
             label: Some(input.event.name()),
+            ops: 0,
         });
     }
 
@@ -963,16 +973,18 @@ impl<S: Scheduler> Browser<S> {
         self.cpu.advance(self.now);
         let running = self.running.take().expect("checked above");
         if let Some(trace) = self.trace.clone() {
-            let (kind, uids, label) = match &running.kind {
-                RunningKind::Callback { origin, .. } => (
+            let (kind, uids, label, ops) = match &running.kind {
+                RunningKind::Callback { origin, ops, .. } => (
                     SpanKind::Callback,
                     vec![origin.uid.0],
                     Some(self.origin_event(origin.uid).name()),
+                    *ops,
                 ),
                 RunningKind::Stage { stage, msgs } => (
                     stage_span(*stage),
                     msgs.iter().map(|m| m.uid.0).collect(),
                     None,
+                    0,
                 ),
             };
             trace.record(
@@ -983,11 +995,16 @@ impl<S: Scheduler> Browser<S> {
                     dur: self.now.saturating_since(running.started),
                     uids,
                     label,
+                    ops,
                 },
             );
         }
         match running.kind {
-            RunningKind::Callback { effects, origin } => {
+            RunningKind::Callback {
+                effects,
+                origin,
+                ops: _,
+            } => {
                 self.apply_effects(effects, origin);
             }
             RunningKind::Stage { stage, msgs } => {
@@ -1270,9 +1287,10 @@ impl<S: Scheduler> Browser<S> {
         let args: Vec<Value> = arg.into_iter().collect();
         self.interp.call_function(&callback, &args, &mut host)?;
         let effects = host.effects;
-        let mut work =
-            self.cost
-                .callback_work(self.interp.ops(), effects.work_cycles, effects.gpu_ms);
+        let ops = self.interp.ops();
+        let mut work = self
+            .cost
+            .callback_work(ops, effects.work_cycles, effects.gpu_ms);
         if let Some(injector) = self.injector.as_mut() {
             let multiplier = injector.callback_multiplier(self.now);
             if multiplier != 1.0 {
@@ -1280,7 +1298,14 @@ impl<S: Scheduler> Browser<S> {
                 work.independent_ns *= multiplier;
             }
         }
-        self.start_task(RunningKind::Callback { effects, origin }, work);
+        self.start_task(
+            RunningKind::Callback {
+                effects,
+                origin,
+                ops,
+            },
+            work,
+        );
         Ok(())
     }
 

@@ -64,6 +64,10 @@ pub enum EventKind {
         uids: Vec<u64>,
         /// Optional annotation, e.g. the DOM event type name.
         label: Option<&'static str>,
+        /// VM opcodes executed inside this span. Non-zero only for
+        /// callback spans; the attribution profiler uses it to rank
+        /// callbacks by script work, not just wall time.
+        ops: u64,
     },
     /// A delivered VSync tick.
     Vsync,
@@ -128,6 +132,17 @@ pub enum EventKind {
         resolves: u64,
         /// Exact selector match walks the bucketed path ran.
         matches: u64,
+        /// Exact walks on candidates drawn from the id bucket. The four
+        /// per-bucket counters partition `matches` and feed the
+        /// attribution profiler's per-selector-bucket ranking.
+        matches_id: u64,
+        /// Exact walks on candidates drawn from a class bucket.
+        matches_class: u64,
+        /// Exact walks on candidates drawn from the tag bucket.
+        matches_tag: u64,
+        /// Exact walks on candidates drawn from the universal
+        /// spill-over.
+        matches_universal: u64,
         /// Candidates rejected by the ancestor Bloom filter alone.
         bloom_rejects: u64,
         /// Computed-style cache hits.

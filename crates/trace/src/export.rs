@@ -34,7 +34,7 @@ fn ts_us(at: SimTime) -> f64 {
     at.as_nanos() as f64 / 1000.0
 }
 
-fn push_f64(out: &mut String, value: f64) {
+pub(crate) fn push_f64(out: &mut String, value: f64) {
     if value.is_finite() {
         // Rust's Display for f64 is the shortest round-trip form —
         // compact, exact, and deterministic.
@@ -44,7 +44,7 @@ fn push_f64(out: &mut String, value: f64) {
     }
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -63,7 +63,7 @@ fn push_json_str(out: &mut String, s: &str) {
 }
 
 /// Opens one event object with the common fields.
-fn open_event(out: &mut String, name: &str, cat: &str, ph: char, tid: u32, ts: f64) {
+pub(crate) fn open_event(out: &mut String, name: &str, cat: &str, ph: char, tid: u32, ts: f64) {
     out.push_str("{\"name\":");
     push_json_str(out, name);
     out.push_str(",\"cat\":");
@@ -72,7 +72,7 @@ fn open_event(out: &mut String, name: &str, cat: &str, ph: char, tid: u32, ts: f
     push_f64(out, ts);
 }
 
-fn push_uids(out: &mut String, uids: &[u64]) {
+pub(crate) fn push_uids(out: &mut String, uids: &[u64]) {
     out.push('[');
     for (i, uid) in uids.iter().enumerate() {
         if i > 0 {
@@ -91,6 +91,7 @@ fn write_event(out: &mut String, record: &TraceRecord) {
             dur,
             uids,
             label,
+            ops,
         } => {
             let (tid, cat) = if *kind == SpanKind::Input {
                 (2, "input")
@@ -102,6 +103,7 @@ fn write_event(out: &mut String, record: &TraceRecord) {
             push_f64(out, dur.as_nanos() as f64 / 1000.0);
             out.push_str(",\"args\":{\"uids\":");
             push_uids(out, uids);
+            let _ = write!(out, ",\"ops\":{ops}");
             if let Some(label) = label {
                 out.push_str(",\"event\":");
                 push_json_str(out, label);
@@ -184,6 +186,10 @@ fn write_event(out: &mut String, record: &TraceRecord) {
         EventKind::StyleStats {
             resolves,
             matches,
+            matches_id,
+            matches_class,
+            matches_tag,
+            matches_universal,
             bloom_rejects,
             cache_hits,
             cache_misses,
@@ -192,6 +198,8 @@ fn write_event(out: &mut String, record: &TraceRecord) {
             let _ = write!(
                 out,
                 ",\"s\":\"t\",\"args\":{{\"resolves\":{resolves},\"matches\":{matches},\
+                 \"matches_id\":{matches_id},\"matches_class\":{matches_class},\
+                 \"matches_tag\":{matches_tag},\"matches_universal\":{matches_universal},\
                  \"bloom_rejects\":{bloom_rejects},\"cache_hits\":{cache_hits},\
                  \"cache_misses\":{cache_misses}}}}}"
             );
@@ -323,6 +331,7 @@ mod tests {
                 dur: Duration::from_millis(1),
                 uids: vec![0, 1],
                 label: Some("click"),
+                ops: 42,
             },
         );
         trace.record(SimTime::from_millis(16), EventKind::Vsync);
@@ -396,6 +405,7 @@ mod tests {
         assert!(json.contains("\"ph\":\"C\""), "counter event missing");
         assert!(json.contains("\"name\":\"callback\""));
         assert!(json.contains("\"uids\":[0,1]"));
+        assert!(json.contains("\"ops\":42"), "span ops missing");
         assert!(json.contains("\"predicted_ms\":12.5"));
         assert!(json.contains("demo \\\"app\\\""), "escaping broken");
         assert!(json.contains("tick \\\"dropped\\\"\\n"));

@@ -41,6 +41,7 @@
 //!         dur: Duration::from_millis(1),
 //!         uids: vec![0],
 //!         label: None,
+//!         ops: 0,
 //!     },
 //! );
 //! let json = chrome_trace_json(&trace.snapshot(), "demo");
@@ -49,12 +50,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod attribution;
 pub mod event;
 pub mod export;
 pub mod merge;
 pub mod metrics;
 pub mod recorder;
 
+pub use attribution::{
+    AttributionProfile, AttributionSummary, EventAttribution, ViolationForensics,
+};
 pub use event::{EventKind, SpanKind, TraceRecord};
 pub use export::{chrome_trace_json, flame_summary};
 pub use merge::merge_buffers;

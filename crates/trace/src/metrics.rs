@@ -304,12 +304,20 @@ impl MetricsRegistry {
                 EventKind::StyleStats {
                     resolves,
                     matches,
+                    matches_id,
+                    matches_class,
+                    matches_tag,
+                    matches_universal,
                     bloom_rejects,
                     cache_hits,
                     cache_misses,
                 } => {
                     registry.inc_by("style.resolves", *resolves);
                     registry.inc_by("style.matches", *matches);
+                    registry.inc_by("style.matches_id", *matches_id);
+                    registry.inc_by("style.matches_class", *matches_class);
+                    registry.inc_by("style.matches_tag", *matches_tag);
+                    registry.inc_by("style.matches_universal", *matches_universal);
                     registry.inc_by("style.bloom_rejects", *bloom_rejects);
                     registry.inc_by("style.cache_hits", *cache_hits);
                     registry.inc_by("style.cache_misses", *cache_misses);
@@ -359,6 +367,25 @@ mod tests {
         assert_eq!(h.count(), 1000);
         assert!((h.mean() - 50.05).abs() < 1e-9);
         assert_eq!(h.max(), 100.0);
+    }
+
+    /// `mean` is exact arithmetic over the recorded values — unlike
+    /// quantiles it carries no bucketing error, so we pin it against the
+    /// exact expected value, not a tolerance band.
+    #[test]
+    fn mean_is_exact_over_recorded_values() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        h.record(2.0);
+        h.record(4.0);
+        h.record(6.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), 4.0);
+        // Merging parts reproduces the same exact mean: (2+4+6+8)/4.
+        let mut part = Histogram::new();
+        part.record(8.0);
+        h.merge(&part);
+        assert_eq!(h.mean(), 5.0);
     }
 
     #[test]

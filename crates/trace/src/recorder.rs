@@ -186,6 +186,7 @@ mod tests {
             dur: Duration::from_millis(1),
             uids: vec![u],
             label: None,
+            ops: 0,
         }
     }
 

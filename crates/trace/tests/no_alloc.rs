@@ -37,6 +37,7 @@ fn allocating_event(i: u64) -> EventKind {
         dur: Duration::from_millis(1),
         uids: vec![i, i + 1, i + 2],
         label: Some("click"),
+        ops: i,
     }
 }
 

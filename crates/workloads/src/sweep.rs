@@ -37,6 +37,7 @@ use greenweb_fleet::{
     SupervisedJob,
 };
 use greenweb_trace::metrics::Histogram;
+use greenweb_trace::{AttributionProfile, AttributionSummary, SpanKind};
 use std::fmt;
 use std::fs;
 use std::io::{Seek, SeekFrom, Write};
@@ -44,13 +45,15 @@ use std::ops::ControlFlow;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 
-mod json;
+pub mod json;
 
 use json::JsonValue;
 
 /// The checkpoint format tag written in the header line; bump when the
-/// line schema changes incompatibly.
-pub const SWEEP_FORMAT: &str = "greenweb-sweep-v1";
+/// line schema changes incompatibly. v2 added the per-job `attr`
+/// attribution summary to ok lines (and recording to every cell, which
+/// also changes the plan fingerprint).
+pub const SWEEP_FORMAT: &str = "greenweb-sweep-v2";
 
 /// The kinds of deliberately broken cells chaos runs inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,7 +188,11 @@ impl SweepCell {
     }
 
     fn to_spec(&self, budget: RunBudget) -> RunSpec {
-        RunSpec::new(self.app.clone(), self.trace.clone(), self.factory()).with_budget(budget)
+        // Cells record their trace so each job can contribute a sparse
+        // attribution summary to the corpus report.
+        RunSpec::new(self.app.clone(), self.trace.clone(), self.factory())
+            .with_budget(budget)
+            .with_recording()
     }
 }
 
@@ -347,6 +354,9 @@ pub struct SweepResult {
     pub report: FleetReport,
     /// Merged frame-latency histogram over every completed job.
     pub merged: Histogram,
+    /// Corpus-level attribution: every completed job's sparse summary
+    /// folded together — "where does the energy go" across the sweep.
+    pub attribution: AttributionSummary,
     /// Jobs skipped because the resumed checkpoint already held them.
     pub resumed_jobs: usize,
 }
@@ -397,7 +407,45 @@ struct PrefixLine {
     ok: bool,
     attempts: u32,
     hist: Option<Histogram>,
+    attr: Option<AttributionSummary>,
     failure: Option<JobFailure>,
+}
+
+/// Parses a sparse histogram object (`{"sum":..,"min":..,"max":..,
+/// "buckets":[[i,n],..]}`) back into a [`Histogram`].
+fn parse_hist(hist: &JsonValue) -> Option<Histogram> {
+    let sparse: Vec<(usize, u64)> = hist
+        .get("buckets")
+        .and_then(JsonValue::as_array)?
+        .iter()
+        .filter_map(|pair| {
+            let pair = pair.as_array()?;
+            Some((pair.first()?.as_u64()? as usize, pair.get(1)?.as_u64()?))
+        })
+        .collect();
+    let field = |name: &str| hist.get(name).and_then(JsonValue::as_f64);
+    Some(Histogram::from_sparse(
+        &sparse,
+        field("sum")?,
+        field("min")?,
+        field("max")?,
+    ))
+}
+
+fn parse_attr(attr: &JsonValue) -> Option<AttributionSummary> {
+    let phases = attr.get("phase_mj")?;
+    let mut phase_mj = [0.0; 6];
+    for (slot, kind) in phase_mj.iter_mut().zip(SpanKind::ALL) {
+        *slot = phases.get(kind.name()).and_then(JsonValue::as_f64)?;
+    }
+    Some(AttributionSummary {
+        phase_mj,
+        idle_mj: attr.get("idle_mj").and_then(JsonValue::as_f64)?,
+        unattributed_mj: attr.get("unattributed_mj").and_then(JsonValue::as_f64)?,
+        total_mj: attr.get("total_mj").and_then(JsonValue::as_f64)?,
+        misses: attr.get("misses").and_then(JsonValue::as_u64)?,
+        event_mj: parse_hist(attr.get("event_mj")?)?,
+    })
 }
 
 fn parse_prefix_line(line: &str, lineno: usize) -> Result<PrefixLine, SweepError> {
@@ -421,31 +469,19 @@ fn parse_prefix_line(line: &str, lineno: usize) -> Result<PrefixLine, SweepError
             let hist = value
                 .get("hist")
                 .ok_or_else(|| corrupt("ok line without \"hist\"".into()))?;
-            let sparse: Vec<(usize, u64)> = hist
-                .get("buckets")
-                .and_then(JsonValue::as_array)
-                .ok_or_else(|| corrupt("hist without \"buckets\"".into()))?
-                .iter()
-                .filter_map(|pair| {
-                    let pair = pair.as_array()?;
-                    Some((pair.first()?.as_u64()? as usize, pair.get(1)?.as_u64()?))
-                })
-                .collect();
-            let field = |name: &str| {
-                hist.get(name)
-                    .and_then(JsonValue::as_f64)
-                    .ok_or_else(|| corrupt(format!("hist without \"{name}\"")))
-            };
+            let hist =
+                parse_hist(hist).ok_or_else(|| corrupt("malformed \"hist\" object".into()))?;
+            let attr = value
+                .get("attr")
+                .ok_or_else(|| corrupt("ok line without \"attr\"".into()))?;
+            let attr =
+                parse_attr(attr).ok_or_else(|| corrupt("malformed \"attr\" object".into()))?;
             Ok(PrefixLine {
                 index,
                 ok: true,
                 attempts,
-                hist: Some(Histogram::from_sparse(
-                    &sparse,
-                    field("sum")?,
-                    field("min")?,
-                    field("max")?,
-                )),
+                hist: Some(hist),
+                attr: Some(attr),
                 failure: None,
             })
         }
@@ -470,6 +506,7 @@ fn parse_prefix_line(line: &str, lineno: usize) -> Result<PrefixLine, SweepError
                 ok: false,
                 attempts,
                 hist: None,
+                attr: None,
                 failure: Some(JobFailure {
                     index,
                     label,
@@ -535,26 +572,52 @@ fn per_job_histogram(report: &SimReport) -> Histogram {
     hist
 }
 
-fn render_ok_line(
-    index: usize,
-    label: &str,
-    attempts: u32,
-    hist: &Histogram,
-    metrics: &RunMetrics,
-) -> String {
+fn render_hist(hist: &Histogram) -> String {
     let buckets = hist
         .nonzero_buckets()
         .map(|(bucket, n)| format!("[{bucket},{n}]"))
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "{{\"job\":{index},\"label\":\"{}\",\"status\":\"ok\",\"attempts\":{attempts},\
-         \"hist\":{{\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{buckets}]}},\
-         \"metrics\":{}}}",
-        json_escape(label),
+        "{{\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{buckets}]}}",
         hist.sum(),
         hist.min(),
         hist.max(),
+    )
+}
+
+fn render_attr(attr: &AttributionSummary) -> String {
+    let phases = SpanKind::ALL
+        .iter()
+        .zip(attr.phase_mj)
+        .map(|(kind, mj)| format!("\"{}\":{mj}", kind.name()))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"phase_mj\":{{{phases}}},\"idle_mj\":{},\"unattributed_mj\":{},\
+         \"total_mj\":{},\"misses\":{},\"event_mj\":{}}}",
+        attr.idle_mj,
+        attr.unattributed_mj,
+        attr.total_mj,
+        attr.misses,
+        render_hist(&attr.event_mj),
+    )
+}
+
+fn render_ok_line(
+    index: usize,
+    label: &str,
+    attempts: u32,
+    hist: &Histogram,
+    attr: &AttributionSummary,
+    metrics: &RunMetrics,
+) -> String {
+    format!(
+        "{{\"job\":{index},\"label\":\"{}\",\"status\":\"ok\",\"attempts\":{attempts},\
+         \"hist\":{},\"attr\":{},\"metrics\":{}}}",
+        json_escape(label),
+        render_hist(hist),
+        render_attr(attr),
         metrics.render_json(),
     )
 }
@@ -584,6 +647,7 @@ fn render_quarantine_line(failure: &JobFailure) -> String {
 pub fn run_sweep(plan: &SweepPlan, config: &SweepConfig) -> Result<SweepResult, SweepError> {
     let header = plan.header_line();
     let mut merged = Histogram::new();
+    let mut attribution = AttributionSummary::new();
     let mut report = FleetReport {
         total: plan.cells.len(),
         ..FleetReport::default()
@@ -612,6 +676,9 @@ pub fn run_sweep(plan: &SweepPlan, config: &SweepConfig) -> Result<SweepResult, 
             }
             if let Some(hist) = &line.hist {
                 merged.merge(hist);
+            }
+            if let Some(attr) = &line.attr {
+                attribution.merge(attr);
             }
             if let Some(failure) = &line.failure {
                 report.failures.push(failure.clone());
@@ -652,8 +719,24 @@ pub fn run_sweep(plan: &SweepPlan, config: &SweepConfig) -> Result<SweepResult, 
                 let hist = per_job_histogram(&run.report);
                 let expected = expectations(&cell.app, &cell.trace, cell.scenario);
                 let metrics = RunMetrics::compute(&run.report, &expected);
+                // Every cell runs with recording (see `SweepCell::to_spec`),
+                // so a missing trace means an empty attribution summary,
+                // never a skipped line.
+                let attr = run
+                    .trace
+                    .as_ref()
+                    .map(|trace| AttributionProfile::from_trace(trace).summary())
+                    .unwrap_or_default();
                 merged.merge(&hist);
-                render_ok_line(index, &outcome.label, outcome.attempts, &hist, &metrics)
+                attribution.merge(&attr);
+                render_ok_line(
+                    index,
+                    &outcome.label,
+                    outcome.attempts,
+                    &hist,
+                    &attr,
+                    &metrics,
+                )
             }
             JobStatus::Quarantined(failure) => {
                 let failure = JobFailure {
@@ -704,6 +787,7 @@ pub fn run_sweep(plan: &SweepPlan, config: &SweepConfig) -> Result<SweepResult, 
     Ok(SweepResult {
         report,
         merged,
+        attribution,
         resumed_jobs: completed,
     })
 }
@@ -949,9 +1033,12 @@ impl Repro {
             };
             trace = trace.event(*at_ms, event_type, target);
         }
+        // Recording mirrors `SweepCell::to_spec`, keeping the rebuilt
+        // spec's digest equal to the quarantined job's.
         Ok(
             RunSpec::new(app.build(), trace.end_ms(self.end_ms).build(), factory)
-                .with_budget(self.budget),
+                .with_budget(self.budget)
+                .with_recording(),
         )
     }
 }

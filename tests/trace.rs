@@ -6,15 +6,20 @@
 //! 3. every frame the report records has matching pipeline-stage spans
 //!    in the trace, and
 //! 4. a traced GreenWeb run covers the full event vocabulary: all six
-//!    pipeline stages, scheduler decisions, and energy samples.
+//!    pipeline stages, scheduler decisions, and energy samples, and
+//! 5. the attribution profiler conserves energy (per-event phase
+//!    attribution + idle + unattributed = the measured total), names
+//!    spans that actually overlap every missed frame's window, and
+//!    renders byte-identically across worker counts and repeated runs.
 
 use greenweb::qos::Scenario;
 use greenweb::GreenWebScheduler;
 use greenweb_engine::FaultPlan;
-use greenweb_trace::{chrome_trace_json, EventKind, SpanKind, TraceBuffer};
+use greenweb_fleet::{run_specs, Jobs};
+use greenweb_trace::{chrome_trace_json, AttributionProfile, EventKind, SpanKind, TraceBuffer};
 use greenweb_workloads::by_name;
 use greenweb_workloads::chaos::chaos_run_traced;
-use greenweb_workloads::harness::{run_traced, Policy};
+use greenweb_workloads::harness::{lower, run_traced, Policy};
 
 fn traced_run(name: &str) -> (greenweb_engine::SimReport, TraceBuffer) {
     let w = by_name(name).expect("workload exists");
@@ -118,4 +123,120 @@ fn greenweb_run_covers_the_event_vocabulary() {
     assert!(buffer.count_of("energy-sample") > 0, "no energy samples");
     assert!(buffer.count_of("frame-commit") > 0, "no frame commits");
     assert_eq!(buffer.dropped, 0, "micro trace must fit the ring");
+}
+
+#[test]
+fn attribution_conserves_energy_across_the_suite() {
+    // The apportioning model's ground truth: for every workload, the
+    // per-event phase attribution plus idle plus unattributed must
+    // reproduce the run's cumulative EnergySample total to within 1%.
+    for w in greenweb_workloads::all() {
+        let (_, buffer) =
+            run_traced(&w.app, &w.micro, &Policy::GreenWeb(Scenario::Usable)).expect("run");
+        let profile = AttributionProfile::from_trace(&buffer);
+        assert!(profile.total_mj > 0.0, "{}: no measured energy", w.name);
+        let tolerance = profile.total_mj * 0.01 + 1e-9;
+        let accounted = profile.attributed_mj() + profile.idle_mj + profile.unattributed_mj;
+        assert!(
+            (accounted - profile.total_mj).abs() <= tolerance,
+            "{}: accounted {accounted} mJ vs total {} mJ",
+            w.name,
+            profile.total_mj
+        );
+        // The per-event rollup is the same energy re-keyed by input:
+        // summing every event's phases must land on the in-span total.
+        let event_sum: f64 = profile
+            .events
+            .iter()
+            .map(greenweb_trace::EventAttribution::total_mj)
+            .sum();
+        let per_event = event_sum + profile.idle_mj + profile.unattributed_mj;
+        assert!(
+            (per_event - profile.total_mj).abs() <= tolerance,
+            "{}: per-event sum {per_event} mJ vs total {} mJ",
+            w.name,
+            profile.total_mj
+        );
+        assert!(
+            !profile.events.is_empty(),
+            "{}: no events attributed",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn every_chaos_miss_has_forensics_naming_overlapping_spans() {
+    // W3School under imperceptible targets with a fault storm reliably
+    // misses deadlines; Usable targets would make this test vacuous.
+    let w = by_name("W3School").expect("workload exists");
+    let (_, buffer) = chaos_run_traced(&w.app, &w.micro, FaultPlan::storm(23), || {
+        GreenWebScheduler::new(Scenario::Imperceptible)
+    })
+    .expect("chaos run");
+    let profile = AttributionProfile::from_trace(&buffer);
+    assert!(profile.misses() > 0, "storm produced no deadline misses");
+    assert_eq!(
+        profile.misses(),
+        profile.forensics.len() as u64,
+        "one forensics record per deadline miss"
+    );
+    for record in &profile.forensics {
+        assert!(
+            record.latency_ms > record.target_ms,
+            "forensics for a frame that met its {} ms target",
+            record.target_ms
+        );
+        assert!(
+            !record.spans.is_empty(),
+            "miss of input {} at {:?} names no culprit spans",
+            record.uid,
+            record.at
+        );
+        // Every named span must genuinely overlap the missed frame's
+        // window [commit - latency, commit].
+        let commit_ms = record.at.as_millis_f64();
+        let window_start_ms = commit_ms - record.latency_ms;
+        for span in &record.spans {
+            let start_ms = span.start.as_millis_f64();
+            let end_ms = start_ms + span.dur.as_millis_f64();
+            assert!(
+                start_ms < commit_ms && end_ms > window_start_ms,
+                "span {} [{start_ms}, {end_ms}] ms outside miss window \
+                 [{window_start_ms}, {commit_ms}] ms",
+                span.kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn attribution_profiles_are_byte_identical_serial_vs_parallel() {
+    // Same specs, 1 worker vs 4 workers vs a repeated run: the rendered
+    // profile JSON must match byte for byte — the property the sweep's
+    // corpus aggregation (and CI's diff gate) stands on.
+    let render_all = |jobs: Jobs| {
+        let specs = greenweb_workloads::all()
+            .iter()
+            .take(4)
+            .map(|w| lower(&w.app, &w.micro, &Policy::GreenWeb(Scenario::Usable)).with_recording())
+            .collect();
+        run_specs(specs, jobs)
+            .into_iter()
+            .map(|outcome| {
+                let outcome = outcome.expect("run");
+                let buffer = outcome.trace.expect("recording was requested");
+                AttributionProfile::from_trace(&buffer).render_json()
+            })
+            .collect::<String>()
+    };
+    let serial = render_all(Jobs::new(1));
+    let parallel = render_all(Jobs::new(4));
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "worker count changed the profile bytes");
+    let repeated = render_all(Jobs::new(1));
+    assert_eq!(
+        serial, repeated,
+        "same seed re-run changed the profile bytes"
+    );
 }
