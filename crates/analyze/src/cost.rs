@@ -14,25 +14,26 @@
 //! exploration takes the exit path, i.e. the loop contributes nothing to
 //! the bound — ⊤, not an error.
 
+use crate::{CompiledHandler, ScriptUnit};
 use greenweb_script::compiler::{Const, Op, Proto};
 use greenweb_script::value::{Closure, VmClosure};
-use greenweb_script::{compile, parse_program, BinaryOp, Program, Stmt, UnaryOp, Value};
+use greenweb_script::{compile, BinaryOp, Program, Stmt, UnaryOp, Value};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// Exploration fuel: the total number of abstract steps one handler may
 /// take. Counted workload loops are a few thousand iterations at most;
 /// the cap only bites on runaway (effectively unbounded) concrete loops.
-const FUEL: u64 = 400_000;
+pub(crate) const FUEL: u64 = 400_000;
 /// Maximum nesting of ⊤-condition forks along one path.
-const MAX_FORKS: u32 = 32;
+pub(crate) const MAX_FORKS: u32 = 32;
 /// Maximum abstract call depth.
-const MAX_CALLS: u32 = 16;
+pub(crate) const MAX_CALLS: u32 = 16;
 /// How many times one branch pc may fork along a single path before it
 /// is declared a loop with an uncountable bound. Small counted loops
 /// containing data-dependent `if`s stay precisely explored; anything
 /// longer is cut off as unbounded.
-const MAX_REFORKS: u32 = 8;
+pub(crate) const MAX_REFORKS: u32 = 8;
 
 /// The statically derived cost lower bound of one handler.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -129,19 +130,64 @@ impl PathCost {
 /// A resolved top-level script function: which compiled program, which
 /// prototype.
 #[derive(Debug, Clone)]
-struct FnRef {
-    protos: Rc<Vec<Proto>>,
-    proto: usize,
+pub(crate) struct FnRef {
+    pub(crate) protos: Rc<Vec<Proto>>,
+    pub(crate) proto: usize,
+}
+
+/// Uniquely resolvable top-level functions by name, shared by the cost
+/// and effect passes. A name declared more than once (across scripts or
+/// shadowed by a nested function of the same name) maps to `None`: both
+/// passes must treat calls to it as unresolvable.
+pub(crate) type FnTable = HashMap<String, Option<FnRef>>;
+
+/// Builds the shared function table from pre-parsed script units.
+pub(crate) fn build_fn_table(units: &[ScriptUnit]) -> FnTable {
+    let mut functions = FnTable::new();
+    for unit in units {
+        let (Some(program), Some(compiled)) = (&unit.program, &unit.compiled) else {
+            continue;
+        };
+        for stmt in &program.body {
+            let Stmt::FunctionDecl { name, .. } = stmt else {
+                continue;
+            };
+            let matching: Vec<usize> = compiled
+                .protos
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.name == *name)
+                .map(|(i, _)| i)
+                .collect();
+            let entry = if matching.len() == 1 {
+                Some(FnRef {
+                    protos: Rc::clone(&compiled.protos),
+                    proto: matching[0],
+                })
+            } else {
+                None
+            };
+            // Redeclaration anywhere makes the binding ambiguous.
+            match functions.entry(name.clone()) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(entry);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    o.insert(None);
+                }
+            }
+        }
+    }
+    functions
 }
 
 /// The cost-bound analyzer for one application's scripts.
 #[derive(Debug, Default)]
 pub struct CostAnalyzer {
-    /// Uniquely resolvable top-level functions, by name. A name declared
-    /// more than once (across scripts or shadowed by a nested function of
-    /// the same name) is left out: calls to it contribute nothing, which
-    /// keeps the bound sound.
-    functions: HashMap<String, Option<FnRef>>,
+    /// Uniquely resolvable top-level functions, by name (see [`FnTable`]).
+    /// Calls to ambiguous names contribute nothing, which keeps the
+    /// bound sound.
+    functions: FnTable,
     /// Nominal execution rate (cycles per ms) used only to order paths.
     rate_cycles_per_ms: f64,
 }
@@ -151,48 +197,22 @@ impl CostAnalyzer {
     /// that fail to parse or compile are skipped (the front-end pass has
     /// already reported them).
     pub fn new(scripts: &[String], rate_cycles_per_ms: f64) -> Self {
-        let mut analyzer = CostAnalyzer {
-            functions: HashMap::new(),
+        Self::from_units(&crate::parse_units(scripts), rate_cycles_per_ms)
+    }
+
+    /// Like [`CostAnalyzer::new`], from pre-parsed script units shared
+    /// with the effect pass.
+    pub(crate) fn from_units(units: &[ScriptUnit], rate_cycles_per_ms: f64) -> Self {
+        CostAnalyzer {
+            functions: build_fn_table(units),
             rate_cycles_per_ms: rate_cycles_per_ms.max(1.0),
-        };
-        for source in scripts {
-            let Ok(program) = parse_program(source) else {
-                continue;
-            };
-            let Ok(compiled) = compile(&program) else {
-                continue;
-            };
-            for stmt in &program.body {
-                let Stmt::FunctionDecl { name, .. } = stmt else {
-                    continue;
-                };
-                let matching: Vec<usize> = compiled
-                    .protos
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| p.name == *name)
-                    .map(|(i, _)| i)
-                    .collect();
-                let entry = if matching.len() == 1 {
-                    Some(FnRef {
-                        protos: Rc::clone(&compiled.protos),
-                        proto: matching[0],
-                    })
-                } else {
-                    None
-                };
-                // Redeclaration anywhere makes the binding ambiguous.
-                match analyzer.functions.entry(name.clone()) {
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        v.insert(entry);
-                    }
-                    std::collections::hash_map::Entry::Occupied(mut o) => {
-                        o.insert(None);
-                    }
-                }
-            }
         }
-        analyzer
+    }
+
+    /// Analyzes a handler compiled once through the shared
+    /// [`crate::HandlerCache`].
+    pub(crate) fn analyze_compiled(&self, handler: &CompiledHandler) -> HandlerCost {
+        self.explore_entry(&handler.protos, handler.main)
     }
 
     /// Analyzes one registered listener callback. Returns `None` when the
@@ -599,6 +619,7 @@ fn binary(op: BinaryOp, l: AbsVal, r: AbsVal) -> AbsVal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use greenweb_script::parse_program;
 
     fn handler(source: &str) -> HandlerCost {
         // Wrap the body as a parsed closure the way the browser stores

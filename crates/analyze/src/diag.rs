@@ -35,7 +35,8 @@ impl fmt::Display for Severity {
 
 /// The lint-code registry. Codes are grouped by pass:
 /// `GW00x` front end, `GW01x` annotation sanity, `GW02x` handler
-/// coverage, `GW03x` cost bounds, `GW04x` platform feasibility.
+/// coverage, `GW03x` cost bounds, `GW04x` platform feasibility,
+/// `GW05x` effect purity/scheduling, `GW06x` invalidation pressure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
     /// GW001: the stylesheet needed browser-style error recovery.
@@ -80,6 +81,17 @@ pub enum LintCode {
     /// GW042: a continuous (per-frame) target is below the handler's
     /// cost bound at peak.
     ContinuousOverBudget,
+    /// GW050: every handler on an annotated hot event is statically
+    /// pure (or logs-only) — the annotation buys nothing; the engine can
+    /// skip governor transitions for it entirely.
+    InertHandler,
+    /// GW051: a handler provably arms a zero-delay `setTimeout` chain —
+    /// a busy-loop in disguise that defeats DVFS idling.
+    ZeroDelayChain,
+    /// GW060: a handler on a high-frequency event (scroll/touchmove) may
+    /// mutate document structure, forcing clear-all style invalidation
+    /// on every firing.
+    HotStructureMutation,
 }
 
 impl LintCode {
@@ -102,6 +114,9 @@ impl LintCode {
             LintCode::UnsatisfiableTarget => "GW040",
             LintCode::InfeasibleImperceptible => "GW041",
             LintCode::ContinuousOverBudget => "GW042",
+            LintCode::InertHandler => "GW050",
+            LintCode::ZeroDelayChain => "GW051",
+            LintCode::HotStructureMutation => "GW060",
         }
     }
 
@@ -124,6 +139,9 @@ impl LintCode {
             LintCode::UnsatisfiableTarget => "unsatisfiable-target",
             LintCode::InfeasibleImperceptible => "infeasible-imperceptible",
             LintCode::ContinuousOverBudget => "continuous-over-budget",
+            LintCode::InertHandler => "inert-handler",
+            LintCode::ZeroDelayChain => "zero-delay-chain",
+            LintCode::HotStructureMutation => "hot-structure-mutation",
         }
     }
 
@@ -142,7 +160,10 @@ impl LintCode {
             | LintCode::UncoveredHandler
             | LintCode::UnboundedLoop
             | LintCode::InfeasibleImperceptible
-            | LintCode::ContinuousOverBudget => Severity::Warn,
+            | LintCode::ContinuousOverBudget
+            | LintCode::InertHandler
+            | LintCode::ZeroDelayChain
+            | LintCode::HotStructureMutation => Severity::Warn,
             LintCode::AutoAnnotatable | LintCode::AutoGreenSkip | LintCode::HandlerCostBound => {
                 Severity::Note
             }
@@ -329,6 +350,9 @@ mod tests {
             LintCode::UnsatisfiableTarget,
             LintCode::InfeasibleImperceptible,
             LintCode::ContinuousOverBudget,
+            LintCode::InertHandler,
+            LintCode::ZeroDelayChain,
+            LintCode::HotStructureMutation,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

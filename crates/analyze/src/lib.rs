@@ -19,6 +19,14 @@
 //! 4. **Platform feasibility** ([`passes::platform_feasibility`]) —
 //!    bounds vs. the ACMP's peak configuration: targets that are
 //!    guaranteed deadline misses (GW04x).
+//! 5. **Effect bounds** ([`effects::EffectAnalyzer`]) — a second
+//!    abstract interpretation of the same bytecode, this time computing
+//!    a sound *upper* bound on everything each handler may do: inert
+//!    annotated handlers (GW050), provable zero-delay timer chains
+//!    (GW051), and structure mutation on high-frequency events (GW060).
+//!    The summaries are also exported ([`infer_effect_summaries`]) for
+//!    the engine, which uses them to downgrade style invalidation and
+//!    to check `dynamic ⊆ static` containment at every callback return.
 //!
 //! Diagnostics carry stable `GW0xx` codes and render deterministically
 //! as text or JSON, so golden files diff cleanly in CI.
@@ -27,10 +35,12 @@
 
 pub mod cost;
 pub mod diag;
+pub mod effects;
 pub mod passes;
 
 pub use cost::{CostAnalyzer, HandlerCost};
 pub use diag::{diagnostic_json, json_escape, Area, Diagnostic, LintCode, Location, Severity};
+pub use effects::EffectAnalyzer;
 pub use passes::{describe_element, FeasibilityFinding, ListenerInfo};
 
 use greenweb::lang::AnnotationTable;
@@ -38,9 +48,103 @@ use greenweb::AutoGreen;
 use greenweb_acmp::{CoreType, PerfGovernor, Platform, WorkUnit};
 use greenweb_css::parse_stylesheet_with_errors;
 use greenweb_dom::{parse_html, EventType, NodeId};
-use greenweb_engine::{App, Browser, BrowserError, GovernorScheduler};
-use greenweb_script::{compile, parse_program};
-use std::collections::BTreeMap;
+use greenweb_engine::{
+    App, Browser, BrowserError, EffectSummary, GovernorScheduler, HandlerSummary, Scheduler,
+};
+use greenweb_script::compiler::{CompiledProgram, Proto};
+use greenweb_script::{compile, parse_program, Program, Value};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// One setup script, parsed and compiled at most once. Both bytecode
+/// passes (cost lower bounds, effect upper bounds) build their function
+/// tables from the same units instead of re-parsing the sources.
+pub(crate) struct ScriptUnit {
+    /// Parsed AST; `None` when the script fails to parse (the front-end
+    /// pass has already reported that).
+    pub(crate) program: Option<Program>,
+    /// Compiled bytecode; `None` when parsing or compilation fails.
+    pub(crate) compiled: Option<CompiledProgram>,
+}
+
+/// Parses and compiles every setup script once.
+pub(crate) fn parse_units(scripts: &[String]) -> Vec<ScriptUnit> {
+    scripts
+        .iter()
+        .map(|source| {
+            let program = parse_program(source).ok();
+            let compiled = program.as_ref().and_then(|p| compile(p).ok());
+            ScriptUnit { program, compiled }
+        })
+        .collect()
+}
+
+/// A handler body compiled once and analyzed by both bytecode passes.
+pub(crate) struct CompiledHandler {
+    /// The prototype table of the compiled body.
+    pub(crate) protos: Rc<Vec<Proto>>,
+    /// Entry prototype index.
+    pub(crate) main: usize,
+    /// Parameter names of the entry function. Compiling a bare closure
+    /// body loses them, so they ride along here (the effect pass binds
+    /// the first one to the dispatched event).
+    pub(crate) params: Vec<String>,
+}
+
+/// Cache key: `(allocation pointer, proto index)` of a callback's
+/// shared body — tree-walking closures key their statement list (with
+/// a sentinel index), VM closures their prototype table.
+type HandlerKey = (usize, usize);
+
+/// Per-app handler compilation cache: each registered closure body is
+/// compiled exactly once no matter how many passes analyze it or how
+/// many `(node, event)` registrations share the same callback value.
+#[derive(Default)]
+pub(crate) struct HandlerCache {
+    compiled: RefCell<HashMap<HandlerKey, Option<Rc<CompiledHandler>>>>,
+}
+
+impl HandlerCache {
+    /// Compiles (or fetches) the handler behind a registered callback
+    /// value. `None` when the value is not a function or its body fails
+    /// to compile.
+    pub(crate) fn compile_callback(&self, callback: &Value) -> Option<Rc<CompiledHandler>> {
+        let key = match callback {
+            Value::Function(closure) => (Rc::as_ptr(&closure.body) as usize, usize::MAX),
+            Value::VmFunction(vm) => (Rc::as_ptr(&vm.protos) as *const () as usize, vm.proto),
+            _ => return None,
+        };
+        if let Some(hit) = self.compiled.borrow().get(&key) {
+            return hit.clone();
+        }
+        let handler = match callback {
+            Value::Function(closure) => compile(&Program {
+                body: closure.body.as_ref().clone(),
+            })
+            .ok()
+            .map(|c| {
+                Rc::new(CompiledHandler {
+                    protos: c.protos,
+                    main: c.main,
+                    params: closure.params.clone(),
+                })
+            }),
+            Value::VmFunction(vm) => Some(Rc::new(CompiledHandler {
+                protos: Rc::clone(&vm.protos),
+                main: vm.proto,
+                params: vm
+                    .protos
+                    .get(vm.proto)
+                    .map(|p| p.params.clone())
+                    .unwrap_or_default(),
+            })),
+            _ => None,
+        };
+        self.compiled.borrow_mut().insert(key, handler.clone());
+        handler
+    }
+}
 
 /// The full result of analyzing one application.
 #[derive(Debug, Clone, Default)]
@@ -51,6 +155,9 @@ pub struct AnalysisReport {
     pub diagnostics: Vec<Diagnostic>,
     /// The GW040 findings in structured form, for cross-validation.
     pub unsatisfiable: Vec<FeasibilityFinding>,
+    /// The inferred per-listener effect summaries, in `(node, event,
+    /// index)` order — ready to attach as `App::effect_summaries`.
+    pub effect_summaries: Vec<HandlerSummary>,
 }
 
 impl AnalysisReport {
@@ -125,6 +232,64 @@ impl AnalysisReport {
             unsat.join(","),
         )
     }
+
+    /// Renders the inferred effect-summary table as deterministic JSON
+    /// (already in `(node, event, index)` order).
+    pub fn render_effects_json(&self) -> String {
+        let handlers: Vec<String> = self
+            .effect_summaries
+            .iter()
+            .map(HandlerSummary::render_json)
+            .collect();
+        format!(
+            "{{\"app\":\"{}\",\"handlers\":[{}]}}",
+            json_escape(&self.app_name),
+            handlers.join(","),
+        )
+    }
+}
+
+/// Infers the effect-summary table for every listener `app` registers,
+/// ready to attach as `App::effect_summaries`. Empty when the app fails
+/// to load (no listener ever fires, so nothing needs a summary).
+pub fn infer_effect_summaries(app: &App) -> Vec<HandlerSummary> {
+    let Ok(browser) = Browser::new(app, GovernorScheduler::new(PerfGovernor)) else {
+        return Vec::new();
+    };
+    let units = parse_units(&app.scripts);
+    effect_summaries_of(
+        &browser,
+        &EffectAnalyzer::from_units(&units),
+        &HandlerCache::default(),
+    )
+}
+
+/// Summarizes every registered listener callback — all event types, in
+/// the browser's deterministic `(node, event, index)` order. A callback
+/// whose body cannot be compiled gets ⊤ (it may still run through the
+/// tree-walking interpreter, so assuming nothing is the only sound
+/// choice).
+fn effect_summaries_of<S: Scheduler>(
+    browser: &Browser<S>,
+    analyzer: &EffectAnalyzer,
+    cache: &HandlerCache,
+) -> Vec<HandlerSummary> {
+    let mut summaries = Vec::new();
+    for (node, event) in browser.listener_targets() {
+        for (index, callback) in browser.listener_callbacks(node, event).iter().enumerate() {
+            let summary = match cache.compile_callback(callback) {
+                Some(handler) => analyzer.analyze_compiled(&handler),
+                None => EffectSummary::top(),
+            };
+            summaries.push(HandlerSummary {
+                node,
+                event,
+                index,
+                summary,
+            });
+        }
+    }
+    summaries
 }
 
 /// Runs all four passes over `app`.
@@ -184,8 +349,8 @@ pub fn analyze_on(app: &App, platform: &Platform) -> AnalysisReport {
     let (table, lang_errors) = AnnotationTable::from_stylesheet_lossy(&sheet);
     passes::annotation_sanity(&doc, &css_source, &table, &lang_errors, out);
 
-    // Passes 2-4 need the loaded app (setup scripts register listeners).
-    let browser = match Browser::new(app, GovernorScheduler::new(PerfGovernor)) {
+    // Passes 2-5 need the loaded app (setup scripts register listeners).
+    let mut browser = match Browser::new(app, GovernorScheduler::new(PerfGovernor)) {
         Ok(browser) => browser,
         Err(e) => {
             let (code, area) = match &e {
@@ -204,6 +369,15 @@ pub fn analyze_on(app: &App, platform: &Platform) -> AnalysisReport {
             return report;
         }
     };
+    // Effect upper bounds for every registered listener (all event
+    // types), computed before pass 2 so AUTOGREEN's static precheck is
+    // effect-aware, and installed on the browser so `static_precheck`
+    // sees exactly the table the engine would consume.
+    let units = parse_units(&app.scripts);
+    let cache = HandlerCache::default();
+    let summaries = effect_summaries_of(&browser, &EffectAnalyzer::from_units(&units), &cache);
+    browser.set_effect_summaries(&summaries);
+
     let live_doc = browser.document();
     let listeners: Vec<ListenerInfo> = browser
         .listener_targets()
@@ -224,14 +398,14 @@ pub fn analyze_on(app: &App, platform: &Platform) -> AnalysisReport {
     let peak = platform.peak();
     let ipc = platform.cluster(CoreType::Big).ipc;
     let rate_per_ms = WorkUnit::rate(peak, ipc) / 1_000.0;
-    let analyzer = CostAnalyzer::new(&app.scripts, rate_per_ms);
+    let analyzer = CostAnalyzer::from_units(&units, rate_per_ms);
     let mut costs: BTreeMap<(NodeId, EventType), HandlerCost> = BTreeMap::new();
     for info in &listeners {
         let mut total = HandlerCost::default();
         let mut analyzed = 0usize;
         for callback in browser.listener_callbacks(info.node, info.event) {
-            if let Some(cost) = analyzer.analyze_callback(callback) {
-                total = total.plus(&cost);
+            if let Some(handler) = cache.compile_callback(callback) {
+                total = total.plus(&analyzer.analyze_compiled(&handler));
                 analyzed += 1;
             }
         }
@@ -275,6 +449,61 @@ pub fn analyze_on(app: &App, platform: &Platform) -> AnalysisReport {
     // Pass 4: feasibility at the platform's peak configuration.
     report.unsatisfiable =
         passes::platform_feasibility(app, live_doc, &table, &listeners, &costs, platform, out);
+
+    // Pass 5: effect lints over the summary table.
+    let mut by_target: BTreeMap<(NodeId, EventType), Vec<&EffectSummary>> = BTreeMap::new();
+    for hs in &summaries {
+        by_target
+            .entry((hs.node, hs.event))
+            .or_default()
+            .push(&hs.summary);
+    }
+    for ((node, event), sums) in &by_target {
+        let element = describe_element(live_doc, *node);
+        let context = format!("{element} on{event}");
+        let covered = table.lookup(live_doc, *node, *event).is_some();
+        if covered
+            && event.is_user_interaction()
+            && sums.iter().all(|s| s.is_pure() || s.is_logs_only())
+        {
+            out.push(Diagnostic::new(
+                LintCode::InertHandler,
+                Location::new(Area::App, context.clone()),
+                format!(
+                    "`{element}` on{event}: every handler is statically pure{}; the QoS \
+                     annotation drives governor transitions for no observable work",
+                    if sums.iter().any(|s| s.may_log) {
+                        " (logs only)"
+                    } else {
+                        ""
+                    },
+                ),
+            ));
+        }
+        if sums.iter().any(|s| s.zero_delay_chain) {
+            out.push(Diagnostic::new(
+                LintCode::ZeroDelayChain,
+                Location::new(Area::App, context.clone()),
+                format!(
+                    "`{element}` on{event}: handler provably arms a zero-delay setTimeout \
+                     chain — a busy-loop in disguise that keeps the core out of idle"
+                ),
+            ));
+        }
+        if matches!(event, EventType::Scroll | EventType::TouchMove)
+            && sums.iter().any(|s| s.may_mutate_structure())
+        {
+            out.push(Diagnostic::new(
+                LintCode::HotStructureMutation,
+                Location::new(Area::App, context.clone()),
+                format!(
+                    "`{element}` on{event}: handler may mutate document structure on a \
+                     high-frequency event, forcing clear-all style invalidation every firing"
+                ),
+            ));
+        }
+    }
+    report.effect_summaries = summaries;
 
     report
         .diagnostics

@@ -14,6 +14,7 @@
 //! evaluate bench                      serial-vs-parallel wall-clock
 //! evaluate bench --suite style        style resolver microbenchmark
 //! evaluate metrics                    one workload's RunMetrics as JSON
+//! evaluate soundness                  dynamic ⊆ static effect-summary gate
 //! evaluate sweep --out F              supervised, checkpointed matrix sweep
 //! evaluate attribute                  per-event energy attribution profile
 //! evaluate diff OLD NEW               tolerance-aware JSON regression gate
@@ -55,6 +56,13 @@
 //! `diff` exits 0 when the documents agree within tolerance and 1 with
 //! one line per differing field otherwise — CI's regression gate over
 //! the committed `BENCH_evaluate.json`.
+//!
+//! `soundness` runs every workload's full trace under each paper policy
+//! with the statically inferred effect summaries attached and fails if
+//! any observed callback effect escapes its static summary (or if no
+//! containment check ran at all). `--poison-summaries` attaches
+//! deliberately under-approximated summaries and *expects* violations —
+//! the self-check that the detector detects.
 //!
 //! `sweep` flags (see `EXPERIMENTS.md` for recipes):
 //!
@@ -105,6 +113,7 @@ fn main() {
     let mut positionals: Vec<String> = Vec::new();
     let mut json_output = false;
     let mut flame_output = false;
+    let mut poison_summaries = false;
     let mut tolerance: f64 = 0.05;
     let mut ignore = String::new();
     let mut argv = std::env::args().skip(1);
@@ -139,6 +148,7 @@ fn main() {
             }
             "--json" => json_output = true,
             "--flame" => flame_output = true,
+            "--poison-summaries" => poison_summaries = true,
             "--tolerance" => {
                 tolerance = argv
                     .next()
@@ -180,6 +190,9 @@ fn main() {
     if command == "metrics" {
         metrics_report(&workload);
         return;
+    }
+    if command == "soundness" {
+        std::process::exit(soundness_command(jobs, poison_summaries));
     }
     if command == "sweep" {
         let out = out_path.expect("sweep requires --out FILE");
@@ -618,17 +631,122 @@ fn style_bench_report() {
 }
 
 /// Runs one workload's full trace under GreenWeb-I and prints its
-/// deterministic metrics JSON. The CI cache-parity gate runs this twice
-/// (`GREENWEB_STYLE_CACHE=off` vs default) and requires byte-identical
-/// output after stripping the `"style"` counter object.
+/// deterministic metrics JSON. The inferred effect summaries are
+/// attached, so summary-gated invalidation downgrades (and their
+/// containment checks) are live. Two CI parity gates diff this output:
+/// `GREENWEB_STYLE_CACHE=off` vs default, and `GREENWEB_EFFECT_GATE=off`
+/// vs default — both require byte-identical JSON after stripping the
+/// `"style"` counter object.
 fn metrics_report(workload: &str) {
     let w = greenweb_workloads::by_name(workload)
         .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    let mut app = w.app.clone();
+    app.effect_summaries = greenweb_analyze::infer_effect_summaries(&app);
     let scenario = Scenario::Imperceptible;
-    let report = run(&w.app, &w.full, &Policy::GreenWeb(scenario)).expect("run");
-    let expected = expectations(&w.app, &w.full, scenario);
+    let report = run(&app, &w.full, &Policy::GreenWeb(scenario)).expect("run");
+    let expected = expectations(&app, &w.full, scenario);
     let metrics = greenweb::metrics::RunMetrics::compute(&report, &expected);
     println!("{}", metrics.render_json());
+}
+
+/// The fleet-scale `dynamic ⊆ static` soundness gate: every workload's
+/// full-interaction trace under each paper policy, with the statically
+/// inferred effect summaries attached. Exit 0 requires zero containment
+/// violations *and* a non-zero number of containment checks (a silently
+/// detached gate must not pass). With `poison`, each summary is replaced
+/// by the all-pure bottom — a deliberate under-approximation — and the
+/// exit codes invert: violations are *required*.
+fn soundness_command(jobs: Jobs, poison: bool) -> i32 {
+    use greenweb_engine::{App, EffectSummary};
+    use greenweb_workloads::harness::run_many;
+    if poison {
+        // Record violations in the ledger instead of aborting the run on
+        // the engine's containment debug assertion.
+        std::env::set_var("GREENWEB_EFFECT_ASSERT", "off");
+    }
+    let workloads = greenweb_workloads::all();
+    let policies = Policy::paper_set();
+    let apps: Vec<App> = workloads
+        .iter()
+        .map(|w| {
+            let mut app = w.app.clone();
+            let mut summaries = greenweb_analyze::infer_effect_summaries(&app);
+            if poison {
+                for hs in &mut summaries {
+                    hs.summary = EffectSummary::pure();
+                }
+            }
+            app.effect_summaries = summaries;
+            app
+        })
+        .collect();
+    let mut cells = Vec::new();
+    let mut labels = Vec::new();
+    for (w, app) in workloads.iter().zip(&apps) {
+        for policy in &policies {
+            cells.push((app, &w.full, policy));
+            labels.push(format!("{} under {policy}", w.name));
+        }
+    }
+    eprintln!(
+        "soundness: {} cell(s) ({} workloads x {} policies, {jobs} worker(s)){}...",
+        cells.len(),
+        workloads.len(),
+        policies.len(),
+        if poison { ", poisoned summaries" } else { "" },
+    );
+    let reports = run_many(&cells, jobs);
+    let mut checks = 0u64;
+    let mut violations = Vec::new();
+    let mut failures = 0usize;
+    for (label, report) in labels.iter().zip(reports) {
+        match report {
+            Ok(r) => {
+                checks += r.effect_checks;
+                violations.extend(r.effect_violations.iter().map(|v| format!("{label}: {v}")));
+            }
+            Err(e) => {
+                eprintln!("{label}: run failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "soundness: {} run(s), {checks} containment check(s), {} violation(s)",
+        labels.len(),
+        violations.len(),
+    );
+    if failures > 0 {
+        eprintln!("{failures} run(s) failed outright");
+        return 1;
+    }
+    if checks == 0 {
+        eprintln!("no containment checks ran — summaries were never attached or consumed");
+        return 1;
+    }
+    if poison {
+        if violations.is_empty() {
+            eprintln!(
+                "poisoned (all-pure) summaries produced no violations — the detector is dead"
+            );
+            return 1;
+        }
+        println!(
+            "poison self-check ok: {} violation(s) caught as expected",
+            violations.len()
+        );
+        return 0;
+    }
+    if violations.is_empty() {
+        println!("dynamic ⊆ static holds across the fleet");
+        0
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("static effect summaries are unsound for the runs above");
+        1
+    }
 }
 
 fn autogreen_report() {

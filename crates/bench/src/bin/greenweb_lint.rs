@@ -11,7 +11,13 @@
 //! greenweb_lint --write tests/goldens/lint    (re)write golden JSON files
 //! greenweb_lint --check tests/goldens/lint    diff against goldens
 //! greenweb_lint --jobs N                analyze on N worker threads
+//! greenweb_lint --effects [--json]      inferred per-handler effect summaries
 //! ```
+//!
+//! `--effects` switches the payload from diagnostics to the inferred
+//! effect-summary table (the same table `evaluate` attaches to engine
+//! runs); it composes with `--write`/`--check` against a separate golden
+//! directory (`tests/goldens/effects`).
 //!
 //! Analyses run on the deterministic executor (default worker count from
 //! `GREENWEB_JOBS`, else hardware parallelism); reports are emitted in
@@ -21,7 +27,7 @@
 //! Exit status is non-zero when any error-severity diagnostic fires, or
 //! in `--check` mode when output differs from the committed goldens.
 
-use greenweb_analyze::{analyze, AnalysisReport};
+use greenweb_analyze::analyze;
 use greenweb_fleet::{run_jobs, Jobs};
 use greenweb_workloads::{all, by_name, Workload};
 use std::path::Path;
@@ -45,6 +51,7 @@ fn golden_name(workload: &str) -> String {
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut effects = false;
     let mut write_dir: Option<String> = None;
     let mut check_dir: Option<String> = None;
     let mut workload: Option<String> = None;
@@ -53,6 +60,7 @@ fn main() -> ExitCode {
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--effects" => effects = true,
             "--all" => workload = None,
             "--write" => write_dir = Some(argv.next().expect("--write requires a directory")),
             "--check" => check_dir = Some(argv.next().expect("--check requires a directory")),
@@ -106,17 +114,22 @@ fn main() -> ExitCode {
         if report.has_errors() {
             failed = true;
         }
+        let payload = if effects {
+            report.render_effects_json()
+        } else {
+            report.render_json()
+        };
         if let Some(dir) = &write_dir {
             let path = Path::new(dir).join(golden_name(w.name));
-            if let Err(e) = std::fs::write(&path, report.render_json() + "\n") {
+            if let Err(e) = std::fs::write(&path, payload + "\n") {
                 eprintln!("cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
             println!("wrote {}", path.display());
         } else if let Some(dir) = &check_dir {
-            failed |= !check_golden(dir, w.name, &report);
-        } else if json {
-            println!("{}", report.render_json());
+            failed |= !check_golden(dir, w.name, &payload);
+        } else if json || effects {
+            println!("{payload}");
         } else {
             print!("{}", report.render_text());
         }
@@ -128,8 +141,9 @@ fn main() -> ExitCode {
     }
 }
 
-/// Compares `report` against the committed golden; reports drift.
-fn check_golden(dir: &str, name: &str, report: &AnalysisReport) -> bool {
+/// Compares the rendered payload against the committed golden; reports
+/// drift.
+fn check_golden(dir: &str, name: &str, payload: &str) -> bool {
     let path = Path::new(dir).join(golden_name(name));
     let expected = match std::fs::read_to_string(&path) {
         Ok(s) => s,
@@ -138,7 +152,7 @@ fn check_golden(dir: &str, name: &str, report: &AnalysisReport) -> bool {
             return false;
         }
     };
-    let actual = report.render_json() + "\n";
+    let actual = format!("{payload}\n");
     if expected == actual {
         println!("{name}: ok");
         true

@@ -43,6 +43,10 @@ pub enum SkipReason {
     /// The profiling run produced no input record to inspect (the event
     /// never dispatched).
     NoInputRecord,
+    /// Every callback registered at the target is statically pure (or
+    /// logs-only): an annotation would drive governor transitions for no
+    /// observable work.
+    InertHandler,
 }
 
 impl fmt::Display for SkipReason {
@@ -54,6 +58,9 @@ impl fmt::Display for SkipReason {
                 "element `{tag}` has neither id nor class; cannot generate a stable selector"
             ),
             SkipReason::NoInputRecord => f.write_str("profiling produced no input record"),
+            SkipReason::InertHandler => {
+                f.write_str("every handler is statically pure; an annotation would be inert")
+            }
         }
     }
 }
@@ -84,6 +91,11 @@ pub struct AnnotationCandidate {
     /// selector was derived from a class; such candidates fall back to
     /// the conservative `single, short` without profiling).
     pub target_id: Option<String>,
+    /// Some callback at this target provably schedules an animation
+    /// frame or `animate()` on *every* execution path (from the static
+    /// effect summaries, when attached): the QoS type is "continuous"
+    /// without a profiling run.
+    pub static_continuous: bool,
 }
 
 /// The outcome of AUTOGREEN's static pre-pass (phase 1): which listener
@@ -191,6 +203,27 @@ impl AutoGreen {
             if !event.is_user_interaction() {
                 continue;
             }
+            // Effect-aware skip: when a static summary covers every
+            // callback at the target and each is pure (or logs-only),
+            // the handler does nothing an annotation could protect.
+            let summaries = browser.effect_summaries_for(node, event);
+            let callback_count = browser.listener_callbacks(node, event).len();
+            if callback_count > 0
+                && summaries.len() == callback_count
+                && summaries
+                    .iter()
+                    .all(|hs| hs.summary.is_pure() || hs.summary.is_logs_only())
+            {
+                plan.skipped.push(SkippedTarget {
+                    node: Some(node),
+                    event,
+                    reason: SkipReason::InertHandler,
+                });
+                continue;
+            }
+            let static_continuous = summaries
+                .iter()
+                .any(|hs| hs.summary.rafs_min + hs.summary.animates_min >= 1);
             let doc = browser.document();
             let Some(element) = doc.element(node) else {
                 plan.skipped.push(SkippedTarget {
@@ -224,6 +257,7 @@ impl AutoGreen {
                 event,
                 selector,
                 target_id: element.id().map(str::to_string),
+                static_continuous,
             });
         }
         plan
@@ -244,6 +278,18 @@ impl AutoGreen {
         };
         for candidate in plan.candidates {
             let event = candidate.event;
+            // A statically guaranteed animation mechanism needs no
+            // profiling run: every path through some callback schedules
+            // one, so the dynamic signal check could only agree.
+            if candidate.static_continuous {
+                report.annotations.push(Annotation {
+                    selector: Selector::parse(&candidate.selector)
+                        .expect("generated selector is well-formed"),
+                    event,
+                    spec: QosSpec::continuous(),
+                });
+                continue;
+            }
             // Profiling needs a concrete element to poke; without an id
             // the trace cannot target the node, so skip profiling and
             // assume the conservative single/short.
@@ -295,6 +341,7 @@ mod tests {
     use super::*;
     use crate::qos::{QosTarget, QosType};
     use greenweb_dom::parse_html;
+    use greenweb_engine::{EffectSummary, HandlerSummary};
 
     fn detect(app: &App) -> AutoGreenReport {
         AutoGreen::new().detect(app).unwrap()
@@ -306,6 +353,68 @@ mod tests {
             .css(css)
             .script(script)
             .build()
+    }
+
+    fn summarized(app: &App, summary: EffectSummary) -> App {
+        // Attach `summary` to every registered listener callback, the
+        // way `greenweb-analyze` would after inference.
+        let browser = Browser::new(app, GovernorScheduler::new(PerfGovernor)).unwrap();
+        let mut out = app.clone();
+        out.effect_summaries = browser
+            .listener_targets()
+            .into_iter()
+            .map(|(node, event)| HandlerSummary {
+                node,
+                event,
+                index: 0,
+                summary: summary.clone(),
+            })
+            .collect();
+        out
+    }
+
+    #[test]
+    fn inert_handlers_are_skipped_statically() {
+        let app = app_with(
+            "addEventListener(getElementById('btn'), 'click', function(e) { log('tap'); });",
+            "",
+        );
+        let logs_only = {
+            let mut s = EffectSummary::pure();
+            s.may_log = true;
+            s
+        };
+        let report = detect(&summarized(&app, logs_only));
+        assert!(report.annotations.is_empty(), "{report}");
+        assert!(report
+            .skipped
+            .iter()
+            .any(|s| s.reason == SkipReason::InertHandler));
+        // Without summaries the same app is annotated conservatively.
+        let blind = detect(&app);
+        assert_eq!(blind.annotations.len(), 1);
+    }
+
+    #[test]
+    fn statically_continuous_candidates_skip_profiling() {
+        let app = app_with(
+            "addEventListener(getElementById('btn'), 'click', function(e) {
+                 animate(getElementById('box'), 'width', 200, 150);
+             });",
+            "",
+        );
+        let guaranteed_animation = {
+            let mut s = EffectSummary::pure();
+            s.may_animate = true;
+            s.may_dirty = true;
+            s.animates_min = 1;
+            s
+        };
+        let report = detect(&summarized(&app, guaranteed_animation));
+        assert_eq!(
+            report.annotations.annotations()[0].spec.qos_type,
+            QosType::Continuous
+        );
     }
 
     #[test]

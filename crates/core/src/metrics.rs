@@ -184,7 +184,8 @@ impl RunMetrics {
              \"big_residency\":{},\"switches_per_frame\":{},\
              \"dvfs_switches\":{},\"migrations\":{},\
              \"style\":{{\"resolves\":{},\"matches\":{},\"bloom_rejects\":{},\
-             \"cache_hits\":{},\"cache_misses\":{}}}}}",
+             \"cache_hits\":{},\"cache_misses\":{},\
+             \"cache_invalidations_avoided\":{}}}}}",
             self.energy_mj,
             self.violation_pct,
             self.judged_inputs,
@@ -204,6 +205,7 @@ impl RunMetrics {
             self.style.bloom_rejects,
             self.style.cache_hits,
             self.style.cache_misses,
+            self.style.cache_invalidations_avoided,
         )
     }
 }
@@ -339,6 +341,8 @@ mod tests {
             total_time: Duration::from_millis(100),
             chaos: None,
             style: StyleStats::default(),
+            effect_checks: 0,
+            effect_violations: Vec::new(),
         }
     }
 

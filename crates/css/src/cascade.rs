@@ -176,6 +176,10 @@ pub struct StyleStats {
     pub cache_hits: u64,
     /// Computed-style cache misses (engine layer; zero inside this crate).
     pub cache_misses: u64,
+    /// Clear-alls the engine downgraded to targeted subtree invalidation
+    /// because a static effect summary proved the mutating callback could
+    /// not change DOM structure (engine layer; zero inside this crate).
+    pub cache_invalidations_avoided: u64,
 }
 
 impl StyleStats {
@@ -193,6 +197,8 @@ impl StyleStats {
             naive_matches: self.naive_matches + other.naive_matches,
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
+            cache_invalidations_avoided: self.cache_invalidations_avoided
+                + other.cache_invalidations_avoided,
         }
     }
 
@@ -213,6 +219,9 @@ impl StyleStats {
             naive_matches: self.naive_matches.saturating_sub(earlier.naive_matches),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_invalidations_avoided: self
+                .cache_invalidations_avoided
+                .saturating_sub(earlier.cache_invalidations_avoided),
         }
     }
 }

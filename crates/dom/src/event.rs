@@ -235,6 +235,26 @@ impl<T> ListenerSet<T> {
         }
         out
     }
+
+    /// Like [`ListenerSet::dispatch_order`], but each callback is paired
+    /// with the node it was registered on and its position in that node's
+    /// listener list — the key the engine's static effect-summary table
+    /// uses (the same callback value may be registered on many nodes).
+    pub fn dispatch_entries(&self, doc: &Document, event: &Event) -> Vec<(NodeId, usize, &T)>
+    where
+        T: Sized,
+    {
+        let mut out = Vec::new();
+        for (node, phase) in event.propagation_path(doc) {
+            if phase == EventPhase::Bubble {
+                continue;
+            }
+            for (index, callback) in self.get(node, event.event_type).iter().enumerate() {
+                out.push((node, index, callback));
+            }
+        }
+        out
+    }
 }
 
 impl<T> Default for ListenerSet<T> {
@@ -319,6 +339,22 @@ mod tests {
         set.add(b, EventType::Click, "inner");
         let order = set.dispatch_order(&doc, &Event::new(EventType::Click, b));
         assert_eq!(order, vec![&"outer", &"inner"]);
+    }
+
+    #[test]
+    fn dispatch_entries_carry_registration_node_and_index() {
+        let doc = parse_html("<div id='a'><p id='b'></p></div>").unwrap();
+        let a = doc.element_by_id("a").unwrap();
+        let b = doc.element_by_id("b").unwrap();
+        let mut set: ListenerSet<&str> = ListenerSet::new();
+        set.add(a, EventType::Click, "outer0");
+        set.add(a, EventType::Click, "outer1");
+        set.add(b, EventType::Click, "inner");
+        let entries = set.dispatch_entries(&doc, &Event::new(EventType::Click, b));
+        assert_eq!(
+            entries,
+            vec![(a, 0, &"outer0"), (a, 1, &"outer1"), (b, 0, &"inner")]
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Application bundles: the HTML + CSS + scripts the browser loads.
 
 use crate::cost::FrameCostModel;
+use crate::effects::HandlerSummary;
 
 /// A Web application: markup, stylesheets, and scripts, plus the cost
 /// parameters the engine charges for its frames.
@@ -17,6 +18,11 @@ pub struct App {
     pub scripts: Vec<String>,
     /// Frame cost parameters.
     pub cost: FrameCostModel,
+    /// Static per-handler effect summaries, normally produced by the
+    /// analyzer's effects pass and injected before a measured run. Empty
+    /// means "no static knowledge": the engine falls back to worst-case
+    /// clear-all invalidation and performs no containment checks.
+    pub effect_summaries: Vec<HandlerSummary>,
 }
 
 impl App {
@@ -29,6 +35,7 @@ impl App {
                 css: Vec::new(),
                 scripts: Vec::new(),
                 cost: FrameCostModel::default(),
+                effect_summaries: Vec::new(),
             },
         }
     }

@@ -10,6 +10,7 @@
 
 use crate::app::App;
 use crate::cost::{FrameCostModel, Stage};
+use crate::effects::HandlerSummary;
 use crate::events::{InputId, TargetSpec, Trace, TraceEvent};
 use crate::fault::{FaultInjector, FaultPlan, VsyncDisposition};
 use crate::frame::{FrameTracker, Msg};
@@ -35,6 +36,36 @@ use std::rc::Rc;
 
 /// The VSync period: 60 Hz, like the paper's mobile display.
 pub const VSYNC_PERIOD: Duration = Duration::from_nanos(16_666_667);
+
+/// Reads `GREENWEB_EFFECT_GATE`: `off`, `0`, or `false` (any case)
+/// disables summary-gated invalidation downgrades, anything else —
+/// including unset — enables them. Mirrors `GREENWEB_STYLE_CACHE`; the
+/// effect-gate parity gate in CI runs one workload each way and diffs
+/// the metrics after stripping the style counters.
+fn effect_gate_from_env() -> bool {
+    !matches!(
+        std::env::var("GREENWEB_EFFECT_GATE")
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str(),
+        "off" | "0" | "false"
+    )
+}
+
+/// Reads `GREENWEB_EFFECT_ASSERT`: `off`, `0`, or `false` (any case)
+/// downgrades the `dynamic ⊆ static` containment debug assertion to
+/// ledger-only recording. Poison harnesses — which attach deliberately
+/// under-approximated summaries to prove the detector detects — use it
+/// to observe violations in the report instead of aborting debug builds.
+fn effect_assert_from_env() -> bool {
+    !matches!(
+        std::env::var("GREENWEB_EFFECT_ASSERT")
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str(),
+        "off" | "0" | "false"
+    )
+}
 
 /// Maps an engine pipeline stage to its trace span kind.
 fn stage_span(stage: Stage) -> SpanKind {
@@ -144,6 +175,10 @@ enum Task {
         callback: Value,
         arg: Option<Value>,
         origin: Msg,
+        /// The static effect summary for this registration, if the
+        /// analyzer produced one (`None` for timer/rAF continuations and
+        /// runtime-registered listeners — they are simply unchecked).
+        summary: Option<Rc<HandlerSummary>>,
     },
     BeginFrame,
     Stage {
@@ -156,12 +191,15 @@ enum Task {
 #[derive(Debug)]
 enum RunningKind {
     Callback {
-        effects: CallbackEffects,
+        effects: Box<CallbackEffects>,
         origin: Msg,
         /// VM opcodes the callback executed — captured at dispatch so
         /// the traced span can carry the script-work breadcrumb the
         /// attribution profiler ranks callbacks by.
         ops: u64,
+        /// The static effect summary to check the observed effects
+        /// against when the task completes.
+        summary: Option<Rc<HandlerSummary>>,
     },
     Stage {
         stage: Stage,
@@ -247,6 +285,23 @@ pub struct Browser<S: Scheduler> {
     /// Discrete events popped by [`Browser::run`] so far (across runs),
     /// checked against `budget.max_sim_events`.
     events_popped: u64,
+    /// Static effect summaries keyed the way dispatch finds callbacks:
+    /// `(registered node, event, index within that node's listener
+    /// list)`. Built from [`App::effect_summaries`] at load.
+    effect_summaries: HashMap<(NodeId, EventType, usize), Rc<HandlerSummary>>,
+    /// Whether summary-gated invalidation downgrades are enabled
+    /// (`GREENWEB_EFFECT_GATE`; containment *checks* run regardless).
+    effect_gate: bool,
+    /// Whether a containment violation trips a debug assertion. Poison
+    /// harnesses disable this to observe violations deterministically.
+    effect_assertions: bool,
+    /// Set after any containment violation: summaries are no longer
+    /// trusted for invalidation downgrades in this browser.
+    summaries_distrusted: bool,
+    /// Every `dynamic ⊆ static` violation observed, in occurrence order.
+    effect_violations: Vec<String>,
+    /// Number of callback returns checked against a static summary.
+    effect_checks: u64,
 }
 
 impl<S: Scheduler> Browser<S> {
@@ -315,7 +370,14 @@ impl<S: Scheduler> Browser<S> {
             trace: None,
             budget: None,
             events_popped: 0,
+            effect_summaries: HashMap::new(),
+            effect_gate: effect_gate_from_env(),
+            effect_assertions: effect_assert_from_env(),
+            summaries_distrusted: false,
+            effect_violations: Vec::new(),
+            effect_checks: 0,
         };
+        browser.set_effect_summaries(&app.effect_summaries);
         // Run setup scripts: they register listeners and may set initial
         // styles. Scheduling effects (dirty/rAF/timers) are ignored at
         // setup — loading work is modeled by the `load` trace event.
@@ -391,13 +453,66 @@ impl<S: Scheduler> Browser<S> {
         self.style_cache.get_mut().set_enabled(enabled);
     }
 
+    /// Replaces the static effect-summary table (normally injected via
+    /// [`App::effect_summaries`]; tests use this to attach hand-built or
+    /// intentionally wrong summaries after construction).
+    pub fn set_effect_summaries(&mut self, summaries: &[HandlerSummary]) {
+        self.effect_summaries = summaries
+            .iter()
+            .map(|hs| ((hs.node, hs.event, hs.index), Rc::new(hs.clone())))
+            .collect();
+        self.summaries_distrusted = false;
+    }
+
+    /// The static summaries attached for the callbacks registered at
+    /// `(node, event)`, in callback order. Empty when no summary table
+    /// is attached or the target has none; shorter than the callback
+    /// list when listeners were added dynamically after inference.
+    pub fn effect_summaries_for(&self, node: NodeId, event: EventType) -> Vec<&HandlerSummary> {
+        let mut out = Vec::new();
+        for index in 0.. {
+            match self.effect_summaries.get(&(node, event, index)) {
+                Some(hs) => out.push(hs.as_ref()),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Enables or disables summary-gated invalidation downgrades
+    /// programmatically (tests use this instead of
+    /// `GREENWEB_EFFECT_GATE`, which races under parallel execution).
+    /// Containment checks run either way.
+    pub fn set_effect_gate_enabled(&mut self, enabled: bool) {
+        self.effect_gate = enabled;
+    }
+
+    /// Disables the debug assertion on containment violations, so poison
+    /// harnesses (which attach deliberately under-approximated summaries)
+    /// can observe violations in the report instead of aborting.
+    pub fn set_effect_containment_asserts(&mut self, enabled: bool) {
+        self.effect_assertions = enabled;
+    }
+
+    /// Every `dynamic ⊆ static` containment violation observed so far.
+    pub fn effect_violations(&self) -> &[String] {
+        &self.effect_violations
+    }
+
+    /// Number of callback returns checked against a static summary.
+    pub fn effect_checks(&self) -> u64 {
+        self.effect_checks
+    }
+
     /// Combined style-system counters: the engine's resolver stats plus
     /// this browser's cache hits/misses.
     pub fn style_stats(&self) -> StyleStats {
-        let (cache_hits, cache_misses) = self.style_cache.borrow().counters();
+        let cache = self.style_cache.borrow();
+        let (cache_hits, cache_misses) = cache.counters();
         self.style.stats().merge(&StyleStats {
             cache_hits,
             cache_misses,
+            cache_invalidations_avoided: cache.invalidations_avoided(),
             ..StyleStats::default()
         })
     }
@@ -544,6 +659,7 @@ impl<S: Scheduler> Browser<S> {
                     bloom_rejects: style.bloom_rejects,
                     cache_hits: style.cache_hits,
                     cache_misses: style.cache_misses,
+                    cache_invalidations_avoided: style.cache_invalidations_avoided,
                 },
             );
         }
@@ -563,6 +679,8 @@ impl<S: Scheduler> Browser<S> {
             total_time: end.since(SimTime::ZERO),
             chaos: self.injector.as_ref().map(FaultInjector::report),
             style,
+            effect_checks: self.effect_checks,
+            effect_violations: self.effect_violations.clone(),
         }
     }
 
@@ -601,11 +719,17 @@ impl<S: Scheduler> Browser<S> {
         };
         self.apply_config(desired);
         let event = Event::new(input.event, target);
-        let callbacks: Vec<Value> = self
+        let callbacks: Vec<(Option<Rc<HandlerSummary>>, Value)> = self
             .listeners
-            .dispatch_order(&self.doc, &event)
+            .dispatch_entries(&self.doc, &event)
             .into_iter()
-            .cloned()
+            .map(|(node, index, callback)| {
+                let summary = self
+                    .effect_summaries
+                    .get(&(node, input.event, index))
+                    .cloned();
+                (summary, callback.clone())
+            })
             .collect();
         let had_listener = !callbacks.is_empty();
         self.input_meta.push(InputRecord {
@@ -637,11 +761,12 @@ impl<S: Scheduler> Browser<S> {
         };
         if had_listener {
             let arg = self.event_arg(input.event, target);
-            for callback in callbacks {
+            for (summary, callback) in callbacks {
                 self.ready.push_back(Task::Callback {
                     callback,
                     arg: Some(arg.clone()),
                     origin,
+                    summary,
                 });
             }
         } else if matches!(input.event, EventType::Scroll | EventType::TouchMove) {
@@ -810,6 +935,7 @@ impl<S: Scheduler> Browser<S> {
                     callback,
                     arg: Some(Value::Number(self.now.as_millis_f64())),
                     origin,
+                    summary: None,
                 });
             }
             if self.tracker.is_dirty() || ticked || moved {
@@ -907,14 +1033,20 @@ impl<S: Scheduler> Browser<S> {
         }
         for (node, event_type, origin) in end_events {
             let event = Event::new(event_type, node);
-            let callbacks: Vec<Value> = self
+            let callbacks: Vec<(Option<Rc<HandlerSummary>>, Value)> = self
                 .listeners
-                .dispatch_order(&self.doc, &event)
+                .dispatch_entries(&self.doc, &event)
                 .into_iter()
-                .cloned()
+                .map(|(listener_node, index, callback)| {
+                    let summary = self
+                        .effect_summaries
+                        .get(&(listener_node, event_type, index))
+                        .cloned();
+                    (summary, callback.clone())
+                })
                 .collect();
             let arg = self.event_arg(event_type, node);
-            for callback in callbacks {
+            for (summary, callback) in callbacks {
                 self.ready.push_back(Task::Callback {
                     callback,
                     arg: Some(arg.clone()),
@@ -922,6 +1054,7 @@ impl<S: Scheduler> Browser<S> {
                         uid: origin,
                         start_ts: self.now,
                     },
+                    summary,
                 });
             }
         }
@@ -936,6 +1069,7 @@ impl<S: Scheduler> Browser<S> {
                     uid,
                     start_ts: self.now,
                 },
+                summary: None,
             });
             self.try_start()?;
         }
@@ -1004,8 +1138,9 @@ impl<S: Scheduler> Browser<S> {
                 effects,
                 origin,
                 ops: _,
+                summary,
             } => {
-                self.apply_effects(effects, origin);
+                self.apply_effects(*effects, origin, summary);
             }
             RunningKind::Stage { stage, msgs } => {
                 if stage == Stage::Composite {
@@ -1049,7 +1184,36 @@ impl<S: Scheduler> Browser<S> {
         Ok(())
     }
 
-    fn apply_effects(&mut self, effects: CallbackEffects, origin: Msg) {
+    fn apply_effects(
+        &mut self,
+        effects: CallbackEffects,
+        origin: Msg,
+        summary: Option<Rc<HandlerSummary>>,
+    ) {
+        // The analyzer's correctness contract: everything the callback
+        // actually did must be admitted by its static summary
+        // (dynamic ⊆ static). A violation is recorded, trips a debug
+        // assertion, and permanently distrusts summaries for
+        // invalidation downgrades in this browser.
+        if let Some(hs) = summary.as_deref() {
+            self.effect_checks += 1;
+            let violations = hs.summary.admits(&effects, &self.doc, Some(hs.node));
+            if !violations.is_empty() {
+                for v in &violations {
+                    self.effect_violations.push(format!(
+                        "{}: on{} handler #{} at {}: {v}",
+                        self.app_name, hs.event, hs.index, hs.node
+                    ));
+                }
+                self.summaries_distrusted = true;
+                if self.effect_assertions {
+                    debug_assert!(
+                        false,
+                        "observed CallbackEffects escape the static EffectSummary: {violations:?}"
+                    );
+                }
+            }
+        }
         let meta = self.input_meta.iter_mut().find(|m| m.uid == origin.uid);
         if let Some(meta) = meta {
             meta.used_raf |= effects.used_raf();
@@ -1087,12 +1251,33 @@ impl<S: Scheduler> Browser<S> {
             });
         }
         // Invalidate the style cache *before* arming animations, so
-        // every resolve below sees post-write state: structural or
-        // attribute mutations can re-route matching for arbitrary nodes
-        // (drop everything), while inline style writes only affect the
-        // written subtree.
+        // every resolve below sees post-write state. The ladder:
+        // structural mutations (or attribute mutations with no trusted
+        // static summary) can re-route matching for arbitrary nodes and
+        // drop everything; attribute-only mutations whose summary proves
+        // the callback cannot mutate structure and bounds every write to
+        // a known target set invalidate only the written subtrees (an
+        // attribute on a node changes matching only for the node and its
+        // descendants — the selector grammar has descendant/child
+        // combinators only); inline style writes always invalidate only
+        // the written subtree.
         if effects.dom_mutated {
-            self.style_cache.get_mut().clear();
+            let downgrade = self.effect_gate
+                && !self.summaries_distrusted
+                && !effects.tree_mutated
+                && summary
+                    .as_deref()
+                    .is_some_and(|hs| hs.summary.supports_targeted_invalidation());
+            if downgrade {
+                self.style_cache.get_mut().note_avoided_clear();
+                for &node in &effects.attr_writes {
+                    self.style_cache
+                        .get_mut()
+                        .invalidate_subtree(&self.doc, node);
+                }
+            } else {
+                self.style_cache.get_mut().clear();
+            }
         }
         for write in &effects.style_writes {
             self.style_cache
@@ -1224,8 +1409,9 @@ impl<S: Scheduler> Browser<S> {
                     callback,
                     arg,
                     origin,
+                    summary,
                 } => {
-                    self.start_callback(callback, arg, origin)?;
+                    self.start_callback(callback, arg, origin, summary)?;
                 }
                 Task::Stage { stage, msgs, seq } => {
                     let elements = self.doc.elements().count();
@@ -1281,6 +1467,7 @@ impl<S: Scheduler> Browser<S> {
         callback: Value,
         arg: Option<Value>,
         origin: Msg,
+        summary: Option<Rc<HandlerSummary>>,
     ) -> Result<(), BrowserError> {
         self.interp.reset_ops();
         let mut host = ScriptHost::new(&mut self.doc, self.now.as_millis_f64());
@@ -1300,9 +1487,10 @@ impl<S: Scheduler> Browser<S> {
         }
         self.start_task(
             RunningKind::Callback {
-                effects,
+                effects: Box::new(effects),
                 origin,
                 ops,
+                summary,
             },
             work,
         );

@@ -46,12 +46,34 @@ pub struct CallbackEffects {
     /// The callback requested a repaint (explicitly or via DOM mutation).
     pub dirty: bool,
     /// The callback mutated DOM *structure or attributes* (tree edits,
-    /// `setAttribute`) — mutations that can change selector matching for
-    /// arbitrary nodes, so the engine's computed-style cache must drop
-    /// everything. Inline style writes are tracked separately in
-    /// [`CallbackEffects::style_writes`] and invalidate only the written
-    /// subtree.
+    /// `setAttribute`) — mutations that can change selector matching
+    /// beyond the written node's own inline style. How much of the
+    /// computed-style cache this costs depends on the static
+    /// [`EffectSummary`](crate::EffectSummary) for the handler, applied as
+    /// an invalidation ladder in `Browser::apply_effects`:
+    ///
+    /// 1. `tree_mutated` (or no trusted summary, or a top summary):
+    ///    structure changed — ancestor chains are stale everywhere, the
+    ///    cache drops everything.
+    /// 2. attribute-only mutation whose summary proves the callback
+    ///    cannot mutate structure and bounds every attribute write to a
+    ///    known target set: only the written subtrees are invalidated
+    ///    (an attribute on a node can change matching only for that node
+    ///    and its descendants — same argument as the style-cache's
+    ///    subtree invalidation for inline `style`, which *is* an
+    ///    attribute).
+    ///
+    /// Inline style writes are tracked separately in
+    /// [`CallbackEffects::style_writes`] and always invalidate only the
+    /// written subtree.
     pub dom_mutated: bool,
+    /// The callback mutated DOM *structure* (append/remove/setText) —
+    /// strictly stronger than `dom_mutated`, never set without it.
+    pub tree_mutated: bool,
+    /// Nodes whose attributes `setAttribute` wrote, in call order. The
+    /// engine checks these against the static summary's attribute-target
+    /// set and uses them for targeted subtree invalidation.
+    pub attr_writes: Vec<NodeId>,
     /// `requestAnimationFrame` registrations, in call order.
     pub raf: Vec<Value>,
     /// `setTimeout` registrations: `(callback, delay in ms)`.
@@ -199,6 +221,7 @@ impl Host for ScriptHost<'_> {
                 }
                 self.effects.dirty = true;
                 self.effects.dom_mutated = true;
+                self.effects.attr_writes.push(node);
                 Ok(Value::Null)
             })(),
             "setStyle" => (|| {
@@ -305,6 +328,7 @@ impl Host for ScriptHost<'_> {
                 self.doc.append_child(parent, child);
                 self.effects.dirty = true;
                 self.effects.dom_mutated = true;
+                self.effects.tree_mutated = true;
                 Ok(Value::Null)
             })(),
             "removeChild" => (|| {
@@ -312,6 +336,7 @@ impl Host for ScriptHost<'_> {
                 self.doc.detach(node);
                 self.effects.dirty = true;
                 self.effects.dom_mutated = true;
+                self.effects.tree_mutated = true;
                 Ok(Value::Null)
             })(),
             "setText" => (|| {
@@ -328,6 +353,7 @@ impl Host for ScriptHost<'_> {
                 self.doc.append_child(node, text_node);
                 self.effects.dirty = true;
                 self.effects.dom_mutated = true;
+                self.effects.tree_mutated = true;
                 Ok(Value::Null)
             })(),
             "elementCount" => Ok(Value::Number(self.doc.elements().count() as f64)),

@@ -42,6 +42,7 @@
 pub mod app;
 pub mod browser;
 pub mod cost;
+pub mod effects;
 pub mod events;
 pub mod fault;
 pub mod frame;
@@ -54,6 +55,7 @@ pub mod style_cache;
 pub use app::{App, AppBuilder};
 pub use browser::{Browser, BrowserError};
 pub use cost::FrameCostModel;
+pub use effects::{EffectSummary, EffectTarget, HandlerSummary, TargetSet};
 pub use events::{InputId, TargetSpec, Trace, TraceBuilder, TraceEvent};
 pub use fault::{
     ChaosReport, FaultInjector, FaultKind, FaultPlan, FaultSpec, InjectedFault, InputFaultSpec,

@@ -59,6 +59,15 @@ pub struct SimReport {
     /// Style-system counters (resolves, exact matches, Bloom rejects,
     /// cache hits/misses) — deterministic, never wall-clock.
     pub style: StyleStats,
+    /// Callback returns checked against a static effect summary. Zero
+    /// when the run had no summaries attached — the soundness harness
+    /// asserts this is positive so its gate cannot pass vacuously.
+    pub effect_checks: u64,
+    /// Every `dynamic ⊆ static` containment violation: a dynamically
+    /// observed effect that escaped its handler's static summary. Any
+    /// entry is an analyzer soundness bug (or a deliberately poisoned
+    /// summary in the gate's self-check).
+    pub effect_violations: Vec<String>,
 }
 
 impl SimReport {
@@ -162,6 +171,8 @@ mod tests {
             total_time: Duration::from_millis(1000),
             chaos: None,
             style: StyleStats::default(),
+            effect_checks: 0,
+            effect_violations: Vec::new(),
         }
     }
 

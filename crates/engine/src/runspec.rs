@@ -222,6 +222,7 @@ impl RunSpec {
             eat(script.as_bytes());
         }
         eat(format!("{:?}", self.app.cost).as_bytes());
+        eat(format!("{:?}", self.app.effect_summaries).as_bytes());
         for event in &self.trace.events {
             eat(format!("{:?}@{:?}->{}", event.event, event.at, event.target).as_bytes());
         }

@@ -42,6 +42,7 @@ pub struct StyleCache {
     entries: HashMap<NodeId, CacheEntry>,
     hits: u64,
     misses: u64,
+    invalidations_avoided: u64,
 }
 
 impl StyleCache {
@@ -53,6 +54,7 @@ impl StyleCache {
             entries: HashMap::new(),
             hits: 0,
             misses: 0,
+            invalidations_avoided: 0,
         }
     }
 
@@ -92,6 +94,21 @@ impl StyleCache {
     /// counts as a miss, so the hit *rate* is comparable across modes.
     pub fn counters(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// How many times a static effect summary let the engine downgrade a
+    /// clear-all to targeted subtree invalidation.
+    pub fn invalidations_avoided(&self) -> u64 {
+        self.invalidations_avoided
+    }
+
+    /// Records one summary-gated downgrade (no-op while the cache is
+    /// disabled: there is nothing to preserve, and the parity gate wants
+    /// all non-style counters identical across modes).
+    pub fn note_avoided_clear(&mut self) {
+        if self.enabled {
+            self.invalidations_avoided += 1;
+        }
     }
 
     /// Resolves both views of `node` — `(with inline, without inline)` —

@@ -149,6 +149,9 @@ pub enum EventKind {
         cache_hits: u64,
         /// Computed-style cache misses.
         cache_misses: u64,
+        /// Clear-alls downgraded to targeted invalidation because a
+        /// static effect summary proved structure could not change.
+        cache_invalidations_avoided: u64,
     },
     /// A frame committed, answering one input (one per
     /// `FrameRecord`).

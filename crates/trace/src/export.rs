@@ -193,6 +193,7 @@ fn write_event(out: &mut String, record: &TraceRecord) {
             bloom_rejects,
             cache_hits,
             cache_misses,
+            cache_invalidations_avoided,
         } => {
             open_event(out, "style-stats", "style", 'I', 1, ts_us(record.at));
             let _ = write!(
@@ -201,7 +202,8 @@ fn write_event(out: &mut String, record: &TraceRecord) {
                  \"matches_id\":{matches_id},\"matches_class\":{matches_class},\
                  \"matches_tag\":{matches_tag},\"matches_universal\":{matches_universal},\
                  \"bloom_rejects\":{bloom_rejects},\"cache_hits\":{cache_hits},\
-                 \"cache_misses\":{cache_misses}}}}}"
+                 \"cache_misses\":{cache_misses},\
+                 \"cache_invalidations_avoided\":{cache_invalidations_avoided}}}}}"
             );
         }
         EventKind::FrameCommit {

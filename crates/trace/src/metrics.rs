@@ -311,6 +311,7 @@ impl MetricsRegistry {
                     bloom_rejects,
                     cache_hits,
                     cache_misses,
+                    cache_invalidations_avoided,
                 } => {
                     registry.inc_by("style.resolves", *resolves);
                     registry.inc_by("style.matches", *matches);
@@ -321,6 +322,10 @@ impl MetricsRegistry {
                     registry.inc_by("style.bloom_rejects", *bloom_rejects);
                     registry.inc_by("style.cache_hits", *cache_hits);
                     registry.inc_by("style.cache_misses", *cache_misses);
+                    registry.inc_by(
+                        "style.cache_invalidations_avoided",
+                        *cache_invalidations_avoided,
+                    );
                 }
                 _ => {}
             }

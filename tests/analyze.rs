@@ -172,3 +172,145 @@ fn lint_json_matches_committed_goldens() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Effect-summary soundness: the dynamic ⊆ static gate on real workloads.
+// ---------------------------------------------------------------------------
+
+/// Every observable field of a report except the style-system counters,
+/// which summary-gated invalidation is allowed (indeed expected) to move.
+fn observable_digest(r: &greenweb_engine::SimReport) -> String {
+    let mut residency: Vec<String> = r
+        .residency
+        .iter()
+        .map(|(config, time)| format!("{config:?}={time:?}"))
+        .collect();
+    residency.sort();
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{residency:?}",
+        r.energy, r.frames, r.inputs, r.switches, r.busy_time, r.total_time
+    )
+}
+
+/// The fleet-wide soundness gate in miniature: on every bundled
+/// workload's full trace under GreenWeb-I, each dynamically observed
+/// callback effect is admitted by its handler's static summary, and the
+/// check is non-vacuous (containment actually ran).
+#[test]
+fn fleet_dynamic_effects_stay_within_static_summaries() {
+    use greenweb::qos::Scenario;
+    let mut checks = 0u64;
+    for w in all() {
+        let mut app = w.app.clone();
+        app.effect_summaries = greenweb_analyze::infer_effect_summaries(&app);
+        let report = run(&app, &w.full, &Policy::GreenWeb(Scenario::Imperceptible))
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(
+            report.effect_violations.is_empty(),
+            "{}: dynamic effects escaped their static summaries: {:#?}",
+            w.name,
+            report.effect_violations
+        );
+        checks += report.effect_checks;
+    }
+    assert!(
+        checks > 0,
+        "no containment checks ran — the gate is vacuous"
+    );
+}
+
+/// The gate's own detector is alive: deliberately poisoned (all-pure)
+/// summaries on a mutating workload are flagged as violations rather
+/// than silently trusted.
+#[test]
+fn poisoned_summaries_are_caught_by_the_containment_ledger() {
+    use greenweb_acmp::PerfGovernor;
+    use greenweb_engine::{Browser, EffectSummary, GovernorScheduler};
+    let w = greenweb_workloads::by_name("Todo").expect("Todo workload");
+    let mut app = w.app.clone();
+    let mut summaries = greenweb_analyze::infer_effect_summaries(&app);
+    for hs in &mut summaries {
+        hs.summary = EffectSummary::pure();
+    }
+    app.effect_summaries = summaries;
+    let mut browser = Browser::new(&app, GovernorScheduler::new(PerfGovernor)).expect("Todo loads");
+    browser.set_effect_containment_asserts(false);
+    let report = browser.run(&w.full).expect("Todo runs");
+    assert!(report.effect_checks > 0);
+    assert!(
+        !report.effect_violations.is_empty(),
+        "pure-poisoned summaries went undetected — the violation detector is dead"
+    );
+}
+
+/// Summary-gated invalidation is an invisible optimization: with the
+/// gate on, targeted subtree invalidation replaces clear-all (the
+/// avoided counter moves), yet every observable metric — energy,
+/// frames, inputs, residency, switches — is identical to the ungated
+/// run.
+#[test]
+fn effect_gate_changes_no_observable_metric() {
+    use greenweb_acmp::PerfGovernor;
+    use greenweb_engine::{Browser, GovernorScheduler};
+    let w = greenweb_workloads::by_name("Todo").expect("Todo workload");
+    let mut app = w.app.clone();
+    app.effect_summaries = greenweb_analyze::infer_effect_summaries(&app);
+    let run_with_gate = |enabled: bool| {
+        let mut browser =
+            Browser::new(&app, GovernorScheduler::new(PerfGovernor)).expect("Todo loads");
+        browser.set_effect_gate_enabled(enabled);
+        browser.run(&w.full).expect("Todo runs")
+    };
+    let gated = run_with_gate(true);
+    let ungated = run_with_gate(false);
+    assert!(
+        gated.style.cache_invalidations_avoided > 0,
+        "the clear-all → subtree downgrade never fired on Todo"
+    );
+    assert_eq!(ungated.style.cache_invalidations_avoided, 0);
+    assert_eq!(
+        observable_digest(&gated),
+        observable_digest(&ungated),
+        "summary-gated invalidation changed an observable metric"
+    );
+}
+
+/// The three effect lints fire on a fixture built to trip each one:
+/// a covered click handler that only logs (GW050), a zero-delay
+/// setTimeout chain (GW051), and structure mutation on touchmove
+/// (GW060).
+#[test]
+fn effect_lints_fire_on_their_fixtures() {
+    let app = App::builder("effect-lints")
+        .html("<button id='inert'>i</button><button id='chain'>c</button><div id='hot'></div>")
+        .css("#inert:QoS { onclick-qos: single, short; }")
+        .script(
+            "addEventListener(getElementById('inert'), 'click', function(e) {
+                 log('tick');
+             });
+             function again() { setTimeout(again, 0); }
+             addEventListener(getElementById('chain'), 'click', function(e) {
+                 setTimeout(again, 0);
+             });
+             addEventListener(getElementById('hot'), 'touchmove', function(e) {
+                 appendChild(e.target, createElement('span'));
+                 markDirty();
+             });",
+        )
+        .build();
+    let report = analyze(&app);
+    for (code, context) in [
+        (LintCode::InertHandler, "button#inert"),
+        (LintCode::ZeroDelayChain, "button#chain"),
+        (LintCode::HotStructureMutation, "div#hot"),
+    ] {
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == code && d.location.context.contains(context)),
+            "{code:?} did not fire on {context}:\n{}",
+            report.render_text()
+        );
+    }
+}

@@ -638,3 +638,235 @@ fn histogram_merge_of_parts_equals_record_of_whole() {
         },
     );
 }
+
+// ---------------------------------------------------------------------------
+// Effect-summary inference: dynamic ⊆ static on generated handlers,
+// totality on hostile bytecode, and monotone branch joining.
+// ---------------------------------------------------------------------------
+
+/// Appends one random handler statement built from the host builtins the
+/// effect pass models — writes, scheduling, branches, counted loops, and
+/// dynamically bounded (statically uncountable) loops.
+fn gen_effect_stmt(g: &mut Gen, depth: u32, fresh: &mut u32, out: &mut String) {
+    match g.usize_in(0, 12) {
+        0 => out.push_str("log('x'); "),
+        1 => out.push_str("markDirty(); "),
+        2 => out.push_str("setAttribute(e.target, 'data-k', 'v'); "),
+        3 => out.push_str("setStyle(getElementById('box'), 'width', 12); "),
+        4 => {
+            let n = g.usize_in(1, 5000);
+            out.push_str(&format!("work({n}); "));
+        }
+        5 => out.push_str("requestAnimationFrame(function(t) { markDirty(); }); "),
+        6 => {
+            let d = g.usize_in(0, 31);
+            out.push_str(&format!("setTimeout(function() {{ markDirty(); }}, {d}); "));
+        }
+        7 => out.push_str("appendChild(getElementById('box'), createElement('span')); "),
+        8 if depth > 0 => {
+            out.push_str("if (now() > 3) { ");
+            gen_effect_stmt(g, depth - 1, fresh, out);
+            out.push_str("} else { ");
+            gen_effect_stmt(g, depth - 1, fresh, out);
+            out.push_str("} ");
+        }
+        9 if depth > 0 => {
+            let v = *fresh;
+            *fresh += 1;
+            let n = g.usize_in(1, 5);
+            out.push_str(&format!(
+                "for (var i{v} = 0; i{v} < {n}; i{v} = i{v} + 1) {{ "
+            ));
+            gen_effect_stmt(g, depth - 1, fresh, out);
+            out.push_str("} ");
+        }
+        10 if depth > 0 => {
+            // Terminates dynamically (the bound is snapshotted first) but
+            // is statically uncountable: the analyzer must go to ⊤, and
+            // ⊤ must still admit the concrete run.
+            let v = *fresh;
+            *fresh += 1;
+            out.push_str(&format!(
+                "var n{v} = elementCount(); var j{v} = 0; while (j{v} < n{v}) {{ "
+            ));
+            gen_effect_stmt(g, depth - 1, fresh, out);
+            out.push_str(&format!("j{v} = j{v} + 1; }} "));
+        }
+        _ => out.push_str("getAttribute(getElementById('box'), 'data-k'); "),
+    }
+}
+
+/// The inferred summary of a one-listener app whose click handler body
+/// is `body`.
+fn click_summary(body: &str) -> greenweb_engine::EffectSummary {
+    let app = greenweb_engine::App::builder("prop-effect")
+        .html("<button id='btn'>b</button><div id='box'></div>")
+        .script(format!(
+            "addEventListener(getElementById('btn'), 'click', function(e) {{ {body} }});"
+        ))
+        .build();
+    let summaries = greenweb_analyze::infer_effect_summaries(&app);
+    assert_eq!(summaries.len(), 1, "{body}");
+    summaries.into_iter().next().unwrap().summary
+}
+
+/// Soundness by fuzzing: whatever handler the generator produces, the
+/// statically inferred summary admits everything the engine observes the
+/// handler doing (`dynamic ⊆ static`, checked by the engine's own
+/// containment ledger with debug assertions armed).
+#[test]
+fn effect_summaries_admit_observed_runs() {
+    use greenweb_engine::{App, Browser, GovernorScheduler, TargetSpec, Trace};
+    check("effect_summaries_admit_observed_runs", 48, |g| {
+        let mut body = String::new();
+        let mut fresh = 0u32;
+        for _ in 0..g.usize_in(1, 6) {
+            gen_effect_stmt(g, 2, &mut fresh, &mut body);
+        }
+        let mut app = App::builder("effect-fuzz")
+            .html("<button id='btn'>b</button><div id='box'></div>")
+            .script(format!(
+                "addEventListener(getElementById('btn'), 'click', function(e) {{ {body} }});"
+            ))
+            .build();
+        app.effect_summaries = greenweb_analyze::infer_effect_summaries(&app);
+        let trace = Trace::builder()
+            .event(10.0, EventType::Click, TargetSpec::Id("btn".to_string()))
+            .end_ms(400.0)
+            .build();
+        let mut browser = Browser::new(&app, GovernorScheduler::new(greenweb_acmp::PerfGovernor))
+            .expect("generated app loads");
+        let report = browser.run(&trace).expect("generated app runs");
+        assert!(report.effect_checks > 0, "no containment check ran: {body}");
+        assert!(
+            report.effect_violations.is_empty(),
+            "{body}\n{:#?}",
+            report.effect_violations
+        );
+    });
+}
+
+/// Totality: the effect analyzer terminates without panicking on
+/// arbitrary bytecode — unreachable jump targets, stack underflow,
+/// self-recursive closures, calls through garbage — and its must-counts
+/// never exceed its may-counts.
+#[test]
+fn effect_analyzer_total_on_hostile_bytecode() {
+    use greenweb_script::compiler::{Const, Op, Proto};
+    use greenweb_script::interp::Scope;
+    use greenweb_script::value::VmClosure;
+    use greenweb_script::{BinaryOp, UnaryOp, Value};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    fn random_op(g: &mut Gen) -> Op {
+        let name = g.usize_in(0, 10) as u32;
+        let argc = g.usize_in(0, 4) as u8;
+        match g.usize_in(0, 26) {
+            0 => Op::Const(g.usize_in(0, 6) as u32),
+            1 => Op::GetVar(name),
+            2 => Op::SetVar(name),
+            3 => Op::DeclVar(name),
+            4 => Op::Pop,
+            5 => Op::Dup,
+            6 => Op::PushScope,
+            7 => Op::PopScope,
+            8 => Op::Binary(BinaryOp::Add),
+            9 => Op::Unary(UnaryOp::Not),
+            10 => Op::Jump(g.usize_in(0, 64) as u32),
+            11 => Op::JumpIfFalse(g.usize_in(0, 64) as u32),
+            12 => Op::JumpIfFalsePeek(g.usize_in(0, 64) as u32),
+            13 => Op::JumpIfTruePeek(g.usize_in(0, 64) as u32),
+            14 => Op::MakeArray(g.usize_in(0, 4) as u16),
+            15 => Op::MakeObject {
+                base: name,
+                count: g.usize_in(0, 3) as u16,
+            },
+            16 => Op::MakeClosure(g.usize_in(0, 4) as u32),
+            17 => Op::CallName { name, argc },
+            18 => Op::CallValue { argc },
+            19 => Op::CallMethod { name, argc },
+            20 => Op::CallMath { name, argc },
+            21 => Op::GetMember(name),
+            22 => Op::SetMember(name),
+            23 => Op::GetIndex,
+            24 => Op::SetIndex,
+            _ => Op::Return,
+        }
+    }
+    check("effect_analyzer_total_on_hostile_bytecode", 128, |g| {
+        let proto_count = g.usize_in(1, 4);
+        let protos: Vec<Proto> = (0..proto_count)
+            .map(|_| Proto {
+                name: String::new(),
+                params: vec!["e".to_string()],
+                code: (0..g.usize_in(1, 48)).map(|_| random_op(g)).collect(),
+                consts: vec![
+                    Const::Null,
+                    Const::Bool(true),
+                    Const::Number(0.0),
+                    Const::Number(2.5),
+                    Const::Str("s".to_string()),
+                ],
+                names: [
+                    "work",
+                    "markDirty",
+                    "setTimeout",
+                    "requestAnimationFrame",
+                    "helper",
+                    "e",
+                    "target",
+                    "push",
+                    "abs",
+                    "x",
+                ]
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+            })
+            .collect();
+        let entry = g.usize_in(0, proto_count);
+        let value = Value::VmFunction(Rc::new(VmClosure {
+            proto: entry,
+            protos: Rc::new(protos),
+            env: Rc::new(RefCell::new(Scope::default())),
+        }));
+        let analyzer = greenweb_analyze::EffectAnalyzer::new(&[]);
+        let summary = analyzer
+            .analyze_callback(&value)
+            .expect("vm functions are analyzable");
+        if let Some(rafs) = summary.rafs {
+            assert!(summary.rafs_min <= rafs, "{summary:?}");
+        }
+        assert!(summary.leq(&greenweb_engine::EffectSummary::top()));
+        assert!(!summary.leq(&greenweb_engine::EffectSummary::pure()) || summary.is_pure());
+    });
+}
+
+/// Branch joining is monotone: each arm's standalone summary is admitted
+/// by the summary of a handler that reaches that arm behind a statically
+/// opaque condition.
+#[test]
+fn effect_branch_join_is_monotone() {
+    check("effect_branch_join_is_monotone", 32, |g| {
+        let mut fresh = 0u32;
+        let mut arm_a = String::new();
+        let mut arm_b = String::new();
+        for _ in 0..g.usize_in(1, 4) {
+            gen_effect_stmt(g, 1, &mut fresh, &mut arm_a);
+        }
+        for _ in 0..g.usize_in(1, 4) {
+            gen_effect_stmt(g, 1, &mut fresh, &mut arm_b);
+        }
+        let sa = click_summary(&arm_a);
+        let sb = click_summary(&arm_b);
+        let branchy = click_summary(&format!("if (now() > 3) {{ {arm_a} }} else {{ {arm_b} }}"));
+        assert!(
+            sa.leq(&branchy),
+            "arm A escapes the joined summary:\nA: {arm_a}\nB: {arm_b}\n{sa:?}\nvs\n{branchy:?}"
+        );
+        assert!(
+            sb.leq(&branchy),
+            "arm B escapes the joined summary:\nA: {arm_a}\nB: {arm_b}\n{sb:?}\nvs\n{branchy:?}"
+        );
+    });
+}
