@@ -19,7 +19,7 @@ use greenweb_script::compiler::{Const, Op, Proto};
 use greenweb_script::value::{Closure, VmClosure};
 use greenweb_script::{compile, BinaryOp, Program, Stmt, UnaryOp, Value};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Exploration fuel: the total number of abstract steps one handler may
 /// take. Counted workload loops are a few thousand iterations at most;
@@ -38,9 +38,11 @@ pub(crate) const MAX_REFORKS: u32 = 8;
 /// The statically derived cost lower bound of one handler.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HandlerCost {
-    /// Bytecode operations along the cheapest path (informational: the
-    /// engine charges *interpreter* ops, which count differently, so this
-    /// component is excluded from feasibility verdicts).
+    /// Charged evaluation steps along the cheapest path, in tick-weight
+    /// units — the same per-instruction weights the engine's VM charges
+    /// against `RunBudget`, so this figure is directly comparable to
+    /// `Span.ops`. Still informational for feasibility verdicts (it is a
+    /// lower bound over one path, not a guarantee).
     pub ops: f64,
     /// Explicit `work(cycles)` guaranteed on every path.
     pub work_cycles: f64,
@@ -131,7 +133,7 @@ impl PathCost {
 /// prototype.
 #[derive(Debug, Clone)]
 pub(crate) struct FnRef {
-    pub(crate) protos: Rc<Vec<Proto>>,
+    pub(crate) protos: Arc<Vec<Proto>>,
     pub(crate) proto: usize,
 }
 
@@ -161,7 +163,7 @@ pub(crate) fn build_fn_table(units: &[ScriptUnit]) -> FnTable {
                 .collect();
             let entry = if matching.len() == 1 {
                 Some(FnRef {
-                    protos: Rc::clone(&compiled.protos),
+                    protos: Arc::clone(&compiled.protos),
                     proto: matching[0],
                 })
             } else {
@@ -239,7 +241,7 @@ impl CostAnalyzer {
         self.explore_entry(&closure.protos, closure.proto)
     }
 
-    fn explore_entry(&self, protos: &Rc<Vec<Proto>>, main: usize) -> HandlerCost {
+    fn explore_entry(&self, protos: &Arc<Vec<Proto>>, main: usize) -> HandlerCost {
         let mut explorer = Explorer {
             analyzer: self,
             fuel: FUEL,
@@ -277,11 +279,11 @@ type Forked = HashMap<u32, u32>;
 impl Explorer<'_> {
     fn explore_proto(
         &mut self,
-        protos: &Rc<Vec<Proto>>,
+        protos: &Arc<Vec<Proto>>,
         index: usize,
         call_stack: &mut Vec<ProtoKey>,
     ) -> PathCost {
-        let key: ProtoKey = (Rc::as_ptr(protos) as usize, index);
+        let key: ProtoKey = (Arc::as_ptr(protos) as usize, index);
         // Recursion (or too-deep call chains) contribute nothing: sound
         // for a lower bound.
         if call_stack.contains(&key) || call_stack.len() >= MAX_CALLS as usize {
@@ -312,7 +314,7 @@ impl Explorer<'_> {
     #[allow(clippy::too_many_arguments)]
     fn run(
         &mut self,
-        protos: &Rc<Vec<Proto>>,
+        protos: &Arc<Vec<Proto>>,
         proto: &Proto,
         mut pc: u32,
         stack: &mut Vec<AbsVal>,
@@ -331,7 +333,11 @@ impl Explorer<'_> {
             let Some(op) = proto.code.get(pc as usize) else {
                 return cost; // fell off the end: implicit return
             };
-            cost.ops += 1.0;
+            // Charge the instruction's tick weight — the same per-op cost
+            // the engine's VM charges against `RunBudget` — so the lint's
+            // op figures are in engine units (weight 1 when a hostile
+            // proto carries no tick table).
+            cost.ops += f64::from(proto.ticks.get(pc as usize).copied().unwrap_or(1));
             let mut next = pc + 1;
             match *op {
                 Op::Const(i) => stack.push(match proto.consts.get(i as usize) {
@@ -476,7 +482,7 @@ impl Explorer<'_> {
                             if let Some(Some(fref)) =
                                 self.analyzer.functions.get(f).map(Option::as_ref)
                             {
-                                let protos = Rc::clone(&fref.protos);
+                                let protos = Arc::clone(&fref.protos);
                                 let idx = fref.proto;
                                 cost = cost.plus(self.explore_proto(&protos, idx, call_stack));
                             }
@@ -532,7 +538,7 @@ impl Explorer<'_> {
     #[allow(clippy::too_many_arguments)]
     fn fork(
         &mut self,
-        protos: &Rc<Vec<Proto>>,
+        protos: &Arc<Vec<Proto>>,
         proto: &Proto,
         pc: u32,
         target: u32,

@@ -28,7 +28,7 @@
 //! instructions are all explored in the current activation under a
 //! ⊤ entry state, so the join over paths already covers its flags and
 //! targets; only per-activation counts need weakening. A call that is
-//! merely too deep ([`MAX_CALLS`]) has never been explored and must be
+//! merely too deep (`MAX_CALLS`) has never been explored and must be
 //! ⊤ outright.
 //!
 //! `e.target` is the one piece of non-⊤ pointer knowledge: dispatch only
@@ -44,7 +44,7 @@ use greenweb_script::compiler::{Const, Op, Proto};
 use greenweb_script::{BinaryOp, Expr, Stmt, UnaryOp, Value};
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An abstract value. Like the cost pass's domain, concrete where the
 /// program is concrete — plus the two facts this pass actually needs:
@@ -242,7 +242,7 @@ impl EffectAnalyzer {
 
     fn explore_entry(
         &self,
-        protos: &Rc<Vec<Proto>>,
+        protos: &Arc<Vec<Proto>>,
         main: usize,
         entry_params: &[String],
     ) -> PathEffects {
@@ -262,7 +262,7 @@ impl EffectAnalyzer {
         }
         let set = match self.functions.get(name) {
             Some(Some(fref)) => {
-                let protos = Rc::clone(&fref.protos);
+                let protos = Arc::clone(&fref.protos);
                 self.explore_entry(&protos, fref.proto, &[])
                     .zero_delay_names
             }
@@ -458,7 +458,7 @@ struct Explorer<'a> {
 impl Explorer<'_> {
     fn explore_proto(
         &mut self,
-        protos: &Rc<Vec<Proto>>,
+        protos: &Arc<Vec<Proto>>,
         index: usize,
         call_stack: &mut Vec<ProtoKey>,
     ) -> PathEffects {
@@ -467,12 +467,12 @@ impl Explorer<'_> {
 
     fn explore_proto_bound(
         &mut self,
-        protos: &Rc<Vec<Proto>>,
+        protos: &Arc<Vec<Proto>>,
         index: usize,
         call_stack: &mut Vec<ProtoKey>,
         entry_params: &[String],
     ) -> PathEffects {
-        let key: ProtoKey = (Rc::as_ptr(protos) as usize, index);
+        let key: ProtoKey = (Arc::as_ptr(protos) as usize, index);
         if call_stack.contains(&key) {
             return PathEffects {
                 summary: recursion_residue(),
@@ -517,7 +517,7 @@ impl Explorer<'_> {
     #[allow(clippy::too_many_arguments)]
     fn run(
         &mut self,
-        protos: &Rc<Vec<Proto>>,
+        protos: &Arc<Vec<Proto>>,
         proto: &Proto,
         mut pc: u32,
         stack: &mut Vec<AbsEff>,
@@ -788,7 +788,7 @@ impl Explorer<'_> {
     #[allow(clippy::too_many_arguments)]
     fn fork(
         &mut self,
-        protos: &Rc<Vec<Proto>>,
+        protos: &Arc<Vec<Proto>>,
         proto: &Proto,
         pc: u32,
         target: u32,

@@ -51,11 +51,9 @@ use greenweb_dom::{parse_html, EventType, NodeId};
 use greenweb_engine::{
     App, Browser, BrowserError, EffectSummary, GovernorScheduler, HandlerSummary, Scheduler,
 };
-use greenweb_script::compiler::{CompiledProgram, Proto};
-use greenweb_script::{compile, parse_program, Program, Value};
-use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use greenweb_script::compiler::CompiledProgram;
+use greenweb_script::{compile, parse_program, Program};
+use std::collections::BTreeMap;
 
 /// One setup script, parsed and compiled at most once. Both bytecode
 /// passes (cost lower bounds, effect upper bounds) build their function
@@ -80,71 +78,11 @@ pub(crate) fn parse_units(scripts: &[String]) -> Vec<ScriptUnit> {
         .collect()
 }
 
-/// A handler body compiled once and analyzed by both bytecode passes.
-pub(crate) struct CompiledHandler {
-    /// The prototype table of the compiled body.
-    pub(crate) protos: Rc<Vec<Proto>>,
-    /// Entry prototype index.
-    pub(crate) main: usize,
-    /// Parameter names of the entry function. Compiling a bare closure
-    /// body loses them, so they ride along here (the effect pass binds
-    /// the first one to the dispatched event).
-    pub(crate) params: Vec<String>,
-}
-
-/// Cache key: `(allocation pointer, proto index)` of a callback's
-/// shared body — tree-walking closures key their statement list (with
-/// a sentinel index), VM closures their prototype table.
-type HandlerKey = (usize, usize);
-
-/// Per-app handler compilation cache: each registered closure body is
-/// compiled exactly once no matter how many passes analyze it or how
-/// many `(node, event)` registrations share the same callback value.
-#[derive(Default)]
-pub(crate) struct HandlerCache {
-    compiled: RefCell<HashMap<HandlerKey, Option<Rc<CompiledHandler>>>>,
-}
-
-impl HandlerCache {
-    /// Compiles (or fetches) the handler behind a registered callback
-    /// value. `None` when the value is not a function or its body fails
-    /// to compile.
-    pub(crate) fn compile_callback(&self, callback: &Value) -> Option<Rc<CompiledHandler>> {
-        let key = match callback {
-            Value::Function(closure) => (Rc::as_ptr(&closure.body) as usize, usize::MAX),
-            Value::VmFunction(vm) => (Rc::as_ptr(&vm.protos) as *const () as usize, vm.proto),
-            _ => return None,
-        };
-        if let Some(hit) = self.compiled.borrow().get(&key) {
-            return hit.clone();
-        }
-        let handler = match callback {
-            Value::Function(closure) => compile(&Program {
-                body: closure.body.as_ref().clone(),
-            })
-            .ok()
-            .map(|c| {
-                Rc::new(CompiledHandler {
-                    protos: c.protos,
-                    main: c.main,
-                    params: closure.params.clone(),
-                })
-            }),
-            Value::VmFunction(vm) => Some(Rc::new(CompiledHandler {
-                protos: Rc::clone(&vm.protos),
-                main: vm.proto,
-                params: vm
-                    .protos
-                    .get(vm.proto)
-                    .map(|p| p.params.clone())
-                    .unwrap_or_default(),
-            })),
-            _ => None,
-        };
-        self.compiled.borrow_mut().insert(key, handler.clone());
-        handler
-    }
-}
+// The handler-compilation cache lives in `greenweb_script::handler` and
+// is shared with the engine: the analysis passes below compile handlers
+// through the cache owned by the `Browser` they load, so what GreenLint
+// certifies is byte-for-byte the artifact the engine executes.
+pub use greenweb_script::{CompiledHandler, HandlerCache};
 
 /// The full result of analyzing one application.
 #[derive(Debug, Clone, Default)]
@@ -257,10 +195,12 @@ pub fn infer_effect_summaries(app: &App) -> Vec<HandlerSummary> {
         return Vec::new();
     };
     let units = parse_units(&app.scripts);
+    // The browser pre-warmed its handler cache at load, so the analyzer
+    // walks the very same compiled artifacts the engine would execute.
     effect_summaries_of(
         &browser,
         &EffectAnalyzer::from_units(&units),
-        &HandlerCache::default(),
+        browser.handler_cache(),
     )
 }
 
@@ -374,9 +314,16 @@ pub fn analyze_on(app: &App, platform: &Platform) -> AnalysisReport {
     // effect-aware, and installed on the browser so `static_precheck`
     // sees exactly the table the engine would consume.
     let units = parse_units(&app.scripts);
-    let cache = HandlerCache::default();
-    let summaries = effect_summaries_of(&browser, &EffectAnalyzer::from_units(&units), &cache);
+    // Compile handlers through the cache the browser warmed at load:
+    // the engine and every analysis pass below share one compiled
+    // artifact per callback (zero-copy on the bytecode path).
+    let summaries = effect_summaries_of(
+        &browser,
+        &EffectAnalyzer::from_units(&units),
+        browser.handler_cache(),
+    );
     browser.set_effect_summaries(&summaries);
+    let cache = browser.handler_cache();
 
     let live_doc = browser.document();
     let listeners: Vec<ListenerInfo> = browser

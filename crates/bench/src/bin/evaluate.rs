@@ -13,6 +13,7 @@
 //! evaluate all                        everything above
 //! evaluate bench                      serial-vs-parallel wall-clock
 //! evaluate bench --suite style        style resolver microbenchmark
+//! evaluate bench --suite script       script-pipeline compile-once suite
 //! evaluate metrics                    one workload's RunMetrics as JSON
 //! evaluate soundness                  dynamic ⊆ static effect-summary gate
 //! evaluate sweep --out F              supervised, checkpointed matrix sweep
@@ -28,7 +29,8 @@
 //!                       command, implies `trace` (the traced run only)
 //! --workload NAME       workload for percentiles/trace/metrics (default
 //!                       Paper.js)
-//! --suite NAME          bench suite: `micro` (default) or `style`
+//! --suite NAME          bench suite: `micro` (default), `style`, or
+//!                       `script`
 //! --jobs N              worker threads for simulation batches (default:
 //!                       GREENWEB_JOBS, else hardware parallelism; 1 is
 //!                       the legacy serial path — output is identical
@@ -85,9 +87,13 @@
 //! workload (plus a labeled aggregate), and writes the comparison to
 //! `BENCH_evaluate.json`. `bench --suite style` runs
 //! the naive-vs-bucketed selector-matching suite and writes
-//! `BENCH_style.json`. `metrics` prints one workload's deterministic
-//! [`RunMetrics`] JSON — the CI cache-parity gate diffs it between
-//! `GREENWEB_STYLE_CACHE=off` and the default.
+//! `BENCH_style.json`. `bench --suite script` runs the script-pipeline
+//! compile-once suite (bytecode VM vs tree-walking oracle, counters
+//! only) and writes `BENCH_script.json`. `metrics` prints one
+//! workload's deterministic [`RunMetrics`] JSON — CI parity gates diff
+//! it between `GREENWEB_STYLE_CACHE=off` and the default (stripping the
+//! `"style"` counters) and between `GREENWEB_SCRIPT_VM=off` and the
+//! default (stripping the `"script"` counters).
 //!
 //! [`RunMetrics`]: greenweb::metrics::RunMetrics
 
@@ -183,7 +189,8 @@ fn main() {
         match suite_name.as_str() {
             "micro" => bench_report(jobs),
             "style" => style_bench_report(),
-            other => panic!("unknown bench suite {other:?} (expected micro or style)"),
+            "script" => script_bench_report(),
+            other => panic!("unknown bench suite {other:?} (expected micro, style, or script)"),
         }
         return;
     }
@@ -628,6 +635,29 @@ fn style_bench_report() {
     );
     std::fs::write("BENCH_style.json", report.render_json()).expect("write BENCH_style.json");
     println!("wrote BENCH_style.json");
+}
+
+/// Runs the script-pipeline suite, asserts the compile-once acceptance
+/// gate (compile count ≤ handler count, independent of event volume;
+/// results identical to the tree-walking oracle), and writes
+/// `BENCH_script.json`.
+fn script_bench_report() {
+    use greenweb_bench::scriptbench;
+    let report = scriptbench::run_suite();
+    print!("{}", report.render_text());
+    assert!(report.identical(), "bytecode VM diverged from the oracle");
+    assert!(
+        report.total_compiles() <= report.total_handlers(),
+        "compile count {} exceeds handler count {}",
+        report.total_compiles(),
+        report.total_handlers(),
+    );
+    assert!(
+        report.compiles_event_independent(),
+        "compile work scaled with event count"
+    );
+    std::fs::write("BENCH_script.json", report.render_json()).expect("write BENCH_script.json");
+    println!("wrote BENCH_script.json");
 }
 
 /// Runs one workload's full trace under GreenWeb-I and prints its

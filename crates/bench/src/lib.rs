@@ -16,6 +16,9 @@
 //! * [`stylebench`] — the style microbenchmark suite: naive full-scan vs
 //!   bucketed + Bloom-filtered selector matching with per-phase
 //!   breakdowns (`evaluate bench --suite style`);
+//! * [`scriptbench`] — the script-pipeline suite: compile-once counters
+//!   and the bytecode-VM vs tree-walking-oracle differential over every
+//!   workload (`evaluate bench --suite script`);
 //! * [`render`] — fixed-width text rendering used by the `evaluate`
 //!   binary.
 //!
@@ -30,6 +33,7 @@ pub mod diff;
 pub mod figures;
 pub mod profile;
 pub mod render;
+pub mod scriptbench;
 pub mod stylebench;
 pub mod tables;
 

@@ -10,7 +10,7 @@ use crate::degrade::{DegradationLevel, DegradationLog};
 use crate::qos::QosType;
 use greenweb_acmp::{Duration, SimTime};
 use greenweb_css::StyleStats;
-use greenweb_engine::{InputId, SimReport};
+use greenweb_engine::{InputId, ScriptStats, SimReport};
 use greenweb_trace::{Histogram, LatencySummary};
 use std::collections::HashMap;
 
@@ -116,6 +116,12 @@ pub struct RunMetrics {
     /// hit/miss split. Deterministic (counters, never timings), so they
     /// participate in the serial/parallel parity diff.
     pub style: StyleStats,
+    /// Script-pipeline counters (compiles, precompiled hits, callbacks,
+    /// charged ops, VM dispatches, fold wins). Deterministic like
+    /// `style`; `ops` is backend-independent by the tick-parity
+    /// contract, while `dispatches`/`fold_wins` identify the bytecode
+    /// backend (zero on the tree-walking oracle).
+    pub script: ScriptStats,
 }
 
 impl RunMetrics {
@@ -150,6 +156,7 @@ impl RunMetrics {
             switches_per_frame: report.switches_per_frame(),
             switches: report.switches,
             style: report.style,
+            script: report.script,
         }
     }
 
@@ -172,10 +179,11 @@ impl RunMetrics {
     /// byte-identically. The parity suite diffs this string between
     /// serial and parallel batch runs.
     ///
-    /// The trailing `"style"` object is deliberately flat and last: the
-    /// cache-parity CI gate strips it with one `sed` expression and then
-    /// requires the cache-on and cache-off renderings to be
-    /// byte-identical.
+    /// The trailing `"style"` and `"script"` objects are deliberately
+    /// flat and last: each parity CI gate strips its counter object with
+    /// one `sed` expression (`"style"` for the style-cache gate,
+    /// `"script"` for the VM-off gate) and then requires the two
+    /// renderings to be byte-identical.
     pub fn render_json(&self) -> String {
         format!(
             "{{\"energy_mj\":{},\"violation_pct\":{},\"judged_inputs\":{},\
@@ -185,7 +193,10 @@ impl RunMetrics {
              \"dvfs_switches\":{},\"migrations\":{},\
              \"style\":{{\"resolves\":{},\"matches\":{},\"bloom_rejects\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\
-             \"cache_invalidations_avoided\":{}}}}}",
+             \"cache_invalidations_avoided\":{}}},\
+             \"script\":{{\"programs\":{},\"compiles\":{},\"precompiled_hits\":{},\
+             \"handlers\":{},\"handler_recompiles\":{},\"callbacks\":{},\
+             \"ops\":{},\"dispatches\":{},\"fold_wins\":{}}}}}",
             self.energy_mj,
             self.violation_pct,
             self.judged_inputs,
@@ -206,6 +217,15 @@ impl RunMetrics {
             self.style.cache_hits,
             self.style.cache_misses,
             self.style.cache_invalidations_avoided,
+            self.script.programs,
+            self.script.compiles,
+            self.script.precompiled_hits,
+            self.script.handlers,
+            self.script.handler_recompiles,
+            self.script.callbacks,
+            self.script.ops,
+            self.script.dispatches,
+            self.script.fold_wins,
         )
     }
 }
@@ -341,6 +361,7 @@ mod tests {
             total_time: Duration::from_millis(100),
             chaos: None,
             style: StyleStats::default(),
+            script: ScriptStats::default(),
             effect_checks: 0,
             effect_violations: Vec::new(),
         }

@@ -2,6 +2,20 @@
 
 use crate::cost::FrameCostModel;
 use crate::effects::HandlerSummary;
+use greenweb_script::{compile, parse_program, CompiledProgram};
+
+/// FNV-1a over a script source, guarding the precompiled table against
+/// post-build mutation of [`App::scripts`] (the fields are public; a
+/// test that splices a source after `build()` must not execute stale
+/// bytecode).
+fn source_fingerprint(source: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in source.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 /// A Web application: markup, stylesheets, and scripts, plus the cost
 /// parameters the engine charges for its frames.
@@ -23,6 +37,12 @@ pub struct App {
     /// means "no static knowledge": the engine falls back to worst-case
     /// clear-all invalidation and performs no containment checks.
     pub effect_summaries: Vec<HandlerSummary>,
+    /// Setup scripts compiled once at [`AppBuilder::build`], parallel to
+    /// `scripts`: `(source fingerprint, bytecode)`, or `None` when the
+    /// source fails to parse or compile (the browser surfaces that error
+    /// at load, exactly as before). Private — consumers go through
+    /// [`App::compiled_script`], which validates the fingerprint.
+    compiled_scripts: Vec<Option<(u64, CompiledProgram)>>,
 }
 
 impl App {
@@ -36,6 +56,7 @@ impl App {
                 scripts: Vec::new(),
                 cost: FrameCostModel::default(),
                 effect_summaries: Vec::new(),
+                compiled_scripts: Vec::new(),
             },
         }
     }
@@ -43,6 +64,16 @@ impl App {
     /// The concatenated CSS source.
     pub fn css_source(&self) -> String {
         self.css.join("\n")
+    }
+
+    /// The precompiled bytecode for setup script `index`, or `None` when
+    /// the script was mutated after `build()` (fingerprint mismatch),
+    /// failed to compile, or was appended without going through the
+    /// builder — the browser then compiles it at load instead.
+    pub fn compiled_script(&self, index: usize) -> Option<&CompiledProgram> {
+        let (fingerprint, compiled) = self.compiled_scripts.get(index)?.as_ref()?;
+        let source = self.scripts.get(index)?;
+        (*fingerprint == source_fingerprint(source)).then_some(compiled)
     }
 }
 
@@ -77,8 +108,22 @@ impl AppBuilder {
         self
     }
 
-    /// Finalizes the app.
-    pub fn build(self) -> App {
+    /// Finalizes the app, compiling every setup script once. This is the
+    /// single compilation point of the script pipeline: the bytecode built
+    /// here is what the engine executes, what the analyzers walk, and what
+    /// the attribution profiler attributes — per-event re-walking (and the
+    /// old compile-twice split between engine and linter) is gone.
+    pub fn build(mut self) -> App {
+        self.app.compiled_scripts = self
+            .app
+            .scripts
+            .iter()
+            .map(|source| {
+                let program = parse_program(source).ok()?;
+                let compiled = compile(&program).ok()?;
+                Some((source_fingerprint(source), compiled))
+            })
+            .collect();
         self.app
     }
 }
@@ -99,5 +144,35 @@ mod tests {
         assert_eq!(app.css.len(), 2);
         assert!(app.css_source().contains(":QoS"));
         assert_eq!(app.scripts.len(), 1);
+    }
+
+    #[test]
+    fn build_precompiles_every_script() {
+        let app = App::builder("demo")
+            .script("var x = 1;")
+            .script("function f() { return 2; }")
+            .build();
+        assert!(app.compiled_script(0).is_some());
+        assert!(app.compiled_script(1).is_some());
+        assert!(app.compiled_script(2).is_none(), "out of range");
+    }
+
+    #[test]
+    fn broken_scripts_get_no_bytecode() {
+        let app = App::builder("demo").script("var x = ;").build();
+        assert!(app.compiled_script(0).is_none());
+    }
+
+    #[test]
+    fn post_build_mutation_invalidates_the_fingerprint() {
+        let mut app = App::builder("demo").script("var x = 1;").build();
+        assert!(app.compiled_script(0).is_some());
+        app.scripts[0] = "var x = 2;".to_string();
+        assert!(
+            app.compiled_script(0).is_none(),
+            "stale bytecode must never run for a mutated source"
+        );
+        app.scripts.push("var y = 3;".to_string());
+        assert!(app.compiled_script(1).is_none(), "appended source");
     }
 }

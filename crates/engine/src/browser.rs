@@ -26,7 +26,10 @@ use greenweb_css::transition::{TransitionSpec, TransitionState};
 use greenweb_css::value::{CssValue, Length};
 use greenweb_css::{ComputedStyle, StyleEngine, StyleStats};
 use greenweb_dom::{parse_html, Document, Event, EventType, ListenerSet, NodeId};
-use greenweb_script::{parse_program, Interpreter, Value};
+use greenweb_script::{
+    compile, parse_program, CompiledProgram, HandlerCache, Interpreter, ScriptError, ScriptStats,
+    Value, Vm,
+};
 use greenweb_trace::{record_into, EventKind as TraceKind, SpanKind, TraceHandle};
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -65,6 +68,107 @@ fn effect_assert_from_env() -> bool {
             .as_str(),
         "off" | "0" | "false"
     )
+}
+
+/// Which script backend a browser executes callbacks on.
+///
+/// The default ([`ScriptBackend::Auto`]) is the bytecode VM: every setup
+/// program and handler body is compiled once at app load and every event
+/// dispatch executes that artifact — the same one the analyzers walk.
+/// The tree-walking interpreter survives as a differential oracle: its
+/// per-op tick counts define the cost model, and the VM's tick-weighted
+/// charging reproduces them exactly, so the two backends yield
+/// byte-identical metrics (CI diffs them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ScriptBackend {
+    /// Resolve from `GREENWEB_SCRIPT_VM`: `off`, `0`, or `false` (any
+    /// case) selects the tree-walking oracle; anything else — including
+    /// unset — selects the VM.
+    #[default]
+    Auto,
+    /// The bytecode VM (the production path).
+    Vm,
+    /// The tree-walking interpreter (the oracle path).
+    Tree,
+}
+
+/// Reads `GREENWEB_SCRIPT_VM` for [`ScriptBackend::Auto`]. Mirrors
+/// `GREENWEB_STYLE_CACHE` / `GREENWEB_EFFECT_GATE`: opt-out, not opt-in.
+fn script_vm_from_env() -> bool {
+    !matches!(
+        std::env::var("GREENWEB_SCRIPT_VM")
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str(),
+        "off" | "0" | "false"
+    )
+}
+
+/// The script execution backend behind one browser: either the bytecode
+/// VM or the tree-walking oracle, behind one call surface so the event
+/// loop never branches on the backend.
+enum ScriptEngine {
+    Vm(Vm),
+    Tree(Interpreter),
+}
+
+impl ScriptEngine {
+    fn for_backend(backend: ScriptBackend) -> Self {
+        let use_vm = match backend {
+            ScriptBackend::Auto => script_vm_from_env(),
+            ScriptBackend::Vm => true,
+            ScriptBackend::Tree => false,
+        };
+        if use_vm {
+            ScriptEngine::Vm(Vm::new())
+        } else {
+            ScriptEngine::Tree(Interpreter::new())
+        }
+    }
+
+    fn call_function(
+        &mut self,
+        callee: &Value,
+        args: &[Value],
+        host: &mut ScriptHost<'_>,
+    ) -> Result<Value, ScriptError> {
+        match self {
+            ScriptEngine::Vm(vm) => vm.call_function(callee, args, host),
+            ScriptEngine::Tree(interp) => interp.call_function(callee, args, host),
+        }
+    }
+
+    /// Charged evaluation steps since the last reset — backend-independent
+    /// by the tick-parity contract (the VM's per-instruction weights sum
+    /// to exactly the tree-walker's op count).
+    fn ops(&self) -> u64 {
+        match self {
+            ScriptEngine::Vm(vm) => vm.ops(),
+            ScriptEngine::Tree(interp) => interp.ops(),
+        }
+    }
+
+    /// Raw VM instructions since the last reset (zero on the oracle).
+    fn dispatches(&self) -> u64 {
+        match self {
+            ScriptEngine::Vm(vm) => vm.dispatches(),
+            ScriptEngine::Tree(_) => 0,
+        }
+    }
+
+    fn reset_ops(&mut self) {
+        match self {
+            ScriptEngine::Vm(vm) => vm.reset_ops(),
+            ScriptEngine::Tree(interp) => interp.reset_ops(),
+        }
+    }
+
+    fn set_op_limit(&mut self, limit: u64) {
+        match self {
+            ScriptEngine::Vm(vm) => vm.set_op_limit(limit),
+            ScriptEngine::Tree(interp) => interp.set_op_limit(limit),
+        }
+    }
 }
 
 /// Maps an engine pipeline stage to its trace span kind.
@@ -252,7 +356,17 @@ pub struct Browser<S: Scheduler> {
     /// Computed-style cache; `RefCell` so read-only accessors
     /// ([`Browser::computed_style`]) stay `&self` while memoizing.
     style_cache: RefCell<StyleCache>,
-    interp: Interpreter,
+    /// The script backend: the bytecode VM by default, the tree-walking
+    /// oracle under `GREENWEB_SCRIPT_VM=off` (or [`ScriptBackend::Tree`]).
+    script: ScriptEngine,
+    /// The handler-compilation cache shared with every analysis consumer
+    /// (GreenLint's cost/effect passes, the attribution profiler): one
+    /// compiled artifact per callback body, aliased zero-copy on the VM
+    /// path. Exposed via [`Browser::handler_cache`].
+    handler_cache: HandlerCache,
+    /// Script-pipeline counters accumulated across setup and callbacks;
+    /// snapshot (plus cache-derived fields) lands in the report.
+    script_stats: ScriptStats,
     listeners: ListenerSet<Value>,
     cost: FrameCostModel,
     cpu: Cpu,
@@ -321,6 +435,27 @@ impl<S: Scheduler> Browser<S> {
         )
     }
 
+    /// Loads `app` on default hardware with an explicit script backend.
+    /// Tests use this instead of `GREENWEB_SCRIPT_VM`, which races under
+    /// parallel test execution.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Browser::new`].
+    pub fn with_backend(
+        app: &App,
+        scheduler: S,
+        backend: ScriptBackend,
+    ) -> Result<Self, BrowserError> {
+        Self::with_hardware_backend(
+            app,
+            scheduler,
+            Platform::odroid_xu_e(),
+            PowerModel::odroid_xu_e(),
+            backend,
+        )
+    }
+
     /// Loads `app` on custom hardware.
     ///
     /// # Errors
@@ -328,9 +463,24 @@ impl<S: Scheduler> Browser<S> {
     /// Same as [`Browser::new`].
     pub fn with_hardware(
         app: &App,
+        scheduler: S,
+        platform: Platform,
+        power: PowerModel,
+    ) -> Result<Self, BrowserError> {
+        Self::with_hardware_backend(app, scheduler, platform, power, ScriptBackend::Auto)
+    }
+
+    /// Loads `app` on custom hardware with an explicit script backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Browser::new`].
+    pub fn with_hardware_backend(
+        app: &App,
         mut scheduler: S,
         platform: Platform,
         power: PowerModel,
+        backend: ScriptBackend,
     ) -> Result<Self, BrowserError> {
         let doc = parse_html(&app.html)?;
         let stylesheet = parse_stylesheet(&app.css_source())?;
@@ -342,7 +492,9 @@ impl<S: Scheduler> Browser<S> {
             doc,
             style,
             style_cache: RefCell::new(StyleCache::from_env()),
-            interp: Interpreter::new(),
+            script: ScriptEngine::for_backend(backend),
+            handler_cache: HandlerCache::default(),
+            script_stats: ScriptStats::default(),
             listeners: ListenerSet::new(),
             cost: app.cost.clone(),
             cpu,
@@ -380,13 +532,56 @@ impl<S: Scheduler> Browser<S> {
         browser.set_effect_summaries(&app.effect_summaries);
         // Run setup scripts: they register listeners and may set initial
         // styles. Scheduling effects (dirty/rAF/timers) are ignored at
-        // setup — loading work is modeled by the `load` trace event.
-        for src in &app.scripts {
-            let program = parse_program(src)?;
+        // setup — loading work is modeled by the `load` trace event. On
+        // the VM path each program executes the bytecode compiled once at
+        // `App::build` (fingerprint-validated; recompiled here only if
+        // the sources were mutated after build). The functions it defines
+        // close over that same prototype table, so every later event
+        // dispatch — and every analysis pass — reuses this one artifact.
+        for (index, src) in app.scripts.iter().enumerate() {
+            browser.script_stats.programs += 1;
             let mut host = ScriptHost::new(&mut browser.doc, 0.0);
-            browser.interp.run(&program, &mut host)?;
+            match &mut browser.script {
+                ScriptEngine::Vm(vm) => {
+                    let compiled: CompiledProgram = match app.compiled_script(index) {
+                        Some(compiled) => {
+                            browser.script_stats.precompiled_hits += 1;
+                            compiled.clone() // an `Arc` alias, not a copy
+                        }
+                        None => {
+                            browser.script_stats.compiles += 1;
+                            let program = parse_program(src)?;
+                            compile(&program)
+                                .map_err(|e| ScriptError::new(e.to_string()))
+                                .map_err(BrowserError::Script)?
+                        }
+                    };
+                    browser.script_stats.fold_wins += compiled
+                        .protos
+                        .iter()
+                        .map(|p| u64::from(p.folded))
+                        .sum::<u64>();
+                    vm.run(&compiled, &mut host)?;
+                }
+                ScriptEngine::Tree(interp) => {
+                    let program = parse_program(src)?;
+                    interp.run(&program, &mut host)?;
+                }
+            }
             for (node, event, callback) in host.effects.listeners.drain(..) {
                 browser.listeners.add(node, event, callback);
+            }
+        }
+        browser.script_stats.ops += browser.script.ops();
+        browser.script_stats.dispatches += browser.script.dispatches();
+        browser.script.reset_ops();
+        // Warm the shared handler cache with every registered callback.
+        // On the VM path this is a zero-copy alias of the bytecode the
+        // closures already hold; on the oracle path it performs the AST
+        // recompiles the cache counts as compile-twice debt.
+        for (node, event) in browser.listener_targets() {
+            for callback in browser.listeners.get(node, event) {
+                browser.handler_cache.compile_callback(callback);
             }
         }
         Ok(browser)
@@ -413,12 +608,14 @@ impl<S: Scheduler> Browser<S> {
         self.injector = Some(FaultInjector::new(plan));
     }
 
-    /// Attaches a watchdog budget. The interpreter's per-callback fuel
-    /// ceiling takes effect immediately; the sim-event ceiling is
-    /// enforced by the next [`Browser::run`]. See [`RunBudget`] for why
-    /// both ceilings are deterministic.
+    /// Attaches a watchdog budget. The script backend's per-callback fuel
+    /// ceiling takes effect immediately (both backends meter through the
+    /// one shared [`greenweb_script::Fuel`] type, so the ceiling means
+    /// the same thing either way); the sim-event ceiling is enforced by
+    /// the next [`Browser::run`]. See [`RunBudget`] for why both ceilings
+    /// are deterministic.
     pub fn set_budget(&mut self, budget: RunBudget) {
-        self.interp.set_op_limit(budget.max_callback_ops);
+        self.script.set_op_limit(budget.max_callback_ops);
         self.budget = Some(budget);
     }
 
@@ -502,6 +699,27 @@ impl<S: Scheduler> Browser<S> {
     /// Number of callback returns checked against a static summary.
     pub fn effect_checks(&self) -> u64 {
         self.effect_checks
+    }
+
+    /// The handler-compilation cache: one compiled artifact per callback
+    /// body. Analysis consumers (GreenLint's cost/effect passes, the
+    /// attribution profiler) compile through this cache so they certify
+    /// byte-for-byte the bytecode this browser executes.
+    pub fn handler_cache(&self) -> &HandlerCache {
+        &self.handler_cache
+    }
+
+    /// Script-pipeline counters so far: accumulated program/callback
+    /// counts plus the handler cache's current compile/recompile totals.
+    pub fn script_stats(&self) -> ScriptStats {
+        let mut stats = self.script_stats;
+        stats.handlers = self.handler_cache.handlers();
+        stats.handler_recompiles = self.handler_cache.recompiles();
+        // `compiles` totals everything that invoked the bytecode
+        // compiler: load-time compiles plus handler recompiles (zero on
+        // the VM path, where handlers alias their load-time bytecode).
+        stats.compiles += stats.handler_recompiles;
+        stats
     }
 
     /// Combined style-system counters: the engine's resolver stats plus
@@ -679,6 +897,7 @@ impl<S: Scheduler> Browser<S> {
             total_time: end.since(SimTime::ZERO),
             chaos: self.injector.as_ref().map(FaultInjector::report),
             style,
+            script: self.script_stats(),
             effect_checks: self.effect_checks,
             effect_violations: self.effect_violations.clone(),
         }
@@ -1469,12 +1688,15 @@ impl<S: Scheduler> Browser<S> {
         origin: Msg,
         summary: Option<Rc<HandlerSummary>>,
     ) -> Result<(), BrowserError> {
-        self.interp.reset_ops();
+        self.script.reset_ops();
         let mut host = ScriptHost::new(&mut self.doc, self.now.as_millis_f64());
         let args: Vec<Value> = arg.into_iter().collect();
-        self.interp.call_function(&callback, &args, &mut host)?;
+        self.script.call_function(&callback, &args, &mut host)?;
         let effects = host.effects;
-        let ops = self.interp.ops();
+        let ops = self.script.ops();
+        self.script_stats.callbacks += 1;
+        self.script_stats.ops += ops;
+        self.script_stats.dispatches += self.script.dispatches();
         let mut work = self
             .cost
             .callback_work(ops, effects.work_cycles, effects.gpu_ms);

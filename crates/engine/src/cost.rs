@@ -5,7 +5,9 @@
 //! with the document's element count; the composite stage carries a
 //! frequency-independent GPU component, which is what gives Eq. 1 its
 //! non-zero `T_independent` intercept. Event callbacks are charged by the
-//! interpreter's op count plus any explicit `work()` the script performs.
+//! script engine's op count — backend-independent by the tick-parity
+//! contract, whether the bytecode VM or the tree-walking oracle ran the
+//! callback — plus any explicit `work()` the script performs.
 //!
 //! `surge_every`/`surge_factor` model the frame-complexity surges the
 //! paper observes in W3School and Cnet (Sec. 7.2: "most of the QoS
@@ -35,7 +37,8 @@ impl Stage {
 /// Cost parameters for one application.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FrameCostModel {
-    /// CPU cycles charged per interpreter operation.
+    /// CPU cycles charged per script operation (charged op, not raw
+    /// VM dispatch — identical across script backends).
     pub cycles_per_op: f64,
     /// Style-stage cycles per element.
     pub style_cycles_per_element: f64,
@@ -104,7 +107,7 @@ impl FrameCostModel {
         })
     }
 
-    /// Work of an event callback that executed `ops` interpreter
+    /// Work of an event callback that executed `ops` charged script
     /// operations, requested `work_cycles` of explicit CPU work, and
     /// `gpu_ms` of frequency-independent work.
     pub fn callback_work(&self, ops: u64, work_cycles: f64, gpu_ms: f64) -> WorkUnit {

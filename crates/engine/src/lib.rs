@@ -53,7 +53,7 @@ pub mod scheduler;
 pub mod style_cache;
 
 pub use app::{App, AppBuilder};
-pub use browser::{Browser, BrowserError};
+pub use browser::{Browser, BrowserError, ScriptBackend};
 pub use cost::FrameCostModel;
 pub use effects::{EffectSummary, EffectTarget, HandlerSummary, TargetSet};
 pub use events::{InputId, TargetSpec, Trace, TraceBuilder, TraceEvent};
@@ -62,6 +62,7 @@ pub use fault::{
     LoadSpikeSpec, SensorFaultSpec, VsyncDisposition, VsyncFaultSpec,
 };
 pub use frame::{FrameRecord, FrameTracker, Msg};
+pub use greenweb_script::{CompiledHandler, HandlerCache, ScriptStats};
 pub use report::{InputRecord, SimReport};
 pub use runspec::{RunBudget, RunOutcome, RunSpec, SchedulerFactory, SchedulerProbe, TraceMode};
 pub use scheduler::{GovernorScheduler, Scheduler, SchedulerCtx};

@@ -7,6 +7,7 @@ use crate::frame::FrameRecord;
 use greenweb_acmp::{CpuConfig, Duration, EnergyBreakdown, SimTime};
 use greenweb_css::StyleStats;
 use greenweb_dom::EventType;
+use greenweb_script::ScriptStats;
 use std::collections::HashMap;
 
 /// Per-input observations — including the animation-mechanism signals
@@ -59,6 +60,12 @@ pub struct SimReport {
     /// Style-system counters (resolves, exact matches, Bloom rejects,
     /// cache hits/misses) — deterministic, never wall-clock.
     pub style: StyleStats,
+    /// Script-pipeline counters (compiles, precompiled hits, callback
+    /// dispatches, charged ops, VM dispatches, fold wins) — deterministic
+    /// like `style`. `ops` is backend-independent by the tick-parity
+    /// contract; `dispatches`/`fold_wins` are zero on the tree-walking
+    /// oracle backend.
+    pub script: ScriptStats,
     /// Callback returns checked against a static effect summary. Zero
     /// when the run had no summaries attached — the soundness harness
     /// asserts this is positive so its gate cannot pass vacuously.
@@ -171,6 +178,7 @@ mod tests {
             total_time: Duration::from_millis(1000),
             chaos: None,
             style: StyleStats::default(),
+            script: ScriptStats::default(),
             effect_checks: 0,
             effect_violations: Vec::new(),
         }

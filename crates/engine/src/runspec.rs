@@ -62,18 +62,22 @@ pub enum TraceMode {
 
 /// The per-run watchdog budget: deterministic execution ceilings that
 /// convert a runaway workload into a typed
-/// [`BrowserError::Budget`](crate::BrowserError::Budget) outcome instead
+/// [`crate::BrowserError::Budget`] outcome instead
 /// of a hang.
 ///
-/// Both ceilings are counted in *simulation* quantities (interpreter
-/// fuel ops and discrete-event pops), never wall-clock, so the same
+/// Both ceilings are counted in *simulation* quantities (script fuel
+/// ops and discrete-event pops), never wall-clock, so the same
 /// spec trips the same ceiling at the same point on every machine —
 /// supervised sweeps stay byte-reproducible even for their failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunBudget {
-    /// Fuel ceiling per script callback (interpreter evaluation steps;
-    /// the engine resets the counter at each callback entry). An
-    /// infinite `while (true)` loop burns this in bounded time.
+    /// Fuel ceiling per script callback, in charged evaluation steps.
+    /// Both script backends meter through the one shared
+    /// [`greenweb_script::Fuel`] implementation — the VM charges
+    /// tick weights that sum to exactly the tree-walking oracle's op
+    /// count — so the ceiling is backend-independent. The engine resets
+    /// the counter at each callback entry; an infinite `while (true)`
+    /// loop burns this in bounded time.
     pub max_callback_ops: u64,
     /// Ceiling on discrete events popped by one run's event loop. A
     /// zero-delay timer bomb (each callback re-arming `setTimeout(f, 0)`)
@@ -123,6 +127,12 @@ pub struct RunSpec {
     pub probe: Option<SchedulerProbe>,
     /// Watchdog ceilings, if this run is supervised.
     pub budget: Option<RunBudget>,
+    /// Which script backend executes callbacks. Deliberately excluded
+    /// from [`RunSpec::digest`]: the backends produce byte-identical
+    /// results (the tick-parity contract), so a spec's identity must not
+    /// depend on which one runs it — the VM-off parity gate leans on
+    /// exactly that.
+    pub script_backend: crate::browser::ScriptBackend,
 }
 
 // The whole point of the spec: it must be able to cross into a worker
@@ -149,6 +159,7 @@ impl RunSpec {
             recording: TraceMode::Off,
             probe: None,
             budget: None,
+            script_backend: crate::browser::ScriptBackend::Auto,
         }
     }
 
@@ -194,6 +205,17 @@ impl RunSpec {
     #[must_use]
     pub fn with_budget(mut self, budget: RunBudget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Pins the script backend (default: [`ScriptBackend::Auto`], which
+    /// resolves `GREENWEB_SCRIPT_VM`). Parity harnesses run the same spec
+    /// once per backend and diff the reports.
+    ///
+    /// [`ScriptBackend::Auto`]: crate::browser::ScriptBackend::Auto
+    #[must_use]
+    pub fn with_script_backend(mut self, backend: crate::browser::ScriptBackend) -> Self {
+        self.script_backend = backend;
         self
     }
 
@@ -243,11 +265,12 @@ impl RunSpec {
     /// Returns [`BrowserError`] if the app fails to load or a callback
     /// errors.
     pub fn execute(&self) -> Result<RunOutcome, BrowserError> {
-        let mut browser = Browser::with_hardware(
+        let mut browser = Browser::with_hardware_backend(
             &self.app,
             self.scheduler.build(),
             self.platform.clone(),
             self.power.clone(),
+            self.script_backend,
         )?;
         if let Some(plan) = self.faults {
             browser.set_fault_plan(plan);

@@ -1,0 +1,51 @@
+//! Interned name atoms for environment lookups.
+//!
+//! Variable names are hashed once — at compile time for the bytecode
+//! backend, per access for the tree-walking oracle — into stable 64-bit
+//! FNV-1a atoms, the same scheme (and constants) the dom/css layers use
+//! for tag/id/class style atoms. Scope chains then key their bindings by
+//! atom instead of by owned `String`, so a `GetVar` in a hot callback is
+//! an integer probe rather than a string hash + compare per scope level.
+//!
+//! Like the style atoms, collisions are accepted as a design trade: a
+//! 64-bit FNV over the handful of identifiers a handler uses makes an
+//! accidental collision astronomically unlikely, and both backends use
+//! the same atomization so any collision would at least be *consistent*
+//! across the differential suite.
+
+/// 64-bit FNV-1a over `name` with a one-byte kind prefix (`b'v'` for
+/// variables), mirroring `greenweb_dom`'s `tag_atom`/`id_atom`/
+/// `class_atom` so script names live in the same atom namespace without
+/// colliding with any style atom.
+pub fn name_atom(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in std::iter::once(b'v').chain(name.bytes()) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_are_stable_and_distinct() {
+        assert_eq!(name_atom("x"), name_atom("x"));
+        assert_ne!(name_atom("x"), name_atom("y"));
+        assert_ne!(name_atom(""), name_atom("x"));
+    }
+
+    #[test]
+    fn kind_prefix_separates_from_style_atoms() {
+        // `greenweb_dom::tag_atom("div")` prefixes b't'; the variable
+        // atom of the same string must differ because of the b'v' prefix.
+        let mut tag: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in std::iter::once(b't').chain("div".bytes()) {
+            tag ^= u64::from(byte);
+            tag = tag.wrapping_mul(0x0100_0000_01b3);
+        }
+        assert_ne!(name_atom("div"), tag);
+    }
+}

@@ -6,10 +6,38 @@
 //! semantics, which the differential test suite enforces. Each function
 //! body compiles to its own [`Proto`]; closures pair a proto index with
 //! the lexical environment captured at `MakeClosure` time.
+//!
+//! Three side tables ride along with every proto's `code`, one entry per
+//! instruction:
+//!
+//! - **`spans`** — the source line each instruction came from, so VM
+//!   runtime errors carry the same `(line N)` the interpreter reports
+//!   and trace attribution can map hot instructions back to source.
+//! - **`ticks`** — the instruction's fuel weight. The tree-walker
+//!   charges one tick per *AST node visit*; the compiler distributes
+//!   exactly those ticks over the emitted instructions (most carry 0 or
+//!   1; a folded constant carries its whole collapsed subtree's count).
+//!   Summed over an execution, `Vm::ops` therefore equals
+//!   `Interpreter::ops` exactly, which keeps the engine's cost model,
+//!   the `RunBudget` fuel ceiling, and `Span.ops` attribution
+//!   backend-independent.
+//! - **`name_atoms`** — FNV-1a atoms ([`crate::atom::name_atom`]) of the
+//!   interned names, precomputed once so scope lookups at runtime hash
+//!   no strings.
+//!
+//! The constant-folding pass ([`CompileOptions::fold`], on by default)
+//! evaluates literal arithmetic/comparison/concatenation at compile time
+//! and elides dead branches behind constant conditions. Folding never
+//! changes observable semantics *or* charged ops — a folded `Const`
+//! carries the collapsed subtree's tick weight — it only reduces the
+//! number of dispatched instructions.
 
 use crate::ast::{BinaryOp, Expr, Program, Stmt, Target, UnaryOp};
+use crate::atom::name_atom;
+use crate::builtins;
+use crate::value::Value;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A constant-pool entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +50,40 @@ pub enum Const {
     Number(f64),
     /// A string.
     Str(String),
+}
+
+impl Const {
+    /// JS-style truthiness of a constant (matches [`Value::is_truthy`]).
+    fn is_truthy(&self) -> bool {
+        match self {
+            Const::Null => false,
+            Const::Bool(b) => *b,
+            Const::Number(n) => *n != 0.0 && !n.is_nan(),
+            Const::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// The runtime value of this constant.
+    fn to_value(&self) -> Value {
+        match self {
+            Const::Null => Value::Null,
+            Const::Bool(b) => Value::Bool(*b),
+            Const::Number(n) => Value::Number(*n),
+            Const::Str(s) => Value::str(s),
+        }
+    }
+
+    /// The constant form of a scalar value (`None` for reference types,
+    /// which have identity and cannot live in the pool).
+    fn from_value(value: &Value) -> Option<Const> {
+        match value {
+            Value::Null => Some(Const::Null),
+            Value::Bool(b) => Some(Const::Bool(*b)),
+            Value::Number(n) => Some(Const::Number(*n)),
+            Value::Str(s) => Some(Const::Str(s.to_string())),
+            _ => None,
+        }
+    }
 }
 
 /// One bytecode instruction.
@@ -96,26 +158,48 @@ impl fmt::Display for Op {
 }
 
 /// A compiled function body.
+///
+/// `spans` and `ticks` are parallel to `code` (one entry per
+/// instruction); `name_atoms` is parallel to `names` and `param_atoms`
+/// to `params`. Hand-built protos may leave the side tables empty: the
+/// VM falls back to weight 1 per instruction and hashes names on the
+/// fly, so hostile bytecode stays executable.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Proto {
     /// Function name (empty for anonymous functions and the main body).
     pub name: String,
     /// Parameter names.
     pub params: Vec<String>,
+    /// Name atoms of the parameters (parallel to `params`).
+    pub param_atoms: Vec<u64>,
     /// Instructions.
     pub code: Vec<Op>,
+    /// Source line per instruction (parallel to `code`; 0 = unknown).
+    pub spans: Vec<u32>,
+    /// Fuel weight per instruction (parallel to `code`): interpreter
+    /// ticks this instruction accounts for. Weights over an execution
+    /// sum to exactly the tree-walker's op count for the same program.
+    pub ticks: Vec<u32>,
     /// Constant pool.
     pub consts: Vec<Const>,
     /// Interned names (variables, members, methods, object keys).
     pub names: Vec<String>,
+    /// Name atoms of the interned names (parallel to `names`).
+    pub name_atoms: Vec<u64>,
+    /// Constant-folding wins: subtrees collapsed to a single constant
+    /// plus branches elided behind constant conditions.
+    pub folded: u32,
 }
 
 /// A whole compiled program: the prototypes plus the index of the main
-/// body.
+/// body. The prototype table is atomically shared (`Arc`) so one
+/// compiled artifact can be held by the app-owning engine
+/// side across threads, executed by the VM, and analyzed statically —
+/// all zero-copy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledProgram {
     /// Every function prototype; `protos[main]` is the top level.
-    pub protos: Rc<Vec<Proto>>,
+    pub protos: Arc<Vec<Proto>>,
     /// Index of the program body.
     pub main: usize,
 }
@@ -142,7 +226,22 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
-/// Compiles a parsed program to bytecode.
+/// Compiler knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Run the constant-folding pass (default on). Disabled only by
+    /// tests that compare folded against unfolded output.
+    pub fold: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { fold: true }
+    }
+}
+
+/// Compiles a parsed program to bytecode with default options
+/// (constant folding on).
 ///
 /// # Errors
 ///
@@ -150,10 +249,22 @@ impl std::error::Error for CompileError {}
 /// (currently only `break`/`continue` outside a loop, which the parser
 /// cannot rule out).
 pub fn compile(program: &Program) -> Result<CompiledProgram, CompileError> {
+    compile_with(program, CompileOptions::default())
+}
+
+/// Compiles with explicit [`CompileOptions`].
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with(
+    program: &Program,
+    options: CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
     let mut protos: Vec<Proto> = Vec::new();
-    let main = compile_function(String::new(), &[], &program.body, &mut protos)?;
+    let main = compile_function(String::new(), &[], &program.body, &mut protos, options)?;
     Ok(CompiledProgram {
-        protos: Rc::new(protos),
+        protos: Arc::new(protos),
         main,
     })
 }
@@ -172,6 +283,17 @@ struct FnCompiler<'p> {
     protos: &'p mut Vec<Proto>,
     loops: Vec<LoopCtx>,
     scope_depth: usize,
+    options: CompileOptions,
+    /// Current source line, stamped into `spans` at each emit.
+    line: u32,
+    /// Tick weight owed by a folded/elided subtree, attached to the next
+    /// emitted instruction. Folding sites only ever leave pending weight
+    /// immediately before emitting a once-per-arrival instruction (a
+    /// branch's `PushScope`, the first op of a short-circuit rhs, the
+    /// function's implicit return), never before a loop header that
+    /// re-executes per iteration — that is what keeps folded and
+    /// unfolded charge counts identical.
+    pending: u32,
 }
 
 fn compile_function(
@@ -179,34 +301,61 @@ fn compile_function(
     params: &[String],
     body: &[Stmt],
     protos: &mut Vec<Proto>,
+    options: CompileOptions,
 ) -> Result<usize, CompileError> {
     let mut fc = FnCompiler {
         proto: Proto {
             name,
             params: params.to_vec(),
+            param_atoms: params.iter().map(|p| name_atom(p)).collect(),
             ..Proto::default()
         },
         protos,
         loops: Vec::new(),
         scope_depth: 0,
+        options,
+        line: 0,
+        pending: 0,
     };
     for stmt in body {
         fc.stmt(stmt)?;
     }
-    // Implicit `return null`.
+    // Implicit `return null` (the tree-walker's fall-off return charges
+    // nothing, so both carry weight 0 and only absorb pending fold debt).
     let null = fc.konst(Const::Null);
     fc.emit(Op::Const(null));
     fc.emit(Op::Return);
+    debug_assert_eq!(fc.pending, 0, "fold debt must be attached by function end");
     let index = fc.protos.len();
     let proto = fc.proto;
+    debug_assert_eq!(proto.code.len(), proto.spans.len());
+    debug_assert_eq!(proto.code.len(), proto.ticks.len());
+    debug_assert_eq!(proto.names.len(), proto.name_atoms.len());
     protos.push(proto);
     Ok(index)
 }
 
 impl FnCompiler<'_> {
-    fn emit(&mut self, op: Op) -> usize {
+    /// Emits `op` with fuel weight `weight`, absorbing any pending
+    /// folded-subtree weight, and stamps the current source line.
+    fn emit_w(&mut self, op: Op, weight: u32) -> usize {
         self.proto.code.push(op);
+        self.proto.spans.push(self.line);
+        self.proto
+            .ticks
+            .push(weight + std::mem::take(&mut self.pending));
         self.proto.code.len() - 1
+    }
+
+    /// Emits a weight-0 instruction (no tree-walker tick maps here).
+    fn emit(&mut self, op: Op) -> usize {
+        self.emit_w(op, 0)
+    }
+
+    /// Emits a weight-1 instruction: the one op that carries its AST
+    /// node's interpreter tick.
+    fn emit_t(&mut self, op: Op) -> usize {
+        self.emit_w(op, 1)
     }
 
     fn here(&self) -> u32 {
@@ -236,13 +385,93 @@ impl FnCompiler<'_> {
         if let Some(i) = self.proto.names.iter().position(|x| x == n) {
             return i as u32;
         }
+        self.push_name(n)
+    }
+
+    /// Appends `n` to the name table (no dedup — object-literal keys
+    /// must stay contiguous), keeping the atom table parallel.
+    fn push_name(&mut self, n: &str) -> u32 {
         self.proto.names.push(n.to_string());
+        self.proto.name_atoms.push(name_atom(n));
         (self.proto.names.len() - 1) as u32
+    }
+
+    /// Compile-time evaluation of a constant subtree: the folded value
+    /// plus the number of ticks the tree-walker would charge to evaluate
+    /// it. `None` when the subtree is not constant or folding would
+    /// change semantics (e.g. a binary op that errors at runtime).
+    fn eval_const(&self, expr: &Expr) -> Option<(Const, u32)> {
+        if !self.options.fold {
+            return None;
+        }
+        match expr {
+            Expr::Number(n) => Some((Const::Number(*n), 1)),
+            Expr::Str(s) => Some((Const::Str(s.clone()), 1)),
+            Expr::Bool(b) => Some((Const::Bool(*b), 1)),
+            Expr::Null => Some((Const::Null, 1)),
+            Expr::Unary { op, operand } => {
+                let (c, t) = self.eval_const(operand)?;
+                let folded = match op {
+                    UnaryOp::Neg => match c {
+                        Const::Number(n) => Const::Number(-n),
+                        // Negating a non-number is a runtime error;
+                        // leave it to the backend.
+                        _ => return None,
+                    },
+                    UnaryOp::Not => Const::Bool(!c.is_truthy()),
+                };
+                Some((folded, 1 + t))
+            }
+            Expr::Binary {
+                op: op @ (BinaryOp::And | BinaryOp::Or),
+                lhs,
+                rhs,
+            } => {
+                // Short-circuit: a deciding constant lhs folds the whole
+                // expression without looking at (or charging for) rhs,
+                // exactly like the tree-walker's evaluation.
+                let (l, lt) = self.eval_const(lhs)?;
+                let decided = match op {
+                    BinaryOp::And => !l.is_truthy(),
+                    _ => l.is_truthy(),
+                };
+                if decided {
+                    return Some((l, 1 + lt));
+                }
+                let (r, rt) = self.eval_const(rhs)?;
+                Some((r, 1 + lt + rt))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let (l, lt) = self.eval_const(lhs)?;
+                let (r, rt) = self.eval_const(rhs)?;
+                // Errors (e.g. `null - 1`) must surface at runtime, so
+                // only an Ok result folds. Division by zero is Ok
+                // (Infinity, like JS) and folds.
+                let v = builtins::binary_op(*op, &l.to_value(), &r.to_value()).ok()?;
+                Some((Const::from_value(&v)?, 1 + lt + rt))
+            }
+            Expr::Conditional {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                let (c, ct) = self.eval_const(cond)?;
+                let arm = if c.is_truthy() {
+                    then_value
+                } else {
+                    else_value
+                };
+                let (v, vt) = self.eval_const(arm)?;
+                Some((v, 1 + ct + vt))
+            }
+            _ => None,
+        }
     }
 
     fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
         match stmt {
-            Stmt::VarDecl { name, init, .. } => {
+            Stmt::VarDecl { name, init, line } => {
+                self.line = *line;
                 match init {
                     Some(expr) => self.expr(expr)?,
                     None => {
@@ -251,41 +480,78 @@ impl FnCompiler<'_> {
                     }
                 }
                 let n = self.name(name);
-                self.emit(Op::DeclVar(n));
+                self.emit_t(Op::DeclVar(n));
             }
             Stmt::FunctionDecl {
-                name, params, body, ..
+                name,
+                params,
+                body,
+                line,
             } => {
-                let idx = compile_function(name.clone(), params, body, self.protos)?;
+                self.line = *line;
+                let idx = compile_function(name.clone(), params, body, self.protos, self.options)?;
                 self.emit(Op::MakeClosure(idx as u32));
                 let n = self.name(name);
-                self.emit(Op::DeclVar(n));
+                self.emit_t(Op::DeclVar(n));
             }
             Stmt::Expr(expr) => {
                 self.expr(expr)?;
-                self.emit(Op::Pop);
+                self.emit_t(Op::Pop);
             }
             Stmt::If {
                 cond,
                 then_branch,
                 else_branch,
             } => {
-                self.expr(cond)?;
-                let to_else = self.emit(Op::JumpIfFalse(0));
-                self.block(then_branch)?;
-                if else_branch.is_empty() {
-                    let end = self.here();
-                    self.patch(to_else, end);
+                if let Some((c, ct)) = self.eval_const(cond) {
+                    // Dead-branch elision: only the taken branch is
+                    // compiled; the `if` statement's tick and the
+                    // condition's ticks attach to the branch's entry.
+                    self.proto.folded += 1;
+                    self.pending += 1 + ct;
+                    let taken = if c.is_truthy() {
+                        then_branch
+                    } else {
+                        else_branch
+                    };
+                    self.block(taken, 0)?;
                 } else {
-                    let to_end = self.emit(Op::Jump(0));
-                    let else_at = self.here();
-                    self.patch(to_else, else_at);
-                    self.block(else_branch)?;
-                    let end = self.here();
-                    self.patch(to_end, end);
+                    self.expr(cond)?;
+                    let to_else = self.emit_t(Op::JumpIfFalse(0));
+                    self.block(then_branch, 0)?;
+                    if else_branch.is_empty() {
+                        let end = self.here();
+                        self.patch(to_else, end);
+                    } else {
+                        let to_end = self.emit(Op::Jump(0));
+                        let else_at = self.here();
+                        self.patch(to_else, else_at);
+                        self.block(else_branch, 0)?;
+                        let end = self.here();
+                        self.patch(to_end, end);
+                    }
                 }
             }
             Stmt::While { cond, body } => {
+                if let Some((c, ct)) = self.eval_const(cond) {
+                    if !c.is_truthy() {
+                        // Dead loop: the tree-walker evaluates the
+                        // condition once and moves on; charge exactly
+                        // that and elide the body.
+                        self.proto.folded += 1;
+                        self.pending += 1 + ct;
+                        return Ok(());
+                    }
+                    // A constant-truthy condition still folds — via the
+                    // generic expression path below — to one `Const`
+                    // charged per iteration, matching the tree-walker's
+                    // per-iteration re-evaluation.
+                }
+                // The `while` statement's own tick lands on a no-op jump
+                // ahead of the loop header, so it is charged once per
+                // arrival rather than once per iteration.
+                let mark = self.emit_t(Op::Jump(0));
+                self.patch(mark, mark as u32 + 1);
                 let top = self.here();
                 self.expr(cond)?;
                 let exit = self.emit(Op::JumpIfFalse(0));
@@ -294,7 +560,7 @@ impl FnCompiler<'_> {
                     continues: Vec::new(),
                     scope_depth: self.scope_depth,
                 });
-                self.block(body)?;
+                self.block(body, 0)?;
                 let ctx = self.loops.pop().expect("loop ctx pushed above");
                 for at in ctx.continues {
                     self.patch(at, top);
@@ -313,8 +579,9 @@ impl FnCompiler<'_> {
                 body,
             } => {
                 // The loop gets its own scope so `for (var i …)` does not
-                // leak, matching the interpreter.
-                self.emit(Op::PushScope);
+                // leak, matching the interpreter; the `for` statement's
+                // tick rides on the scope push (once per arrival).
+                self.emit_t(Op::PushScope);
                 self.scope_depth += 1;
                 if let Some(init) = init {
                     self.stmt(init)?;
@@ -332,7 +599,7 @@ impl FnCompiler<'_> {
                     continues: Vec::new(),
                     scope_depth: self.scope_depth,
                 });
-                self.block(body)?;
+                self.block(body, 0)?;
                 let ctx = self.loops.pop().expect("loop ctx pushed above");
                 let update_at = self.here();
                 for at in ctx.continues {
@@ -361,7 +628,7 @@ impl FnCompiler<'_> {
                         self.emit(Op::Const(null));
                     }
                 }
-                self.emit(Op::Return);
+                self.emit_t(Op::Return);
             }
             Stmt::Break => {
                 let depth_now = self.scope_depth;
@@ -373,7 +640,7 @@ impl FnCompiler<'_> {
                 for _ in ctx_depth..depth_now {
                     self.emit(Op::PopScope);
                 }
-                let at = self.emit(Op::Jump(0));
+                let at = self.emit_t(Op::Jump(0));
                 self.loops
                     .last_mut()
                     .expect("checked above")
@@ -390,20 +657,24 @@ impl FnCompiler<'_> {
                 for _ in ctx_depth..depth_now {
                     self.emit(Op::PopScope);
                 }
-                let at = self.emit(Op::Jump(0));
+                let at = self.emit_t(Op::Jump(0));
                 self.loops
                     .last_mut()
                     .expect("checked above")
                     .continues
                     .push(at);
             }
-            Stmt::Block(body) => self.block(body)?,
+            Stmt::Block(body) => self.block(body, 1)?,
         }
         Ok(())
     }
 
-    fn block(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
-        self.emit(Op::PushScope);
+    /// Compiles a statement list in a child scope. `weight` is the fuel
+    /// weight of the scope push: 1 when the block is a statement of its
+    /// own (the tree-walker ticks `Stmt::Block`), 0 when it is the body
+    /// of an `if`/loop (the tree-walker's `exec_block` ticks nothing).
+    fn block(&mut self, body: &[Stmt], weight: u32) -> Result<(), CompileError> {
+        self.emit_w(Op::PushScope, weight);
         self.scope_depth += 1;
         for stmt in body {
             self.stmt(stmt)?;
@@ -414,52 +685,62 @@ impl FnCompiler<'_> {
     }
 
     fn expr(&mut self, expr: &Expr) -> Result<(), CompileError> {
+        // Constant folding: a whole constant subtree becomes one `Const`
+        // carrying the subtree's tick weight (literals fold trivially
+        // with weight 1 — identical to their unfolded compilation).
+        if let Some((c, t)) = self.eval_const(expr) {
+            if t > 1 {
+                self.proto.folded += 1;
+            }
+            let i = self.konst(c);
+            self.emit_w(Op::Const(i), t);
+            return Ok(());
+        }
         match expr {
             Expr::Number(n) => {
                 let c = self.konst(Const::Number(*n));
-                self.emit(Op::Const(c));
+                self.emit_t(Op::Const(c));
             }
             Expr::Str(s) => {
                 let c = self.konst(Const::Str(s.clone()));
-                self.emit(Op::Const(c));
+                self.emit_t(Op::Const(c));
             }
             Expr::Bool(b) => {
                 let c = self.konst(Const::Bool(*b));
-                self.emit(Op::Const(c));
+                self.emit_t(Op::Const(c));
             }
             Expr::Null => {
                 let c = self.konst(Const::Null);
-                self.emit(Op::Const(c));
+                self.emit_t(Op::Const(c));
             }
             Expr::Var(name) => {
                 let n = self.name(name);
-                self.emit(Op::GetVar(n));
+                self.emit_t(Op::GetVar(n));
             }
             Expr::Array(items) => {
                 for item in items {
                     self.expr(item)?;
                 }
-                self.emit(Op::MakeArray(items.len() as u16));
+                self.emit_t(Op::MakeArray(items.len() as u16));
             }
             Expr::Object(entries) => {
                 // Keys must be contiguous in the name table so the VM can
                 // recover them from `base..base+count`.
                 let base = self.proto.names.len() as u32;
-                let keys: Vec<String> = entries.iter().map(|(k, _)| k.clone()).collect();
-                for key in &keys {
-                    self.proto.names.push(key.clone());
+                for (key, _) in entries {
+                    self.push_name(key);
                 }
                 for (_, value) in entries {
                     self.expr(value)?;
                 }
-                self.emit(Op::MakeObject {
+                self.emit_t(Op::MakeObject {
                     base,
                     count: entries.len() as u16,
                 });
             }
             Expr::Function { params, body } => {
-                let idx = compile_function(String::new(), params, body, self.protos)?;
-                self.emit(Op::MakeClosure(idx as u32));
+                let idx = compile_function(String::new(), params, body, self.protos, self.options)?;
+                self.emit_t(Op::MakeClosure(idx as u32));
             }
             Expr::Assign { target, value } => {
                 match target {
@@ -467,7 +748,7 @@ impl FnCompiler<'_> {
                         self.expr(value)?;
                         self.emit(Op::Dup); // assignment is an expression
                         let n = self.name(name);
-                        self.emit(Op::SetVar(n));
+                        self.emit_t(Op::SetVar(n));
                     }
                     Target::Member(object, property) => {
                         self.expr(value)?;
@@ -475,7 +756,7 @@ impl FnCompiler<'_> {
                         self.expr(object)?;
                         // Stack: value, value, object.
                         let n = self.name(property);
-                        self.emit(Op::SetMember(n));
+                        self.emit_t(Op::SetMember(n));
                     }
                     Target::Index(object, index) => {
                         self.expr(value)?;
@@ -483,53 +764,85 @@ impl FnCompiler<'_> {
                         self.expr(object)?;
                         self.expr(index)?;
                         // Stack: value, value, object, index.
-                        self.emit(Op::SetIndex);
+                        self.emit_t(Op::SetIndex);
                     }
                 }
             }
             Expr::Binary { op, lhs, rhs } => match op {
                 BinaryOp::And => {
-                    self.expr(lhs)?;
-                    let skip = self.emit(Op::JumpIfFalsePeek(0));
-                    self.emit(Op::Pop);
-                    self.expr(rhs)?;
-                    let end = self.here();
-                    self.patch(skip, end);
+                    if let Some((l, lt)) = self.eval_const(lhs) {
+                        // Whole-expression folding already failed, so a
+                        // constant lhs here must be truthy with a
+                        // non-constant rhs: `lhs && rhs` is `rhs`, with
+                        // the `&&` and lhs ticks owed to rhs's entry.
+                        debug_assert!(l.is_truthy());
+                        self.proto.folded += 1;
+                        self.pending += 1 + lt;
+                        self.expr(rhs)?;
+                    } else {
+                        self.expr(lhs)?;
+                        let skip = self.emit_t(Op::JumpIfFalsePeek(0));
+                        self.emit(Op::Pop);
+                        self.expr(rhs)?;
+                        let end = self.here();
+                        self.patch(skip, end);
+                    }
                 }
                 BinaryOp::Or => {
-                    self.expr(lhs)?;
-                    let skip = self.emit(Op::JumpIfTruePeek(0));
-                    self.emit(Op::Pop);
-                    self.expr(rhs)?;
-                    let end = self.here();
-                    self.patch(skip, end);
+                    if let Some((l, lt)) = self.eval_const(lhs) {
+                        debug_assert!(!l.is_truthy());
+                        self.proto.folded += 1;
+                        self.pending += 1 + lt;
+                        self.expr(rhs)?;
+                    } else {
+                        self.expr(lhs)?;
+                        let skip = self.emit_t(Op::JumpIfTruePeek(0));
+                        self.emit(Op::Pop);
+                        self.expr(rhs)?;
+                        let end = self.here();
+                        self.patch(skip, end);
+                    }
                 }
                 _ => {
                     self.expr(lhs)?;
                     self.expr(rhs)?;
-                    self.emit(Op::Binary(*op));
+                    self.emit_t(Op::Binary(*op));
                 }
             },
             Expr::Unary { op, operand } => {
                 self.expr(operand)?;
-                self.emit(Op::Unary(*op));
+                self.emit_t(Op::Unary(*op));
             }
             Expr::Conditional {
                 cond,
                 then_value,
                 else_value,
             } => {
-                self.expr(cond)?;
-                let to_else = self.emit(Op::JumpIfFalse(0));
-                self.expr(then_value)?;
-                let to_end = self.emit(Op::Jump(0));
-                let else_at = self.here();
-                self.patch(to_else, else_at);
-                self.expr(else_value)?;
-                let end = self.here();
-                self.patch(to_end, end);
+                if let Some((c, ct)) = self.eval_const(cond) {
+                    // Constant condition, non-constant taken arm: elide
+                    // the test and the dead arm.
+                    self.proto.folded += 1;
+                    self.pending += 1 + ct;
+                    let arm = if c.is_truthy() {
+                        then_value
+                    } else {
+                        else_value
+                    };
+                    self.expr(arm)?;
+                } else {
+                    self.expr(cond)?;
+                    let to_else = self.emit_t(Op::JumpIfFalse(0));
+                    self.expr(then_value)?;
+                    let to_end = self.emit(Op::Jump(0));
+                    let else_at = self.here();
+                    self.patch(to_else, else_at);
+                    self.expr(else_value)?;
+                    let end = self.here();
+                    self.patch(to_end, end);
+                }
             }
-            Expr::Call { callee, args, .. } => {
+            Expr::Call { callee, args, line } => {
+                self.line = *line;
                 // Math namespace (when not shadowed — the VM re-checks at
                 // runtime like the interpreter does).
                 if let Expr::Member { object, property } = &**callee {
@@ -538,7 +851,8 @@ impl FnCompiler<'_> {
                             self.expr(arg)?;
                         }
                         let n = self.name(property);
-                        self.emit(Op::CallMath {
+                        self.line = *line;
+                        self.emit_t(Op::CallMath {
                             name: n,
                             argc: args.len() as u8,
                         });
@@ -550,7 +864,8 @@ impl FnCompiler<'_> {
                         self.expr(arg)?;
                     }
                     let n = self.name(property);
-                    self.emit(Op::CallMethod {
+                    self.line = *line;
+                    self.emit_t(Op::CallMethod {
                         name: n,
                         argc: args.len() as u8,
                     });
@@ -561,7 +876,8 @@ impl FnCompiler<'_> {
                         self.expr(arg)?;
                     }
                     let n = self.name(name);
-                    self.emit(Op::CallName {
+                    self.line = *line;
+                    self.emit_t(Op::CallName {
                         name: n,
                         argc: args.len() as u8,
                     });
@@ -571,19 +887,20 @@ impl FnCompiler<'_> {
                 for arg in args {
                     self.expr(arg)?;
                 }
-                self.emit(Op::CallValue {
+                self.line = *line;
+                self.emit_t(Op::CallValue {
                     argc: args.len() as u8,
                 });
             }
             Expr::Member { object, property } => {
                 self.expr(object)?;
                 let n = self.name(property);
-                self.emit(Op::GetMember(n));
+                self.emit_t(Op::GetMember(n));
             }
             Expr::Index { object, index } => {
                 self.expr(object)?;
                 self.expr(index)?;
-                self.emit(Op::GetIndex);
+                self.emit_t(Op::GetIndex);
             }
         }
         Ok(())
@@ -599,13 +916,115 @@ mod tests {
         compile(&parse_program(src).unwrap()).unwrap()
     }
 
+    fn compile_src_unfolded(src: &str) -> CompiledProgram {
+        compile_with(&parse_program(src).unwrap(), CompileOptions { fold: false }).unwrap()
+    }
+
     #[test]
-    fn compiles_literals_and_arith() {
+    fn literal_arithmetic_folds_to_one_const() {
         let p = compile_src("var x = 1 + 2 * 3;");
+        let main = &p.protos[p.main];
+        assert!(!main.code.iter().any(|op| matches!(op, Op::Binary(_))));
+        assert!(main.consts.contains(&Const::Number(7.0)));
+        assert!(main.folded >= 1);
+        // The folded Const carries the whole subtree's tick weight:
+        // Add + Mul + three literals = 5.
+        let at = main
+            .code
+            .iter()
+            .position(|op| matches!(op, Op::Const(_)))
+            .unwrap();
+        assert_eq!(main.ticks[at], 5);
+    }
+
+    #[test]
+    fn unfolded_compile_preserves_the_naive_shape() {
+        let p = compile_src_unfolded("var x = 1 + 2 * 3;");
         let main = &p.protos[p.main];
         assert!(main.code.contains(&Op::Binary(BinaryOp::Add)));
         assert!(main.code.contains(&Op::Binary(BinaryOp::Mul)));
         assert!(main.consts.contains(&Const::Number(1.0)));
+        assert_eq!(main.folded, 0);
+    }
+
+    #[test]
+    fn folded_and_unfolded_charge_identical_ticks() {
+        // Straight-line, fully live code only: the unfolded compile of a
+        // *dead* branch contributes static ticks that never execute, so
+        // static sums would differ there (dynamic charge parity for dead
+        // branches is covered by the VM-level differential tests).
+        let src = "var x = 1 + 2 * 3; var y = 'a' + 'b'; var z = x > 0 ? 1 : 2;";
+        let folded = compile_src(src);
+        let unfolded = compile_src_unfolded(src);
+        let total = |p: &CompiledProgram| -> u64 {
+            p.protos
+                .iter()
+                .flat_map(|proto| proto.ticks.iter())
+                .map(|t| u64::from(*t))
+                .sum()
+        };
+        // Straight-line code: every instruction executes once, so the
+        // static tick sums must agree for charges to agree.
+        assert_eq!(total(&folded), total(&unfolded));
+        assert!(folded.protos[folded.main].code.len() < unfolded.protos[unfolded.main].code.len());
+    }
+
+    #[test]
+    fn comparison_and_concat_fold() {
+        let p = compile_src("var a = 2 < 3; var b = 'x' + 1;");
+        let main = &p.protos[p.main];
+        assert!(!main.code.iter().any(|op| matches!(op, Op::Binary(_))));
+        assert!(main.consts.contains(&Const::Bool(true)));
+        assert!(main.consts.contains(&Const::Str("x1".into())));
+    }
+
+    #[test]
+    fn runtime_errors_do_not_fold() {
+        // `null - 1` errors at runtime in both backends; the compiler
+        // must leave it alone.
+        let p = compile_src("var x = null - 1;");
+        let main = &p.protos[p.main];
+        assert!(main.code.contains(&Op::Binary(BinaryOp::Sub)));
+    }
+
+    #[test]
+    fn dead_if_branch_is_elided() {
+        let p = compile_src("if (false) { boom(); } else { var x = 1; }");
+        let main = &p.protos[p.main];
+        assert!(!main
+            .code
+            .iter()
+            .any(|op| matches!(op, Op::CallName { .. } | Op::JumpIfFalse(_))));
+        assert!(main.folded >= 1);
+    }
+
+    #[test]
+    fn dead_while_loop_is_elided() {
+        let p = compile_src("while (0) { boom(); } var x = 1;");
+        let main = &p.protos[p.main];
+        assert!(!main.code.iter().any(|op| matches!(op, Op::CallName { .. })));
+        // The elided statement's ticks (while + cond = 2) land on the
+        // next emitted instruction.
+        let at = main
+            .code
+            .iter()
+            .position(|op| matches!(op, Op::Const(_)))
+            .unwrap();
+        assert_eq!(main.ticks[at], 3); // 1 (literal) + 2 (elided while)
+    }
+
+    #[test]
+    fn short_circuit_folds_keep_rhs_when_needed() {
+        // `0 && boom()` folds entirely; `1 && f()` keeps the call.
+        let p = compile_src("var a = 0 && boom(); var b = 1 && f();");
+        let main = &p.protos[p.main];
+        let calls: Vec<&Op> = main
+            .code
+            .iter()
+            .filter(|op| matches!(op, Op::CallName { .. }))
+            .collect();
+        assert_eq!(calls.len(), 1, "only the live rhs call survives");
+        assert!(main.consts.contains(&Const::Number(0.0)));
     }
 
     #[test]
@@ -629,6 +1048,38 @@ mod tests {
         assert_eq!(p.protos.len(), 3); // f, g, main
         assert!(p.protos.iter().any(|proto| proto.name == "f"));
         assert!(p.protos.iter().any(|proto| proto.name == "g"));
+    }
+
+    #[test]
+    fn side_tables_are_parallel_and_atomized() {
+        let p = compile_src(
+            "function f(a, b) { var sum = a + b; return sum; }
+             var out = f(1, 2);",
+        );
+        for proto in p.protos.iter() {
+            assert_eq!(proto.code.len(), proto.spans.len());
+            assert_eq!(proto.code.len(), proto.ticks.len());
+            assert_eq!(proto.names.len(), proto.name_atoms.len());
+            assert_eq!(proto.params.len(), proto.param_atoms.len());
+            for (name, atom) in proto.names.iter().zip(&proto.name_atoms) {
+                assert_eq!(*atom, name_atom(name));
+            }
+            for (param, atom) in proto.params.iter().zip(&proto.param_atoms) {
+                assert_eq!(*atom, name_atom(param));
+            }
+        }
+    }
+
+    #[test]
+    fn call_spans_carry_source_lines() {
+        let p = compile_src("var x = 1;\nf(x);\n");
+        let main = &p.protos[p.main];
+        let at = main
+            .code
+            .iter()
+            .position(|op| matches!(op, Op::CallName { .. }))
+            .unwrap();
+        assert_eq!(main.spans[at], 2);
     }
 
     #[test]

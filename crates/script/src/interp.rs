@@ -1,11 +1,20 @@
 //! Tree-walking interpreter with lexical scoping and a pluggable host.
 //!
+//! This is the language's *reference* backend. The browser engine
+//! executes compiled bytecode ([`crate::vm::Vm`]) by default and keeps
+//! this tree-walker as the differential oracle behind
+//! `GREENWEB_SCRIPT_VM=off`; the differential suite requires both
+//! backends to agree on values, typed errors, and charged ops.
+//!
 //! The interpreter counts every evaluated statement/expression in
-//! [`Interpreter::ops`]; the browser engine converts that count into CPU
-//! cycles when charging callback execution to the ACMP performance model,
-//! so heavier scripts genuinely take longer frames.
+//! [`Interpreter::ops`] (via the shared [`Fuel`] budget); the browser
+//! engine converts that count into CPU cycles when charging callback
+//! execution to the ACMP performance model, so heavier scripts genuinely
+//! take longer frames.
 
 use crate::ast::{BinaryOp, Expr, Program, Stmt, Target, UnaryOp};
+use crate::atom::name_atom;
+use crate::fuel::Fuel;
 use crate::value::{Closure, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -16,9 +25,14 @@ use std::rc::Rc;
 pub type ScopeRef = Rc<RefCell<Scope>>;
 
 /// One lexical scope: bindings plus an optional parent.
+///
+/// Bindings are keyed by [`name_atom`] rather than by owned strings, so
+/// a lookup is an integer probe per scope level. The tree-walker
+/// atomizes on every access (it is the oracle, not the fast path); the
+/// bytecode compiler atomizes once at compile time.
 #[derive(Debug, Default)]
 pub struct Scope {
-    vars: HashMap<String, Value>,
+    vars: HashMap<u64, Value>,
     parent: Option<ScopeRef>,
 }
 
@@ -32,10 +46,14 @@ impl Scope {
     }
 
     pub(crate) fn lookup(scope: &ScopeRef, name: &str) -> Option<Value> {
+        Self::lookup_atom(scope, name_atom(name))
+    }
+
+    pub(crate) fn lookup_atom(scope: &ScopeRef, atom: u64) -> Option<Value> {
         let mut current = Some(scope.clone());
         while let Some(s) = current {
             let s = s.borrow();
-            if let Some(v) = s.vars.get(name) {
+            if let Some(v) = s.vars.get(&atom) {
                 return Some(v.clone());
             }
             current = s.parent.clone();
@@ -44,14 +62,22 @@ impl Scope {
     }
 
     pub(crate) fn declare(scope: &ScopeRef, name: &str, value: Value) {
-        scope.borrow_mut().vars.insert(name.to_string(), value);
+        Self::declare_atom(scope, name_atom(name), value);
+    }
+
+    pub(crate) fn declare_atom(scope: &ScopeRef, atom: u64, value: Value) {
+        scope.borrow_mut().vars.insert(atom, value);
     }
 
     pub(crate) fn assign(scope: &ScopeRef, name: &str, value: Value) -> bool {
+        Self::assign_atom(scope, name_atom(name), value)
+    }
+
+    pub(crate) fn assign_atom(scope: &ScopeRef, atom: u64, value: Value) -> bool {
         let mut current = Some(scope.clone());
         while let Some(s) = current {
             let mut s = s.borrow_mut();
-            if let Some(slot) = s.vars.get_mut(name) {
+            if let Some(slot) = s.vars.get_mut(&atom) {
                 *slot = value;
                 return true;
             }
@@ -135,29 +161,27 @@ enum Flow {
 #[derive(Debug)]
 pub struct Interpreter {
     globals: ScopeRef,
-    ops: u64,
-    op_limit: u64,
+    fuel: Fuel,
     rng_state: u64,
 }
 
 impl Interpreter {
     /// Default maximum number of evaluation steps per `run`/`call` before
-    /// an infinite-loop error is raised.
-    pub const DEFAULT_OP_LIMIT: u64 = 50_000_000;
+    /// an infinite-loop error is raised (shared with the bytecode VM).
+    pub const DEFAULT_OP_LIMIT: u64 = crate::fuel::DEFAULT_OP_LIMIT;
 
     /// Creates an interpreter with an empty global scope.
     pub fn new() -> Self {
         Interpreter {
             globals: Rc::new(RefCell::new(Scope::default())),
-            ops: 0,
-            op_limit: Self::DEFAULT_OP_LIMIT,
+            fuel: Fuel::default(),
             rng_state: 0x9E37_79B9_7F4A_7C15,
         }
     }
 
     /// Overrides the op limit (per whole interpreter lifetime).
     pub fn with_op_limit(mut self, limit: u64) -> Self {
-        self.op_limit = limit;
+        self.fuel.set_limit(limit);
         self
     }
 
@@ -166,23 +190,23 @@ impl Interpreter {
     /// this acts as a per-callback fuel ceiling: the watchdog budget a
     /// supervised run enforces against runaway generated workloads.
     pub fn set_op_limit(&mut self, limit: u64) {
-        self.op_limit = limit;
+        self.fuel.set_limit(limit);
     }
 
     /// The current op limit.
     pub fn op_limit(&self) -> u64 {
-        self.op_limit
+        self.fuel.limit()
     }
 
     /// Number of evaluation steps executed so far.
     pub fn ops(&self) -> u64 {
-        self.ops
+        self.fuel.used()
     }
 
     /// Resets the op counter (the engine does this per callback so each
     /// callback's cost is measured independently).
     pub fn reset_ops(&mut self) {
-        self.ops = 0;
+        self.fuel.reset();
     }
 
     /// Reads a global binding.
@@ -192,7 +216,7 @@ impl Interpreter {
 
     /// Creates or overwrites a global binding.
     pub fn set_global(&mut self, name: impl Into<String>, value: Value) {
-        self.globals.borrow_mut().vars.insert(name.into(), value);
+        Scope::declare(&self.globals, &name.into(), value);
     }
 
     /// Executes a whole program at global scope.
@@ -240,12 +264,8 @@ impl Interpreter {
         host: &mut dyn Host,
     ) -> Result<Value, ScriptError> {
         let scope = Scope::child(closure.env.clone());
-        {
-            let mut s = scope.borrow_mut();
-            for (i, param) in closure.params.iter().enumerate() {
-                s.vars
-                    .insert(param.clone(), args.get(i).cloned().unwrap_or(Value::Null));
-            }
+        for (i, param) in closure.params.iter().enumerate() {
+            Scope::declare(&scope, param, args.get(i).cloned().unwrap_or(Value::Null));
         }
         for stmt in closure.body.iter() {
             if let Flow::Return(v) = self.exec_stmt(stmt, &scope, host)? {
@@ -256,14 +276,7 @@ impl Interpreter {
     }
 
     fn tick(&mut self) -> Result<(), ScriptError> {
-        self.ops += 1;
-        if self.ops > self.op_limit {
-            return Err(ScriptError::op_limit(format!(
-                "op limit exceeded after {} ops (possible infinite loop)",
-                self.op_limit
-            )));
-        }
-        Ok(())
+        self.fuel.tick()
     }
 
     fn exec_block(
@@ -295,7 +308,7 @@ impl Interpreter {
                     Some(expr) => self.eval(expr, scope, host)?,
                     None => Value::Null,
                 };
-                scope.borrow_mut().vars.insert(name.clone(), value);
+                Scope::declare(scope, name, value);
                 Ok(Flow::Normal)
             }
             Stmt::FunctionDecl {
@@ -307,7 +320,7 @@ impl Interpreter {
                     body: body.clone(),
                     env: scope.clone(),
                 }));
-                scope.borrow_mut().vars.insert(name.clone(), closure);
+                Scope::declare(scope, name, closure);
                 Ok(Flow::Normal)
             }
             Stmt::Expr(expr) => {

@@ -32,18 +32,26 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod atom;
 pub(crate) mod builtins;
 pub mod compiler;
+pub mod fuel;
+pub mod handler;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+pub mod stats;
 pub mod value;
 pub mod vm;
 
 pub use ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
-pub use compiler::{compile, CompileError, CompiledProgram};
+pub use atom::name_atom;
+pub use compiler::{compile, compile_with, CompileError, CompileOptions, CompiledProgram};
+pub use fuel::{Fuel, DEFAULT_OP_LIMIT};
+pub use handler::{CompiledHandler, HandlerCache};
 pub use interp::{Host, Interpreter, NoHost, ScriptError};
 pub use lexer::{lex, LexError, Token, TokenKind};
 pub use parser::{parse_program, ParseError};
+pub use stats::ScriptStats;
 pub use value::Value;
 pub use vm::Vm;

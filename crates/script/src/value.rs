@@ -6,15 +6,20 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A closure compiled for the bytecode VM: a prototype index paired with
 /// the captured environment (see [`crate::vm::Vm`]).
+///
+/// The prototype table is `Arc`-shared so the closure executes the same
+/// compiled artifact the (Send) app/analysis layers hold — the closure
+/// itself stays single-threaded via its `Rc`-based environment.
 #[derive(Debug)]
 pub struct VmClosure {
     /// Index into the program's prototype table.
     pub proto: usize,
     /// The prototype table the index refers to.
-    pub protos: Rc<Vec<Proto>>,
+    pub protos: Arc<Vec<Proto>>,
     /// Captured lexical environment.
     pub env: crate::interp::ScopeRef,
 }

@@ -1,30 +1,45 @@
-//! The bytecode virtual machine: the language's second backend.
+//! The bytecode virtual machine: the engine's default script backend.
 //!
 //! Executes [`crate::compiler::CompiledProgram`]s on an operand stack
 //! with the same observable semantics as the tree-walking
 //! [`crate::Interpreter`] — same values, same scoping (a shared
-//! scope-chain representation), same host interface, same deterministic
-//! `Math.random`. The differential test suite in `tests/` runs random
-//! programs through both backends and requires identical results.
+//! scope-chain representation), same typed errors with the same source
+//! lines, same host interface, same deterministic `Math.random`. The
+//! differential test suite runs random programs through both backends
+//! and requires identical results.
+//!
+//! Two counters, two meanings:
+//!
+//! - [`Vm::ops`] is the *charged* count: per-instruction fuel weights
+//!   from [`crate::compiler::Proto::ticks`] that sum to exactly what the
+//!   tree-walker would have ticked for the same execution. The engine's
+//!   cost model, `RunBudget.max_callback_ops`, and trace attribution all
+//!   read this, so switching backends changes no simulated numbers.
+//! - [`Vm::dispatches`] is the *raw* instruction count — what the VM
+//!   actually executed. Constant folding lowers dispatches while leaving
+//!   ops unchanged; the script bench reports both.
 //!
 //! One documented divergence: shadowing the `Math` namespace with a user
 //! binding is rejected at runtime by the VM (the compiler specializes
 //! `Math.*` calls), where the interpreter would treat it as an object.
 
+use crate::atom::name_atom;
 use crate::builtins;
 use crate::compiler::{compile, CompiledProgram, Const, Op, Proto};
+use crate::fuel::Fuel;
 use crate::interp::{Host, Scope, ScopeRef, ScriptError};
 use crate::parser::parse_program;
 use crate::value::{Value, VmClosure};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The bytecode VM: global scope + op budget + RNG state.
 #[derive(Debug)]
 pub struct Vm {
     globals: ScopeRef,
-    ops: u64,
-    op_limit: u64,
+    fuel: Fuel,
+    dispatches: u64,
     rng_state: u64,
 }
 
@@ -33,27 +48,47 @@ impl Vm {
     pub fn new() -> Self {
         Vm {
             globals: Rc::new(RefCell::new(Scope::default())),
-            ops: 0,
-            op_limit: crate::Interpreter::DEFAULT_OP_LIMIT,
+            fuel: Fuel::default(),
+            dispatches: 0,
             rng_state: 0x9E37_79B9_7F4A_7C15,
         }
     }
 
     /// Overrides the op limit.
     pub fn with_op_limit(mut self, limit: u64) -> Self {
-        self.op_limit = limit;
+        self.fuel.set_limit(limit);
         self
     }
 
     /// Sets the fuel ceiling on a live VM (see
-    /// [`crate::Interpreter::set_op_limit`] — same watchdog contract).
+    /// [`crate::Interpreter::set_op_limit`] — same watchdog contract,
+    /// same shared [`Fuel`] implementation).
     pub fn set_op_limit(&mut self, limit: u64) {
-        self.op_limit = limit;
+        self.fuel.set_limit(limit);
     }
 
-    /// Instructions executed so far.
+    /// The current op limit.
+    pub fn op_limit(&self) -> u64 {
+        self.fuel.limit()
+    }
+
+    /// Evaluation steps charged so far: equals the tree-walking
+    /// interpreter's op count for the same execution (see module docs).
     pub fn ops(&self) -> u64 {
-        self.ops
+        self.fuel.used()
+    }
+
+    /// Raw instructions executed so far (folding makes this lower than
+    /// [`Vm::ops`]; the gap is the fold win).
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Resets both counters (the engine does this per callback so each
+    /// callback's cost is measured independently).
+    pub fn reset_ops(&mut self) {
+        self.fuel.reset();
+        self.dispatches = 0;
     }
 
     /// Reads a global binding.
@@ -90,7 +125,7 @@ impl Vm {
         // The main body runs directly in the global scope, like the
         // tree-walking interpreter.
         let globals = self.globals.clone();
-        self.exec(Rc::clone(&program.protos), program.main, globals, host)?;
+        self.exec(Arc::clone(&program.protos), program.main, globals, host)?;
         Ok(())
     }
 
@@ -115,9 +150,14 @@ impl Vm {
                     ))
                 })?;
                 for (i, param) in proto.params.iter().enumerate() {
-                    Scope::declare(&frame, param, args.get(i).cloned().unwrap_or(Value::Null));
+                    let atom = proto
+                        .param_atoms
+                        .get(i)
+                        .copied()
+                        .unwrap_or_else(|| name_atom(param));
+                    Scope::declare_atom(&frame, atom, args.get(i).cloned().unwrap_or(Value::Null));
                 }
-                self.exec(Rc::clone(&closure.protos), closure.proto, frame, host)
+                self.exec(Arc::clone(&closure.protos), closure.proto, frame, host)
             }
             Value::Function(_) => Err(ScriptError::new(
                 "cannot call a tree-walker closure from the bytecode VM",
@@ -129,20 +169,9 @@ impl Vm {
         }
     }
 
-    fn tick(&mut self) -> Result<(), ScriptError> {
-        self.ops += 1;
-        if self.ops > self.op_limit {
-            return Err(ScriptError::op_limit(format!(
-                "op limit exceeded after {} ops (possible infinite loop)",
-                self.op_limit
-            )));
-        }
-        Ok(())
-    }
-
     fn exec(
         &mut self,
-        protos: Rc<Vec<Proto>>,
+        protos: Arc<Vec<Proto>>,
         proto_idx: usize,
         frame_scope: ScopeRef,
         host: &mut dyn Host,
@@ -155,6 +184,11 @@ impl Vm {
         let mut scopes: Vec<ScopeRef> = vec![frame_scope];
         let mut stack: Vec<Value> = Vec::with_capacity(16);
         let mut pc: usize = 0;
+        // The source line of the instruction at `pc - 1` (the one being
+        // executed), for interpreter-identical call-site error messages.
+        // Hand-built protos without spans report line 0.
+        let line_at =
+            |pc: usize| -> u32 { proto.spans.get(pc.wrapping_sub(1)).copied().unwrap_or(0) };
         macro_rules! pop {
             () => {
                 stack
@@ -175,6 +209,17 @@ impl Vm {
                 })?
             };
         }
+        // The precomputed atom of name `$i`, falling back to hashing the
+        // (already validated) name for protos without an atom table.
+        macro_rules! atom_at {
+            ($i:expr, $name:expr) => {
+                proto
+                    .name_atoms
+                    .get($i as usize)
+                    .copied()
+                    .unwrap_or_else(|| name_atom($name))
+            };
+        }
         macro_rules! split_args {
             ($n:expr) => {{
                 let n = $n as usize;
@@ -189,7 +234,13 @@ impl Vm {
             }};
         }
         while pc < proto.code.len() {
-            self.tick()?;
+            self.dispatches += 1;
+            // Charge this instruction's tick weight (the interpreter
+            // ticks it accounts for). Protos without a tick table — only
+            // hand-built ones — charge 1 per instruction so runaway
+            // hostile bytecode still trips the watchdog.
+            self.fuel
+                .charge(u64::from(proto.ticks.get(pc).copied().unwrap_or(1)))?;
             let op = proto.code[pc];
             pc += 1;
             match op {
@@ -208,16 +259,18 @@ impl Vm {
                 }
                 Op::GetVar(i) => {
                     let name = name_at!(i);
+                    let atom = atom_at!(i, name);
                     let scope = scopes.last().expect("frame scope always present");
-                    let value = Scope::lookup(scope, name)
+                    let value = Scope::lookup_atom(scope, atom)
                         .ok_or_else(|| ScriptError::new(format!("undefined variable `{name}`")))?;
                     stack.push(value);
                 }
                 Op::SetVar(i) => {
                     let name = name_at!(i);
+                    let atom = atom_at!(i, name);
                     let value = pop!();
                     let scope = scopes.last().expect("frame scope always present");
-                    if !Scope::assign(scope, name, value) {
+                    if !Scope::assign_atom(scope, atom, value) {
                         return Err(ScriptError::new(format!(
                             "assignment to undeclared variable `{name}`"
                         )));
@@ -225,9 +278,10 @@ impl Vm {
                 }
                 Op::DeclVar(i) => {
                     let name = name_at!(i);
+                    let atom = atom_at!(i, name);
                     let value = pop!();
                     let scope = scopes.last().expect("frame scope always present");
-                    Scope::declare(scope, name, value);
+                    Scope::declare_atom(scope, atom, value);
                 }
                 Op::Pop => {
                     pop!();
@@ -313,15 +367,17 @@ impl Vm {
                     let scope = scopes.last().expect("frame scope always present").clone();
                     stack.push(Value::VmFunction(Rc::new(VmClosure {
                         proto: idx as usize,
-                        protos: Rc::clone(&protos),
+                        protos: Arc::clone(&protos),
                         env: scope,
                     })));
                 }
                 Op::CallName { name, argc } => {
                     let args: Vec<Value> = split_args!(argc);
-                    let name = name_at!(name);
+                    let name_idx = name;
+                    let name = name_at!(name_idx);
+                    let atom = atom_at!(name_idx, name);
                     let scope = scopes.last().expect("frame scope always present");
-                    match Scope::lookup(scope, name) {
+                    match Scope::lookup_atom(scope, atom) {
                         Some(callee) => {
                             let result = self.call_function(&callee, &args, host)?;
                             stack.push(result);
@@ -330,7 +386,8 @@ impl Vm {
                             Some(result) => stack.push(result?),
                             None => {
                                 return Err(ScriptError::new(format!(
-                                    "undefined function `{name}`"
+                                    "undefined function `{name}` (line {})",
+                                    line_at(pc)
                                 )))
                             }
                         },
@@ -355,15 +412,17 @@ impl Vm {
                                 Some(f) => self.call_function(&f, &args, host)?,
                                 None => {
                                     return Err(ScriptError::new(format!(
-                                        "object has no method `{name}`"
+                                        "object has no method `{name}` (line {})",
+                                        line_at(pc)
                                     )))
                                 }
                             }
                         }
                         other => {
                             return Err(ScriptError::new(format!(
-                                "{} has no method `{name}`",
-                                other.type_name()
+                                "{} has no method `{name}` (line {})",
+                                other.type_name(),
+                                line_at(pc)
                             )))
                         }
                     };
@@ -515,6 +574,116 @@ mod tests {
     }
 
     #[test]
+    fn charged_ops_match_the_interpreter_exactly() {
+        // The tick-parity contract: for any successful execution the VM
+        // charges exactly what the tree-walker ticks, so the engine's
+        // cost model is backend-independent.
+        let cases = [
+            "var x = 1 + 2 * 3 - 4 / 2;",
+            "var s = 0; for (var i = 1; i <= 50; i++) { s += i; }",
+            "var i = 0; while (i < 10) { i = i + 1; }",
+            "function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+             var x = fib(10);",
+            "var a = [1, 2]; a.push(3); a[0] = 10; var n = a.length;",
+            "var o = { k: 1, f: function() { return 2; } }; var x = o.f() + o.k;",
+            "var s = 'abc'.toUpperCase() + 'd';",
+            "var x = Math.floor(3.9) + Math.min(1, 2);",
+            "var t = 1 < 2 ? 'y' : 'n'; var u = null || 5; var v = 1 && 2;",
+            "if (true) { var a = 1; } else { var b = 2; }",
+            "while (0) { boom(); } var after = 1;",
+            "var sum = 0;
+             for (var i = 0; i < 10; i++) { if (i % 2 == 0) { continue; } sum += i; }",
+            "var out = 0;
+             for (var i = 0; i < 5; i++) { { var tmp = i; if (i == 2) { out = tmp; break; } } }",
+            "var empty = 0; { } { var inner = 1; empty = inner; }",
+            "var r = Math.random() + Math.random();",
+            "var x = -(2 + 3); var y = !false;",
+        ];
+        for src in cases {
+            let mut vm = Vm::new();
+            vm.run_source(src, &mut NoHost).unwrap();
+            let mut interp = crate::Interpreter::new();
+            interp
+                .run(&crate::parse_program(src).unwrap(), &mut NoHost)
+                .unwrap();
+            assert_eq!(
+                vm.ops(),
+                interp.ops(),
+                "charged ops diverge from the oracle for {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn folding_preserves_results_and_ops_with_fewer_dispatches() {
+        let src = "var x = 1 + 2 * 3;
+             var y = 'a' + 'b' + 'c';
+             var z = 2 < 3 ? 10 : 20;
+             if (1 + 1 == 2) { var w = x + z; } else { var bad = 0; }
+             var s = 0;
+             for (var i = 0; i < 4 * 5; i++) { s += 2 * 3; }";
+        let program = crate::parse_program(src).unwrap();
+        let folded = crate::compiler::compile(&program).unwrap();
+        let unfolded = crate::compiler::compile_with(
+            &program,
+            crate::compiler::CompileOptions { fold: false },
+        )
+        .unwrap();
+        let mut vm_f = Vm::new();
+        vm_f.run(&folded, &mut NoHost).unwrap();
+        let mut vm_u = Vm::new();
+        vm_u.run(&unfolded, &mut NoHost).unwrap();
+        for g in ["x", "y", "z", "w", "s"] {
+            assert_eq!(vm_f.global(g), vm_u.global(g), "folding changed `{g}`");
+        }
+        assert_eq!(
+            vm_f.ops(),
+            vm_u.ops(),
+            "folding must not change charged ops"
+        );
+        assert!(
+            vm_f.dispatches() < vm_u.dispatches(),
+            "folding must execute strictly fewer instructions ({} vs {})",
+            vm_f.dispatches(),
+            vm_u.dispatches()
+        );
+        assert!(folded.protos.iter().map(|p| p.folded).sum::<u32>() >= 1);
+    }
+
+    #[test]
+    fn reset_ops_clears_both_counters() {
+        let mut vm = run("var x = 1 + 2;");
+        assert!(vm.ops() > 0);
+        assert!(vm.dispatches() > 0);
+        vm.reset_ops();
+        assert_eq!(vm.ops(), 0);
+        assert_eq!(vm.dispatches(), 0);
+    }
+
+    #[test]
+    fn call_errors_carry_source_lines_like_the_interpreter() {
+        let src = "var x = 1;\nmissing(x);\n";
+        let mut vm = Vm::new();
+        let vm_err = vm.run_source(src, &mut NoHost).unwrap_err();
+        let mut interp = crate::Interpreter::new();
+        let interp_err = interp
+            .run(&crate::parse_program(src).unwrap(), &mut NoHost)
+            .unwrap_err();
+        assert_eq!(vm_err.to_string(), interp_err.to_string());
+        assert!(vm_err.to_string().contains("(line 2)"));
+
+        let src = "var o = { a: 1 };\nvar y = o.nope();\n";
+        let mut vm = Vm::new();
+        let vm_err = vm.run_source(src, &mut NoHost).unwrap_err();
+        let mut interp = crate::Interpreter::new();
+        let interp_err = interp
+            .run(&crate::parse_program(src).unwrap(), &mut NoHost)
+            .unwrap_err();
+        assert_eq!(vm_err.to_string(), interp_err.to_string());
+        assert!(vm_err.to_string().contains("(line 2)"));
+    }
+
+    #[test]
     fn op_limit_stops_loops() {
         let mut vm = Vm::new().with_op_limit(5_000);
         let err = vm.run_source("while (true) { }", &mut NoHost).unwrap_err();
@@ -601,7 +770,7 @@ mod tests {
                 ..Proto::default()
             };
             let program = CompiledProgram {
-                protos: Rc::new(vec![proto]),
+                protos: Arc::new(vec![proto]),
                 main: 0,
             };
             let mut vm = Vm::new();
@@ -613,9 +782,47 @@ mod tests {
     }
 
     #[test]
+    fn tickless_protos_charge_one_per_instruction_and_still_trip() {
+        // A hand-built proto without a tick table must not get free
+        // execution: the default weight is 1, so an infinite jump loop
+        // trips the watchdog.
+        let proto = Proto {
+            code: vec![Op::Jump(0)],
+            ..Proto::default()
+        };
+        let program = CompiledProgram {
+            protos: Arc::new(vec![proto]),
+            main: 0,
+        };
+        let mut vm = Vm::new().with_op_limit(1_000);
+        let err = vm.run(&program, &mut NoHost).unwrap_err();
+        assert!(err.is_op_limit());
+    }
+
+    #[test]
+    fn atomless_protos_fall_back_to_hashing_names() {
+        // Hand-built proto with names but no atom table: declare + read
+        // a variable. The VM must hash the names on the fly and agree
+        // with the string-keyed accessors.
+        let proto = Proto {
+            code: vec![Op::Const(0), Op::DeclVar(0), Op::GetVar(0), Op::Return],
+            consts: vec![Const::Number(7.0)],
+            names: vec!["x".to_string()],
+            ..Proto::default()
+        };
+        let program = CompiledProgram {
+            protos: Arc::new(vec![proto]),
+            main: 0,
+        };
+        let mut vm = Vm::new();
+        vm.run(&program, &mut NoHost).unwrap();
+        assert_eq!(vm.global("x"), Some(Value::Number(7.0)));
+    }
+
+    #[test]
     fn out_of_range_main_proto_errors() {
         let program = CompiledProgram {
-            protos: Rc::new(Vec::new()),
+            protos: Arc::new(Vec::new()),
             main: 0,
         };
         let mut vm = Vm::new();
@@ -630,7 +837,7 @@ mod tests {
             ..Proto::default()
         };
         let program = CompiledProgram {
-            protos: Rc::new(vec![proto]),
+            protos: Arc::new(vec![proto]),
             main: 0,
         };
         let mut vm = Vm::new();

@@ -9,7 +9,7 @@
 use greenweb_det::prop;
 use greenweb_script::compiler::{Const, Op, Proto};
 use greenweb_script::{compile, parse_program, BinaryOp, CompiledProgram, NoHost, UnaryOp, Vm};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Arbitrary character soup never panics the lexer/parser/compiler.
 #[test]
@@ -101,15 +101,16 @@ fn random_bytecode_never_panics_vm() {
                 Op::Return,
             ])
         });
+        // No spans/ticks/atoms tables: the VM must tolerate their
+        // absence (weight-1 charging, on-the-fly name hashing).
         let proto = Proto {
-            name: String::new(),
-            params: Vec::new(),
             code,
             consts: consts.clone(),
             names: names.clone(),
+            ..Proto::default()
         };
         let program = CompiledProgram {
-            protos: Rc::new(vec![proto]),
+            protos: Arc::new(vec![proto]),
             main: 0,
         };
         let mut vm = Vm::new().with_op_limit(5_000);

@@ -6,7 +6,9 @@ use greenweb_det::prop::{check, Gen, DEFAULT_CASES};
 use greenweb_script::{parse_program, Interpreter, NoHost, Value, Vm};
 
 /// Runs `source` on both backends and returns the values of `globals`
-/// from each.
+/// from each. Also enforces the tick-parity contract: on success the
+/// VM's charged ops equal the interpreter's op count *exactly* (the
+/// engine's cost model depends on this being backend-independent).
 fn run_both(source: &str, globals: &[&str]) -> (Vec<Option<Value>>, Vec<Option<Value>>) {
     let program = parse_program(source).unwrap_or_else(|e| panic!("{e}\n{source}"));
     let mut interp = Interpreter::new();
@@ -16,6 +18,11 @@ fn run_both(source: &str, globals: &[&str]) -> (Vec<Option<Value>>, Vec<Option<V
     let mut vm = Vm::new();
     vm.run_source(source, &mut NoHost)
         .unwrap_or_else(|e| panic!("vm: {e}\n{source}"));
+    assert_eq!(
+        vm.ops(),
+        interp.ops(),
+        "charged ops diverge from the oracle on:\n{source}"
+    );
     let a = globals.iter().map(|g| interp.global(g)).collect();
     let b = globals.iter().map(|g| vm.global(g)).collect();
     (a, b)
@@ -168,11 +175,13 @@ fn math_agrees() {
     });
 }
 
-/// Op counts of both backends scale together (within a constant
-/// factor): the engine can charge either backend consistently.
+/// Op counts of both backends are *identical* on successful runs: the
+/// VM charges per-instruction tick weights that sum to exactly what the
+/// tree-walker ticks, so `RunBudget` and the cost model mean the same
+/// thing on either backend.
 #[test]
-fn op_counts_scale_together() {
-    check("op_counts_scale_together", 32, |g| {
+fn op_counts_match_exactly() {
+    check("op_counts_match_exactly", 32, |g| {
         let n = g.usize_in(10, 200);
         let source = format!("var s = 0; for (var i = 0; i < {n}; i += 1) {{ s += i; }}");
         let program = parse_program(&source).unwrap();
@@ -180,8 +189,52 @@ fn op_counts_scale_together() {
         interp.run(&program, &mut NoHost).unwrap();
         let mut vm = Vm::new();
         vm.run_source(&source, &mut NoHost).unwrap();
-        let ratio = vm.ops() as f64 / interp.ops() as f64;
-        assert!((0.2..5.0).contains(&ratio), "op ratio {ratio}");
+        assert_eq!(vm.ops(), interp.ops(), "ops diverge on:\n{source}");
+    });
+}
+
+/// Runtime errors agree: same message (including source line), same
+/// typed-ness. Fuel exhaustion agrees in *class* on both backends under
+/// the same ceiling.
+#[test]
+fn errors_agree() {
+    check("errors_agree", 48, |g| {
+        let line_pad = "\n".repeat(g.usize_in(0, 5));
+        let kind = g.usize_in(0, 3);
+        let source = match kind {
+            0 => format!("var x = 1;{line_pad}missing(x);"),
+            1 => format!("var o = {{ a: 1 }};{line_pad}var y = o.nope();"),
+            _ => format!("var x = 1;{line_pad}x = x + undefined_thing;"),
+        };
+        let program = parse_program(&source).unwrap();
+        let mut interp = Interpreter::new();
+        let interp_err = interp.run(&program, &mut NoHost).unwrap_err();
+        let mut vm = Vm::new();
+        let vm_err = vm.run_source(&source, &mut NoHost).unwrap_err();
+        assert_eq!(
+            vm_err.to_string(),
+            interp_err.to_string(),
+            "error messages diverge on:\n{source}"
+        );
+        assert_eq!(vm_err.is_op_limit(), interp_err.is_op_limit());
+    });
+}
+
+/// Fuel exhaustion is the same typed class on both backends under the
+/// same ceiling.
+#[test]
+fn op_limit_class_agrees() {
+    check("op_limit_class_agrees", 16, |g| {
+        let limit = g.usize_in(50, 2_000) as u64;
+        let source = "var i = 0; while (true) { i = i + 1; }";
+        let program = parse_program(source).unwrap();
+        let mut interp = Interpreter::new().with_op_limit(limit);
+        let interp_err = interp.run(&program, &mut NoHost).unwrap_err();
+        let mut vm = Vm::new().with_op_limit(limit);
+        let vm_err = vm.run_source(source, &mut NoHost).unwrap_err();
+        assert!(interp_err.is_op_limit());
+        assert!(vm_err.is_op_limit());
+        assert_eq!(vm_err.to_string(), interp_err.to_string());
     });
 }
 

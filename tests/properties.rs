@@ -527,6 +527,215 @@ fn style_cache_does_not_change_run_results() {
     );
 }
 
+/// The script backend is invisible to behavior: a full engine run on the
+/// tree-walking oracle produces the same frames, inputs, and energy as
+/// the default bytecode VM — and the same charged op count, by the
+/// tick-parity contract. Only the VM-shaped counters (`dispatches`,
+/// `fold_wins`, compile-path splits) may differ.
+#[test]
+fn script_backend_does_not_change_run_results() {
+    use greenweb_engine::{App, Browser, GovernorScheduler, ScriptBackend, Trace};
+
+    let app = App::builder("backend-parity")
+        .html("<div id='box'>x</div>")
+        .css("#box { width: 10px; }")
+        .script(
+            "var total = 0; \
+             addEventListener(getElementById('box'), 'click', function(e) { \
+               var i = 0; \
+               while (i < 40) { i = i + 1; total = total + i * 2; } \
+               setStyle(getElementById('box'), 'width', total); \
+               work(500000); markDirty(); });",
+        )
+        .build();
+    let trace = Trace::builder()
+        .click_id(50.0, "box")
+        .click_id(300.0, "box")
+        .end_ms(800.0)
+        .build();
+
+    let run_on = |backend: ScriptBackend| {
+        let mut browser = Browser::with_backend(
+            &app,
+            GovernorScheduler::new(greenweb_acmp::PerfGovernor),
+            backend,
+        )
+        .unwrap();
+        browser.run(&trace).unwrap()
+    };
+    let vm = run_on(ScriptBackend::Vm);
+    let tree = run_on(ScriptBackend::Tree);
+
+    assert_eq!(vm.frames, tree.frames, "backend changed frame records");
+    assert_eq!(vm.inputs, tree.inputs, "backend changed input metadata");
+    assert_eq!(vm.total_mj(), tree.total_mj(), "backend changed energy");
+    assert_eq!(vm.busy_time, tree.busy_time, "backend changed busy time");
+    assert_eq!(
+        vm.script.ops, tree.script.ops,
+        "tick parity broke: vm {:?} vs tree {:?}",
+        vm.script, tree.script
+    );
+    // The VM actually ran bytecode, from the app's precompiled table.
+    assert!(
+        vm.script.dispatches > 0,
+        "vm never dispatched: {:?}",
+        vm.script
+    );
+    assert!(
+        vm.script.precompiled_hits > 0,
+        "vm missed the precompiled table"
+    );
+    assert_eq!(tree.script.dispatches, 0, "oracle counted vm dispatches");
+}
+
+/// The VM-off parity gate's contract, in-process: the deterministic
+/// metrics JSON of a VM run and an oracle run are byte-identical once
+/// the trailing `"script"` counter object is stripped — and only that
+/// object distinguishes the two renderings.
+#[test]
+fn script_backend_metrics_json_identical_modulo_script_counters() {
+    use greenweb::metrics::RunMetrics;
+    use greenweb_engine::{App, Browser, GovernorScheduler, ScriptBackend, Trace};
+    use std::collections::HashMap;
+
+    // Strips the `"script"` counter object — the in-process double of
+    // the CI gate's `sed 's/,"script":{[^}]*}//'`. The object is flat
+    // (no nested braces), so the first `}` closes it.
+    fn strip_script(json: &str) -> String {
+        let start = json.find(",\"script\":{").expect("script object missing");
+        let end = start + json[start..].find('}').unwrap() + 1;
+        format!("{}{}", &json[..start], &json[end..])
+    }
+
+    let app = App::builder("json-parity")
+        .html("<div id='box'>x</div>")
+        .script(
+            "addEventListener(getElementById('box'), 'click', function(e) { \
+               setStyle(getElementById('box'), 'width', 3 * 7 + 1); markDirty(); });",
+        )
+        .build();
+    let trace = Trace::builder().click_id(50.0, "box").end_ms(500.0).build();
+    let run_on = |backend: ScriptBackend| {
+        let mut browser = Browser::with_backend(
+            &app,
+            GovernorScheduler::new(greenweb_acmp::PerfGovernor),
+            backend,
+        )
+        .unwrap();
+        let report = browser.run(&trace).unwrap();
+        RunMetrics::compute(&report, &HashMap::new()).render_json()
+    };
+    let vm = run_on(ScriptBackend::Vm);
+    let tree = run_on(ScriptBackend::Tree);
+
+    assert_ne!(vm, tree, "script counters failed to identify the backend");
+    assert_eq!(
+        strip_script(&vm),
+        strip_script(&tree),
+        "backends diverged outside the script counters"
+    );
+}
+
+/// Engine-level differential oracle: on randomly composed handler
+/// bodies, the bytecode VM and the tree-walking interpreter produce
+/// identical observable effects — frames, input metadata, energy, and
+/// the charged op count — across DOM writes, control flow, timers, and
+/// rAF chains.
+#[test]
+fn script_backends_agree_on_observable_callback_effects() {
+    use greenweb_engine::{App, Browser, GovernorScheduler, ScriptBackend, Trace};
+
+    const STMTS: [&str; 8] = [
+        "setStyle(getElementById('box'), 'width', n * 10);",
+        "setStyle(getElementById('box'), 'height', n + 5);",
+        "markDirty();",
+        "work(n * 100000);",
+        "if (n > 2) { markDirty(); } else { setStyle(getElementById('box'), 'width', 7); }",
+        "var i = 0; while (i < n + 3) { i = i + 1; acc = acc + i; }",
+        "setTimeout(function() { markDirty(); }, 16);",
+        "requestAnimationFrame(function(t) { setStyle(getElementById('box'), 'width', 1 + 2); markDirty(); });",
+    ];
+    check(
+        "script_backends_agree_on_observable_callback_effects",
+        48,
+        |g| {
+            let mut body = format!("var n = {}; var acc = 0;", g.usize_in(0, 5));
+            for _ in 0..g.usize_in(1, 5) {
+                body.push_str(g.choose::<&str>(&STMTS));
+            }
+            let app = App::builder("backend-differential")
+                .html("<div id='box'>x</div>")
+                .script(format!(
+                    "addEventListener(getElementById('box'), 'click', function(e) {{ {body} }});"
+                ))
+                .build();
+            let trace = Trace::builder().click_id(50.0, "box").end_ms(600.0).build();
+            let run_on = |backend: ScriptBackend| {
+                let mut browser = Browser::with_backend(
+                    &app,
+                    GovernorScheduler::new(greenweb_acmp::PerfGovernor),
+                    backend,
+                )
+                .unwrap();
+                browser.run(&trace).unwrap()
+            };
+            let vm = run_on(ScriptBackend::Vm);
+            let tree = run_on(ScriptBackend::Tree);
+            assert_eq!(vm.frames, tree.frames, "frames diverged\nbody: {body}");
+            assert_eq!(vm.inputs, tree.inputs, "inputs diverged\nbody: {body}");
+            assert_eq!(
+                vm.total_mj(),
+                tree.total_mj(),
+                "energy diverged\nbody: {body}"
+            );
+            assert_eq!(
+                vm.script.ops, tree.script.ops,
+                "tick parity broke\nbody: {body}\nvm {:?}\ntree {:?}",
+                vm.script, tree.script
+            );
+        },
+    );
+}
+
+/// Typed-error agreement: both backends meter the one shared fuel
+/// implementation, so a runaway callback trips the same
+/// [`BrowserError::Budget`] ceiling at the same charged-op count on
+/// either backend.
+#[test]
+fn script_backends_trip_the_same_op_limit() {
+    use greenweb_engine::{App, Browser, GovernorScheduler, RunBudget, ScriptBackend, Trace};
+
+    let app = App::builder("budget-parity")
+        .html("<div id='box'>x</div>")
+        .script(
+            "addEventListener(getElementById('box'), 'click', function(e) { \
+               while (true) { markDirty(); } });",
+        )
+        .build();
+    let trace = Trace::builder().click_id(50.0, "box").end_ms(500.0).build();
+    let trip = |backend: ScriptBackend| {
+        let mut browser = Browser::with_backend(
+            &app,
+            GovernorScheduler::new(greenweb_acmp::PerfGovernor),
+            backend,
+        )
+        .unwrap();
+        browser.set_budget(RunBudget {
+            max_callback_ops: 10_000,
+            max_sim_events: 1_000_000,
+        });
+        match browser.run(&trace) {
+            Err(greenweb_engine::BrowserError::Budget(detail)) => detail,
+            other => panic!("expected an op-limit trip on {backend:?}, got {other:?}"),
+        }
+    };
+    assert_eq!(
+        trip(ScriptBackend::Vm),
+        trip(ScriptBackend::Tree),
+        "backends reported different op-limit trips"
+    );
+}
+
 /// Dropped inputs stay invisible: an input that never marks dirty gets no
 /// frame records, and per-input sequence numbers stay contiguous from 0
 /// for everyone else even when inputs vanish mid-sequence.
@@ -822,12 +1031,16 @@ fn effect_analyzer_total_on_hostile_bytecode() {
                 .iter()
                 .map(ToString::to_string)
                 .collect(),
+                // Hostile bytecode carries none of the compiler's
+                // side tables (spans, ticks, atoms): the analyzer and
+                // VM must stay total without them.
+                ..Proto::default()
             })
             .collect();
         let entry = g.usize_in(0, proto_count);
         let value = Value::VmFunction(Rc::new(VmClosure {
             proto: entry,
-            protos: Rc::new(protos),
+            protos: std::sync::Arc::new(protos),
             env: Rc::new(RefCell::new(Scope::default())),
         }));
         let analyzer = greenweb_analyze::EffectAnalyzer::new(&[]);
