@@ -14,6 +14,7 @@
 //! evaluate bench                      serial-vs-parallel wall-clock
 //! evaluate bench --suite style        style resolver microbenchmark
 //! evaluate bench --suite script       script-pipeline compile-once suite
+//! evaluate bench --suite paint        incremental render-pipeline suite
 //! evaluate metrics                    one workload's RunMetrics as JSON
 //! evaluate soundness                  dynamic ⊆ static effect-summary gate
 //! evaluate sweep --out F              supervised, checkpointed matrix sweep
@@ -29,8 +30,8 @@
 //!                       command, implies `trace` (the traced run only)
 //! --workload NAME       workload for percentiles/trace/metrics (default
 //!                       Paper.js)
-//! --suite NAME          bench suite: `micro` (default), `style`, or
-//!                       `script`
+//! --suite NAME          bench suite: `micro` (default), `style`,
+//!                       `script`, or `paint`
 //! --jobs N              worker threads for simulation batches (default:
 //!                       GREENWEB_JOBS, else hardware parallelism; 1 is
 //!                       the legacy serial path — output is identical
@@ -89,11 +90,16 @@
 //! the naive-vs-bucketed selector-matching suite and writes
 //! `BENCH_style.json`. `bench --suite script` runs the script-pipeline
 //! compile-once suite (bytecode VM vs tree-walking oracle, counters
-//! only) and writes `BENCH_script.json`. `metrics` prints one
-//! workload's deterministic [`RunMetrics`] JSON — CI parity gates diff
-//! it between `GREENWEB_STYLE_CACHE=off` and the default (stripping the
-//! `"style"` counters) and between `GREENWEB_SCRIPT_VM=off` and the
-//! default (stripping the `"script"` counters).
+//! only) and writes `BENCH_script.json`. `bench --suite paint` runs the
+//! incremental-rendering suite (naive full relayout vs cached
+//! subtrees + retained display list, counters only) and writes
+//! `BENCH_paint.json`. `metrics` prints one workload's deterministic
+//! [`RunMetrics`] JSON — CI parity gates diff it between
+//! `GREENWEB_STYLE_CACHE=off` and the default (stripping the `"style"`
+//! counters), between `GREENWEB_SCRIPT_VM=off` and the default
+//! (stripping the `"script"` counters), and between
+//! `GREENWEB_PAINT_INCR=off` and the default (stripping the `"style"`,
+//! `"layout"`, and `"paint"` counters).
 //!
 //! [`RunMetrics`]: greenweb::metrics::RunMetrics
 
@@ -190,7 +196,10 @@ fn main() {
             "micro" => bench_report(jobs),
             "style" => style_bench_report(),
             "script" => script_bench_report(),
-            other => panic!("unknown bench suite {other:?} (expected micro, style, or script)"),
+            "paint" => paint_bench_report(),
+            other => {
+                panic!("unknown bench suite {other:?} (expected micro, style, script, or paint)")
+            }
         }
         return;
     }
@@ -658,6 +667,33 @@ fn script_bench_report() {
     );
     std::fs::write("BENCH_script.json", report.render_json()).expect("write BENCH_script.json");
     println!("wrote BENCH_script.json");
+}
+
+/// Runs the render-pipeline suite, asserts the incremental-rendering
+/// acceptance gate (naive oracle identical; ≥ 3× fewer elements
+/// measured; subtree reuses and partial repaints observed; dirty/damage
+/// counters mode-independent), and writes `BENCH_paint.json`.
+fn paint_bench_report() {
+    use greenweb_bench::paintbench;
+    let report = paintbench::run_suite();
+    print!("{}", report.render_text());
+    assert!(
+        report.identical(),
+        "incremental rendering diverged from the naive oracle"
+    );
+    assert!(
+        report.pricing_mode_independent(),
+        "dirty/damage counters differed between rendering modes"
+    );
+    assert!(
+        report.layout_ratio() >= 3.0,
+        "expected >= 3x fewer elements laid out, got {:.2}x",
+        report.layout_ratio()
+    );
+    assert!(report.total_subtree_reuses() > 0, "no subtree reuses");
+    assert!(report.total_partial_repaints() > 0, "no partial repaints");
+    std::fs::write("BENCH_paint.json", report.render_json()).expect("write BENCH_paint.json");
+    println!("wrote BENCH_paint.json");
 }
 
 /// Runs one workload's full trace under GreenWeb-I and prints its

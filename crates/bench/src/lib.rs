@@ -19,6 +19,9 @@
 //! * [`scriptbench`] — the script-pipeline suite: compile-once counters
 //!   and the bytecode-VM vs tree-walking-oracle differential over every
 //!   workload (`evaluate bench --suite script`);
+//! * [`paintbench`] — the render-pipeline suite: incremental layout /
+//!   retained-display-list counters vs the naive full-relayout oracle
+//!   over every workload (`evaluate bench --suite paint`);
 //! * [`render`] — fixed-width text rendering used by the `evaluate`
 //!   binary.
 //!
@@ -31,6 +34,7 @@
 pub mod ablation;
 pub mod diff;
 pub mod figures;
+pub mod paintbench;
 pub mod profile;
 pub mod render;
 pub mod scriptbench;

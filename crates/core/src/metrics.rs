@@ -10,7 +10,7 @@ use crate::degrade::{DegradationLevel, DegradationLog};
 use crate::qos::QosType;
 use greenweb_acmp::{Duration, SimTime};
 use greenweb_css::StyleStats;
-use greenweb_engine::{InputId, ScriptStats, SimReport};
+use greenweb_engine::{InputId, LayoutStats, PaintStats, ScriptStats, SimReport};
 use greenweb_trace::{Histogram, LatencySummary};
 use std::collections::HashMap;
 
@@ -122,6 +122,15 @@ pub struct RunMetrics {
     /// contract, while `dispatches`/`fold_wins` identify the bytecode
     /// backend (zero on the tree-walking oracle).
     pub script: ScriptStats,
+    /// Layout-pipeline counters (relayouts, elements measured, subtree
+    /// reuses, fingerprint-dirty elements). The dirty count is
+    /// identical in both rendering modes; the laid-out/reuse split is
+    /// where `GREENWEB_PAINT_INCR` shows.
+    pub layout: LayoutStats,
+    /// Paint-pipeline counters (full/partial repaints, display items
+    /// emitted/reused, damage items and area) — damage numbers are
+    /// mode-independent like `layout.dirty_elements`.
+    pub paint: PaintStats,
 }
 
 impl RunMetrics {
@@ -157,6 +166,8 @@ impl RunMetrics {
             switches: report.switches,
             style: report.style,
             script: report.script,
+            layout: report.layout,
+            paint: report.paint,
         }
     }
 
@@ -179,10 +190,13 @@ impl RunMetrics {
     /// byte-identically. The parity suite diffs this string between
     /// serial and parallel batch runs.
     ///
-    /// The trailing `"style"` and `"script"` objects are deliberately
-    /// flat and last: each parity CI gate strips its counter object with
-    /// one `sed` expression (`"style"` for the style-cache gate,
-    /// `"script"` for the VM-off gate) and then requires the two
+    /// The trailing `"style"`, `"script"`, `"layout"`, and `"paint"`
+    /// objects are deliberately flat and last: each parity CI gate
+    /// strips its counter objects with one `sed` expression per object
+    /// (`"style"` for the style-cache gate, `"script"` for the VM-off
+    /// gate, `"style"`+`"layout"`+`"paint"` for the paint-incr gate —
+    /// reused subtrees skip style resolution, so the style counters
+    /// move with the rendering mode too) and then requires the two
     /// renderings to be byte-identical.
     pub fn render_json(&self) -> String {
         format!(
@@ -196,7 +210,12 @@ impl RunMetrics {
              \"cache_invalidations_avoided\":{}}},\
              \"script\":{{\"programs\":{},\"compiles\":{},\"precompiled_hits\":{},\
              \"handlers\":{},\"handler_recompiles\":{},\"callbacks\":{},\
-             \"ops\":{},\"dispatches\":{},\"fold_wins\":{}}}}}",
+             \"ops\":{},\"dispatches\":{},\"fold_wins\":{}}},\
+             \"layout\":{{\"relayouts\":{},\"elements_laid_out\":{},\
+             \"subtree_reuses\":{},\"dirty_elements\":{}}},\
+             \"paint\":{{\"full_repaints\":{},\"partial_repaints\":{},\
+             \"items_emitted\":{},\"items_reused\":{},\
+             \"damage_items\":{},\"damage_area\":{}}}}}",
             self.energy_mj,
             self.violation_pct,
             self.judged_inputs,
@@ -226,6 +245,16 @@ impl RunMetrics {
             self.script.ops,
             self.script.dispatches,
             self.script.fold_wins,
+            self.layout.relayouts,
+            self.layout.elements_laid_out,
+            self.layout.subtree_reuses,
+            self.layout.dirty_elements,
+            self.paint.full_repaints,
+            self.paint.partial_repaints,
+            self.paint.items_emitted,
+            self.paint.items_reused,
+            self.paint.damage_items,
+            self.paint.damage_area,
         )
     }
 }
@@ -362,6 +391,8 @@ mod tests {
             chaos: None,
             style: StyleStats::default(),
             script: ScriptStats::default(),
+            layout: LayoutStats::default(),
+            paint: PaintStats::default(),
             effect_checks: 0,
             effect_violations: Vec::new(),
         }

@@ -15,6 +15,9 @@ use crate::events::{InputId, TargetSpec, Trace, TraceEvent};
 use crate::fault::{FaultInjector, FaultPlan, VsyncDisposition};
 use crate::frame::{FrameTracker, Msg};
 use crate::host::{CallbackEffects, ScriptHost};
+use crate::layout::{
+    DisplayItem, FrameRenderInfo, LayoutBox, LayoutStats, PaintStats, RenderPipeline,
+};
 use crate::report::{InputRecord, SimReport};
 use crate::runspec::RunBudget;
 use crate::scheduler::{Scheduler, SchedulerCtx};
@@ -368,6 +371,15 @@ pub struct Browser<S: Scheduler> {
     /// snapshot (plus cache-derived fields) lands in the report.
     script_stats: ScriptStats,
     listeners: ListenerSet<Value>,
+    /// Incremental rendering pipeline: subtree fingerprints, measure
+    /// cache, retained display list, damage diff (`GREENWEB_PAINT_INCR`;
+    /// the oracle mode recomputes everything but prices identically).
+    render: RenderPipeline,
+    /// Pricing inputs of the frame currently in the pipeline, computed
+    /// once per frame by [`Browser::run_render_pass`] — the stages of
+    /// one frame run back-to-back (pushed to the front of the ready
+    /// queue together), so no other render pass can intervene.
+    frame_render: FrameRenderInfo,
     cost: FrameCostModel,
     cpu: Cpu,
     scheduler: S,
@@ -496,6 +508,8 @@ impl<S: Scheduler> Browser<S> {
             handler_cache: HandlerCache::default(),
             script_stats: ScriptStats::default(),
             listeners: ListenerSet::new(),
+            render: RenderPipeline::from_env(),
+            frame_render: FrameRenderInfo::default(),
             cost: app.cost.clone(),
             cpu,
             scheduler,
@@ -648,6 +662,38 @@ impl<S: Scheduler> Browser<S> {
     /// only the `style.cache_*` counters differ between modes.
     pub fn set_style_cache_enabled(&mut self, enabled: bool) {
         self.style_cache.get_mut().set_enabled(enabled);
+    }
+
+    /// Switches the rendering pipeline between the incremental path and
+    /// the naive full-relayout/full-repaint oracle. Tests use this
+    /// instead of `GREENWEB_PAINT_INCR`, which races under parallel
+    /// test execution. Semantics-preserving: geometry, display lists,
+    /// and every energy/QoS metric are identical between modes — only
+    /// the `layout`/`paint` reuse counters (and the style counters,
+    /// since reused subtrees skip style resolution) differ.
+    pub fn set_paint_incremental(&mut self, enabled: bool) {
+        self.render.set_enabled(enabled);
+    }
+
+    /// The retained display list after the last produced frame, in
+    /// document order. Differential tests compare this across modes.
+    pub fn display_list(&self) -> &[DisplayItem] {
+        self.render.display_list()
+    }
+
+    /// The positioned layout boxes of the last produced frame.
+    pub fn layout_boxes(&self) -> &[LayoutBox] {
+        self.render.layout_boxes()
+    }
+
+    /// Layout counters accumulated so far.
+    pub fn layout_stats(&self) -> LayoutStats {
+        self.render.layout_stats()
+    }
+
+    /// Paint counters accumulated so far.
+    pub fn paint_stats(&self) -> PaintStats {
+        self.render.paint_stats()
     }
 
     /// Replaces the static effect-summary table (normally injected via
@@ -864,7 +910,24 @@ impl<S: Scheduler> Browser<S> {
             }
         }
         let style = self.style_stats();
+        let layout = self.render.layout_stats();
+        let paint = self.render.paint_stats();
         if let Some(trace) = self.trace.as_ref() {
+            trace.record(
+                end,
+                TraceKind::RenderStats {
+                    relayouts: layout.relayouts,
+                    elements_laid_out: layout.elements_laid_out,
+                    subtree_reuses: layout.subtree_reuses,
+                    dirty_elements: layout.dirty_elements,
+                    full_repaints: paint.full_repaints,
+                    partial_repaints: paint.partial_repaints,
+                    items_emitted: paint.items_emitted,
+                    items_reused: paint.items_reused,
+                    damage_items: paint.damage_items,
+                    damage_area: paint.damage_area,
+                },
+            );
             trace.record(
                 end,
                 TraceKind::StyleStats {
@@ -898,6 +961,8 @@ impl<S: Scheduler> Browser<S> {
             chaos: self.injector.as_ref().map(FaultInjector::report),
             style,
             script: self.script_stats(),
+            layout,
+            paint,
             effect_checks: self.effect_checks,
             effect_violations: self.effect_violations.clone(),
         }
@@ -1633,8 +1698,22 @@ impl<S: Scheduler> Browser<S> {
                     self.start_callback(callback, arg, origin, summary)?;
                 }
                 Task::Stage { stage, msgs, seq } => {
-                    let elements = self.doc.elements().count();
-                    let work = self.cost.stage_work(stage, elements, seq);
+                    // Pricing inputs were computed once for this frame
+                    // by the render pass in `begin_frame` (the four
+                    // stages run back-to-back): style still scales with
+                    // the document, layout with the dirty elements,
+                    // paint with the damaged display-item fraction.
+                    let info = self.frame_render;
+                    let work = match stage {
+                        Stage::Layout => self.cost.layout_work(info.dirty_elements, seq),
+                        Stage::Paint => {
+                            self.cost
+                                .paint_work(info.damage_items, info.total_items, seq)
+                        }
+                        Stage::Style | Stage::Composite => {
+                            self.cost.stage_work(stage, info.elements, seq)
+                        }
+                    };
                     self.start_task(RunningKind::Stage { stage, msgs }, work);
                 }
             }
@@ -1643,10 +1722,24 @@ impl<S: Scheduler> Browser<S> {
     }
 
     fn origin_event(&self, uid: InputId) -> EventType {
-        self.input_meta
-            .iter()
-            .find(|i| i.uid == uid)
-            .map_or(EventType::Click, |i| i.event)
+        // O(1): the tracker indexed every input's event type at
+        // registration (this runs per frame per batched message).
+        self.tracker.event_for(uid).unwrap_or(EventType::Click)
+    }
+
+    /// Runs the per-frame render pass (fingerprint → measure → position
+    /// → display-list diff) and returns the pricing inputs. Styles
+    /// resolve through the computed-style cache; animation overlay
+    /// values ride on top, exactly as [`Browser::computed_style`]
+    /// composes them for scripts.
+    fn run_render_pass(&mut self) -> FrameRenderInfo {
+        let doc = &self.doc;
+        let style = &self.style;
+        let cache = &self.style_cache;
+        self.render
+            .render_frame(doc, style.generation(), &self.overlay, &mut |node| {
+                cache.borrow_mut().resolve(style, doc, node).0
+            })
     }
 
     fn begin_frame(&mut self) {
@@ -1671,6 +1764,7 @@ impl<S: Scheduler> Browser<S> {
             self.scheduler.on_frame_start(self.now, &origins, &ctx)
         };
         self.apply_config(desired);
+        self.frame_render = self.run_render_pass();
         let msgs = Rc::new(msgs);
         for stage in Stage::ALL.into_iter().rev() {
             self.ready.push_front(Task::Stage {

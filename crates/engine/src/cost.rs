@@ -1,13 +1,24 @@
 //! Frame pipeline cost model.
 //!
-//! Translates browser work into [`WorkUnit`]s for the ACMP executor. The
-//! rendering stages (style → layout → paint → composite, Fig. 7) scale
-//! with the document's element count; the composite stage carries a
-//! frequency-independent GPU component, which is what gives Eq. 1 its
-//! non-zero `T_independent` intercept. Event callbacks are charged by the
-//! script engine's op count — backend-independent by the tick-parity
-//! contract, whether the bytecode VM or the tree-walking oracle ran the
-//! callback — plus any explicit `work()` the script performs.
+//! Translates browser work into [`WorkUnit`]s for the ACMP executor.
+//! The style stage (Fig. 7) scales with the document's element count;
+//! layout scales with the *dirty* element count from the render
+//! pipeline's fingerprint diff ([`FrameCostModel::layout_work`]); paint
+//! is priced as the damaged fraction of the retained display list
+//! ([`FrameCostModel::paint_work`]), with the old flat
+//! [`FrameCostModel::paint_cycles`] as the full-repaint price — so a
+//! first frame (everything dirty, everything damaged) costs exactly
+//! what the pre-incremental model charged, and later frames scale with
+//! what actually changed. [`FrameCostModel::stage_work`] retains the
+//! full-document prices and is what the naive oracle's accounting
+//! corresponds to; the *pricing inputs* are mode-independent, so
+//! `GREENWEB_PAINT_INCR` never changes a run's metrics (DESIGN.md §6k).
+//! The composite stage carries a frequency-independent GPU component,
+//! which is what gives Eq. 1 its non-zero `T_independent` intercept.
+//! Event callbacks are charged by the script engine's op count —
+//! backend-independent by the tick-parity contract, whether the
+//! bytecode VM or the tree-walking oracle ran the callback — plus any
+//! explicit `work()` the script performs.
 //!
 //! `surge_every`/`surge_factor` model the frame-complexity surges the
 //! paper observes in W3School and Cnet (Sec. 7.2: "most of the QoS
@@ -44,7 +55,10 @@ pub struct FrameCostModel {
     pub style_cycles_per_element: f64,
     /// Layout-stage cycles per element.
     pub layout_cycles_per_element: f64,
-    /// Fixed paint-stage cycles per frame.
+    /// Paint-stage cycles for a *full* repaint. Incremental frames are
+    /// charged the damaged fraction of this ([`Self::paint_work`]);
+    /// [`Self::stage_work`] charges it flat, which is the naive
+    /// oracle's per-frame price.
     pub paint_cycles: f64,
     /// Fixed composite-stage CPU cycles per frame.
     pub composite_cycles: f64,
@@ -98,6 +112,35 @@ impl FrameCostModel {
                 WorkUnit::new(self.composite_cycles * mult, self.composite_independent_ms)
             }
         }
+    }
+
+    /// Layout-stage work when `dirty` elements need re-measurement
+    /// (the render pipeline's fingerprint-diff count, identical in
+    /// both rendering modes). A first frame marks every element dirty,
+    /// reproducing [`Self::stage_work`]'s full-document price exactly.
+    pub fn layout_work(&self, dirty: usize, seq: u32) -> WorkUnit {
+        let mult = self.surge_multiplier(seq);
+        WorkUnit::cycles(self.layout_cycles_per_element * dirty as f64 * mult)
+    }
+
+    /// Paint-stage work for a frame that damaged `damage_items` of the
+    /// `total_items` in the retained display list: the damaged
+    /// fraction of the full-repaint price. Two cases pay the *full*
+    /// price: an empty display list (nothing to scale by — matches the
+    /// flat pre-incremental charge) and a zero-damage frame. The
+    /// latter is deliberate: a frame was produced yet the DOM-level
+    /// display list is byte-identical, so the change must live
+    /// somewhere the diff cannot see (a canvas surface painted by
+    /// script, à la Paper.js) and the whole layer repaints. Removals
+    /// can push the fraction past 1, so it clamps.
+    pub fn paint_work(&self, damage_items: usize, total_items: usize, seq: u32) -> WorkUnit {
+        let mult = self.surge_multiplier(seq);
+        let fraction = if total_items == 0 || damage_items == 0 {
+            1.0
+        } else {
+            (damage_items as f64 / total_items as f64).min(1.0)
+        };
+        WorkUnit::cycles(self.paint_cycles * fraction * mult)
     }
 
     /// Total work of a whole frame.
@@ -185,6 +228,48 @@ mod tests {
         let w = m.callback_work(1_000, 5.0e6, 2.0);
         assert_eq!(w.cycles, 1_000.0 * m.cycles_per_op + 5.0e6);
         assert!((w.independent_ns - (2.0 + m.input_ipc_ms) * 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn all_dirty_layout_matches_full_stage_price() {
+        let m = FrameCostModel::default();
+        assert_eq!(m.layout_work(70, 0), m.stage_work(Stage::Layout, 70, 0));
+        assert_eq!(m.layout_work(0, 0).cycles, 0.0);
+        assert!(m.layout_work(5, 0).cycles < m.layout_work(50, 0).cycles);
+    }
+
+    #[test]
+    fn paint_scales_with_damaged_fraction_and_clamps() {
+        let m = FrameCostModel::default();
+        // Full damage (and the empty-list edge) price like the flat
+        // pre-incremental charge.
+        assert_eq!(m.paint_work(40, 40, 0), m.stage_work(Stage::Paint, 40, 0));
+        assert_eq!(m.paint_work(0, 0, 0), m.stage_work(Stage::Paint, 0, 0));
+        // Half the items damaged → half the cycles.
+        assert_eq!(m.paint_work(20, 40, 0).cycles, m.paint_cycles / 2.0);
+        // A produced frame with zero DOM-level damage means the change
+        // is invisible to the display-list diff (canvas drawing) — the
+        // whole layer repaints at full price.
+        assert_eq!(m.paint_work(0, 40, 0).cycles, m.paint_cycles);
+        // Removals can exceed the list size; the fraction clamps at 1.
+        assert_eq!(m.paint_work(90, 40, 0).cycles, m.paint_cycles);
+    }
+
+    #[test]
+    fn incremental_prices_honour_surges() {
+        let m = FrameCostModel {
+            surge_every: 4,
+            surge_factor: 2.0,
+            ..FrameCostModel::default()
+        };
+        assert_eq!(
+            m.layout_work(10, 4).cycles,
+            m.layout_work(10, 3).cycles * 2.0
+        );
+        assert_eq!(
+            m.paint_work(5, 10, 4).cycles,
+            m.paint_work(5, 10, 3).cycles * 2.0
+        );
     }
 
     #[test]

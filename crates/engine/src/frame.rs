@@ -68,6 +68,13 @@ impl FrameTracker {
         self.event_types.insert(uid, event);
     }
 
+    /// The event type `uid` was registered with — the O(1) lookup the
+    /// browser's per-frame attribution uses (the linear scan over the
+    /// input records it replaced ran per frame per batched message).
+    pub fn event_for(&self, uid: InputId) -> Option<EventType> {
+        self.event_types.get(&uid).copied()
+    }
+
     /// A callback attributed to `uid` requested a new frame: set the
     /// dirty bit and enqueue the metadata once per input per frame.
     pub fn mark_dirty(&mut self, msg: Msg) {

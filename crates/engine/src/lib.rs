@@ -47,6 +47,7 @@ pub mod events;
 pub mod fault;
 pub mod frame;
 pub mod host;
+pub mod layout;
 pub mod report;
 pub mod runspec;
 pub mod scheduler;
@@ -63,6 +64,9 @@ pub use fault::{
 };
 pub use frame::{FrameRecord, FrameTracker, Msg};
 pub use greenweb_script::{CompiledHandler, HandlerCache, ScriptStats};
+pub use layout::{
+    DisplayItem, FrameRenderInfo, LayoutBox, LayoutStats, PaintStats, RenderPipeline,
+};
 pub use report::{InputRecord, SimReport};
 pub use runspec::{RunBudget, RunOutcome, RunSpec, SchedulerFactory, SchedulerProbe, TraceMode};
 pub use scheduler::{GovernorScheduler, Scheduler, SchedulerCtx};

@@ -4,6 +4,7 @@
 use crate::events::InputId;
 use crate::fault::ChaosReport;
 use crate::frame::FrameRecord;
+use crate::layout::{LayoutStats, PaintStats};
 use greenweb_acmp::{CpuConfig, Duration, EnergyBreakdown, SimTime};
 use greenweb_css::StyleStats;
 use greenweb_dom::EventType;
@@ -66,6 +67,15 @@ pub struct SimReport {
     /// contract; `dispatches`/`fold_wins` are zero on the tree-walking
     /// oracle backend.
     pub script: ScriptStats,
+    /// Layout-pipeline counters (relayouts, elements measured, subtree
+    /// reuses, fingerprint-dirty elements) — deterministic like `style`.
+    /// The dirty count is identical in both rendering modes; the
+    /// laid-out/reuse split is where `GREENWEB_PAINT_INCR` shows.
+    pub layout: LayoutStats,
+    /// Paint-pipeline counters (full/partial repaints, display items
+    /// emitted/reused, damage items and area) — deterministic, with the
+    /// damage numbers mode-independent like `layout.dirty_elements`.
+    pub paint: PaintStats,
     /// Callback returns checked against a static effect summary. Zero
     /// when the run had no summaries attached — the soundness harness
     /// asserts this is positive so its gate cannot pass vacuously.
@@ -179,6 +189,8 @@ mod tests {
             chaos: None,
             style: StyleStats::default(),
             script: ScriptStats::default(),
+            layout: LayoutStats::default(),
+            paint: PaintStats::default(),
             effect_checks: 0,
             effect_violations: Vec::new(),
         }

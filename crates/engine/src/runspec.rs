@@ -133,6 +133,12 @@ pub struct RunSpec {
     /// depend on which one runs it — the VM-off parity gate leans on
     /// exactly that.
     pub script_backend: crate::browser::ScriptBackend,
+    /// Which rendering mode the browser runs: `None` resolves
+    /// `GREENWEB_PAINT_INCR` at load, `Some(b)` pins it. Excluded from
+    /// [`RunSpec::digest`] for the same reason as `script_backend`: the
+    /// two modes produce byte-identical results (only reuse counters
+    /// differ), and the paint-incr parity gate leans on exactly that.
+    pub paint_incremental: Option<bool>,
 }
 
 // The whole point of the spec: it must be able to cross into a worker
@@ -160,6 +166,7 @@ impl RunSpec {
             probe: None,
             budget: None,
             script_backend: crate::browser::ScriptBackend::Auto,
+            paint_incremental: None,
         }
     }
 
@@ -219,6 +226,15 @@ impl RunSpec {
         self
     }
 
+    /// Pins the rendering mode (default: resolve `GREENWEB_PAINT_INCR`
+    /// at load). Parity harnesses run the same spec once per mode and
+    /// diff the reports, exactly like the script-backend flip.
+    #[must_use]
+    pub fn with_paint_incremental(mut self, enabled: bool) -> Self {
+        self.paint_incremental = Some(enabled);
+        self
+    }
+
     /// A deterministic FNV-1a fingerprint of the spec's *data* parts —
     /// app sources, cost model, input trace, fault plan, recording mode,
     /// and budget. The scheduler factory and probe are opaque closures
@@ -272,6 +288,9 @@ impl RunSpec {
             self.power.clone(),
             self.script_backend,
         )?;
+        if let Some(enabled) = self.paint_incremental {
+            browser.set_paint_incremental(enabled);
+        }
         if let Some(plan) = self.faults {
             browser.set_fault_plan(plan);
         }

@@ -115,6 +115,32 @@ pub struct BucketCost {
     pub share: f64,
 }
 
+/// The run's render-pipeline counters, lifted from the `RenderStats`
+/// record: layout dirtiness/reuse and paint damage, as one roll-up row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RenderWork {
+    /// Frames laid out.
+    pub relayouts: u64,
+    /// Elements actually measured across the run.
+    pub elements_laid_out: u64,
+    /// Clean subtrees served whole from the measure cache.
+    pub subtree_reuses: u64,
+    /// Elements whose subtree fingerprint changed.
+    pub dirty_elements: u64,
+    /// Frames charged the full paint price.
+    pub full_repaints: u64,
+    /// Frames charged a damaged-fraction paint price.
+    pub partial_repaints: u64,
+    /// Display items (re)built.
+    pub items_emitted: u64,
+    /// Retained display items reused unchanged.
+    pub items_reused: u64,
+    /// Damaged display items.
+    pub damage_items: u64,
+    /// Damaged area, px².
+    pub damage_area: u64,
+}
+
 /// Why one deadline was missed: the commit that blew its target and the
 /// spans that consumed the budget inside the missed frame's interval.
 #[derive(Debug, Clone, PartialEq)]
@@ -149,6 +175,9 @@ pub struct AttributionProfile {
     pub buckets: Vec<BucketCost>,
     /// Deadline-miss forensics, commit order.
     pub forensics: Vec<ViolationForensics>,
+    /// Render-pipeline counters (layout dirtiness, paint damage) from
+    /// the run's `RenderStats` record; zeros when the trace has none.
+    pub render: RenderWork,
     /// Energy per pipeline phase, indexed like [`SpanKind::ALL`].
     pub phase_mj: [f64; 6],
     /// Energy in sample intervals no span covered.
@@ -192,6 +221,7 @@ impl AttributionProfile {
         let mut switch_times: Vec<SimTime> = Vec::new();
         let mut targets: Vec<(SimTime, u64, f64)> = Vec::new();
         let mut bucket_counts: Option<[u64; 4]> = None;
+        let mut render = RenderWork::default();
         let (mut switch_dvfs, mut switch_migration) = (0u64, 0u64);
         for record in &buffer.events {
             match &record.kind {
@@ -244,6 +274,31 @@ impl AttributionProfile {
                         *matches_tag,
                         *matches_universal,
                     ]);
+                }
+                EventKind::RenderStats {
+                    relayouts,
+                    elements_laid_out,
+                    subtree_reuses,
+                    dirty_elements,
+                    full_repaints,
+                    partial_repaints,
+                    items_emitted,
+                    items_reused,
+                    damage_items,
+                    damage_area,
+                } => {
+                    render = RenderWork {
+                        relayouts: *relayouts,
+                        elements_laid_out: *elements_laid_out,
+                        subtree_reuses: *subtree_reuses,
+                        dirty_elements: *dirty_elements,
+                        full_repaints: *full_repaints,
+                        partial_repaints: *partial_repaints,
+                        items_emitted: *items_emitted,
+                        items_reused: *items_reused,
+                        damage_items: *damage_items,
+                        damage_area: *damage_area,
+                    };
                 }
                 _ => {}
             }
@@ -417,6 +472,7 @@ impl AttributionProfile {
             callbacks,
             buckets,
             forensics,
+            render,
             phase_mj,
             idle_mj,
             unattributed_mj: 0.0,
@@ -510,7 +566,25 @@ impl AttributionProfile {
             push_f64(&mut out, bucket.share);
             out.push('}');
         }
-        out.push_str("],\"forensics\":[");
+        let r = &self.render;
+        let _ = write!(
+            out,
+            "],\"render\":{{\"relayouts\":{},\"elements_laid_out\":{},\
+             \"subtree_reuses\":{},\"dirty_elements\":{},\"full_repaints\":{},\
+             \"partial_repaints\":{},\"items_emitted\":{},\"items_reused\":{},\
+             \"damage_items\":{},\"damage_area\":{}}}",
+            r.relayouts,
+            r.elements_laid_out,
+            r.subtree_reuses,
+            r.dirty_elements,
+            r.full_repaints,
+            r.partial_repaints,
+            r.items_emitted,
+            r.items_reused,
+            r.damage_items,
+            r.damage_area,
+        );
+        out.push_str(",\"forensics\":[");
         for (i, f) in self.forensics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -656,6 +730,20 @@ impl AttributionProfile {
             );
         }
         out.push('\n');
+        let r = &self.render;
+        let _ = writeln!(
+            out,
+            "render: {} relayouts, {} laid out ({} dirty, {} subtree reuses), \
+             paint {} full / {} partial, damage {} items / {} px2",
+            r.relayouts,
+            r.elements_laid_out,
+            r.dirty_elements,
+            r.subtree_reuses,
+            r.full_repaints,
+            r.partial_repaints,
+            r.damage_items,
+            r.damage_area,
+        );
         let _ = writeln!(
             out,
             "config switches: {} dvfs, {} migration",

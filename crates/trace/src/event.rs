@@ -153,6 +153,34 @@ pub enum EventKind {
         /// static effect summary proved structure could not change.
         cache_invalidations_avoided: u64,
     },
+    /// Deterministic render-pipeline counters (layout + paint), recorded
+    /// once when the report is built, next to [`EventKind::StyleStats`].
+    /// The dirty/damage numbers are identical whichever rendering mode
+    /// (`GREENWEB_PAINT_INCR`) produced them; the laid-out/reuse split
+    /// is where the modes differ.
+    RenderStats {
+        /// Frames laid out (one per produced frame).
+        relayouts: u64,
+        /// Elements actually measured across the run.
+        elements_laid_out: u64,
+        /// Clean subtrees served whole from the measure cache.
+        subtree_reuses: u64,
+        /// Elements whose subtree fingerprint changed (prices layout).
+        dirty_elements: u64,
+        /// Frames charged the full flat paint price.
+        full_repaints: u64,
+        /// Frames charged a partial (damaged-fraction) paint price.
+        partial_repaints: u64,
+        /// Display items (re)built.
+        items_emitted: u64,
+        /// Retained display items reused unchanged.
+        items_reused: u64,
+        /// Damaged items: changed + appeared + disappeared (prices
+        /// paint).
+        damage_items: u64,
+        /// Damaged area, px².
+        damage_area: u64,
+    },
     /// A frame committed, answering one input (one per
     /// `FrameRecord`).
     FrameCommit {
@@ -180,6 +208,7 @@ impl EventKind {
             EventKind::Fault { .. } => "fault",
             EventKind::EnergySample { .. } => "energy-sample",
             EventKind::StyleStats { .. } => "style-stats",
+            EventKind::RenderStats { .. } => "render-stats",
             EventKind::FrameCommit { .. } => "frame-commit",
         }
     }

@@ -206,6 +206,31 @@ fn write_event(out: &mut String, record: &TraceRecord) {
                  \"cache_invalidations_avoided\":{cache_invalidations_avoided}}}}}"
             );
         }
+        EventKind::RenderStats {
+            relayouts,
+            elements_laid_out,
+            subtree_reuses,
+            dirty_elements,
+            full_repaints,
+            partial_repaints,
+            items_emitted,
+            items_reused,
+            damage_items,
+            damage_area,
+        } => {
+            open_event(out, "render-stats", "render", 'I', 1, ts_us(record.at));
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"relayouts\":{relayouts},\
+                 \"elements_laid_out\":{elements_laid_out},\
+                 \"subtree_reuses\":{subtree_reuses},\
+                 \"dirty_elements\":{dirty_elements},\
+                 \"full_repaints\":{full_repaints},\
+                 \"partial_repaints\":{partial_repaints},\
+                 \"items_emitted\":{items_emitted},\"items_reused\":{items_reused},\
+                 \"damage_items\":{damage_items},\"damage_area\":{damage_area}}}}}"
+            );
+        }
         EventKind::FrameCommit {
             uid,
             seq,

@@ -327,6 +327,29 @@ impl MetricsRegistry {
                         *cache_invalidations_avoided,
                     );
                 }
+                EventKind::RenderStats {
+                    relayouts,
+                    elements_laid_out,
+                    subtree_reuses,
+                    dirty_elements,
+                    full_repaints,
+                    partial_repaints,
+                    items_emitted,
+                    items_reused,
+                    damage_items,
+                    damage_area,
+                } => {
+                    registry.inc_by("layout.relayouts", *relayouts);
+                    registry.inc_by("layout.elements_laid_out", *elements_laid_out);
+                    registry.inc_by("layout.subtree_reuses", *subtree_reuses);
+                    registry.inc_by("layout.dirty_elements", *dirty_elements);
+                    registry.inc_by("paint.full_repaints", *full_repaints);
+                    registry.inc_by("paint.partial_repaints", *partial_repaints);
+                    registry.inc_by("paint.items_emitted", *items_emitted);
+                    registry.inc_by("paint.items_reused", *items_reused);
+                    registry.inc_by("paint.damage_items", *damage_items);
+                    registry.inc_by("paint.damage_area", *damage_area);
+                }
                 _ => {}
             }
         }

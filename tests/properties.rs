@@ -736,6 +736,269 @@ fn script_backends_trip_the_same_op_limit() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Incremental rendering: layout cache + retained display list (§6k)
+// ---------------------------------------------------------------------------
+
+/// Strips one flat trailing counter object (`,"name":{…}`) from a
+/// metrics JSON rendering — the in-process double of the CI parity
+/// gates' `sed 's/,"name":{[^}]*}//'`. The objects are flat (no nested
+/// braces), so the first `}` closes them.
+fn strip_counter_object(json: &str, name: &str) -> String {
+    let needle = format!(",\"{name}\":{{");
+    let start = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{name} object missing in {json}"));
+    let end = start + json[start..].find('}').unwrap() + 1;
+    format!("{}{}", &json[..start], &json[end..])
+}
+
+/// The incremental render pipeline is invisible to behavior: a full
+/// engine run with the layout cache and retained display list disabled
+/// (the naive full-relayout oracle) produces the same frames, inputs,
+/// energy, busy time, final geometry, and final display list as with
+/// them enabled. Only the reuse-shaped counters may differ — and the
+/// dirty/damage numbers the cost model prices must not.
+#[test]
+fn incremental_rendering_does_not_change_run_results() {
+    use greenweb_engine::{App, Browser, GovernorScheduler, Trace};
+
+    let app = App::builder("paint-parity")
+        .html(
+            "<div id='page'><div id='hub' class='card'><p>a</p><p>b</p></div>\
+             <ul id='list'><li>1</li><li>2</li><li>3</li></ul></div>",
+        )
+        .css(
+            ".card { margin: 4px; } p { height: 20px; } li { height: 14px; } \
+             #hub { transition: width 80ms linear; }",
+        )
+        .script(
+            "var n = 0; \
+             addEventListener(getElementById('hub'), 'click', function(e) { \
+               n = n + 1; \
+               setStyle(getElementById('hub'), 'width', 100 + n * 20); \
+               markDirty(); });",
+        )
+        .build();
+    let trace = Trace::builder()
+        .click_id(50.0, "hub")
+        .click_id(300.0, "hub")
+        .click_id(550.0, "hub")
+        .end_ms(900.0)
+        .build();
+
+    let run_mode = |enabled: bool| {
+        let mut browser =
+            Browser::new(&app, GovernorScheduler::new(greenweb_acmp::PerfGovernor)).unwrap();
+        browser.set_paint_incremental(enabled);
+        let report = browser.run(&trace).unwrap();
+        let boxes = browser.layout_boxes().to_vec();
+        let items = browser.display_list().to_vec();
+        (report, boxes, items)
+    };
+    let (on, on_boxes, on_items) = run_mode(true);
+    let (off, off_boxes, off_items) = run_mode(false);
+
+    assert_eq!(on.frames, off.frames, "mode changed frame records");
+    assert_eq!(on.inputs, off.inputs, "mode changed input metadata");
+    assert_eq!(on.total_mj(), off.total_mj(), "mode changed energy");
+    assert_eq!(on.busy_time, off.busy_time, "mode changed busy time");
+    assert_eq!(on_boxes, off_boxes, "mode changed final geometry");
+    assert_eq!(on_items, off_items, "mode changed the display list");
+    // The priced inputs are mode-independent…
+    assert_eq!(
+        on.layout.dirty_elements, off.layout.dirty_elements,
+        "dirty accounting diverged"
+    );
+    assert_eq!(
+        on.paint.damage_items, off.paint.damage_items,
+        "damage accounting diverged"
+    );
+    // …and the machinery actually engaged: reuses on, none off.
+    assert!(
+        on.layout.subtree_reuses > 0,
+        "cache never reused a subtree: {:?}",
+        on.layout
+    );
+    assert_eq!(
+        off.layout.subtree_reuses, 0,
+        "oracle reused a subtree: {:?}",
+        off.layout
+    );
+    assert!(
+        on.layout.elements_laid_out < off.layout.elements_laid_out,
+        "incremental measured no fewer elements ({} vs {})",
+        on.layout.elements_laid_out,
+        off.layout.elements_laid_out
+    );
+    assert!(
+        on.paint.partial_repaints > 0,
+        "no partial repaints: {:?}",
+        on.paint
+    );
+}
+
+/// The paint-incr parity gate's contract, in-process: the deterministic
+/// metrics JSON of an incremental run and a naive-oracle run are
+/// byte-identical once the `"style"`, `"layout"`, and `"paint"`
+/// counter objects are stripped — and those counters do distinguish
+/// the two renderings. (Style counters differ too because reused
+/// subtrees skip style resolution entirely.)
+#[test]
+fn paint_mode_metrics_json_identical_modulo_render_counters() {
+    use greenweb::metrics::RunMetrics;
+    use greenweb_engine::{App, Browser, GovernorScheduler, Trace};
+    use std::collections::HashMap;
+
+    let app = App::builder("paint-json-parity")
+        .html("<div id='box'><p>a</p><p>b</p></div>")
+        .css("p { height: 12px; }")
+        .script(
+            "addEventListener(getElementById('box'), 'click', function(e) { \
+               setStyle(getElementById('box'), 'width', 150); markDirty(); });",
+        )
+        .build();
+    let trace = Trace::builder()
+        .click_id(50.0, "box")
+        .click_id(300.0, "box")
+        .end_ms(700.0)
+        .build();
+    let run_mode = |enabled: bool| {
+        let mut browser =
+            Browser::new(&app, GovernorScheduler::new(greenweb_acmp::PerfGovernor)).unwrap();
+        browser.set_paint_incremental(enabled);
+        let report = browser.run(&trace).unwrap();
+        RunMetrics::compute(&report, &HashMap::new()).render_json()
+    };
+    let on = run_mode(true);
+    let off = run_mode(false);
+
+    assert_ne!(on, off, "render counters failed to identify the mode");
+    let strip = |json: &str| {
+        let json = strip_counter_object(json, "style");
+        let json = strip_counter_object(&json, "layout");
+        strip_counter_object(&json, "paint")
+    };
+    assert_eq!(
+        strip(&on),
+        strip(&off),
+        "modes diverged outside the style/layout/paint counters"
+    );
+}
+
+/// The tentpole's correctness contract, engine-level: on random
+/// documents × random stylesheets × random mutation sequences (DOM
+/// writes, inline-style writes, class flips, text replacement,
+/// transition-driven animation, rAF chains, and canvas-style
+/// work-only frames), the incremental pipeline and the naive
+/// full-relayout oracle agree on everything observable: frame records,
+/// input metadata, energy, final geometry, the final display list, and
+/// the metrics JSON modulo the style/layout/paint counter objects.
+#[test]
+fn rendering_modes_agree_on_random_documents_and_mutations() {
+    use greenweb::metrics::RunMetrics;
+    use greenweb_engine::{App, Browser, GovernorScheduler, Trace};
+    use std::collections::HashMap;
+
+    const MUTATIONS: [&str; 8] = [
+        "setStyle(getElementById('hub'), 'width', n * 10 + 40);",
+        "setStyle(getElementById('hub'), 'height', 30 + n);",
+        "if (n > 1) { setAttribute(getElementById('hub'), 'class', 'hot'); } \
+         else { setAttribute(getElementById('hub'), 'class', 'card'); }",
+        "setAttribute(getElementById('hub'), 'data-n', n);",
+        "setText(getElementById('hub'), n);",
+        "work(150000);",
+        "setStyle(getElementById('hub'), 'margin', 3);",
+        "requestAnimationFrame(function(t) { \
+           setStyle(getElementById('hub'), 'height', 9); markDirty(); });",
+    ];
+    check(
+        "rendering_modes_agree_on_random_documents_and_mutations",
+        32,
+        |g| {
+            let html = format!(
+                "<div id='hub' class='card'>h{}</div>",
+                gen_style_document(g)
+            );
+            let css = format!(
+                "{} .hot {{ width: 120px; }} .card {{ margin: 2px; }} \
+             #hub {{ transition: width 60ms linear; }}",
+                gen_stylesheet_source(g)
+            );
+            let mut body = String::from("n = n + 1;");
+            for _ in 0..g.usize_in(1, 4) {
+                body.push_str(g.choose::<&str>(&MUTATIONS));
+            }
+            body.push_str("markDirty();");
+            let app = App::builder("paint-differential")
+                .html(html.clone())
+                .css(css.clone())
+                .script(format!(
+                    "var n = 0; \
+                 addEventListener(getElementById('hub'), 'click', function(e) {{ {body} }});"
+                ))
+                .build();
+            let trace = Trace::builder()
+                .click_id(50.0, "hub")
+                .click_id(320.0, "hub")
+                .click_id(590.0, "hub")
+                .end_ms(950.0)
+                .build();
+            let run_mode = |enabled: bool| {
+                let mut browser =
+                    Browser::new(&app, GovernorScheduler::new(greenweb_acmp::PerfGovernor))
+                        .unwrap();
+                browser.set_paint_incremental(enabled);
+                let report = browser.run(&trace).unwrap();
+                let boxes = browser.layout_boxes().to_vec();
+                let items = browser.display_list().to_vec();
+                let json = RunMetrics::compute(&report, &HashMap::new()).render_json();
+                (report, boxes, items, json)
+            };
+            let (on, on_boxes, on_items, on_json) = run_mode(true);
+            let (off, off_boxes, off_items, off_json) = run_mode(false);
+
+            assert_eq!(on.frames, off.frames, "frames diverged\nbody: {body}");
+            assert_eq!(on.inputs, off.inputs, "inputs diverged\nbody: {body}");
+            assert_eq!(
+                on.total_mj(),
+                off.total_mj(),
+                "energy diverged\nbody: {body}\nhtml: {html}\ncss: {css}"
+            );
+            assert_eq!(
+                on.busy_time, off.busy_time,
+                "busy time diverged\nbody: {body}"
+            );
+            assert_eq!(
+                on_boxes, off_boxes,
+                "geometry diverged\nbody: {body}\nhtml: {html}"
+            );
+            assert_eq!(
+                on_items, off_items,
+                "display list diverged\nbody: {body}\nhtml: {html}"
+            );
+            assert_eq!(
+                on.layout.dirty_elements, off.layout.dirty_elements,
+                "dirty accounting diverged\nbody: {body}"
+            );
+            assert_eq!(
+                on.paint.damage_items, off.paint.damage_items,
+                "damage accounting diverged\nbody: {body}"
+            );
+            let strip = |json: &str| {
+                let json = strip_counter_object(json, "style");
+                let json = strip_counter_object(&json, "layout");
+                strip_counter_object(&json, "paint")
+            };
+            assert_eq!(
+                strip(&on_json),
+                strip(&off_json),
+                "metrics diverged outside render counters\nbody: {body}"
+            );
+        },
+    );
+}
+
 /// Dropped inputs stay invisible: an input that never marks dirty gets no
 /// frame records, and per-input sequence numbers stay contiguous from 0
 /// for everyone else even when inputs vanish mid-sequence.
